@@ -1,0 +1,300 @@
+//! Perfect (oracle) ACE-bit counters.
+//!
+//! These counters observe retirement events and accumulate exact ACE
+//! bit-time per microarchitectural structure, following the paper's
+//! accounting (Section 4.2): an instruction's ACE contribution to a
+//! structure is its residency in that structure times the structure's bits
+//! per entry. NOPs and wrong-path instructions contribute nothing (wrong-
+//! path instructions never retire; NOP events are skipped here).
+
+use relsim_cpu::{BitWidths, CoreConfig, CoreKind, RetireEvent, RetireObserver};
+use relsim_trace::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of accumulated ACE bit-time per structure (Figure 5).
+///
+/// Units are bit-ticks (one bit being ACE for one global tick).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AbcStack {
+    /// Reorder buffer (pipeline-stage latches for the in-order core).
+    pub rob: f64,
+    /// Issue queue.
+    pub iq: f64,
+    /// Load queue.
+    pub lq: f64,
+    /// Store queue.
+    pub sq: f64,
+    /// Register file, including the always-ACE architectural registers.
+    pub regfile: f64,
+    /// Functional units.
+    pub fu: f64,
+}
+
+impl AbcStack {
+    /// Total ACE bit-time across all structures.
+    pub fn total(&self) -> f64 {
+        self.rob + self.iq + self.lq + self.sq + self.regfile + self.fu
+    }
+
+    /// Per-structure fractions in the order ROB, IQ, LQ, SQ, regfile, FU.
+    pub fn normalized(&self) -> [f64; 6] {
+        let t = self.total();
+        if t == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.rob / t,
+            self.iq / t,
+            self.lq / t,
+            self.sq / t,
+            self.regfile / t,
+            self.fu / t,
+        ]
+    }
+}
+
+/// Labels for [`AbcStack::normalized`] components.
+pub const ABC_STACK_NAMES: [&str; 6] = ["rob", "iq", "lq", "sq", "regfile", "fu"];
+
+/// Exact ACE-bit accounting for one core, fed by retirement events.
+///
+/// # Examples
+///
+/// ```
+/// use relsim_ace::PerfectAceCounters;
+/// use relsim_cpu::{CoreConfig, RetireEvent, RetireObserver};
+/// use relsim_trace::OpClass;
+///
+/// let mut c = PerfectAceCounters::new(&CoreConfig::big());
+/// c.on_retire(&RetireEvent {
+///     op: OpClass::IntAlu, dispatch: 0, issue: 2, finish: 3, commit: 10,
+///     exec_latency: 1, has_output: true,
+/// });
+/// let stack = c.stack(10);
+/// assert!(stack.rob > 0.0 && stack.regfile > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectAceCounters {
+    kind: CoreKind,
+    bits: BitWidths,
+    ticks_per_cycle: u64,
+    /// Live architectural-register bits (per tick): the architectural
+    /// register file scaled by the configured liveness fraction.
+    arch_reg_bits: f64,
+    rob: u64,
+    iq: u64,
+    lq: u64,
+    sq: u64,
+    reg: u64,
+    fu: u64,
+    retired: u64,
+}
+
+impl PerfectAceCounters {
+    /// Build counters matching the given core configuration.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        PerfectAceCounters {
+            kind: cfg.kind,
+            bits: cfg.bits,
+            ticks_per_cycle: cfg.ticks_per_cycle,
+            arch_reg_bits: (u64::from(cfg.arch_int_regs) * cfg.bits.int_reg
+                + u64::from(cfg.arch_fp_regs) * cfg.bits.fp_reg)
+                as f64
+                * cfg.bits.arch_reg_live_fraction,
+            rob: 0,
+            iq: 0,
+            lq: 0,
+            sq: 0,
+            reg: 0,
+            fu: 0,
+            retired: 0,
+        }
+    }
+
+    /// Retired (non-NOP) instructions observed.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reset all accumulators (e.g. at a quantum boundary).
+    pub fn reset(&mut self) {
+        self.rob = 0;
+        self.iq = 0;
+        self.lq = 0;
+        self.sq = 0;
+        self.reg = 0;
+        self.fu = 0;
+        self.retired = 0;
+    }
+
+    /// The per-structure ACE bit-time accumulated so far, given the number
+    /// of ticks `elapsed` covered by the accumulation window (needed for
+    /// the always-ACE architectural registers).
+    pub fn stack(&self, elapsed: u64) -> AbcStack {
+        AbcStack {
+            rob: self.rob as f64,
+            iq: self.iq as f64,
+            lq: self.lq as f64,
+            sq: self.sq as f64,
+            regfile: self.reg as f64 + elapsed as f64 * self.arch_reg_bits,
+            fu: self.fu as f64,
+        }
+    }
+
+    /// Total ACE bit-time over a window of `elapsed` ticks.
+    pub fn abc(&self, elapsed: u64) -> f64 {
+        self.stack(elapsed).total()
+    }
+}
+
+impl RetireObserver for PerfectAceCounters {
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        if ev.op == OpClass::Nop {
+            return; // NOPs are never ACE.
+        }
+        self.retired += 1;
+        debug_assert!(ev.is_well_formed(), "malformed retire event {ev:?}");
+        match self.kind {
+            CoreKind::Big => {
+                self.rob += (ev.commit - ev.dispatch) * self.bits.rob_entry;
+                self.iq += (ev.issue - ev.dispatch) * self.bits.iq_entry;
+                match ev.op {
+                    OpClass::Load => {
+                        self.lq += (ev.commit - ev.dispatch) * self.bits.lq_entry;
+                    }
+                    OpClass::Store => {
+                        self.sq += (ev.commit - ev.dispatch) * self.bits.sq_entry;
+                    }
+                    _ => {}
+                }
+                if ev.has_output {
+                    let reg_bits = if ev.op.is_fp() {
+                        self.bits.fp_reg
+                    } else {
+                        self.bits.int_reg
+                    };
+                    self.reg += (ev.commit - ev.finish) * reg_bits;
+                }
+            }
+            CoreKind::Small => {
+                // Pipeline-stage latches: the instruction occupies one
+                // 76-bit latch from fetch to writeback.
+                self.rob += (ev.commit - ev.dispatch) * self.bits.rob_entry;
+                // Issue-queue residency: decoded but not yet executing.
+                self.iq += (ev.issue - ev.dispatch) * self.bits.iq_entry;
+                if ev.op == OpClass::Store {
+                    self.sq += (ev.commit - ev.issue) * self.bits.sq_entry;
+                }
+                // The in-order core has architectural registers only; they
+                // are accounted as always-ACE in `stack()`.
+            }
+        }
+        let fu_bits = if ev.op.is_fp() {
+            self.bits.fp_fu
+        } else {
+            self.bits.int_fu
+        };
+        self.fu += ev.exec_latency * self.ticks_per_cycle * fu_bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: OpClass, dispatch: u64, issue: u64, finish: u64, commit: u64) -> RetireEvent {
+        RetireEvent {
+            op,
+            dispatch,
+            issue,
+            finish,
+            commit,
+            exec_latency: 1,
+            has_output: op.has_output(),
+        }
+    }
+
+    #[test]
+    fn big_core_alu_accounting() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::big());
+        c.on_retire(&ev(OpClass::IntAlu, 0, 4, 5, 20));
+        let s = c.stack(0);
+        assert_eq!(s.rob, (20.0 - 0.0) * 76.0);
+        assert_eq!(s.iq, 4.0 * 32.0);
+        assert_eq!(s.lq, 0.0);
+        assert_eq!(s.regfile, (20.0 - 5.0) * 64.0);
+        assert_eq!(s.fu, 64.0);
+    }
+
+    #[test]
+    fn load_and_store_queues_accounted() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::big());
+        c.on_retire(&ev(OpClass::Load, 0, 2, 10, 12));
+        c.on_retire(&ev(OpClass::Store, 0, 2, 3, 12));
+        let s = c.stack(0);
+        assert_eq!(s.lq, 12.0 * 80.0);
+        assert_eq!(s.sq, 12.0 * 144.0);
+    }
+
+    #[test]
+    fn fp_uses_wider_registers_and_fu() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::big());
+        c.on_retire(&RetireEvent {
+            op: OpClass::FpMul,
+            dispatch: 0,
+            issue: 1,
+            finish: 6,
+            commit: 10,
+            exec_latency: 5,
+            has_output: true,
+        });
+        let s = c.stack(0);
+        assert_eq!(s.regfile, 4.0 * 128.0);
+        assert_eq!(s.fu, 5.0 * 128.0);
+    }
+
+    #[test]
+    fn nops_are_never_ace() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::big());
+        c.on_retire(&ev(OpClass::Nop, 0, 1, 2, 50));
+        assert_eq!(c.abc(0), 0.0);
+        assert_eq!(c.retired(), 0);
+    }
+
+    #[test]
+    fn live_architectural_registers_always_ace() {
+        let cfg = CoreConfig::big();
+        let c = PerfectAceCounters::new(&cfg);
+        // 16 int x 64 + 16 fp x 128 = 3072 bits, scaled by liveness.
+        let expect = 100.0 * 3072.0 * cfg.bits.arch_reg_live_fraction;
+        assert!((c.abc(100) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_core_counts_pipeline_latches() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::small());
+        c.on_retire(&ev(OpClass::IntAlu, 0, 3, 4, 6));
+        let s = c.stack(0);
+        assert_eq!(s.rob, 6.0 * 76.0);
+        assert_eq!(s.iq, 3.0 * 32.0);
+        assert_eq!(s.lq, 0.0, "in-order core has no load queue");
+    }
+
+    #[test]
+    fn reset_clears_accumulation() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::big());
+        c.on_retire(&ev(OpClass::IntAlu, 0, 1, 2, 5));
+        assert!(c.abc(0) > 0.0);
+        c.reset();
+        assert_eq!(c.abc(0), 0.0);
+    }
+
+    #[test]
+    fn stack_normalization() {
+        let mut c = PerfectAceCounters::new(&CoreConfig::big());
+        c.on_retire(&ev(OpClass::Load, 0, 2, 10, 12));
+        let n = c.stack(10).normalized();
+        let sum: f64 = n.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,300 @@
+//! Emulation of the paper's hardware ACE-counter architecture
+//! (Section 4.2).
+//!
+//! The hardware keeps small per-entry timestamp counters (12 bits for the
+//! out-of-order ROB, 10 bits for the in-order pipeline) and per-structure
+//! 32-bit occupancy accumulators updated at the commit stage. This module
+//! emulates those counters **faithfully, including their quantization**:
+//! timestamps wrap modulo their width (so residencies ≥ 4096 cycles
+//! under-count), and accumulators wrap modulo 2³². The scheduler multiplies
+//! occupancies by bits-per-entry in software.
+
+use crate::counters::AbcStack;
+use relsim_cpu::{BitWidths, CoreConfig, CoreKind, RetireEvent, RetireObserver};
+use relsim_trace::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Which ACE-counter implementation the scheduler reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Exact (oracle) accounting — an idealization with no hardware cost.
+    Perfect,
+    /// The baseline hardware: dispatch+issue timestamps per ROB entry and
+    /// five per-structure accumulators (904 bytes per big core).
+    HwBaseline,
+    /// The area-optimized hardware: ROB occupancy only (296 bytes per big
+    /// core); ROB ABC serves as a proxy for core ABC (Section 6.6).
+    HwRobOnly,
+}
+
+/// Timestamp width for the out-of-order core's per-ROB-entry counters.
+const OOO_TIMESTAMP_BITS: u32 = 12;
+/// Timestamp width for the in-order core's fetch-time counters.
+const INORDER_TIMESTAMP_BITS: u32 = 10;
+
+/// Emulated hardware ACE counters for one core.
+///
+/// Implements [`RetireObserver`] exactly like
+/// [`PerfectAceCounters`](crate::PerfectAceCounters), but through the
+/// quantized datapath the
+/// paper proposes: residencies are reconstructed from wrapped timestamps at
+/// commit and summed into wrapping 32-bit accumulators.
+///
+/// # Examples
+///
+/// ```
+/// use relsim_ace::{CounterKind, HwAceCounters};
+/// use relsim_cpu::{CoreConfig, RetireEvent, RetireObserver};
+/// use relsim_trace::OpClass;
+///
+/// let mut hw = HwAceCounters::new(&CoreConfig::big(), CounterKind::HwBaseline);
+/// hw.on_retire(&RetireEvent {
+///     op: OpClass::IntAlu, dispatch: 0, issue: 2, finish: 3, commit: 10,
+///     exec_latency: 1, has_output: true,
+/// });
+/// assert!(hw.abc(10) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwAceCounters {
+    kind: CoreKind,
+    variant: CounterKind,
+    bits: BitWidths,
+    ticks_per_cycle: u64,
+    arch_reg_bits: f64,
+    /// Wrapping 32-bit occupancy accumulators: ROB, IQ, LQ, SQ, REG, FU.
+    occ: [u32; 6],
+    retired: u64,
+}
+
+impl HwAceCounters {
+    /// Build hardware counters for the given core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is [`CounterKind::Perfect`] — use
+    /// [`PerfectAceCounters`](crate::PerfectAceCounters) for that.
+    pub fn new(cfg: &CoreConfig, variant: CounterKind) -> Self {
+        assert_ne!(
+            variant,
+            CounterKind::Perfect,
+            "use PerfectAceCounters for the oracle variant"
+        );
+        HwAceCounters {
+            kind: cfg.kind,
+            variant,
+            bits: cfg.bits,
+            ticks_per_cycle: cfg.ticks_per_cycle,
+            arch_reg_bits: (u64::from(cfg.arch_int_regs) * cfg.bits.int_reg
+                + u64::from(cfg.arch_fp_regs) * cfg.bits.fp_reg)
+                as f64
+                * cfg.bits.arch_reg_live_fraction,
+            occ: [0; 6],
+            retired: 0,
+        }
+    }
+
+    /// The counter variant.
+    pub fn variant(&self) -> CounterKind {
+        self.variant
+    }
+
+    /// Retired (non-NOP) instructions observed.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Clear the accumulators (the scheduler does this each quantum).
+    pub fn reset(&mut self) {
+        self.occ = [0; 6];
+        self.retired = 0;
+    }
+
+    /// Residency in core cycles as the hardware reconstructs it from two
+    /// wrapped timestamps.
+    fn residency(&self, from_tick: u64, to_tick: u64) -> u32 {
+        let ts_bits = match self.kind {
+            CoreKind::Big => OOO_TIMESTAMP_BITS,
+            CoreKind::Small => INORDER_TIMESTAMP_BITS,
+        };
+        let mask = (1u64 << ts_bits) - 1;
+        let from_cyc = (from_tick / self.ticks_per_cycle) & mask;
+        let to_cyc = (to_tick / self.ticks_per_cycle) & mask;
+        (to_cyc.wrapping_sub(from_cyc) & mask) as u32
+    }
+
+    /// ACE bit-time estimate the scheduler computes in software from the
+    /// occupancy counters, over a window of `elapsed` ticks.
+    pub fn abc(&self, elapsed: u64) -> f64 {
+        self.stack(elapsed).total()
+    }
+
+    /// Per-structure ABC estimate (only the structures this variant
+    /// tracks; the ROB-only variant reports everything in `rob`).
+    pub fn stack(&self, elapsed: u64) -> AbcStack {
+        let t = self.ticks_per_cycle as f64;
+        let b = &self.bits;
+        match self.variant {
+            CounterKind::HwRobOnly => AbcStack {
+                rob: f64::from(self.occ[0]) * t * b.rob_entry as f64,
+                ..AbcStack::default()
+            },
+            _ => AbcStack {
+                rob: f64::from(self.occ[0]) * t * b.rob_entry as f64,
+                iq: f64::from(self.occ[1]) * t * b.iq_entry as f64,
+                lq: f64::from(self.occ[2]) * t * b.lq_entry as f64,
+                sq: f64::from(self.occ[3]) * t * b.sq_entry as f64,
+                regfile: f64::from(self.occ[4]) * t * 64.0
+                    + elapsed as f64 * self.arch_reg_bits,
+                fu: f64::from(self.occ[5]) * t * 64.0,
+            },
+        }
+    }
+}
+
+impl RetireObserver for HwAceCounters {
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        if ev.op == OpClass::Nop {
+            return;
+        }
+        self.retired += 1;
+        match (self.kind, self.variant) {
+            (CoreKind::Big, CounterKind::HwRobOnly) => {
+                let rob = self.residency(ev.dispatch, ev.commit);
+                self.occ[0] = self.occ[0].wrapping_add(rob);
+            }
+            (CoreKind::Big, _) => {
+                let rob = self.residency(ev.dispatch, ev.commit);
+                let iq = self.residency(ev.dispatch, ev.issue);
+                self.occ[0] = self.occ[0].wrapping_add(rob);
+                self.occ[1] = self.occ[1].wrapping_add(iq);
+                match ev.op {
+                    OpClass::Load => self.occ[2] = self.occ[2].wrapping_add(rob),
+                    OpClass::Store => self.occ[3] = self.occ[3].wrapping_add(rob),
+                    _ => {}
+                }
+                if ev.has_output {
+                    // The hardware reconstructs finish as issue + latency.
+                    let reg = self.residency(
+                        ev.issue + ev.exec_latency * self.ticks_per_cycle,
+                        ev.commit,
+                    );
+                    // Width-normalized to 64-bit units in hardware; the
+                    // software multiplier uses 64 bits per unit.
+                    let units = if ev.op.is_fp() { 2 } else { 1 };
+                    self.occ[4] = self.occ[4].wrapping_add(reg * units);
+                }
+                let units = if ev.op.is_fp() { 2 } else { 1 };
+                self.occ[5] = self
+                    .occ[5]
+                    .wrapping_add(ev.exec_latency as u32 * units);
+            }
+            (CoreKind::Small, _) => {
+                // The in-order hardware tracks fetch→writeback time plus
+                // the FU contribution, all in a single accumulator; we keep
+                // it in occ[0].
+                let pipe = self.residency(ev.dispatch, ev.commit);
+                self.occ[0] = self.occ[0].wrapping_add(pipe);
+                let units = if ev.op.is_fp() { 2 } else { 1 };
+                self.occ[5] = self
+                    .occ[5]
+                    .wrapping_add(ev.exec_latency as u32 * units);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::PerfectAceCounters;
+
+    fn ev(op: OpClass, dispatch: u64, issue: u64, finish: u64, commit: u64) -> RetireEvent {
+        RetireEvent {
+            op,
+            dispatch,
+            issue,
+            finish,
+            commit,
+            exec_latency: 1,
+            has_output: op.has_output(),
+        }
+    }
+
+    #[test]
+    fn baseline_tracks_rob_like_perfect_for_short_residencies() {
+        let cfg = CoreConfig::big();
+        let mut hw = HwAceCounters::new(&cfg, CounterKind::HwBaseline);
+        let mut perfect = PerfectAceCounters::new(&cfg);
+        for i in 0..100 {
+            let e = ev(OpClass::IntAlu, i * 10, i * 10 + 3, i * 10 + 4, i * 10 + 9);
+            hw.on_retire(&e);
+            perfect.on_retire(&e);
+        }
+        let h = hw.stack(0);
+        let p = perfect.stack(0);
+        assert_eq!(h.rob, p.rob, "no wrap for short residencies");
+        assert_eq!(h.iq, p.iq);
+    }
+
+    #[test]
+    fn timestamps_wrap_at_4096_cycles() {
+        let cfg = CoreConfig::big();
+        let mut hw = HwAceCounters::new(&cfg, CounterKind::HwBaseline);
+        // Residency of 5000 cycles wraps to 5000 - 4096 = 904.
+        hw.on_retire(&ev(OpClass::IntAlu, 0, 1, 2, 5000));
+        let rob_occ = hw.stack(0).rob / 76.0;
+        assert_eq!(rob_occ, 904.0);
+    }
+
+    #[test]
+    fn rob_only_ignores_other_structures() {
+        let cfg = CoreConfig::big();
+        let mut hw = HwAceCounters::new(&cfg, CounterKind::HwRobOnly);
+        hw.on_retire(&ev(OpClass::Load, 0, 2, 10, 20));
+        let s = hw.stack(100);
+        assert!(s.rob > 0.0);
+        assert_eq!(s.iq + s.lq + s.sq + s.regfile + s.fu, 0.0);
+    }
+
+    #[test]
+    fn accumulator_wraps_at_32_bits() {
+        let cfg = CoreConfig::big();
+        let mut hw = HwAceCounters::new(&cfg, CounterKind::HwRobOnly);
+        // Each event adds 4000 cycles of ROB occupancy; push close to and
+        // past the 32-bit boundary.
+        let per_event = 4000u64;
+        let events = u64::from(u32::MAX) / per_event + 2;
+        for i in 0..events {
+            hw.on_retire(&ev(OpClass::IntAlu, i * 10_000, i * 10_000 + 1, i * 10_000 + 2, i * 10_000 + per_event));
+        }
+        let total_cycles = events * per_event;
+        let expected_wrapped = (total_cycles % (1 << 32)) as f64;
+        assert_eq!(hw.stack(0).rob / 76.0, expected_wrapped);
+    }
+
+    #[test]
+    fn in_order_uses_10_bit_timestamps() {
+        let cfg = CoreConfig::small();
+        let mut hw = HwAceCounters::new(&cfg, CounterKind::HwBaseline);
+        // 1100-cycle residency wraps at 1024 to 76.
+        hw.on_retire(&ev(OpClass::IntAlu, 0, 1, 2, 1100));
+        assert_eq!(hw.stack(0).rob / 76.0, 76.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PerfectAceCounters")]
+    fn perfect_variant_rejected() {
+        let _ = HwAceCounters::new(&CoreConfig::big(), CounterKind::Perfect);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let cfg = CoreConfig::big();
+        let mut hw = HwAceCounters::new(&cfg, CounterKind::HwBaseline);
+        hw.on_retire(&ev(OpClass::IntAlu, 0, 1, 2, 10));
+        assert!(hw.abc(0) > 0.0);
+        hw.reset();
+        assert_eq!(hw.abc(0), 0.0);
+        assert_eq!(hw.retired(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Hardware cost accounting for the ACE counter architecture,
+//! reproducing the byte counts of Section 4.2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// SRAM-bit equivalent of one 32-bit adder (the paper extrapolates ~1,200
+/// transistors per 32-bit adder and 6 transistors per SRAM cell, i.e.
+/// 200 bits).
+pub const ADDER_BIT_EQUIVALENT: u64 = 200;
+
+/// Cost breakdown of one counter implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwCost {
+    /// Bits of per-entry timestamp storage.
+    pub timestamp_bits: u64,
+    /// Bits of per-structure accumulators.
+    pub accumulator_bits: u64,
+    /// Number of adders in the commit-stage datapath.
+    pub adders: u64,
+}
+
+impl HwCost {
+    /// Total cost in SRAM-bit equivalents.
+    pub fn total_bits(&self) -> u64 {
+        self.timestamp_bits + self.accumulator_bits + self.adders * ADDER_BIT_EQUIVALENT
+    }
+
+    /// Total cost in bytes, rounded up.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// Baseline implementation for the big core: two 12-bit counters per ROB
+/// entry, one 32-bit accumulator per profiled structure (5 structures),
+/// and 5 adders per commit slot × 4-wide commit.
+pub fn baseline_big(rob_entries: u64, commit_width: u64) -> HwCost {
+    HwCost {
+        timestamp_bits: 2 * 12 * rob_entries,
+        accumulator_bits: 5 * 32,
+        adders: 5 * commit_width,
+    }
+}
+
+/// Area-optimized implementation for the big core: one 12-bit dispatch
+/// timestamp per ROB entry, a single 32-bit ROB accumulator, and one adder
+/// per commit slot.
+pub fn rob_only_big(rob_entries: u64, commit_width: u64) -> HwCost {
+    HwCost {
+        timestamp_bits: 12 * rob_entries,
+        accumulator_bits: 32,
+        adders: commit_width,
+    }
+}
+
+/// In-order core implementation: one 10-bit fetch timestamp per pipeline
+/// slot (5 stages × 2-wide), one 32-bit accumulator, two adders.
+pub fn in_order_small(stages: u64, width: u64) -> HwCost {
+    HwCost {
+        timestamp_bits: 10 * stages * width,
+        accumulator_bits: 32,
+        adders: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_904_bytes() {
+        let c = baseline_big(128, 4);
+        assert_eq!(c.timestamp_bits, 3072);
+        assert_eq!(c.accumulator_bits, 160);
+        assert_eq!(c.adders, 20);
+        assert_eq!(c.total_bits(), 7232);
+        assert_eq!(c.total_bytes(), 904);
+    }
+
+    #[test]
+    fn rob_only_matches_paper_296_bytes() {
+        let c = rob_only_big(128, 4);
+        assert_eq!(c.timestamp_bits, 1536);
+        assert_eq!(c.total_bits(), 2368);
+        assert_eq!(c.total_bytes(), 296);
+    }
+
+    #[test]
+    fn in_order_matches_paper_67_bytes() {
+        let c = in_order_small(5, 2);
+        assert_eq!(c.timestamp_bits, 100);
+        assert_eq!(c.total_bits(), 532);
+        assert_eq!(c.total_bytes(), 67);
+    }
+
+    #[test]
+    fn rob_only_is_about_a_third_of_baseline() {
+        let base = baseline_big(128, 4).total_bits() as f64;
+        let rob = rob_only_big(128, 4).total_bits() as f64;
+        assert!(base / rob > 2.9 && base / rob < 3.2, "ratio {}", base / rob);
+    }
+}

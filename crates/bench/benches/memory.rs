@@ -1,0 +1,74 @@
+//! Cache and memory-controller microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use relsim_mem::{
+    Cache, CacheConfig, MemController, MemControllerConfig, PrivateCacheConfig, PrivateCaches,
+    SharedMem, SharedMemConfig,
+};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("l1_hits", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 << 10,
+            ways: 8,
+            line_bytes: 64,
+            latency: 4,
+        });
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..N {
+                hits += cache.access((i * 8) % (16 << 10), false) as u64;
+            }
+            hits
+        });
+    });
+    group.bench_function("l3_streaming_misses", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 8 << 20,
+            ways: 16,
+            line_bytes: 64,
+            latency: 30,
+        });
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..N {
+                hits += cache.access(i * 64 * 17, false) as u64;
+            }
+            hits
+        });
+    });
+    group.bench_function("full_hierarchy_walk", |b| {
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut private = PrivateCaches::new(PrivateCacheConfig::default(), 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc += private
+                    .access_data((i * 931) % (64 << 20), false, i, &mut shared)
+                    .complete_at;
+            }
+            acc
+        });
+    });
+    group.bench_function("controller_contention", |b| {
+        let mut ctrl = MemController::new(MemControllerConfig::default());
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc += ctrl.request(i * 3);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache
+}
+criterion_main!(benches);

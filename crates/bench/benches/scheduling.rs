@@ -1,0 +1,89 @@
+//! Scheduler decision cost: the per-quantum work of Algorithm 1 (pair
+//! switching over sampled data) and of the random baseline, excluding
+//! simulation time. Also measures ACE-counter observation overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relsim::{
+    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
+    SegmentObservation,
+};
+use relsim_ace::{AceCounter, CounterKind};
+use relsim_cpu::{CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
+use relsim_trace::OpClass;
+
+fn feed(sched: &mut dyn Scheduler, kinds: &[CoreKind]) {
+    let seg = sched.next_segment();
+    let obs: Vec<SegmentObservation> = seg
+        .mapping
+        .iter()
+        .enumerate()
+        .map(|(core, &app)| SegmentObservation {
+            app,
+            core,
+            kind: kinds[core],
+            ticks: seg.ticks,
+            active_ticks: seg.ticks,
+            instructions: 1000 + app as u64 * 137,
+            abc: 5000.0 + app as f64 * 911.0,
+            cpi: CpiStack::default(),
+        })
+        .collect();
+    sched.observe(&obs);
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_decision");
+    for n in [4usize, 8, 16] {
+        let kinds: Vec<CoreKind> = (0..n)
+            .map(|i| if i < n / 2 { CoreKind::Big } else { CoreKind::Small })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("reliability", n), &kinds, |b, kinds| {
+            let mut s = SamplingScheduler::new(
+                Objective::Sser,
+                kinds.clone(),
+                10_000,
+                SamplingParams::default(),
+            );
+            b.iter(|| feed(&mut s, kinds));
+        });
+        group.bench_with_input(BenchmarkId::new("random", n), &kinds, |b, kinds| {
+            let mut s = RandomScheduler::new(kinds.clone(), 10_000, 1);
+            b.iter(|| feed(&mut s, kinds));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ace_counter_observation");
+    let ev = RetireEvent {
+        op: OpClass::Load,
+        dispatch: 100,
+        issue: 105,
+        finish: 140,
+        commit: 150,
+        exec_latency: 1,
+        has_output: true,
+    };
+    for kind in [CounterKind::Perfect, CounterKind::HwBaseline, CounterKind::HwRobOnly] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut counter = AceCounter::new(&CoreConfig::big(), kind);
+                b.iter(|| {
+                    for _ in 0..1000 {
+                        counter.on_retire(&ev);
+                    }
+                    counter.abc(1000)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schedulers
+}
+criterion_main!(benches);

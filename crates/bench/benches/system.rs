@@ -1,0 +1,51 @@
+//! Full-system simulation throughput: how many global ticks per wall
+//! second a 2B2S system sustains under each scheduler (simulation speed,
+//! not guest performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relsim::{
+    AppSpec, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler, System,
+    SystemConfig,
+};
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_throughput");
+    const TICKS: u64 = 60_000;
+    group.throughput(Throughput::Elements(TICKS));
+    group.sample_size(10);
+    for sched_name in ["random", "reliability"] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sched_name),
+            &sched_name,
+            |b, &name| {
+                b.iter(|| {
+                    let cfg = SystemConfig::hcmp(2, 2);
+                    let kinds = cfg.core_kinds();
+                    let q = cfg.quantum_ticks;
+                    let specs: Vec<AppSpec> = ["milc", "gobmk", "hmmer", "povray"]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| AppSpec::spec(n, i as u64))
+                        .collect();
+                    let mut system = System::new(cfg, &specs);
+                    let mut sched: Box<dyn Scheduler> = if name == "random" {
+                        Box::new(RandomScheduler::new(kinds, q, 1))
+                    } else {
+                        Box::new(SamplingScheduler::new(
+                            Objective::Sser,
+                            kinds,
+                            q,
+                            SamplingParams::default(),
+                        ))
+                    };
+                    let r = system.run(sched.as_mut(), TICKS);
+                    r.migrations
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Synthetic trace generation rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relsim_trace::{spec_profile, InstrSource, TraceGenerator};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    for bench in ["hmmer", "mcf", "calculix"] {
+        group.bench_with_input(BenchmarkId::from_parameter(bench), &bench, |b, name| {
+            let profile = spec_profile(name).unwrap();
+            b.iter(|| {
+                let mut g = TraceGenerator::new(profile.clone(), 1, 0);
+                let mut acc = 0u64;
+                for _ in 0..N {
+                    acc = acc.wrapping_add(g.next_instr().addr);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: small-core frequency (DVFS) versus the reliability/
+//! performance trade-off, extending the paper's Section 6.4 single point
+//! (1.33 GHz) to a sweep.
+//!
+//! Slower small cores expose work for longer (raising wSER through the
+//! slowdown weighting) but also deepen the power savings; this quantifies
+//! where the reliability benefit of reliability-aware scheduling erodes.
+
+use relsim::experiments::{run_mix, SchedKind};
+use relsim::mixes::Mix;
+use relsim::{SamplingParams, SystemConfig};
+use relsim_bench::{context, pct, scale_from_args};
+use relsim_cpu::CoreKind;
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let mix = Mix {
+        category: "HHLL".into(),
+        benchmarks: vec!["milc".into(), "lbm".into(), "gobmk".into(), "perlbench".into()],
+    };
+    println!("# Ablation: small-core frequency sweep on 2B2S ({})", mix.benchmarks.join("+"));
+    println!(
+        "{:<12} {:>12} {:>8} {:>12} {:>8} {:>12}",
+        "small clock", "rel SSER", "rel STP", "rand SSER", "rand STP", "rel benefit"
+    );
+    for divisor in [1u64, 2, 3, 4] {
+        let mut cfg = SystemConfig::hcmp(2, 2);
+        for c in &mut cfg.cores {
+            if c.kind == CoreKind::Small {
+                *c = c.clone().at_frequency_divisor(divisor);
+            }
+        }
+        cfg.quantum_ticks = ctx.scale.quantum_ticks;
+        cfg.migration_ticks = (ctx.scale.quantum_ticks / 50).max(1);
+        let (rel, _) = run_mix(&ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+        let (rand, _) = run_mix(&ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
+        println!(
+            "{:<12} {:>12.3e} {:>8.3} {:>12.3e} {:>8.3} {:>12}",
+            format!("2.66/{divisor} GHz"),
+            rel.sser,
+            rel.stp,
+            rand.sser,
+            rand.stp,
+            pct(1.0 - rel.sser / rand.sser)
+        );
+    }
+    println!("# The paper's Section 6.4 single point is divisor 2 (1.33 GHz): slower small");
+    println!("# cores shrink the reliability benefit because parked applications stay");
+    println!("# exposed for longer (the wSER slowdown weighting).");
+}

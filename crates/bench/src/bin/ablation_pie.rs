@@ -1,0 +1,87 @@
+//! Ablation: the sampling-based performance scheduler (the paper's
+//! baseline) versus a PIE-style predictive scheduler (Van Craeynest et
+//! al., the paper's reference \[28\]).
+//!
+//! Part 1 checks the cross-core prediction model against isolated ground
+//! truth; part 2 compares end-to-end STP and SSER on divergent workloads.
+
+use relsim::evaluate::{evaluate, DEFAULT_IFR};
+use relsim::experiments::{hcmp_config, run_mix, SchedKind};
+use relsim::isolated::ReferenceTable;
+use relsim::mixes::Mix;
+use relsim::{AppSpec, PieModel, PredictiveScheduler, SamplingParams, System};
+use relsim_bench::{context, pct, scale_from_args};
+use relsim_cpu::CoreKind;
+
+fn main() {
+    let ctx = context(scale_from_args());
+    println!("# Part 1: cross-core IPS prediction accuracy (big -> small)");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "benchmark", "true IPS", "predicted", "error"
+    );
+    let model = PieModel::default();
+    let mut errs = Vec::new();
+    for name in ctx.refs.names() {
+        let (big, small) = ground_truth(&ctx.refs, &name);
+        let n = big.cpi.normalized();
+        let predicted = model.predict_other_ips(
+            CoreKind::Big,
+            big.ips,
+            (n[0], n[1] + n[2], n[3], n[4] + n[5]),
+        );
+        let err = predicted / small.ips - 1.0;
+        errs.push(err.abs());
+        println!(
+            "{:<12} {:>10.3} {:>12.3} {:>10}",
+            name,
+            small.ips,
+            predicted,
+            pct(err)
+        );
+    }
+    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    println!("# mean absolute prediction error: {}", pct(mean_err));
+
+    println!("\n# Part 2: end-to-end on a divergent 2B2S workload");
+    let mix = Mix {
+        category: "HHLL".into(),
+        benchmarks: vec!["milc".into(), "lbm".into(), "gobmk".into(), "perlbench".into()],
+    };
+    let cfg = hcmp_config(&ctx, 2, 2);
+    let (perf, rp) = run_mix(&ctx, &cfg, &mix, SchedKind::PerfOpt, SamplingParams::default());
+    // Run the predictive scheduler manually.
+    let specs: Vec<AppSpec> = mix
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, ctx.scale.seed ^ (i as u64 + 1)))
+        .collect();
+    let mut pie = PredictiveScheduler::new(model, cfg.core_kinds(), cfg.quantum_ticks);
+    let mut system = System::new(cfg, &specs);
+    let result = system.run(&mut pie, ctx.scale.run_ticks);
+    let pie_eval = evaluate(&result, &ctx.refs, DEFAULT_IFR);
+    println!(
+        "sampling perf-opt : STP {:.3}  SSER {:.3e}  migrations {}",
+        perf.stp, perf.sser, rp.migrations
+    );
+    println!(
+        "PIE predictive    : STP {:.3}  SSER {:.3e}  migrations {}",
+        pie_eval.stp, pie_eval.sser, result.migrations
+    );
+    println!("# PIE avoids all sampling overhead; the sampling scheduler has exact");
+    println!("# cross-type measurements. Close STP means the prediction model works.");
+}
+
+fn ground_truth<'a>(
+    refs: &'a ReferenceTable,
+    name: &str,
+) -> (
+    &'a relsim::isolated::IsolatedResult,
+    &'a relsim::isolated::IsolatedResult,
+) {
+    (
+        refs.get(name, CoreKind::Big).unwrap(),
+        refs.get(name, CoreKind::Small).unwrap(),
+    )
+}

@@ -1,0 +1,68 @@
+//! Compare two Figure 6 result files (e.g. before/after a simulator or
+//! scheduler change):
+//!
+//! ```text
+//! cargo run --release -p relsim-bench --bin compare_runs -- old.json new.json
+//! ```
+//!
+//! Defaults to comparing `target/experiments/fig06_sser_stp.json` against
+//! itself if no arguments are given (a smoke mode).
+
+use relsim::experiments::{summarize, MixComparison, SchedKind};
+use relsim_bench::pct;
+
+fn load(path: &str) -> Vec<MixComparison> {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    serde_json::from_slice(&bytes).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let default = "target/experiments/fig06_sser_stp.json".to_owned();
+    let (old_path, new_path) = match args.as_slice() {
+        [a, b] => (a.clone(), b.clone()),
+        [] => (default.clone(), default),
+        _ => {
+            eprintln!("usage: compare_runs <old.json> <new.json>");
+            std::process::exit(2);
+        }
+    };
+    let old = load(&old_path);
+    let new = load(&new_path);
+    let so = summarize(&old);
+    let sn = summarize(&new);
+    println!("# Figure 6 comparison: {old_path} -> {new_path}");
+    println!(
+        "{:<36} {:>12} {:>12} {:>10}",
+        "metric", "old", "new", "delta"
+    );
+    for (name, a, b) in [
+        ("rel vs random SSER reduction", so.rel_vs_random_sser, sn.rel_vs_random_sser),
+        ("rel vs perf SSER reduction", so.rel_vs_perf_sser, sn.rel_vs_perf_sser),
+        ("rel STP loss vs perf", so.rel_vs_perf_stp_loss, sn.rel_vs_perf_stp_loss),
+        ("perf vs random SSER reduction", so.perf_vs_random_sser, sn.perf_vs_random_sser),
+    ] {
+        println!(
+            "{name:<36} {:>12} {:>12} {:>10}",
+            pct(a),
+            pct(b),
+            pct(b - a)
+        );
+    }
+    // Per-mix largest movers.
+    let mut movers: Vec<(String, f64)> = old
+        .iter()
+        .filter_map(|o| {
+            let n = new
+                .iter()
+                .find(|n| n.mix.benchmarks == o.mix.benchmarks)?;
+            let delta = n.sser_vs_random(SchedKind::RelOpt) - o.sser_vs_random(SchedKind::RelOpt);
+            Some((o.mix.benchmarks.join("+"), delta))
+        })
+        .collect();
+    movers.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    println!("\n# largest per-workload movement in rel-opt normalized SSER:");
+    for (name, delta) in movers.iter().take(5) {
+        println!("  {name:<44} {:>8}", pct(*delta));
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 1: sorted big-core AVF for the SPEC CPU2006 benchmarks, with the
+//! H/M/L sensitivity classification used throughout the evaluation.
+
+use relsim_bench::{context, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let rows = relsim::experiments::isolated_characterization(&ctx);
+    println!("# Figure 1: big-core AVF (sorted ascending), classification");
+    println!("{:<12} {:>8} {:>4} {:>8} {:>8}", "benchmark", "AVF", "cat", "IPC", "ABC/tick");
+    for r in &rows {
+        println!(
+            "{:<12} {:>8.4} {:>4} {:>8.3} {:>8.0}",
+            r.name, r.big.avf, r.category, r.big.ips, r.big.abc_rate
+        );
+    }
+    save_json("fig01_avf", &rows);
+}

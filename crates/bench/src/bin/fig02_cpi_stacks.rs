@@ -1,0 +1,25 @@
+//! Figure 2: normalized big-core CPI stacks, in the same (ascending-AVF)
+//! benchmark order as Figure 1.
+
+use relsim_bench::{context, save_json, scale_from_args};
+use relsim_cpu::CPI_COMPONENT_NAMES;
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let rows = relsim::experiments::isolated_characterization(&ctx);
+    println!("# Figure 2: normalized CPI stacks (order matches Figure 1)");
+    print!("{:<12}", "benchmark");
+    for n in CPI_COMPONENT_NAMES {
+        print!(" {n:>9}");
+    }
+    println!();
+    for r in &rows {
+        let n = r.big.cpi.normalized();
+        print!("{:<12}", r.name);
+        for v in n {
+            print!(" {v:>9.3}");
+        }
+        println!();
+    }
+    save_json("fig02_cpi_stacks", &rows.iter().map(|r| (r.name.clone(), r.big.cpi.normalized())).collect::<Vec<_>>());
+}

@@ -1,0 +1,36 @@
+//! Figure 3: potential of reliability-aware scheduling — SER gain and STP
+//! loss of an oracle SSER-optimized schedule relative to an oracle
+//! STP-optimized schedule (isolated-run data, no interference).
+
+use relsim::experiments::oracle_study;
+use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_metrics::arithmetic_mean;
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let outcomes = oracle_study(&ctx);
+    println!("# Figure 3: oracle SER gain & STP loss (4-program, 2B2S)");
+    println!("{:<44} {:>10} {:>10}", "workload", "SER gain", "STP loss");
+    let mut gains = Vec::new();
+    let mut losses = Vec::new();
+    let mut sorted: Vec<_> = outcomes.iter().collect();
+    sorted.sort_by(|a, b| a.1.ser_gain().total_cmp(&b.1.ser_gain()));
+    for (m, o) in sorted {
+        println!(
+            "{:<44} {:>10} {:>10}",
+            format!("{}:{}", m.category, m.benchmarks.join("+")),
+            pct(o.ser_gain()),
+            pct(o.stp_loss())
+        );
+        gains.push(o.ser_gain());
+        losses.push(o.stp_loss());
+    }
+    let max_gain = gains.iter().copied().fold(f64::MIN, f64::max);
+    println!(
+        "# avg SER gain {} (paper: 27.2%), max {} (paper: 62.8%), avg STP loss {} (paper: 7%)",
+        pct(arithmetic_mean(&gains)),
+        pct(max_gain),
+        pct(arithmetic_mean(&losses))
+    );
+    save_json("fig03_oracle", &outcomes);
+}

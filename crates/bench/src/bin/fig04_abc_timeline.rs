@@ -1,0 +1,36 @@
+//! Figure 4: ABC over time for calculix and povray — isolated on a big
+//! core, and co-running on 1B1S under the reliability-aware scheduler
+//! (showing the migration response to calculix's phase change).
+
+use relsim_bench::{context, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let t = relsim::experiments::abc_timeline(&ctx, "calculix", "povray");
+    println!("# Figure 4 (left): isolated big-core ABC per quantum");
+    println!("{:<8} {:>14} {:>14}", "quantum", t.isolated[0].0, t.isolated[1].0);
+    let n = t.isolated[0].1.len().min(t.isolated[1].1.len());
+    for i in 0..n {
+        println!(
+            "{:<8} {:>14.0} {:>14.0}",
+            i, t.isolated[0].1[i], t.isolated[1].1[i]
+        );
+    }
+    println!("# Figure 4 (right): co-running on 1B1S under reliability-aware scheduling");
+    println!("{:<10} {:>14} {:>5} {:>14} {:>5}", "tick", t.corun[0].0, "big?", t.corun[1].0, "big?");
+    let m = t.corun[0].1.len().min(t.corun[1].1.len());
+    for i in 0..m {
+        let (s0, a0, b0) = t.corun[0].1[i];
+        let (_, a1, b1) = t.corun[1].1[i];
+        println!("{:<10} {:>14.0} {:>5} {:>14.0} {:>5}", s0, a0, b0 as u8, a1, b1 as u8);
+    }
+    // Count migrations visible in the schedule.
+    let mut switches = 0;
+    for w in t.corun[0].1.windows(2) {
+        if w[0].2 != w[1].2 {
+            switches += 1;
+        }
+    }
+    println!("# calculix changed core type {switches} times (phase-change response)");
+    save_json("fig04_abc_timeline", &t);
+}

@@ -1,0 +1,32 @@
+//! Figure 5: per-structure ABC stacks on the big core, plus the
+//! ROB-vs-core ABC correlation that justifies the area-optimized counter.
+
+use relsim::experiments::rob_abc_correlation;
+use relsim_ace::ABC_STACK_NAMES;
+use relsim_bench::{context, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let rows = relsim::experiments::isolated_characterization(&ctx);
+    println!("# Figure 5: ABC stacks on the big out-of-order core");
+    print!("{:<12}", "benchmark");
+    for n in ABC_STACK_NAMES {
+        print!(" {n:>9}");
+    }
+    println!();
+    let mut rob_fracs = Vec::new();
+    for r in &rows {
+        let n = r.big.stack.normalized();
+        rob_fracs.push(n[0]);
+        print!("{:<12}", r.name);
+        for v in n {
+            print!(" {v:>9.3}");
+        }
+        println!();
+    }
+    let corr = rob_abc_correlation(&rows);
+    let mean_rob = rob_fracs.iter().sum::<f64>() / rob_fracs.len() as f64;
+    println!("# corr(ROB ABC, core ABC) = {corr:.3} (paper: 0.99)");
+    println!("# mean ROB share of core ABC = {mean_rob:.2} (paper: ~0.5)");
+    save_json("fig05_abc_stacks", &rows.iter().map(|r| (r.name.clone(), r.big.stack)).collect::<Vec<_>>());
+}

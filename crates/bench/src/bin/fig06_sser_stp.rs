@@ -1,0 +1,60 @@
+//! Figure 6: SSER and STP of the reliability- and performance-optimized
+//! schedulers, normalized to random scheduling, for the 4-program
+//! workloads on a 2B2S HCMP. Also prints the paper's headline numbers.
+
+use relsim::experiments::{fig6_comparisons, summarize, SchedKind};
+use relsim_bench::{context, pct, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let comparisons = fig6_comparisons(&ctx);
+
+    println!("# Figure 6: per-workload SSER & STP normalized to random (2B2S, 4-program)");
+    println!(
+        "{:<44} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "SSER perf", "SSER rel", "STP perf", "STP rel"
+    );
+    let mut rows: Vec<_> = comparisons.iter().collect();
+    rows.sort_by(|a, b| {
+        a.sser_vs_random(SchedKind::RelOpt)
+            .total_cmp(&b.sser_vs_random(SchedKind::RelOpt))
+    });
+    for c in rows {
+        let label = format!("{}:{}", c.mix.category, c.mix.benchmarks.join("+"));
+        println!(
+            "{:<44} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            label,
+            c.sser_vs_random(SchedKind::PerfOpt),
+            c.sser_vs_random(SchedKind::RelOpt),
+            c.stp_vs_random(SchedKind::PerfOpt),
+            c.stp_vs_random(SchedKind::RelOpt),
+        );
+    }
+
+    let s = summarize(&comparisons);
+    println!("# Headline numbers (paper values in parentheses):");
+    println!(
+        "#   rel-opt SSER reduction vs random:    avg {} max {}   (32.0% / 55.6%)",
+        pct(s.rel_vs_random_sser),
+        pct(s.rel_vs_random_sser_max)
+    );
+    println!(
+        "#   rel-opt SSER reduction vs perf-opt:  avg {} max {}   (25.4% / 60.2%)",
+        pct(s.rel_vs_perf_sser),
+        pct(s.rel_vs_perf_sser_max)
+    );
+    println!(
+        "#   rel-opt STP loss vs perf-opt:        avg {}            (6.3%)",
+        pct(s.rel_vs_perf_stp_loss)
+    );
+    println!(
+        "#   perf-opt SSER reduction vs random:   avg {}            (7.3%)",
+        pct(s.perf_vs_random_sser)
+    );
+    println!(
+        "#   rel-opt STP vs random:               avg {}            (~0%)",
+        pct(s.rel_vs_random_stp)
+    );
+    save_json("fig06_sser_stp", &comparisons);
+    save_json("fig06_summary", &s);
+}

@@ -1,0 +1,36 @@
+//! Figure 7: SSER and STP per workload category on 2B2S.
+
+use relsim::experiments::{by_category, fig6_comparisons};
+use relsim_bench::{context, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let comparisons = fig6_comparisons(&ctx);
+    let cats = by_category(&comparisons);
+    println!("# Figure 7: per-category SSER (a) and STP (b), normalized to random");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "category", "SSER perf", "SSER rel", "STP perf", "STP rel"
+    );
+    for (cat, sser, stp) in &cats {
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            cat,
+            sser[1] / sser[0],
+            sser[2] / sser[0],
+            stp[1] / stp[0],
+            stp[2] / stp[0]
+        );
+    }
+    let rows: Vec<(String, f64, f64)> = cats
+        .iter()
+        .map(|(cat, sser, _)| (cat.clone(), sser[1] / sser[0], sser[2] / sser[0]))
+        .collect();
+    relsim_bench::chart::grouped_bar_chart(
+        "\nSSER normalized to random (lower is better):",
+        ("perf-opt", "rel-opt"),
+        &rows,
+        40,
+    );
+    save_json("fig07_categories", &cats);
+}

@@ -1,0 +1,32 @@
+//! Figure 8: SSER across asymmetric HCMPs with 4 cores (1B3S, 2B2S, 3B1S).
+
+use relsim::experiments::{fig8_asymmetric, summarize};
+use relsim_bench::{context, pct, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let results = fig8_asymmetric(&ctx);
+    println!("# Figure 8: SSER reduction of reliability-aware scheduling per configuration");
+    println!(
+        "{:<6} {:>16} {:>16} {:>14}",
+        "config", "rel vs random", "rel vs perf-opt", "STP vs perf"
+    );
+    for (label, comparisons) in &results {
+        let s = summarize(comparisons);
+        println!(
+            "{:<6} {:>16} {:>16} {:>14}",
+            label,
+            pct(s.rel_vs_random_sser),
+            pct(s.rel_vs_perf_sser),
+            pct(-s.rel_vs_perf_stp_loss)
+        );
+    }
+    println!("# paper: 1B3S 27.5%, 2B2S 32%, 3B1S 7.8% (vs random); symmetric is best");
+    save_json(
+        "fig08_asymmetric",
+        &results
+            .iter()
+            .map(|(l, c)| (l.clone(), summarize(c)))
+            .collect::<Vec<_>>(),
+    );
+}

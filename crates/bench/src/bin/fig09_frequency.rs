@@ -1,0 +1,22 @@
+//! Figure 9: 2B2S with the small cores at half frequency (1.33 GHz).
+
+use relsim::experiments::{fig6_comparisons, fig9_low_frequency, summarize};
+use relsim_bench::{context, pct, save_json, scale_from_args};
+
+fn main() {
+    let ctx = context(scale_from_args());
+    println!("# Figure 9: small-core frequency sensitivity (2B2S)");
+    let full = summarize(&fig6_comparisons(&ctx));
+    let half = summarize(&fig9_low_frequency(&ctx));
+    println!(
+        "small @ 2.66 GHz: rel vs random {} (paper 32.0%), perf vs random {} (paper 7.3%)",
+        pct(full.rel_vs_random_sser),
+        pct(full.perf_vs_random_sser)
+    );
+    println!(
+        "small @ 1.33 GHz: rel vs random {} (paper 29.8%), perf vs random {} (paper 13.0%)",
+        pct(half.rel_vs_random_sser),
+        pct(half.perf_vs_random_sser)
+    );
+    save_json("fig09_frequency", &[("2.66GHz", full), ("1.33GHz", half)]);
+}

@@ -1,0 +1,36 @@
+//! Figure 12: chip-level and total system power per scheduler on 2B2S.
+
+use relsim::experiments::fig6_comparisons;
+use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_metrics::arithmetic_mean;
+
+fn main() {
+    let ctx = context(scale_from_args());
+    let comparisons = fig6_comparisons(&ctx);
+    let mut chip = [Vec::new(), Vec::new(), Vec::new()];
+    let mut system = [Vec::new(), Vec::new(), Vec::new()];
+    for c in &comparisons {
+        for i in 0..3 {
+            chip[i].push(c.power[i].chip_watts);
+            system[i].push(c.power[i].system_watts());
+        }
+    }
+    let names = ["random", "performance-optimized", "reliability-optimized"];
+    println!("# Figure 12: average power per scheduler (2B2S, 4-program workloads)");
+    println!("{:<24} {:>10} {:>10}", "scheduler", "chip (W)", "system (W)");
+    let mut rows = Vec::new();
+    for i in 0..3 {
+        let cw = arithmetic_mean(&chip[i]);
+        let sw = arithmetic_mean(&system[i]);
+        println!("{:<24} {:>10.2} {:>10.2}", names[i], cw, sw);
+        rows.push((names[i], cw, sw));
+    }
+    let chip_red = 1.0 - rows[2].1 / rows[1].1;
+    let sys_red = 1.0 - rows[2].2 / rows[1].2;
+    println!(
+        "# rel-opt vs perf-opt: chip {} (paper -6.0%), system {} (paper -6.2%)",
+        pct(-chip_red),
+        pct(-sys_red)
+    );
+    save_json("fig12_power", &rows);
+}

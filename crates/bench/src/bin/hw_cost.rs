@@ -1,0 +1,23 @@
+//! Section 4.2: hardware cost of the ACE counter architecture
+//! (904 / 296 / 67 bytes).
+
+use relsim_ace::hw_cost::{baseline_big, in_order_small, rob_only_big};
+
+fn main() {
+    println!("# Hardware cost of the ACE counter architecture (Section 4.2)");
+    let b = baseline_big(128, 4);
+    println!(
+        "baseline big core : {} timestamp bits + {} accumulator bits + {} adders = {} bits = {} bytes (paper: 904)",
+        b.timestamp_bits, b.accumulator_bits, b.adders, b.total_bits(), b.total_bytes()
+    );
+    let r = rob_only_big(128, 4);
+    println!(
+        "ROB-only big core : {} timestamp bits + {} accumulator bits + {} adders = {} bits = {} bytes (paper: 296)",
+        r.timestamp_bits, r.accumulator_bits, r.adders, r.total_bits(), r.total_bytes()
+    );
+    let s = in_order_small(5, 2);
+    println!(
+        "in-order small    : {} timestamp bits + {} accumulator bits + {} adders = {} bits = {} bytes (paper: 67)",
+        s.timestamp_bits, s.accumulator_bits, s.adders, s.total_bits(), s.total_bytes()
+    );
+}

@@ -1,0 +1,119 @@
+//! Render the paper's figures as SVG files from the JSON artifacts under
+//! `target/experiments/` (run `run_all` first).
+
+use relsim::experiments::{by_category, ComparisonSummary, IsolatedRow, MixComparison, SchedKind};
+use relsim_bench::svg::{Svg, PALETTE};
+use relsim_bench::out_dir;
+use relsim_cpu::CPI_COMPONENT_NAMES;
+
+fn load<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
+    let bytes = std::fs::read(out_dir().join(format!("{name}.json"))).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+fn save(name: &str, doc: String) {
+    let path = out_dir().join(format!("{name}.svg"));
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("wrote {path:?}"),
+        Err(e) => eprintln!("could not write {path:?}: {e}"),
+    }
+}
+
+fn main() {
+    if let Some(rows) = load::<Vec<IsolatedRow>>("fig01_avf") {
+        // Figure 1: sorted AVF scatter.
+        let avfs: Vec<f64> = rows.iter().map(|r| r.big.avf).collect();
+        let max = avfs.iter().cloned().fold(0.0, f64::max) * 1.1;
+        let mut svg = Svg::new("Figure 1: big-core AVF (sorted)");
+        svg.axes(0.0, max, "AVF");
+        svg.series(&avfs, 0.0, max, PALETTE[0], "SPEC CPU2006", 0);
+        save("fig01_avf", svg.finish());
+
+        // Figure 2: normalized CPI stacks.
+        let labels: Vec<String> = rows.iter().map(|r| r.name.clone()).collect();
+        let stacks: Vec<Vec<f64>> = rows.iter().map(|r| r.big.cpi.normalized().to_vec()).collect();
+        let mut svg = Svg::new("Figure 2: normalized CPI stacks (big core)");
+        svg.axes(0.0, 1.0, "fraction of cycles");
+        svg.stacked_bars(&labels, &stacks, &CPI_COMPONENT_NAMES);
+        save("fig02_cpi_stacks", svg.finish());
+
+        // Figure 5: ABC stacks.
+        let stacks: Vec<Vec<f64>> = rows.iter().map(|r| r.big.stack.normalized().to_vec()).collect();
+        let mut svg = Svg::new("Figure 5: ABC stacks (big core)");
+        svg.axes(0.0, 1.0, "fraction of core ABC");
+        svg.stacked_bars(&labels, &stacks, &relsim_ace::ABC_STACK_NAMES);
+        save("fig05_abc_stacks", svg.finish());
+    } else {
+        eprintln!("fig01_avf.json missing — run run_all first");
+    }
+
+    if let Some(comparisons) = load::<Vec<MixComparison>>("fig06_sser_stp") {
+        // Figure 6a: sorted per-workload normalized SSER.
+        let mut rel: Vec<f64> = comparisons
+            .iter()
+            .map(|c| c.sser_vs_random(SchedKind::RelOpt))
+            .collect();
+        let mut perf: Vec<f64> = comparisons
+            .iter()
+            .map(|c| c.sser_vs_random(SchedKind::PerfOpt))
+            .collect();
+        rel.sort_by(f64::total_cmp);
+        perf.sort_by(f64::total_cmp);
+        let max = perf.iter().chain(&rel).cloned().fold(1.0, f64::max) * 1.05;
+        let mut svg = Svg::new("Figure 6(a): SSER normalized to random (sorted per workload)");
+        svg.axes(0.0, max, "normalized SSER");
+        svg.series(&perf, 0.0, max, PALETTE[1], "performance-optimized", 0);
+        svg.series(&rel, 0.0, max, PALETTE[0], "reliability-optimized", 1);
+        save("fig06a_sser", svg.finish());
+
+        let mut rel: Vec<f64> = comparisons
+            .iter()
+            .map(|c| c.stp_vs_random(SchedKind::RelOpt))
+            .collect();
+        let mut perf: Vec<f64> = comparisons
+            .iter()
+            .map(|c| c.stp_vs_random(SchedKind::PerfOpt))
+            .collect();
+        rel.sort_by(f64::total_cmp);
+        perf.sort_by(f64::total_cmp);
+        let max = perf.iter().chain(&rel).cloned().fold(1.0, f64::max) * 1.05;
+        let mut svg = Svg::new("Figure 6(b): STP normalized to random (sorted per workload)");
+        svg.axes(0.0, max, "normalized STP");
+        svg.series(&perf, 0.0, max, PALETTE[1], "performance-optimized", 0);
+        svg.series(&rel, 0.0, max, PALETTE[0], "reliability-optimized", 1);
+        save("fig06b_stp", svg.finish());
+
+        // Figure 7: per-category grouped bars.
+        let cats = by_category(&comparisons);
+        let labels: Vec<String> = cats.iter().map(|(c, _, _)| c.clone()).collect();
+        let perf: Vec<f64> = cats.iter().map(|(_, s, _)| s[1] / s[0]).collect();
+        let rel: Vec<f64> = cats.iter().map(|(_, s, _)| s[2] / s[0]).collect();
+        let mut svg = Svg::new("Figure 7(a): SSER by workload category (normalized to random)");
+        svg.axes(0.0, 1.2, "normalized SSER");
+        svg.grouped_bars(
+            &labels,
+            &[
+                ("performance-optimized", perf, PALETTE[1]),
+                ("reliability-optimized", rel, PALETTE[0]),
+            ],
+            1.2,
+        );
+        save("fig07_categories", svg.finish());
+    }
+
+    // Figure 8: asymmetric configs.
+    let mut labels = Vec::new();
+    let mut vals = Vec::new();
+    for label in ["1B3S", "2B2S", "3B1S"] {
+        if let Some(s) = load::<ComparisonSummary>(&format!("fig08_{label}")) {
+            labels.push(label.to_string());
+            vals.push(s.rel_vs_random_sser * 100.0);
+        }
+    }
+    if !labels.is_empty() {
+        let mut svg = Svg::new("Figure 8: SSER reduction of rel-opt vs random (%)");
+        svg.axes(0.0, 40.0, "SSER reduction (%)");
+        svg.grouped_bars(&labels, &[("reliability-optimized", vals, PALETTE[0])], 40.0);
+        save("fig08_asymmetric", svg.finish());
+    }
+}

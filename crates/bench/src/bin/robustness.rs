@@ -1,0 +1,59 @@
+//! Statistical robustness of the headline result: re-run the Figure 6
+//! comparison across several workload-generation seeds and report the
+//! spread of the headline numbers. A reproduction whose conclusion flips
+//! between seeds would not be trustworthy.
+
+use relsim::experiments::{compare_schedulers, hcmp_config, summarize, Scale};
+use relsim::mixes::generate_mixes;
+use relsim::SamplingParams;
+use relsim_bench::{context, pct, scale_from_args};
+use relsim_metrics::arithmetic_mean;
+
+fn main() {
+    let mut scale = scale_from_args();
+    // Robustness sweeps multiply runtime by the seed count; shrink the
+    // per-seed workload set accordingly.
+    scale.per_category = 1;
+    let ctx = context(Scale {
+        per_category: 1,
+        ..scale
+    });
+    let seeds = [11u64, 23, 47, 89, 131];
+    println!("# Seed-robustness of the Figure 6 headline (2B2S, {} seeds)", seeds.len());
+    println!(
+        "{:>6} {:>16} {:>16} {:>14}",
+        "seed", "rel vs random", "rel vs perf", "STP loss"
+    );
+    let mut rel_rand = Vec::new();
+    let mut rel_perf = Vec::new();
+    let mut stp_loss = Vec::new();
+    for seed in seeds {
+        let mixes = generate_mixes(&ctx.class, 4, 1, seed);
+        let cfg = hcmp_config(&ctx, 2, 2);
+        let comparisons = compare_schedulers(&ctx, &cfg, &mixes, SamplingParams::default());
+        let s = summarize(&comparisons);
+        println!(
+            "{seed:>6} {:>16} {:>16} {:>14}",
+            pct(s.rel_vs_random_sser),
+            pct(s.rel_vs_perf_sser),
+            pct(s.rel_vs_perf_stp_loss)
+        );
+        rel_rand.push(s.rel_vs_random_sser);
+        rel_perf.push(s.rel_vs_perf_sser);
+        stp_loss.push(s.rel_vs_perf_stp_loss);
+    }
+    let std = |v: &[f64]| {
+        let m = arithmetic_mean(v);
+        (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+    };
+    println!(
+        "# mean rel vs random {} (σ {}), rel vs perf {} (σ {}), STP loss {} (σ {})",
+        pct(arithmetic_mean(&rel_rand)),
+        pct(std(&rel_rand)),
+        pct(arithmetic_mean(&rel_perf)),
+        pct(std(&rel_perf)),
+        pct(arithmetic_mean(&stp_loss)),
+        pct(std(&stp_loss)),
+    );
+    println!("# The reliability win must hold across seeds (mean > 0 with modest σ).");
+}

@@ -1,0 +1,135 @@
+//! Regenerate every table and figure in one pass and print a combined
+//! report. Results are also written as JSON under `target/experiments/`.
+//!
+//! ```text
+//! cargo run --release -p relsim-bench --bin run_all            # full scale
+//! cargo run --release -p relsim-bench --bin run_all -- --quick # smoke
+//! ```
+
+use relsim::experiments::*;
+use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_metrics::arithmetic_mean;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let scale = scale_from_args();
+    let ctx = context(scale);
+    println!("=== relsim: full evaluation at {scale:?}\n");
+
+    // Figures 1/2/5 ------------------------------------------------------
+    let rows = isolated_characterization(&ctx);
+    println!("[Fig 1] big-core AVF range: {:.3} (min, {}) .. {:.3} (max, {})",
+        rows.first().unwrap().big.avf, rows.first().unwrap().name,
+        rows.last().unwrap().big.avf, rows.last().unwrap().name);
+    let frontend_low: f64 = arithmetic_mean(
+        &rows[..8].iter().map(|r| r.big.cpi.frontend_fraction()).collect::<Vec<_>>());
+    let frontend_high: f64 = arithmetic_mean(
+        &rows[rows.len() - 8..].iter().map(|r| r.big.cpi.frontend_fraction()).collect::<Vec<_>>());
+    println!("[Fig 2] mean front-end stall fraction: low-AVF 8 = {frontend_low:.3}, high-AVF 8 = {frontend_high:.3}");
+    let corr = rob_abc_correlation(&rows);
+    println!("[Fig 5] corr(ROB ABC, core ABC) = {corr:.3} (paper: 0.99)");
+    save_json("fig01_avf", &rows);
+
+    // Figure 3 -----------------------------------------------------------
+    let oracle = oracle_study(&ctx);
+    let gains: Vec<f64> = oracle.iter().map(|(_, o)| o.ser_gain()).collect();
+    let losses: Vec<f64> = oracle.iter().map(|(_, o)| o.stp_loss()).collect();
+    println!(
+        "[Fig 3] oracle: SER gain avg {} max {} (paper 27.2%/62.8%), STP loss avg {} (paper 7%)",
+        pct(arithmetic_mean(&gains)),
+        pct(gains.iter().copied().fold(f64::MIN, f64::max)),
+        pct(arithmetic_mean(&losses))
+    );
+    save_json("fig03_oracle", &oracle);
+
+    // Figure 6/7/12 ------------------------------------------------------
+    let comparisons = fig6_comparisons(&ctx);
+    let s = summarize(&comparisons);
+    println!(
+        "[Fig 6] rel vs random SSER {} max {} (paper 32%/55.6%); rel vs perf {} max {} (paper 25.4%/60.2%)",
+        pct(s.rel_vs_random_sser), pct(s.rel_vs_random_sser_max),
+        pct(s.rel_vs_perf_sser), pct(s.rel_vs_perf_sser_max)
+    );
+    println!(
+        "[Fig 6] rel STP loss vs perf {} (paper 6.3%); perf vs random SSER {} (paper 7.3%)",
+        pct(s.rel_vs_perf_stp_loss), pct(s.perf_vs_random_sser)
+    );
+    save_json("fig06_sser_stp", &comparisons);
+    save_json("fig06_summary", &s);
+    for (cat, sser, stp) in by_category(&comparisons) {
+        println!(
+            "[Fig 7] {cat}: SSER rel/random {:.3}, perf/random {:.3}; STP rel/random {:.3} stp-perf {:.3}",
+            sser[2] / sser[0], sser[1] / sser[0], stp[2] / stp[0], stp[1] / stp[0]
+        );
+    }
+    let chip: Vec<[f64; 3]> = comparisons.iter()
+        .map(|c| [c.power[0].chip_watts, c.power[1].chip_watts, c.power[2].chip_watts]).collect();
+    let sysw: Vec<[f64; 3]> = comparisons.iter()
+        .map(|c| [c.power[0].system_watts(), c.power[1].system_watts(), c.power[2].system_watts()]).collect();
+    let mean = |v: &Vec<[f64; 3]>, i: usize| arithmetic_mean(&v.iter().map(|x| x[i]).collect::<Vec<_>>());
+    println!(
+        "[Fig 12] chip W: random {:.2} perf {:.2} rel {:.2}; rel vs perf {} (paper -6.0%)",
+        mean(&chip, 0), mean(&chip, 1), mean(&chip, 2),
+        pct(mean(&chip, 2) / mean(&chip, 1) - 1.0)
+    );
+    println!(
+        "[Fig 12] system W: rel vs perf {} (paper -6.2%)",
+        pct(mean(&sysw, 2) / mean(&sysw, 1) - 1.0)
+    );
+
+    // Figure 4 -----------------------------------------------------------
+    let tl = abc_timeline(&ctx, "calculix", "povray");
+    let mut switches = 0;
+    for w in tl.corun[0].1.windows(2) {
+        if w[0].2 != w[1].2 {
+            switches += 1;
+        }
+    }
+    println!("[Fig 4] calculix migrated {switches} times under phase changes");
+    save_json("fig04_abc_timeline", &tl);
+
+    // Figure 8 -----------------------------------------------------------
+    for (label, comp) in fig8_asymmetric(&ctx) {
+        let s = summarize(&comp);
+        println!(
+            "[Fig 8] {label}: rel vs random SSER {} (paper: 1B3S 27.5% / 2B2S 32% / 3B1S 7.8%)",
+            pct(s.rel_vs_random_sser)
+        );
+        save_json(&format!("fig08_{label}"), &s);
+    }
+
+    // Figure 9 -----------------------------------------------------------
+    let half = summarize(&fig9_low_frequency(&ctx));
+    println!(
+        "[Fig 9] small @1.33GHz: rel vs random {} (paper 29.8%), perf vs random {} (paper 13%)",
+        pct(half.rel_vs_random_sser), pct(half.perf_vs_random_sser)
+    );
+    save_json("fig09_frequency", &half);
+
+    // Figure 10 ----------------------------------------------------------
+    for (label, core_abc, rob_abc) in fig10_core_count(&ctx) {
+        let c = summarize(&core_abc);
+        let r = summarize(&rob_abc);
+        println!(
+            "[Fig 10] {label}: core ABC {} | ROB ABC {} (paper 2B2S: 32% / 31.6%)",
+            pct(c.rel_vs_random_sser), pct(r.rel_vs_random_sser)
+        );
+        save_json(&format!("fig10_{label}"), &(c, r));
+    }
+
+    // Figure 11 ----------------------------------------------------------
+    let settings = [(5u32, 0.1f64), (10, 0.05), (10, 0.1), (10, 0.2), (50, 0.1), (100, 0.1)];
+    let mut fig11 = Vec::new();
+    for ((r, s_), comp) in fig11_sampling_sweep(&ctx, &settings) {
+        let s = summarize(&comp);
+        println!(
+            "[Fig 11] (r={r:>3}, s={s_:.2}): rel vs random SSER {} STP {}",
+            pct(s.rel_vs_random_sser), pct(s.rel_vs_random_stp)
+        );
+        fig11.push(((r, s_), s));
+    }
+    save_json("fig11_sampling", &fig11);
+
+    println!("\n=== done in {:.1}s", t0.elapsed().as_secs_f64());
+}

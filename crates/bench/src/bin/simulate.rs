@@ -1,0 +1,158 @@
+//! `simulate` — run a custom workload on a custom HCMP from the command
+//! line.
+//!
+//! ```text
+//! cargo run --release -p relsim-bench --bin simulate -- \
+//!     --benchmarks milc,lbm,gobmk,perlbench \
+//!     --big 2 --small 2 \
+//!     --scheduler reliability \
+//!     --ticks 1000000 [--quantum 20000] [--rob-only] [--half-freq-small]
+//! ```
+//!
+//! Prints per-application placement, slowdown and wSER, plus system SSER,
+//! STP and power. `--list` prints the benchmark catalog.
+
+use relsim::evaluate::{evaluate, DEFAULT_IFR};
+use relsim::experiments::{Context, Scale};
+use relsim::{
+    AppSpec, CounterKind, Objective, RandomScheduler, SamplingParams, SamplingScheduler,
+    Scheduler, StaticScheduler, System, SystemConfig,
+};
+use relsim_power::{PowerModel, SharedActivity};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    if flag("--list") {
+        println!("available benchmarks:");
+        for n in relsim_trace::spec_names() {
+            println!("  {n}");
+        }
+        return;
+    }
+    if flag("--help") || flag("-h") {
+        println!(
+            "usage: simulate --benchmarks a,b,c,d [--big N] [--small N] \
+             [--scheduler random|performance|reliability|static] \
+             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]"
+        );
+        return;
+    }
+
+    let benchmarks: Vec<String> = arg_value("--benchmarks")
+        .unwrap_or_else(|| "milc,lbm,gobmk,perlbench".to_owned())
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .collect();
+    let n_big: usize = arg_value("--big").map_or(2, |v| v.parse().expect("--big"));
+    let n_small: usize = arg_value("--small").map_or(2, |v| v.parse().expect("--small"));
+    assert_eq!(
+        benchmarks.len(),
+        n_big + n_small,
+        "need exactly one benchmark per core ({} cores, {} benchmarks)",
+        n_big + n_small,
+        benchmarks.len()
+    );
+    let ticks: u64 = arg_value("--ticks").map_or(1_000_000, |v| v.parse().expect("--ticks"));
+    let quantum: u64 = arg_value("--quantum").map_or(20_000, |v| v.parse().expect("--quantum"));
+    let sched_name = arg_value("--scheduler").unwrap_or_else(|| "reliability".to_owned());
+
+    // Reference table for the metrics (cached across invocations).
+    let mut scale = Scale::default_scale();
+    scale.quantum_ticks = quantum;
+    let ctx = Context::load_or_build(
+        scale,
+        &std::path::Path::new("target/experiments").join(format!(
+            "context-cli-{}-{}.json",
+            scale.isolation_ticks, scale.seed
+        )),
+    );
+
+    let mut cfg = if flag("--half-freq-small") {
+        SystemConfig::hcmp_slow_small(n_big, n_small)
+    } else {
+        SystemConfig::hcmp(n_big, n_small)
+    };
+    cfg.quantum_ticks = quantum;
+    cfg.migration_ticks = (quantum / 50).max(1);
+    if flag("--rob-only") {
+        cfg.counter_kind = CounterKind::HwRobOnly;
+    }
+
+    let kinds = cfg.core_kinds();
+    let mut scheduler: Box<dyn Scheduler> = match sched_name.as_str() {
+        "random" => Box::new(RandomScheduler::new(kinds, quantum, 1)),
+        "performance" => Box::new(SamplingScheduler::new(
+            Objective::Stp,
+            kinds,
+            quantum,
+            SamplingParams::default(),
+        )),
+        "reliability" => Box::new(SamplingScheduler::new(
+            Objective::Sser,
+            kinds,
+            quantum,
+            SamplingParams::default(),
+        )),
+        "static" => Box::new(StaticScheduler::new(
+            (0..benchmarks.len()).collect(),
+            quantum,
+        )),
+        other => panic!("unknown scheduler {other:?}"),
+    };
+
+    let specs: Vec<AppSpec> = benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, i as u64 + 1))
+        .collect();
+    let mut system = System::new(cfg, &specs);
+    println!(
+        "running {} on {n_big}B{n_small}S under {} for {ticks} ticks...",
+        benchmarks.join("+"),
+        scheduler.name()
+    );
+    let result = system.run(scheduler.as_mut(), ticks);
+    let eval = evaluate(&result, &ctx.refs, DEFAULT_IFR);
+
+    println!(
+        "\n{:<14} {:>9} {:>10} {:>10} {:>10} {:>6}",
+        "application", "big-frac", "instr", "wSER", "slowdown", "migr"
+    );
+    for (a, e) in result.apps.iter().zip(&eval.apps) {
+        println!(
+            "{:<14} {:>9.2} {:>10} {:>10.3e} {:>10.2} {:>6}",
+            a.name,
+            a.ticks_on_big as f64 / result.duration as f64,
+            a.instructions,
+            e.wser,
+            e.slowdown,
+            a.migrations
+        );
+    }
+    let power = PowerModel::default().report(
+        &result.cores.iter().map(|c| c.to_activity()).collect::<Vec<_>>(),
+        &SharedActivity {
+            l3_accesses: result.shared.l3_accesses,
+            mem_requests: result.shared.mem_requests,
+        },
+        result.duration,
+    );
+    println!(
+        "\nSSER {:.4e}   STP {:.3}   chip {:.2} W   system {:.2} W   migrations {}",
+        eval.sser,
+        eval.stp,
+        power.chip_watts,
+        power.system_watts(),
+        result.migrations
+    );
+}

@@ -1,0 +1,44 @@
+//! Table 1: the three worked examples illustrating the SSER metric.
+
+use relsim_metrics::{sser, AppOutcome};
+
+fn row(label: &str, apps: &[AppOutcome]) {
+    for (i, a) in apps.iter().enumerate() {
+        println!(
+            "  app {} | SER {:>5.3} | slowdown {:>4.2} | wSER {:>5.3}",
+            i,
+            a.abc / a.time,
+            a.slowdown(),
+            relsim_metrics::wser(a.abc, a.time_ref, 1.0)
+        );
+    }
+    println!("  {label}: SSER = {}", sser(apps, 1.0));
+}
+
+fn main() {
+    println!("# Table 1: SSER worked examples (IFR = 1)");
+    println!("(a) homogeneous multicore, no interference (paper: SSER = 2)");
+    row(
+        "a",
+        &[
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+        ],
+    );
+    println!("(b) homogeneous multicore, one app slowed 2x (paper: SSER = 3)");
+    row(
+        "b",
+        &[
+            AppOutcome { abc: 2.0, time: 2.0, time_ref: 1.0 },
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+        ],
+    );
+    println!("(c) heterogeneous multicore (paper: SSER = 1.5)");
+    row(
+        "c",
+        &[
+            AppOutcome { abc: 1.0 / 8.0, time: 1.0, time_ref: 0.25 },
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+        ],
+    );
+}

@@ -1,0 +1,38 @@
+//! Validate the ACE counter architecture against Monte Carlo fault
+//! injection (the methodology ACE analysis replaces — Section 7.1 of the
+//! paper discusses the relationship).
+
+use relsim_ace::fault_injection::validate_counters;
+use relsim_cpu::CoreConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ticks, injections) = if quick { (60_000, 50_000) } else { (300_000, 400_000) };
+    println!("# ACE analysis vs Monte Carlo fault injection");
+    println!(
+        "{:<12} {:>6} {:>12} {:>18} {:>10}",
+        "benchmark", "core", "counter AVF", "fault-injection", "agree?"
+    );
+    for name in ["milc", "hmmer", "gobmk", "mcf", "povray", "lbm"] {
+        let profile = relsim_trace::spec_profile(name).expect("catalog benchmark");
+        for cfg in [CoreConfig::big(), CoreConfig::small()] {
+            let kind = cfg.kind;
+            let (campaign, counter_avf) =
+                validate_counters(&cfg, &profile, ticks, injections, 7);
+            println!(
+                "{:<12} {:>6} {:>12.4} {:>12.4} ±{:.4} {:>6}",
+                name,
+                kind.to_string(),
+                counter_avf,
+                campaign.avf_estimate,
+                campaign.confidence_95,
+                if campaign.consistent_with(counter_avf, 0.01) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            );
+        }
+    }
+    println!("# The counters and {injections}-fault campaigns must agree within the 95% CI.");
+}

@@ -1,0 +1,151 @@
+//! Minimal ASCII charts for terminal figure output.
+//!
+//! The figure binaries print numeric tables; these helpers add a visual
+//! rendering (horizontal bars, sparklines, grouped bars) so the *shape* of
+//! each figure — who wins, where the crossovers are — is visible straight
+//! from the terminal, mirroring how the paper presents them.
+
+/// Render one horizontal bar of `value` against `max`, `width` cells wide.
+///
+/// # Examples
+///
+/// ```
+/// let bar = relsim_bench::chart::bar(0.5, 1.0, 10);
+/// assert_eq!(bar, "█████     ");
+/// ```
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if !(value.is_finite() && max.is_finite()) || max <= 0.0 || width == 0 {
+        return " ".repeat(width);
+    }
+    let frac = (value / max).clamp(0.0, 1.0);
+    let cells = frac * width as f64;
+    let full = cells.floor() as usize;
+    let rem = cells - full as f64;
+    let partials = [' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉'];
+    let mut s = "█".repeat(full.min(width));
+    if full < width {
+        let idx = (rem * 8.0).floor() as usize;
+        s.push(partials[idx.min(7)]);
+        s.push_str(&" ".repeat(width - full - 1));
+    }
+    s
+}
+
+/// Render a sparkline of a series using eighth-block characters.
+///
+/// # Examples
+///
+/// ```
+/// let s = relsim_bench::chart::sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(series: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in series {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    series
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let idx = ((v - lo) / span * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Print a labeled horizontal bar chart. Bars are scaled to the maximum
+/// value; each row shows the label, the bar and the value.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) {
+    println!("{title}");
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, |a, b| if b.is_finite() { a.max(b) } else { a });
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, value) in rows {
+        println!(
+            "  {label:<label_w$} {} {value:.3}",
+            bar(*value, max, width)
+        );
+    }
+}
+
+/// Print a two-series grouped bar chart (e.g. perf-opt vs rel-opt per
+/// workload), normalized to a common maximum.
+pub fn grouped_bar_chart(
+    title: &str,
+    series_names: (&str, &str),
+    rows: &[(String, f64, f64)],
+    width: usize,
+) {
+    println!("{title}  [{} ▒ | {} █]", series_names.0, series_names.1);
+    let max = rows
+        .iter()
+        .flat_map(|(_, a, b)| [*a, *b])
+        .fold(0.0f64, |acc, v| if v.is_finite() { acc.max(v) } else { acc });
+    let label_w = rows.iter().map(|(l, _, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, a, b) in rows {
+        let bar_a: String = bar(*a, max, width).replace('█', "▒");
+        println!("  {label:<label_w$} {bar_a} {a:.3}");
+        println!("  {:<label_w$} {} {b:.3}", "", bar(*b, max, width));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(1.0, 1.0, 4), "████");
+        assert_eq!(bar(2.0, 1.0, 4), "████", "clamped at max");
+        assert_eq!(bar(0.0, 1.0, 4), "    ");
+        assert_eq!(bar(0.5, 1.0, 4).chars().count(), 4);
+    }
+
+    #[test]
+    fn bar_handles_degenerate_inputs() {
+        assert_eq!(bar(1.0, 0.0, 3), "   ");
+        assert_eq!(bar(f64::NAN, 1.0, 3), "   ");
+        assert_eq!(bar(1.0, 1.0, 0), "");
+    }
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.chars().count(), 3);
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_ignores_non_finite() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn charts_print_without_panicking() {
+        bar_chart("t", &[("a".into(), 1.0), ("bb".into(), 0.5)], 10);
+        grouped_bar_chart(
+            "t",
+            ("x", "y"),
+            &[("a".into(), 1.0, 0.5), ("b".into(), 0.2, 0.9)],
+            10,
+        );
+        bar_chart("empty", &[], 10);
+    }
+}

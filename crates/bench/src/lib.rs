@@ -1,0 +1,74 @@
+//! # relsim-bench
+//!
+//! Shared plumbing for the figure/table regeneration binaries: scale
+//! parsing, context caching and result output. Each paper table/figure has
+//! a binary in `src/bin/`; run e.g.
+//!
+//! ```text
+//! cargo run --release -p relsim-bench --bin fig01_avf
+//! cargo run --release -p relsim-bench --bin run_all -- --quick
+//! ```
+//!
+//! Every binary accepts `--quick` for a smoke-test scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod svg;
+
+use relsim::experiments::{Context, Scale};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Bump when simulator/model changes invalidate cached reference tables.
+pub const MODEL_VERSION: u32 = 3;
+
+/// Parse the experiment scale from CLI arguments (`--quick` shrinks it).
+pub fn scale_from_args() -> Scale {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        Scale::quick()
+    } else {
+        Scale::default_scale()
+    }
+}
+
+/// Directory where experiment outputs and caches are written.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("RELSIM_OUT").unwrap_or_else(|_| "target/experiments".to_owned()),
+    );
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Build or load the shared experiment context for `scale`.
+pub fn context(scale: Scale) -> Context {
+    let path = out_dir().join(format!(
+        "context-{MODEL_VERSION}-{}-{}.json",
+        scale.isolation_ticks, scale.seed
+    ));
+    eprintln!("# context: building/loading isolated reference table ({path:?})");
+    Context::load_or_build(scale, &path)
+}
+
+/// Persist a JSON result artifact next to the printed output.
+pub fn save_json<T: Serialize>(name: &str, data: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    match serde_json::to_vec_pretty(data) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("# warning: could not write {path:?}: {e}");
+            } else {
+                eprintln!("# wrote {path:?}");
+            }
+        }
+        Err(e) => eprintln!("# warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}

@@ -1,0 +1,300 @@
+//! Minimal self-contained SVG chart rendering (no dependencies).
+//!
+//! `render_figs` uses these helpers to turn the JSON experiment artifacts
+//! into SVG plots shaped like the paper's figures: sorted-scatter plots
+//! (Figure 6), grouped bars (Figures 7-10) and stacked bars (Figures 2
+//! and 5).
+
+use std::fmt::Write as _;
+
+/// Chart geometry.
+const W: f64 = 640.0;
+const H: f64 = 360.0;
+const ML: f64 = 60.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 36.0;
+const MB: f64 = 70.0;
+
+/// Categorical palette (color-blind friendly).
+pub const PALETTE: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// An SVG document builder.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    body: String,
+}
+
+impl Svg {
+    /// Start a chart with a title.
+    pub fn new(title: &str) -> Self {
+        let mut body = String::new();
+        write!(
+            body,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="11">"#
+        )
+        .unwrap();
+        write!(
+            body,
+            r#"<rect width="{W}" height="{H}" fill="white"/><text x="{}" y="20" text-anchor="middle" font-size="13" font-weight="bold">{}</text>"#,
+            W / 2.0,
+            esc(title)
+        )
+        .unwrap();
+        Svg { body }
+    }
+
+    fn plot_w(&self) -> f64 {
+        W - ML - MR
+    }
+
+    fn plot_h(&self) -> f64 {
+        H - MT - MB
+    }
+
+    /// Map a data point into plot coordinates.
+    fn xy(&self, fx: f64, fy: f64) -> (f64, f64) {
+        (ML + fx * self.plot_w(), MT + (1.0 - fy) * self.plot_h())
+    }
+
+    /// Draw axes with a y range and label.
+    pub fn axes(&mut self, y_min: f64, y_max: f64, y_label: &str) {
+        let (x0, y0) = self.xy(0.0, 0.0);
+        let (x1, _) = self.xy(1.0, 0.0);
+        let (_, y1) = self.xy(0.0, 1.0);
+        write!(
+            self.body,
+            r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+        )
+        .unwrap();
+        // Y ticks.
+        for i in 0..=4 {
+            let f = i as f64 / 4.0;
+            let v = y_min + f * (y_max - y_min);
+            let (_, y) = self.xy(0.0, f);
+            write!(
+                self.body,
+                r#"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{v:.2}</text>"#,
+                x0 - 4.0,
+                x0 - 7.0,
+                y + 4.0
+            )
+            .unwrap();
+            if i > 0 {
+                write!(
+                    self.body,
+                    r##"<line x1="{x0}" y1="{y}" x2="{x1}" y2="{y}" stroke="#dddddd"/>"##
+                )
+                .unwrap();
+            }
+        }
+        write!(
+            self.body,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MT + self.plot_h() / 2.0,
+            MT + self.plot_h() / 2.0,
+            esc(y_label)
+        )
+        .unwrap();
+    }
+
+    /// Plot one series of y-values as connected dots, x spread uniformly.
+    pub fn series(&mut self, values: &[f64], y_min: f64, y_max: f64, color: &str, label: &str, index: usize) {
+        if values.is_empty() {
+            return;
+        }
+        let norm = |v: f64| ((v - y_min) / (y_max - y_min)).clamp(0.0, 1.0);
+        let mut path = String::new();
+        for (i, &v) in values.iter().enumerate() {
+            let fx = if values.len() == 1 {
+                0.5
+            } else {
+                i as f64 / (values.len() - 1) as f64
+            };
+            let (x, y) = self.xy(fx, norm(v));
+            write!(path, "{}{x:.1},{y:.1}", if i == 0 { "M" } else { "L" }).unwrap();
+            write!(
+                self.body,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.4" fill="{color}"/>"#
+            )
+            .unwrap();
+        }
+        write!(
+            self.body,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1"/>"#
+        )
+        .unwrap();
+        // Legend entry.
+        let lx = ML + 10.0 + 150.0 * index as f64;
+        let ly = H - 12.0;
+        write!(
+            self.body,
+            r#"<rect x="{lx}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}">{}</text>"#,
+            ly - 9.0,
+            lx + 14.0,
+            ly,
+            esc(label)
+        )
+        .unwrap();
+    }
+
+    /// Grouped vertical bars: one group per label, one bar per series.
+    pub fn grouped_bars(
+        &mut self,
+        labels: &[String],
+        series: &[(&str, Vec<f64>, &str)], // (name, values, color)
+        y_max: f64,
+    ) {
+        let groups = labels.len().max(1) as f64;
+        let group_w = self.plot_w() / groups;
+        let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+        for (gi, label) in labels.iter().enumerate() {
+            for (si, (_, values, color)) in series.iter().enumerate() {
+                let v = values.get(gi).copied().unwrap_or(0.0);
+                let f = (v / y_max).clamp(0.0, 1.0);
+                let x = ML + gi as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+                let (_, y_top) = self.xy(0.0, f);
+                let h = MT + self.plot_h() - y_top;
+                write!(
+                    self.body,
+                    r#"<rect x="{x:.1}" y="{y_top:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{color}"/>"#
+                )
+                .unwrap();
+            }
+            let cx = ML + gi as f64 * group_w + group_w / 2.0;
+            write!(
+                self.body,
+                r#"<text x="{cx:.1}" y="{}" text-anchor="end" transform="rotate(-40 {cx:.1} {})">{}</text>"#,
+                MT + self.plot_h() + 12.0,
+                MT + self.plot_h() + 12.0,
+                esc(label)
+            )
+            .unwrap();
+        }
+        for (si, (name, _, color)) in series.iter().enumerate() {
+            let lx = ML + 10.0 + 170.0 * si as f64;
+            let ly = H - 6.0;
+            write!(
+                self.body,
+                r#"<rect x="{lx}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}">{}</text>"#,
+                ly - 9.0,
+                lx + 14.0,
+                ly,
+                esc(name)
+            )
+            .unwrap();
+        }
+    }
+
+    /// Stacked vertical bars, one per label; `stacks[label_idx][component]`
+    /// are fractions summing to ≤ 1.
+    pub fn stacked_bars(&mut self, labels: &[String], stacks: &[Vec<f64>], components: &[&str]) {
+        let groups = labels.len().max(1) as f64;
+        let group_w = self.plot_w() / groups;
+        let bar_w = group_w * 0.7;
+        for (gi, label) in labels.iter().enumerate() {
+            let mut acc = 0.0;
+            for (ci, &frac) in stacks[gi].iter().enumerate() {
+                let f0 = acc;
+                acc += frac.max(0.0);
+                let x = ML + gi as f64 * group_w + group_w * 0.15;
+                let (_, y1) = self.xy(0.0, acc.min(1.0));
+                let (_, y0) = self.xy(0.0, f0.min(1.0));
+                write!(
+                    self.body,
+                    r#"<rect x="{x:.1}" y="{y1:.1}" width="{bar_w:.1}" height="{:.1}" fill="{}"/>"#,
+                    (y0 - y1).max(0.0),
+                    PALETTE[ci % PALETTE.len()]
+                )
+                .unwrap();
+            }
+            let cx = ML + gi as f64 * group_w + group_w / 2.0;
+            write!(
+                self.body,
+                r#"<text x="{cx:.1}" y="{}" text-anchor="end" font-size="9" transform="rotate(-60 {cx:.1} {})">{}</text>"#,
+                MT + self.plot_h() + 12.0,
+                MT + self.plot_h() + 12.0,
+                esc(label)
+            )
+            .unwrap();
+        }
+        for (ci, name) in components.iter().enumerate() {
+            let lx = ML + 10.0 + 90.0 * ci as f64;
+            let ly = H - 6.0;
+            write!(
+                self.body,
+                r#"<rect x="{lx}" y="{}" width="10" height="10" fill="{}"/><text x="{}" y="{}">{}</text>"#,
+                ly - 9.0,
+                PALETTE[ci % PALETTE.len()],
+                lx + 14.0,
+                ly,
+                esc(name)
+            )
+            .unwrap();
+        }
+    }
+
+    /// Finish the document.
+    pub fn finish(mut self) -> String {
+        self.body.push_str("</svg>");
+        self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_well_formed() {
+        let mut svg = Svg::new("test & demo");
+        svg.axes(0.0, 1.0, "metric");
+        svg.series(&[0.1, 0.5, 0.9], 0.0, 1.0, PALETTE[0], "a", 0);
+        let doc = svg.finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>"));
+        assert!(doc.contains("test &amp; demo"), "title escaped");
+        assert_eq!(doc.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn grouped_bars_render_all_cells() {
+        let mut svg = Svg::new("bars");
+        svg.axes(0.0, 2.0, "y");
+        svg.grouped_bars(
+            &["a".into(), "b".into()],
+            &[("s1", vec![1.0, 2.0], PALETTE[0]), ("s2", vec![0.5, 1.5], PALETTE[1])],
+            2.0,
+        );
+        let doc = svg.finish();
+        // 4 bars + 2 legend swatches + background.
+        assert_eq!(doc.matches("<rect").count(), 7);
+    }
+
+    #[test]
+    fn stacked_bars_clamp_and_render() {
+        let mut svg = Svg::new("stack");
+        svg.axes(0.0, 1.0, "fraction");
+        svg.stacked_bars(
+            &["x".into()],
+            &[vec![0.3, 0.4, 0.5]], // over 1.0: clamped
+            &["p", "q", "r"],
+        );
+        let doc = svg.finish();
+        assert!(doc.matches("<rect").count() >= 4);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let mut svg = Svg::new("empty");
+        svg.axes(0.0, 1.0, "y");
+        svg.series(&[], 0.0, 1.0, PALETTE[2], "none", 0);
+        let doc = svg.finish();
+        assert!(!doc.contains("<circle"));
+    }
+}

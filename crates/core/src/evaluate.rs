@@ -1,0 +1,118 @@
+//! Turning a [`RunResult`] into the paper's metrics.
+
+use crate::isolated::ReferenceTable;
+use crate::system::RunResult;
+use relsim_metrics::{antt, sser, stp, AppOutcome, AppProgress};
+use serde::{Deserialize, Serialize};
+
+/// Default intrinsic fault rate. The absolute value cancels in every
+/// figure (all results are normalized between schedulers); a recognizable
+/// constant keeps reported numbers in a readable range.
+pub const DEFAULT_IFR: f64 = 1e-12;
+
+/// Per-application evaluation record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppEvaluation {
+    /// Benchmark name.
+    pub name: String,
+    /// Weighted SER (Equation 2).
+    pub wser: f64,
+    /// Normalized progress (contribution to STP).
+    pub progress: f64,
+    /// Slowdown versus the isolated big core.
+    pub slowdown: f64,
+}
+
+/// System-level evaluation of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// System soft error rate (Equation 3); lower is better.
+    pub sser: f64,
+    /// System throughput; higher is better.
+    pub stp: f64,
+    /// Average normalized turnaround time; lower is better.
+    pub antt: f64,
+    /// Per-application records.
+    pub apps: Vec<AppEvaluation>,
+}
+
+/// Evaluate a run against isolated big-core references.
+///
+/// For each application, the work it completed would have taken
+/// `instructions / ref_ips` ticks on an isolated big core; that is the
+/// `T_ref` of Equation 2. STP normalizes each application's achieved rate
+/// to the same reference.
+///
+/// # Panics
+///
+/// Panics if an application is missing from the reference table.
+pub fn evaluate(result: &RunResult, refs: &ReferenceTable, ifr: f64) -> Evaluation {
+    let mut outcomes = Vec::with_capacity(result.apps.len());
+    let mut progresses = Vec::with_capacity(result.apps.len());
+    let mut apps = Vec::with_capacity(result.apps.len());
+    for a in &result.apps {
+        let ref_ips = refs.ref_ips(&a.name);
+        let time_ref = a.instructions as f64 / ref_ips;
+        let outcome = AppOutcome {
+            abc: a.abc,
+            time: result.duration as f64,
+            time_ref,
+        };
+        let progress = AppProgress {
+            work: a.instructions as f64,
+            time: result.duration as f64,
+            ref_rate: ref_ips,
+        };
+        apps.push(AppEvaluation {
+            name: a.name.clone(),
+            wser: relsim_metrics::wser(a.abc, time_ref, ifr),
+            progress: progress.normalized_progress(),
+            slowdown: outcome.slowdown(),
+        });
+        outcomes.push(outcome);
+        progresses.push(progress);
+    }
+    Evaluation {
+        sser: sser(&outcomes, ifr),
+        stp: stp(&progresses),
+        antt: antt(&progresses),
+        apps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::RandomScheduler;
+    use crate::system::{AppSpec, System, SystemConfig};
+    use relsim_cpu::CoreConfig;
+    use relsim_trace::spec_profile;
+
+    #[test]
+    fn evaluation_produces_sane_metrics() {
+        let names = ["hmmer", "povray"];
+        let profiles: Vec<_> = names.iter().map(|n| spec_profile(n).unwrap()).collect();
+        let refs = ReferenceTable::build(
+            &profiles,
+            &CoreConfig::big(),
+            &CoreConfig::small(),
+            150_000,
+        );
+        let cfg = SystemConfig::hcmp(1, 1);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let specs: Vec<_> = names.iter().map(|n| AppSpec::spec(n, 3)).collect();
+        let mut sys = System::new(cfg, &specs);
+        let mut sched = RandomScheduler::new(kinds, q, 11);
+        let r = sys.run(&mut sched, 150_000);
+        let e = evaluate(&r, &refs, DEFAULT_IFR);
+        assert!(e.sser > 0.0);
+        assert!(e.stp > 0.0 && e.stp <= 2.05, "STP {}", e.stp);
+        assert!(e.antt >= 0.9, "ANTT {}", e.antt);
+        assert_eq!(e.apps.len(), 2);
+        for a in &e.apps {
+            assert!(a.slowdown >= 0.8, "{} slowdown {}", a.name, a.slowdown);
+            assert!(a.progress <= 1.3, "{} progress {}", a.name, a.progress);
+        }
+    }
+}

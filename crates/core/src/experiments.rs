@@ -1,0 +1,704 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! All experiments are deterministic given a [`Scale`]; expensive shared
+//! artifacts (the isolated-run reference table) can be cached on disk via
+//! [`Context::load_or_build`].
+
+use crate::evaluate::{evaluate, Evaluation, DEFAULT_IFR};
+use crate::isolated::{run_isolated, IsolatedResult, ReferenceTable};
+use crate::mixes::{generate_mixes, Classification, Mix};
+use crate::oracle::{oracle_schedules, OracleOutcome};
+use crate::sched::{
+    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
+};
+use crate::system::{AppSpec, RunResult, System, SystemConfig};
+use relsim_ace::CounterKind;
+use relsim_cpu::{CoreConfig, CoreKind};
+use relsim_metrics::arithmetic_mean;
+use relsim_power::{PowerModel, PowerReport, SharedActivity};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Experiment scale knobs (DESIGN.md §7 maps them to the paper's values).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Ticks per isolated characterization run.
+    pub isolation_ticks: u64,
+    /// Ticks per multiprogram run.
+    pub run_ticks: u64,
+    /// Scheduler quantum in ticks.
+    pub quantum_ticks: u64,
+    /// Workloads generated per mix category (paper: 6).
+    pub per_category: usize,
+    /// Master seed for workload generation.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default (laptop-scale) configuration used in EXPERIMENTS.md.
+    pub fn default_scale() -> Self {
+        Scale {
+            isolation_ticks: 1_000_000,
+            run_ticks: 1_200_000,
+            quantum_ticks: 20_000,
+            per_category: 6,
+            seed: 2017,
+        }
+    }
+
+    /// A much smaller configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Scale {
+            isolation_ticks: 120_000,
+            run_ticks: 200_000,
+            quantum_ticks: 10_000,
+            per_category: 1,
+            seed: 2017,
+        }
+    }
+}
+
+/// Shared experiment context: the scale, the isolated-run reference table
+/// for all 29 benchmarks, and the H/M/L classification derived from it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Context {
+    /// Scale the context was built at.
+    pub scale: Scale,
+    /// Isolated-run data for every benchmark on both core types.
+    pub refs: ReferenceTable,
+    /// AVF-based sensitivity classification.
+    pub class: Classification,
+}
+
+impl Context {
+    /// Build the context by simulating every benchmark in isolation on
+    /// both core types (the expensive, shared step).
+    pub fn build(scale: Scale) -> Self {
+        let profiles = relsim_trace::spec2006_profiles();
+        let refs = ReferenceTable::build(
+            &profiles,
+            &CoreConfig::big(),
+            &CoreConfig::small(),
+            scale.isolation_ticks,
+        );
+        let class = Classification::from_avfs(&refs.sorted_big_avfs(), 8);
+        Context { scale, refs, class }
+    }
+
+    /// Load a cached context from `path` if it matches `scale`, else build
+    /// and cache it. I/O errors fall back to building without caching.
+    pub fn load_or_build(scale: Scale, path: &Path) -> Self {
+        if let Ok(bytes) = std::fs::read(path) {
+            if let Ok(ctx) = serde_json::from_slice::<Context>(&bytes) {
+                if ctx.scale == scale {
+                    return ctx;
+                }
+            }
+        }
+        let ctx = Self::build(scale);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(bytes) = serde_json::to_vec(&ctx) {
+            let _ = std::fs::write(path, bytes);
+        }
+        ctx
+    }
+
+    /// The paper's 4-program workload set (36 mixes at paper scale).
+    pub fn four_program_mixes(&self) -> Vec<Mix> {
+        generate_mixes(&self.class, 4, self.scale.per_category, self.scale.seed)
+    }
+
+    /// The 2-program workload set.
+    pub fn two_program_mixes(&self) -> Vec<Mix> {
+        generate_mixes(&self.class, 2, self.scale.per_category, self.scale.seed + 1)
+    }
+
+    /// The 8-program workload set.
+    pub fn eight_program_mixes(&self) -> Vec<Mix> {
+        generate_mixes(&self.class, 8, self.scale.per_category, self.scale.seed + 2)
+    }
+}
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedKind {
+    /// Random assignment every quantum.
+    Random,
+    /// Sampling scheduler optimizing STP.
+    PerfOpt,
+    /// Sampling scheduler optimizing SSER (the paper's contribution).
+    RelOpt,
+}
+
+impl SchedKind {
+    /// All three evaluated schedulers, in report order.
+    pub const ALL: [SchedKind; 3] = [SchedKind::Random, SchedKind::PerfOpt, SchedKind::RelOpt];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Random => "random",
+            SchedKind::PerfOpt => "performance-optimized",
+            SchedKind::RelOpt => "reliability-optimized",
+        }
+    }
+
+    fn build(
+        self,
+        kinds: Vec<CoreKind>,
+        quantum: u64,
+        params: SamplingParams,
+        seed: u64,
+    ) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Random => Box::new(RandomScheduler::new(kinds, quantum, seed)),
+            SchedKind::PerfOpt => Box::new(SamplingScheduler::new(
+                Objective::Stp,
+                kinds,
+                quantum,
+                params,
+            )),
+            SchedKind::RelOpt => Box::new(SamplingScheduler::new(
+                Objective::Sser,
+                kinds,
+                quantum,
+                params,
+            )),
+        }
+    }
+}
+
+/// Run one mix on one system configuration under one scheduler.
+pub fn run_mix(
+    ctx: &Context,
+    sys_cfg: &SystemConfig,
+    mix: &Mix,
+    sched: SchedKind,
+    params: SamplingParams,
+) -> (Evaluation, RunResult) {
+    let specs: Vec<AppSpec> = mix
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, ctx.scale.seed ^ (i as u64 + 1)))
+        .collect();
+    let mut scheduler = sched.build(
+        sys_cfg.core_kinds(),
+        sys_cfg.quantum_ticks,
+        params,
+        ctx.scale.seed,
+    );
+    let mut system = System::new(sys_cfg.clone(), &specs);
+    let result = system.run(scheduler.as_mut(), ctx.scale.run_ticks);
+    let eval = evaluate(&result, &ctx.refs, DEFAULT_IFR);
+    (eval, result)
+}
+
+/// System configuration helper honoring the context's quantum.
+pub fn hcmp_config(ctx: &Context, n_big: usize, n_small: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::hcmp(n_big, n_small);
+    cfg.quantum_ticks = ctx.scale.quantum_ticks;
+    cfg.migration_ticks = (ctx.scale.quantum_ticks / 50).max(1);
+    cfg
+}
+
+// ===================================================================
+// Figure 1 & 2 & 5: isolated characterization
+// ===================================================================
+
+/// One row of Figure 1 / 2 / 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IsolatedRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Sensitivity category.
+    pub category: String,
+    /// Big-core isolated measurements.
+    pub big: IsolatedResult,
+}
+
+/// Figure 1 (sorted big-core AVF) plus the data for Figures 2 and 5,
+/// in ascending-AVF order.
+pub fn isolated_characterization(ctx: &Context) -> Vec<IsolatedRow> {
+    ctx.refs
+        .sorted_big_avfs()
+        .into_iter()
+        .map(|(name, _)| {
+            let big = ctx.refs.get(&name, CoreKind::Big).expect("in table").clone();
+            let category = ctx
+                .class
+                .category_of(&name)
+                .map(|c| c.to_string())
+                .unwrap_or_default();
+            IsolatedRow {
+                name,
+                category,
+                big,
+            }
+        })
+        .collect()
+}
+
+/// Correlation coefficient between ROB ABC and total core ABC across
+/// benchmarks (the paper reports 0.99, Section 4.2).
+pub fn rob_abc_correlation(rows: &[IsolatedRow]) -> f64 {
+    let xs: Vec<f64> = rows.iter().map(|r| r.big.stack.rob).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.big.stack.total()).collect();
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = arithmetic_mean(xs);
+    let my = arithmetic_mean(ys);
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+// ===================================================================
+// Figure 3: oracle potential study
+// ===================================================================
+
+/// Figure 3: oracle SER gain and STP loss per 4-program workload on 2B2S.
+pub fn oracle_study(ctx: &Context) -> Vec<(Mix, OracleOutcome)> {
+    ctx.four_program_mixes()
+        .into_iter()
+        .map(|m| {
+            let o = oracle_schedules(&ctx.refs, &m.benchmarks, 2);
+            (m, o)
+        })
+        .collect()
+}
+
+// ===================================================================
+// Figures 6-12: scheduler comparisons
+// ===================================================================
+
+/// Metrics of one workload under the three schedulers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixComparison {
+    /// The workload.
+    pub mix: Mix,
+    /// SSER per scheduler, in [`SchedKind::ALL`] order.
+    pub sser: [f64; 3],
+    /// STP per scheduler.
+    pub stp: [f64; 3],
+    /// Chip/DRAM power per scheduler.
+    pub power: [PowerReport; 3],
+}
+
+impl MixComparison {
+    /// SSER of one scheduler normalized to the random scheduler.
+    pub fn sser_vs_random(&self, sched: SchedKind) -> f64 {
+        self.sser[sched_index(sched)] / self.sser[0]
+    }
+
+    /// STP of one scheduler normalized to the random scheduler.
+    pub fn stp_vs_random(&self, sched: SchedKind) -> f64 {
+        self.stp[sched_index(sched)] / self.stp[0]
+    }
+}
+
+fn sched_index(s: SchedKind) -> usize {
+    match s {
+        SchedKind::Random => 0,
+        SchedKind::PerfOpt => 1,
+        SchedKind::RelOpt => 2,
+    }
+}
+
+/// Run a workload set on one system configuration under all three
+/// schedulers (the engine behind Figures 6-10 and 12).
+pub fn compare_schedulers(
+    ctx: &Context,
+    sys_cfg: &SystemConfig,
+    mixes: &[Mix],
+    params: SamplingParams,
+) -> Vec<MixComparison> {
+    let model = PowerModel::default();
+    mixes
+        .iter()
+        .map(|mix| {
+            let mut sser = [0.0; 3];
+            let mut stp = [0.0; 3];
+            let mut power = [PowerReport {
+                chip_watts: 0.0,
+                dram_watts: 0.0,
+            }; 3];
+            for sched in SchedKind::ALL {
+                let (eval, result) = run_mix(ctx, sys_cfg, mix, sched, params);
+                let i = sched_index(sched);
+                sser[i] = eval.sser;
+                stp[i] = eval.stp;
+                let activities: Vec<_> =
+                    result.cores.iter().map(|c| c.to_activity()).collect();
+                let shared = SharedActivity {
+                    l3_accesses: result.shared.l3_accesses,
+                    mem_requests: result.shared.mem_requests,
+                };
+                power[i] = model.report(&activities, &shared, result.duration);
+            }
+            MixComparison {
+                mix: mix.clone(),
+                sser,
+                stp,
+                power,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate summary of a scheduler comparison (the headline numbers).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonSummary {
+    /// Mean SSER reduction of the reliability scheduler vs random
+    /// (positive = better reliability).
+    pub rel_vs_random_sser: f64,
+    /// Maximum SSER reduction vs random.
+    pub rel_vs_random_sser_max: f64,
+    /// Mean SSER reduction vs the performance-optimized scheduler.
+    pub rel_vs_perf_sser: f64,
+    /// Maximum SSER reduction vs the performance-optimized scheduler.
+    pub rel_vs_perf_sser_max: f64,
+    /// Mean STP loss vs the performance-optimized scheduler
+    /// (positive = slower).
+    pub rel_vs_perf_stp_loss: f64,
+    /// Mean SSER reduction of the performance-optimized scheduler vs
+    /// random.
+    pub perf_vs_random_sser: f64,
+    /// Mean STP gain of the reliability scheduler vs random.
+    pub rel_vs_random_stp: f64,
+}
+
+/// Summarize a comparison set.
+pub fn summarize(comparisons: &[MixComparison]) -> ComparisonSummary {
+    let red =
+        |num: &dyn Fn(&MixComparison) -> f64, den: &dyn Fn(&MixComparison) -> f64| -> Vec<f64> {
+            comparisons
+                .iter()
+                .map(|c| 1.0 - num(c) / den(c))
+                .collect()
+        };
+    let rel_rand = red(&|c| c.sser[2], &|c| c.sser[0]);
+    let rel_perf = red(&|c| c.sser[2], &|c| c.sser[1]);
+    let perf_rand = red(&|c| c.sser[1], &|c| c.sser[0]);
+    let stp_loss = red(&|c| c.stp[2], &|c| c.stp[1]);
+    let stp_gain: Vec<f64> = comparisons
+        .iter()
+        .map(|c| c.stp[2] / c.stp[0] - 1.0)
+        .collect();
+    ComparisonSummary {
+        rel_vs_random_sser: arithmetic_mean(&rel_rand),
+        rel_vs_random_sser_max: rel_rand.iter().copied().fold(f64::MIN, f64::max),
+        rel_vs_perf_sser: arithmetic_mean(&rel_perf),
+        rel_vs_perf_sser_max: rel_perf.iter().copied().fold(f64::MIN, f64::max),
+        rel_vs_perf_stp_loss: arithmetic_mean(&stp_loss),
+        perf_vs_random_sser: arithmetic_mean(&perf_rand),
+        rel_vs_random_stp: arithmetic_mean(&stp_gain),
+    }
+}
+
+/// Group comparisons by mix category and average the per-scheduler
+/// metrics (Figure 7).
+pub fn by_category(comparisons: &[MixComparison]) -> Vec<(String, [f64; 3], [f64; 3])> {
+    let mut order: Vec<String> = Vec::new();
+    for c in comparisons {
+        if !order.contains(&c.mix.category) {
+            order.push(c.mix.category.clone());
+        }
+    }
+    order
+        .into_iter()
+        .map(|cat| {
+            let members: Vec<&MixComparison> = comparisons
+                .iter()
+                .filter(|c| c.mix.category == cat)
+                .collect();
+            let mut sser = [0.0; 3];
+            let mut stp = [0.0; 3];
+            for i in 0..3 {
+                sser[i] =
+                    arithmetic_mean(&members.iter().map(|m| m.sser[i]).collect::<Vec<_>>());
+                stp[i] = arithmetic_mean(&members.iter().map(|m| m.stp[i]).collect::<Vec<_>>());
+            }
+            (cat, sser, stp)
+        })
+        .collect()
+}
+
+// ===================================================================
+// Figure 4: ABC timeline (phase-change response)
+// ===================================================================
+
+/// One co-run timeline point: `(start_tick, abc_rate, on_big_core)`.
+pub type CorunPoint = (u64, f64, bool);
+
+/// Data behind Figure 4: per-quantum ABC of calculix and povray, isolated
+/// on a big core and co-running on 1B1S under the reliability scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbcTimeline {
+    /// Quantum length used for bucketing.
+    pub quantum_ticks: u64,
+    /// Isolated big-core ABC per quantum: (benchmark, series).
+    pub isolated: Vec<(String, Vec<f64>)>,
+    /// Co-running ABC per segment, per benchmark.
+    pub corun: Vec<(String, Vec<CorunPoint>)>,
+}
+
+/// Produce the Figure 4 timeline for two benchmarks (the paper uses
+/// calculix and povray).
+pub fn abc_timeline(ctx: &Context, bench_a: &str, bench_b: &str) -> AbcTimeline {
+    let q = ctx.scale.quantum_ticks;
+    // Isolated series: run on a big core, bucket ABC per quantum.
+    let mut isolated = Vec::new();
+    for name in [bench_a, bench_b] {
+        let profile = relsim_trace::spec_profile(name).expect("known benchmark");
+        let mut series = Vec::new();
+        // Re-run per quantum bucket to extract a time series.
+        let mut sys = System::new(
+            {
+                let mut c = hcmp_config(ctx, 1, 1);
+                c.quantum_ticks = q;
+                c
+            },
+            &[AppSpec::spec(name, 1), AppSpec::spec("povray", 999)],
+        );
+        // Pin the benchmark to the big core by using a pinned scheduler.
+        struct Pinned(u64);
+        impl Scheduler for Pinned {
+            fn name(&self) -> &'static str {
+                "pinned"
+            }
+            fn next_segment(&mut self) -> crate::sched::Segment {
+                crate::sched::Segment {
+                    mapping: vec![0, 1],
+                    ticks: self.0,
+                    is_sampling: false,
+                }
+            }
+            fn observe(&mut self, _o: &[crate::sched::SegmentObservation]) {}
+        }
+        let mut sched = Pinned(q);
+        let r = sys.run(&mut sched, ctx.scale.run_ticks);
+        for seg in &r.timeline {
+            series.push(seg.app_abc[0] / seg.ticks as f64);
+        }
+        let _ = profile;
+        isolated.push((name.to_string(), series));
+    }
+
+    // Co-run under the reliability scheduler on 1B1S.
+    let cfg = hcmp_config(ctx, 1, 1);
+    let mix = Mix {
+        category: "fig4".into(),
+        benchmarks: vec![bench_a.to_string(), bench_b.to_string()],
+    };
+    let (_, result) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let mut corun = vec![
+        (bench_a.to_string(), Vec::new()),
+        (bench_b.to_string(), Vec::new()),
+    ];
+    for seg in &result.timeline {
+        for (app, series) in corun.iter_mut().enumerate() {
+            let core = seg.mapping.iter().position(|&a| a == app).expect("mapped");
+            let on_big = core == 0; // core 0 is the big core in hcmp(1,1)
+            series
+                .1
+                .push((seg.start, seg.app_abc[app] / seg.ticks as f64, on_big));
+        }
+    }
+    AbcTimeline {
+        quantum_ticks: q,
+        isolated,
+        corun,
+    }
+}
+
+// ===================================================================
+// Convenience wrappers used by the bench binaries
+// ===================================================================
+
+/// Figure 6/7/12 engine: the 4-program workloads on 2B2S.
+pub fn fig6_comparisons(ctx: &Context) -> Vec<MixComparison> {
+    compare_schedulers(
+        ctx,
+        &hcmp_config(ctx, 2, 2),
+        &ctx.four_program_mixes(),
+        SamplingParams::default(),
+    )
+}
+
+/// Figure 8: asymmetric HCMPs (returns label + comparisons per config).
+pub fn fig8_asymmetric(ctx: &Context) -> Vec<(String, Vec<MixComparison>)> {
+    let mixes = ctx.four_program_mixes();
+    [(1usize, 3usize), (2, 2), (3, 1)]
+        .into_iter()
+        .map(|(b, s)| {
+            let cfg = hcmp_config(ctx, b, s);
+            let label = format!("{b}B{s}S");
+            (
+                label,
+                compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default()),
+            )
+        })
+        .collect()
+}
+
+/// Figure 9: 2B2S with the small cores at half frequency.
+pub fn fig9_low_frequency(ctx: &Context) -> Vec<MixComparison> {
+    let mut cfg = SystemConfig::hcmp_slow_small(2, 2);
+    cfg.quantum_ticks = ctx.scale.quantum_ticks;
+    cfg.migration_ticks = (ctx.scale.quantum_ticks / 50).max(1);
+    compare_schedulers(
+        ctx,
+        &cfg,
+        &ctx.four_program_mixes(),
+        SamplingParams::default(),
+    )
+}
+
+/// Figure 10: core-count scaling (1B1S/2B2S/4B4S) and the ROB-only
+/// counter variant on each.
+pub fn fig10_core_count(
+    ctx: &Context,
+) -> Vec<(String, Vec<MixComparison>, Vec<MixComparison>)> {
+    let configs = [
+        ("1B1S".to_string(), 1usize, 1usize, ctx.two_program_mixes()),
+        ("2B2S".to_string(), 2, 2, ctx.four_program_mixes()),
+        ("4B4S".to_string(), 4, 4, ctx.eight_program_mixes()),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, b, s, mixes)| {
+            let cfg = hcmp_config(ctx, b, s);
+            let core_abc =
+                compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default());
+            let mut rob_cfg = cfg.clone();
+            rob_cfg.counter_kind = CounterKind::HwRobOnly;
+            let rob_abc =
+                compare_schedulers(ctx, &rob_cfg, &mixes, SamplingParams::default());
+            (label, core_abc, rob_abc)
+        })
+        .collect()
+}
+
+/// Figure 11: sampling-parameter sweep `(period, fraction)` on 2B2S.
+pub fn fig11_sampling_sweep(
+    ctx: &Context,
+    settings: &[(u32, f64)],
+) -> Vec<((u32, f64), Vec<MixComparison>)> {
+    let cfg = hcmp_config(ctx, 2, 2);
+    let mixes = ctx.four_program_mixes();
+    settings
+        .iter()
+        .map(|&(period, fraction)| {
+            let params = SamplingParams {
+                staleness_quanta: period,
+                sampling_fraction: fraction,
+                ..SamplingParams::default()
+            };
+            ((period, fraction), compare_schedulers(ctx, &cfg, &mixes, params))
+        })
+        .collect()
+}
+
+/// Run one isolated benchmark on a custom core config (used by ablation
+/// benches).
+pub fn isolated_on(ctx: &Context, name: &str, cfg: &CoreConfig) -> IsolatedResult {
+    let p = relsim_trace::spec_profile(name).expect("known benchmark");
+    run_isolated(&p, cfg, ctx.scale.isolation_ticks, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> Context {
+        Context::build(Scale {
+            isolation_ticks: 60_000,
+            run_ticks: 120_000,
+            quantum_ticks: 8_000,
+            per_category: 1,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn context_builds_and_classifies() {
+        let ctx = tiny_ctx();
+        assert_eq!(ctx.refs.names().len(), 29);
+        assert_eq!(ctx.class.high.len(), 8);
+        assert_eq!(ctx.class.low.len(), 8);
+        assert_eq!(ctx.class.medium.len(), 13);
+    }
+
+    #[test]
+    fn isolated_characterization_is_sorted() {
+        let ctx = tiny_ctx();
+        let rows = isolated_characterization(&ctx);
+        assert_eq!(rows.len(), 29);
+        for w in rows.windows(2) {
+            assert!(w[0].big.avf <= w[1].big.avf);
+        }
+        let corr = rob_abc_correlation(&rows);
+        assert!(corr > 0.8, "ROB/core ABC correlation {corr}");
+    }
+
+    #[test]
+    fn fig6_engine_runs_one_mix_per_category() {
+        let ctx = tiny_ctx();
+        let comparisons = compare_schedulers(
+            &ctx,
+            &hcmp_config(&ctx, 2, 2),
+            &ctx.four_program_mixes()[..2],
+            SamplingParams::default(),
+        );
+        assert_eq!(comparisons.len(), 2);
+        for c in &comparisons {
+            for i in 0..3 {
+                assert!(c.sser[i] > 0.0);
+                assert!(c.stp[i] > 0.0);
+                assert!(c.power[i].chip_watts > 0.0);
+            }
+        }
+        let s = summarize(&comparisons);
+        assert!(s.rel_vs_random_sser.is_finite());
+    }
+
+    #[test]
+    fn oracle_study_produces_gains() {
+        let ctx = tiny_ctx();
+        let outcomes = oracle_study(&ctx);
+        assert_eq!(outcomes.len(), 6);
+        for (_, o) in &outcomes {
+            assert!(o.ser_gain() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn context_cache_round_trip() {
+        let ctx = tiny_ctx();
+        let dir = std::env::temp_dir().join("relsim-test-cache");
+        let path = dir.join("ctx.json");
+        let _ = std::fs::remove_file(&path);
+        if let Some(d) = path.parent() {
+            let _ = std::fs::create_dir_all(d);
+        }
+        std::fs::write(&path, serde_json::to_vec(&ctx).unwrap()).unwrap();
+        let loaded = Context::load_or_build(ctx.scale, &path);
+        assert_eq!(loaded.refs.names(), ctx.refs.names());
+        let _ = std::fs::remove_file(&path);
+    }
+}

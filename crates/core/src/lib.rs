@@ -1,0 +1,62 @@
+//! # relsim
+//!
+//! A from-scratch reproduction of *Reliability-Aware Scheduling on
+//! Heterogeneous Multicore Processors* (HPCA 2017).
+//!
+//! This crate ties the substrate crates together into the paper's system:
+//!
+//! * [`System`] — the heterogeneous multicore runtime (cores, caches,
+//!   shared L3/DRAM, ACE counters, migration overhead);
+//! * [`SamplingScheduler`] — the paper's primary contribution: the
+//!   sampling-based scheduler optimizing SSER ([`Objective::Sser`]) or STP
+//!   ([`Objective::Stp`]), plus the [`RandomScheduler`] baseline, a
+//!   [`StaticScheduler`] for pinned/oracle schedules, a PIE-style
+//!   [`PredictiveScheduler`] and a blended [`Objective::Weighted`]
+//!   objective;
+//! * the SSER/STP/ANTT metrics and evaluation plumbing (via
+//!   `relsim-metrics` and [`evaluate`]);
+//! * [`isolated`] — isolated single-core reference runs (AVF, CPI stacks,
+//!   reference IPS for SSER/STP);
+//! * [`mixes`] — H/M/L benchmark classification and workload-mix
+//!   construction (Section 5);
+//! * [`oracle`] — the offline oracle scheduler study (Section 2.4);
+//! * [`experiments`] — drivers that regenerate every table and figure.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use relsim::{AppSpec, Objective, SamplingParams, SamplingScheduler, System, SystemConfig};
+//!
+//! let cfg = SystemConfig::hcmp(2, 2);
+//! let apps: Vec<AppSpec> = ["milc", "gobmk", "hmmer", "mcf"]
+//!     .iter().enumerate()
+//!     .map(|(i, n)| AppSpec::spec(n, i as u64))
+//!     .collect();
+//! let mut sched = SamplingScheduler::new(
+//!     Objective::Sser, cfg.core_kinds(), cfg.quantum_ticks, SamplingParams::default());
+//! let mut system = System::new(cfg, &apps);
+//! let result = system.run(&mut sched, 1_000_000);
+//! println!("total migrations: {}", result.migrations);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod experiments;
+pub mod isolated;
+pub mod mixes;
+pub mod oracle;
+mod sched;
+mod sched_pie;
+mod system;
+
+pub use relsim_ace::CounterKind;
+pub use sched::{
+    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler, Segment,
+    SegmentObservation, StaticScheduler,
+};
+pub use sched_pie::{PieModel, PredictiveScheduler};
+pub use system::{
+    AppRunStats, AppSpec, CoreRunStats, RunResult, SegmentRecord, System, SystemConfig,
+};

@@ -1,0 +1,308 @@
+//! Benchmark classification and multiprogram workload construction
+//! (Section 5 of the paper).
+//!
+//! Benchmarks are classified by big-core AVF: the 8 highest are *high
+//! sensitivity* (H), the 8 lowest *low sensitivity* (L), the rest *medium*
+//! (M). Two-program mixes come in 6 categories (HH, HM, HL, MM, ML, LL);
+//! four- and eight-program mixes double the letters (HHHH, HHMM, HHLL,
+//! MMMM, MMLL, LLLL and so on). Six workloads are generated per category,
+//! benchmarks never repeat within a mix, and every benchmark appears at
+//! least once across the set (pools are drawn without replacement and
+//! reshuffled on exhaustion).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Sensitivity category of a benchmark (by big-core AVF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// High sensitivity (highest AVF).
+    H,
+    /// Medium sensitivity.
+    M,
+    /// Low sensitivity (lowest AVF).
+    L,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::H => write!(f, "H"),
+            Category::M => write!(f, "M"),
+            Category::L => write!(f, "L"),
+        }
+    }
+}
+
+/// The H/M/L classification of a benchmark set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// High-sensitivity benchmarks (top 8 by AVF).
+    pub high: Vec<String>,
+    /// Medium-sensitivity benchmarks.
+    pub medium: Vec<String>,
+    /// Low-sensitivity benchmarks (bottom 8 by AVF).
+    pub low: Vec<String>,
+}
+
+impl Classification {
+    /// Classify from `(name, avf)` pairs: top `group` by AVF are H, bottom
+    /// `group` are L, the rest M. The paper uses `group = 8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer than `2 * group + 1` benchmarks.
+    pub fn from_avfs(avfs: &[(String, f64)], group: usize) -> Self {
+        assert!(
+            avfs.len() > 2 * group,
+            "need more than {} benchmarks",
+            2 * group
+        );
+        let mut sorted = avfs.to_vec();
+        sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let low = sorted[..group].iter().map(|(n, _)| n.clone()).collect();
+        let medium = sorted[group..sorted.len() - group]
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let high = sorted[sorted.len() - group..]
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        Classification { high, medium, low }
+    }
+
+    /// The category of one benchmark, if classified.
+    pub fn category_of(&self, name: &str) -> Option<Category> {
+        if self.high.iter().any(|n| n == name) {
+            Some(Category::H)
+        } else if self.medium.iter().any(|n| n == name) {
+            Some(Category::M)
+        } else if self.low.iter().any(|n| n == name) {
+            Some(Category::L)
+        } else {
+            None
+        }
+    }
+
+    fn pool(&self, c: Category) -> &[String] {
+        match c {
+            Category::H => &self.high,
+            Category::M => &self.medium,
+            Category::L => &self.low,
+        }
+    }
+}
+
+/// One multiprogram workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mix {
+    /// Category label, e.g. `"HHLL"`.
+    pub category: String,
+    /// Benchmark names (no duplicates).
+    pub benchmarks: Vec<String>,
+}
+
+/// Category patterns for the paper's 2/4/8-program mixes.
+pub fn category_patterns(apps: usize) -> Vec<Vec<Category>> {
+    use Category::{H, L, M};
+    let base: [Vec<Category>; 6] = [
+        vec![H, H],
+        vec![H, M],
+        vec![H, L],
+        vec![M, M],
+        vec![M, L],
+        vec![L, L],
+    ];
+    let doublings = match apps {
+        2 => 1,
+        4 => 2,
+        8 => 4,
+        _ => panic!("unsupported mix size {apps} (use 2, 4 or 8)"),
+    };
+    base.into_iter()
+        .map(|p| {
+            p.into_iter()
+                .flat_map(|c| std::iter::repeat_n(c, doublings))
+                .collect()
+        })
+        .collect()
+}
+
+/// Draw benchmarks by category without replacement, reshuffling a pool
+/// when it runs dry — this is what guarantees full benchmark coverage.
+struct PoolDrawer<'a> {
+    class: &'a Classification,
+    rng: SmallRng,
+    pools: [Vec<String>; 3],
+}
+
+impl<'a> PoolDrawer<'a> {
+    fn new(class: &'a Classification, seed: u64) -> Self {
+        PoolDrawer {
+            class,
+            rng: SmallRng::seed_from_u64(seed),
+            pools: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    fn pool_index(c: Category) -> usize {
+        match c {
+            Category::H => 0,
+            Category::M => 1,
+            Category::L => 2,
+        }
+    }
+
+    /// Draw one benchmark of category `c` not already in `exclude`.
+    fn draw(&mut self, c: Category, exclude: &[String]) -> String {
+        let idx = Self::pool_index(c);
+        if self.pools[idx].is_empty() {
+            let mut fresh = self.class.pool(c).to_vec();
+            fresh.shuffle(&mut self.rng);
+            self.pools[idx] = fresh;
+        }
+        // Find a candidate not already used in this mix.
+        if let Some(pos) = self.pools[idx]
+            .iter()
+            .position(|n| !exclude.contains(n))
+        {
+            return self.pools[idx].remove(pos);
+        }
+        // Everything left collides with the mix; draw from a fresh copy of
+        // the pool restricted to non-excluded benchmarks (coverage of the
+        // in-flight pool is unaffected).
+        let mut fresh = self.class.pool(c).to_vec();
+        fresh.retain(|n| !exclude.contains(n));
+        assert!(
+            !fresh.is_empty(),
+            "category {c} has too few benchmarks for this mix"
+        );
+        fresh.shuffle(&mut self.rng);
+        fresh.remove(0)
+    }
+}
+
+/// Generate the paper's workload set: `per_category` mixes for each of the
+/// six category patterns of `apps`-program workloads.
+///
+/// # Panics
+///
+/// Panics if `apps` is not 2, 4 or 8, or a category pool is too small to
+/// fill a pattern without duplicates.
+pub fn generate_mixes(
+    class: &Classification,
+    apps: usize,
+    per_category: usize,
+    seed: u64,
+) -> Vec<Mix> {
+    let patterns = category_patterns(apps);
+    let mut drawer = PoolDrawer::new(class, seed);
+    let mut mixes = Vec::new();
+    for pattern in &patterns {
+        let label: String = pattern.iter().map(|c| c.to_string()).collect();
+        for _ in 0..per_category {
+            let mut benchmarks: Vec<String> = Vec::with_capacity(apps);
+            for &c in pattern {
+                let b = drawer.draw(c, &benchmarks);
+                benchmarks.push(b);
+            }
+            mixes.push(Mix {
+                category: label.clone(),
+                benchmarks,
+            });
+        }
+    }
+    mixes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_classification() -> Classification {
+        // 29 synthetic benchmarks with distinct AVFs.
+        let avfs: Vec<(String, f64)> = (0..29)
+            .map(|i| (format!("b{i:02}"), i as f64 / 29.0))
+            .collect();
+        Classification::from_avfs(&avfs, 8)
+    }
+
+    #[test]
+    fn classification_sizes_match_paper() {
+        let c = demo_classification();
+        assert_eq!(c.high.len(), 8);
+        assert_eq!(c.low.len(), 8);
+        assert_eq!(c.medium.len(), 13);
+        assert_eq!(c.category_of("b00"), Some(Category::L));
+        assert_eq!(c.category_of("b28"), Some(Category::H));
+        assert_eq!(c.category_of("b14"), Some(Category::M));
+        assert_eq!(c.category_of("nope"), None);
+    }
+
+    #[test]
+    fn patterns_follow_the_paper() {
+        let p2 = category_patterns(2);
+        assert_eq!(p2.len(), 6);
+        assert!(p2.iter().all(|p| p.len() == 2));
+        let p4 = category_patterns(4);
+        assert!(p4.iter().all(|p| p.len() == 4));
+        use Category::{H, L};
+        assert!(p4.contains(&vec![H, H, L, L]));
+        let p8 = category_patterns(8);
+        assert!(p8.iter().all(|p| p.len() == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported mix size")]
+    fn bad_mix_size_rejected() {
+        let _ = category_patterns(3);
+    }
+
+    #[test]
+    fn mixes_have_no_duplicates_and_match_categories() {
+        let class = demo_classification();
+        for apps in [2usize, 4, 8] {
+            let mixes = generate_mixes(&class, apps, 6, 42);
+            assert_eq!(mixes.len(), 36);
+            for m in &mixes {
+                assert_eq!(m.benchmarks.len(), apps);
+                let mut dedup = m.benchmarks.clone();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(dedup.len(), apps, "duplicates in {m:?}");
+                // Category letters match the benchmarks drawn.
+                for (b, c) in m.benchmarks.iter().zip(m.category.chars()) {
+                    let expect = match c {
+                        'H' => Category::H,
+                        'M' => Category::M,
+                        _ => Category::L,
+                    };
+                    assert_eq!(class.category_of(b), Some(expect));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_appears_at_least_once_in_four_program_set() {
+        let class = demo_classification();
+        let mixes = generate_mixes(&class, 4, 6, 7);
+        let mut used: Vec<String> = mixes.iter().flat_map(|m| m.benchmarks.clone()).collect();
+        used.sort();
+        used.dedup();
+        assert_eq!(used.len(), 29, "all 29 benchmarks used: got {}", used.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let class = demo_classification();
+        let a = generate_mixes(&class, 4, 6, 99);
+        let b = generate_mixes(&class, 4, 6, 99);
+        assert_eq!(a, b);
+        let c = generate_mixes(&class, 4, 6, 100);
+        assert_ne!(a, c, "different seeds give different sets");
+    }
+}

@@ -1,0 +1,178 @@
+//! The offline oracle scheduler study (Section 2.4 of the paper).
+//!
+//! Using isolated per-core-type measurements and assuming no shared-
+//! resource interference, every static assignment of applications to core
+//! types is enumerated; the assignment with the lowest predicted SSER and
+//! the one with the highest predicted STP are reported, quantifying the
+//! *potential* of reliability-aware scheduling (Figure 3).
+
+use crate::isolated::ReferenceTable;
+use relsim_cpu::CoreKind;
+use serde::{Deserialize, Serialize};
+
+/// Predicted metrics of one static schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleSchedule {
+    /// Which applications (by index into the workload) run on big cores.
+    pub on_big: Vec<usize>,
+    /// Predicted SSER (in IFR-normalized units; comparable within a
+    /// workload).
+    pub sser: f64,
+    /// Predicted STP.
+    pub stp: f64,
+}
+
+/// Outcome of the oracle study for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleOutcome {
+    /// Benchmarks in the workload.
+    pub benchmarks: Vec<String>,
+    /// The SSER-optimal schedule.
+    pub best_sser: OracleSchedule,
+    /// The STP-optimal schedule.
+    pub best_stp: OracleSchedule,
+}
+
+impl OracleOutcome {
+    /// SER gain of the reliability-optimal schedule relative to the
+    /// performance-optimal one (positive = reduction), as in Figure 3.
+    pub fn ser_gain(&self) -> f64 {
+        1.0 - self.best_sser.sser / self.best_stp.sser
+    }
+
+    /// STP loss of the reliability-optimal schedule relative to the
+    /// performance-optimal one (positive = loss).
+    pub fn stp_loss(&self) -> f64 {
+        1.0 - self.best_sser.stp / self.best_stp.stp
+    }
+}
+
+/// Predicted per-app wSER rate on a core type, from isolated data: the
+/// application's ABC rate scaled by its slowdown versus the isolated big
+/// core.
+fn wser_rate(refs: &ReferenceTable, name: &str, kind: CoreKind) -> f64 {
+    let on = refs.get(name, kind).expect("benchmark measured");
+    let big = refs.get(name, CoreKind::Big).expect("benchmark measured");
+    if on.ips <= 0.0 {
+        return 0.0;
+    }
+    on.abc_rate * (big.ips / on.ips)
+}
+
+/// Predicted per-app STP contribution on a core type.
+fn progress(refs: &ReferenceTable, name: &str, kind: CoreKind) -> f64 {
+    let on = refs.get(name, kind).expect("benchmark measured");
+    let big = refs.get(name, CoreKind::Big).expect("benchmark measured");
+    if big.ips <= 0.0 {
+        return 0.0;
+    }
+    on.ips / big.ips
+}
+
+/// Enumerate all assignments of `benchmarks` to `n_big` big cores (the
+/// rest go to small cores) and return the SSER- and STP-optimal
+/// schedules.
+///
+/// # Panics
+///
+/// Panics if `n_big` exceeds the workload size or a benchmark is missing
+/// from the reference table.
+pub fn oracle_schedules(
+    refs: &ReferenceTable,
+    benchmarks: &[String],
+    n_big: usize,
+) -> OracleOutcome {
+    let n = benchmarks.len();
+    assert!(n_big <= n, "more big cores than applications");
+    let mut best_sser: Option<OracleSchedule> = None;
+    let mut best_stp: Option<OracleSchedule> = None;
+
+    // Enumerate subsets of size n_big via bitmask.
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != n_big {
+            continue;
+        }
+        let mut sser = 0.0;
+        let mut stp = 0.0;
+        let mut on_big = Vec::with_capacity(n_big);
+        for (i, name) in benchmarks.iter().enumerate() {
+            let kind = if mask & (1 << i) != 0 {
+                on_big.push(i);
+                CoreKind::Big
+            } else {
+                CoreKind::Small
+            };
+            sser += wser_rate(refs, name, kind);
+            stp += progress(refs, name, kind);
+        }
+        let sched = OracleSchedule { on_big, sser, stp };
+        if best_sser.as_ref().is_none_or(|b| sched.sser < b.sser) {
+            best_sser = Some(sched.clone());
+        }
+        if best_stp.as_ref().is_none_or(|b| sched.stp > b.stp) {
+            best_stp = Some(sched);
+        }
+    }
+
+    OracleOutcome {
+        benchmarks: benchmarks.to_vec(),
+        best_sser: best_sser.expect("at least one schedule"),
+        best_stp: best_stp.expect("at least one schedule"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isolated::ReferenceTable;
+    use relsim_cpu::CoreConfig;
+    use relsim_trace::spec_profile;
+
+    fn small_table() -> ReferenceTable {
+        let profiles: Vec<_> = ["milc", "gobmk", "hmmer", "mcf"]
+            .iter()
+            .map(|n| spec_profile(n).unwrap())
+            .collect();
+        ReferenceTable::build(
+            &profiles,
+            &CoreConfig::big(),
+            &CoreConfig::small(),
+            150_000,
+        )
+    }
+
+    #[test]
+    fn oracle_enumerates_and_orders_schedules() {
+        let refs = small_table();
+        let names: Vec<String> = ["milc", "gobmk", "hmmer", "mcf"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = oracle_schedules(&refs, &names, 2);
+        assert_eq!(o.best_sser.on_big.len(), 2);
+        assert_eq!(o.best_stp.on_big.len(), 2);
+        // The SSER-best schedule cannot be worse than the STP-best one on
+        // SSER, by construction.
+        assert!(o.best_sser.sser <= o.best_stp.sser + 1e-12);
+        assert!(o.best_stp.stp >= o.best_sser.stp - 1e-12);
+        assert!(o.ser_gain() >= -1e-12, "gain {}", o.ser_gain());
+    }
+
+    #[test]
+    fn oracle_puts_high_abc_apps_on_small_cores() {
+        let refs = small_table();
+        // milc has a much higher big-core ABC rate than gobmk; with one
+        // big core, the SSER oracle should give the big core to gobmk.
+        let names: Vec<String> = vec!["milc".into(), "gobmk".into()];
+        let o = oracle_schedules(&refs, &names, 1);
+        assert_eq!(o.best_sser.on_big, vec![1], "gobmk on big: {o:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more big cores")]
+    fn too_many_big_cores_rejected() {
+        let refs = small_table();
+        let names: Vec<String> = vec!["milc".into()];
+        let _ = oracle_schedules(&refs, &names, 2);
+    }
+}

@@ -1,0 +1,815 @@
+//! Schedulers: random, performance-optimized and reliability-optimized
+//! (Algorithm 1 of the paper).
+//!
+//! All schedulers produce a sequence of [`Segment`]s — a mapping of
+//! applications to cores plus a duration — and receive
+//! [`SegmentObservation`]s after each segment executes. The
+//! sampling-based schedulers ([`SamplingScheduler`]) follow the paper's
+//! design: an initial sampling phase measures every application on every
+//! core type; thereafter applications are greedily pair-switched whenever
+//! the sampled data predicts an improvement of the objective (SSER or
+//! STP), and any application that has stayed on one core type for
+//! `staleness_quanta` scheduler quanta is re-sampled on the other type for
+//! one short sampling quantum.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use relsim_cpu::{CoreKind, CpiStack};
+use serde::{Deserialize, Serialize};
+
+/// One scheduling interval: which application runs on which core, and for
+/// how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// `mapping[core] = app`; must be a permutation of `0..n`.
+    pub mapping: Vec<usize>,
+    /// Segment length in ticks.
+    pub ticks: u64,
+    /// Whether this is a short sampling segment (counted as overhead).
+    pub is_sampling: bool,
+}
+
+/// What one application did during one segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentObservation {
+    /// Application index.
+    pub app: usize,
+    /// Core index it ran on.
+    pub core: usize,
+    /// That core's type.
+    pub kind: CoreKind,
+    /// Segment length in ticks.
+    pub ticks: u64,
+    /// Ticks the core was actually running (excluding migration stall).
+    pub active_ticks: u64,
+    /// Instructions committed during the segment.
+    pub instructions: u64,
+    /// ACE bit-time accumulated during the segment (as read from the
+    /// configured ACE counter, i.e. possibly quantized).
+    pub abc: f64,
+    /// CPI-stack delta over the segment (cycle components).
+    pub cpi: CpiStack,
+}
+
+/// A scheduler decides the next segment and learns from observations.
+pub trait Scheduler {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Plan the next segment.
+    fn next_segment(&mut self) -> Segment;
+
+    /// Digest the observations of the segment just executed.
+    fn observe(&mut self, obs: &[SegmentObservation]);
+}
+
+/// Sampling parameters (Section 4.1: quantum 1 ms, sampling quantum
+/// 0.1 ms, re-sample after 10 quanta).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingParams {
+    /// Re-sample an application after this many consecutive quanta on the
+    /// same core type.
+    pub staleness_quanta: u32,
+    /// Sampling-quantum length as a fraction of the scheduler quantum.
+    pub sampling_fraction: f64,
+    /// Minimum relative objective improvement required to switch a pair
+    /// of applications. Algorithm 1 switches on any predicted improvement;
+    /// a small threshold keeps sampling noise from causing migration
+    /// churn (robustness knob, 0.0 restores the literal algorithm).
+    pub switch_threshold: f64,
+    /// Weight of the newest sample when blending with the previous sample
+    /// of the same core type (1.0 = use the latest sample only, as in the
+    /// paper; lower values smooth sampling noise).
+    pub sample_blend: f64,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        SamplingParams {
+            staleness_quanta: 10,
+            sampling_fraction: 0.1,
+            switch_threshold: 0.03,
+            sample_blend: 0.6,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- random
+
+/// The random scheduler: a fresh random assignment every quantum.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    core_kinds: Vec<CoreKind>,
+    quantum_ticks: u64,
+    rng: SmallRng,
+}
+
+impl RandomScheduler {
+    /// Build a random scheduler for the given core layout.
+    pub fn new(core_kinds: Vec<CoreKind>, quantum_ticks: u64, seed: u64) -> Self {
+        RandomScheduler {
+            core_kinds,
+            quantum_ticks,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn next_segment(&mut self) -> Segment {
+        let mut mapping: Vec<usize> = (0..self.core_kinds.len()).collect();
+        mapping.shuffle(&mut self.rng);
+        Segment {
+            mapping,
+            ticks: self.quantum_ticks,
+            is_sampling: false,
+        }
+    }
+
+    fn observe(&mut self, _obs: &[SegmentObservation]) {}
+}
+
+// -------------------------------------------------------------- sampling
+
+/// What the sampling scheduler optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize system soft error rate — the paper's contribution.
+    Sser,
+    /// Maximize system throughput (weighted speedup) — the
+    /// performance-optimized baseline.
+    Stp,
+    /// A blended objective (an extension beyond the paper): minimize
+    /// `w·wSER + (1−w)·wSER_big·(1−progress)` per application, where
+    /// `w = reliability_pct / 100`. At 100 this reduces exactly to
+    /// [`Objective::Sser`]; at 0 it maximizes vulnerability-weighted
+    /// progress (a performance objective that still weighs the most
+    /// vulnerable applications heaviest). Intermediate settings trace the
+    /// reliability/performance Pareto front (see the `ablation_objective`
+    /// bench).
+    Weighted {
+        /// Reliability weight in percent (0–100).
+        reliability_pct: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Sample {
+    /// Instructions per tick on this core type.
+    ips: f64,
+    /// ACE bit-time per tick on this core type.
+    abc_rate: f64,
+    /// Whether the sample exists at all.
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct AppState {
+    /// Samples indexed by core type (0 = big, 1 = small).
+    samples: [Sample; 2],
+    /// Consecutive scheduler quanta on the current core type.
+    consecutive: u32,
+    /// Core type during the last main segment.
+    last_kind: Option<CoreKind>,
+}
+
+fn type_index(kind: CoreKind) -> usize {
+    match kind {
+        CoreKind::Big => 0,
+        CoreKind::Small => 1,
+    }
+}
+
+/// The paper's sampling-based scheduler, parameterized by objective:
+/// [`Objective::Sser`] gives the reliability-optimized scheduler,
+/// [`Objective::Stp`] the performance-optimized one.
+#[derive(Debug)]
+pub struct SamplingScheduler {
+    objective: Objective,
+    core_kinds: Vec<CoreKind>,
+    quantum_ticks: u64,
+    params: SamplingParams,
+    apps: Vec<AppState>,
+    mapping: Vec<usize>,
+    /// Rotation counter for the initial sampling phase.
+    init_rotation: usize,
+    /// Whether the next segment should be the post-sampling main segment.
+    pending_main: bool,
+    /// Whether the segment most recently issued was a sampling segment.
+    last_was_sampling: bool,
+}
+
+impl SamplingScheduler {
+    /// Build a sampling scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no cores, or the cores are all of one type
+    /// (sampling both types would be impossible).
+    pub fn new(
+        objective: Objective,
+        core_kinds: Vec<CoreKind>,
+        quantum_ticks: u64,
+        params: SamplingParams,
+    ) -> Self {
+        assert!(!core_kinds.is_empty(), "need at least one core");
+        assert!(
+            core_kinds.contains(&CoreKind::Big)
+                && core_kinds.contains(&CoreKind::Small),
+            "sampling scheduler needs a heterogeneous system"
+        );
+        let n = core_kinds.len();
+        SamplingScheduler {
+            objective,
+            quantum_ticks,
+            params,
+            apps: vec![AppState::default(); n],
+            mapping: (0..n).collect(),
+            init_rotation: 0,
+            pending_main: false,
+            last_was_sampling: false,
+            core_kinds,
+        }
+    }
+
+    /// Whether every application has a sample for both core types.
+    fn fully_sampled(&self) -> bool {
+        self.apps
+            .iter()
+            .all(|a| a.samples[0].valid && a.samples[1].valid)
+    }
+
+    /// Mapping that rotates applications across cores by `k` positions.
+    fn rotated_mapping(&self, k: usize) -> Vec<usize> {
+        let n = self.core_kinds.len();
+        (0..n).map(|core| (core + k) % n).collect()
+    }
+
+    /// Predicted per-quantum objective contribution of `app` on `kind`
+    /// (lower is better for SSER; higher is better for STP).
+    fn contribution(&self, app: usize, kind: CoreKind) -> f64 {
+        let s = &self.apps[app].samples[type_index(kind)];
+        let big = &self.apps[app].samples[0];
+        match self.objective {
+            Objective::Sser => {
+                // wSER over a quantum ∝ abc_rate(kind) × ips(big)/ips(kind):
+                // the sampled big-core IPS stands in for the isolated
+                // reference (Section 4.1).
+                if s.ips <= 0.0 {
+                    return 0.0;
+                }
+                s.abc_rate * (big.ips / s.ips)
+            }
+            Objective::Stp => {
+                if big.ips <= 0.0 {
+                    return 0.0;
+                }
+                s.ips / big.ips
+            }
+            // The weighted objective is expressed directly as a pair cost;
+            // see `pair_cost`.
+            Objective::Weighted { .. } => 0.0,
+        }
+    }
+
+    /// Greedy pairwise switching (the `while` loop of Algorithm 1): keep
+    /// switching the best big/small application pair while it improves the
+    /// global objective.
+    fn optimize_mapping(&self, start: &[usize]) -> Vec<usize> {
+        let mut mapping = start.to_vec();
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None; // (core_a, core_b, gain)
+            for (ca, &ka) in self.core_kinds.iter().enumerate() {
+                if ka != CoreKind::Big {
+                    continue;
+                }
+                for (cb, &kb) in self.core_kinds.iter().enumerate() {
+                    if kb != CoreKind::Small {
+                        continue;
+                    }
+                    let (a, b) = (mapping[ca], mapping[cb]);
+                    let current = self.pair_cost(a, CoreKind::Big) + self.pair_cost(b, CoreKind::Small);
+                    let switched = self.pair_cost(a, CoreKind::Small) + self.pair_cost(b, CoreKind::Big);
+                    let gain = current - switched; // positive = improvement
+                    let needed = self.params.switch_threshold * current.abs().max(1e-12);
+                    if gain > needed && best.is_none_or(|(_, _, g)| gain > g) {
+                        best = Some((ca, cb, gain));
+                    }
+                }
+            }
+            match best {
+                Some((ca, cb, _)) => mapping.swap(ca, cb),
+                None => return mapping,
+            }
+        }
+    }
+
+    /// Objective value as a cost (lower is better) for pair comparison.
+    fn pair_cost(&self, app: usize, kind: CoreKind) -> f64 {
+        match self.objective {
+            Objective::Sser => self.contribution(app, kind),
+            Objective::Stp => -self.contribution(app, kind),
+            Objective::Weighted { reliability_pct } => {
+                let w = f64::from(reliability_pct.min(100)) / 100.0;
+                let s = &self.apps[app].samples[type_index(kind)];
+                let big = &self.apps[app].samples[0];
+                let wser = if s.ips > 0.0 {
+                    s.abc_rate * (big.ips / s.ips)
+                } else {
+                    0.0
+                };
+                let wser_big = big.abc_rate;
+                let progress = if big.ips > 0.0 { s.ips / big.ips } else { 0.0 };
+                w * wser + (1.0 - w) * wser_big * (1.0 - progress)
+            }
+        }
+    }
+
+    fn sampling_ticks(&self) -> u64 {
+        ((self.quantum_ticks as f64 * self.params.sampling_fraction) as u64).max(1)
+    }
+
+    /// Build the sampling mapping that swaps each stale application with
+    /// the application that has run longest on the other core type.
+    fn staleness_swaps(&self) -> Option<Vec<usize>> {
+        let mut mapping = self.mapping.clone();
+        let mut swapped = vec![false; self.apps.len()];
+        let mut any = false;
+        loop {
+            // Find the stalest unswapped app.
+            let mut stale: Option<(usize, u32)> = None; // (core, consecutive)
+            for (core, &app) in mapping.iter().enumerate() {
+                if swapped[app] {
+                    continue;
+                }
+                let c = self.apps[app].consecutive;
+                if c >= self.params.staleness_quanta && stale.is_none_or(|(_, best)| c > best) {
+                    stale = Some((core, c));
+                }
+            }
+            let Some((core_a, _)) = stale else { break };
+            let kind_a = self.core_kinds[core_a];
+            // Partner: longest-resident unswapped app on the other type.
+            let mut partner: Option<(usize, u32)> = None;
+            for (core, &app) in mapping.iter().enumerate() {
+                if swapped[app] || self.core_kinds[core] != kind_a.other() {
+                    continue;
+                }
+                let c = self.apps[app].consecutive;
+                if partner.is_none_or(|(_, best)| c > best) {
+                    partner = Some((core, c));
+                }
+            }
+            let Some((core_b, _)) = partner else { break };
+            swapped[mapping[core_a]] = true;
+            swapped[mapping[core_b]] = true;
+            mapping.swap(core_a, core_b);
+            any = true;
+        }
+        any.then_some(mapping)
+    }
+}
+
+impl Scheduler for SamplingScheduler {
+    fn name(&self) -> &'static str {
+        match self.objective {
+            Objective::Sser => "reliability-optimized",
+            Objective::Stp => "performance-optimized",
+            Objective::Weighted { .. } => "weighted",
+        }
+    }
+
+    fn next_segment(&mut self) -> Segment {
+        if !self.fully_sampled() {
+            // Initial sampling phase: rotate applications across cores so
+            // every application visits every core type.
+            let mapping = self.rotated_mapping(self.init_rotation);
+            self.init_rotation += 1;
+            self.last_was_sampling = true;
+            return Segment {
+                mapping,
+                ticks: self.sampling_ticks(),
+                is_sampling: true,
+            };
+        }
+
+        if !self.pending_main {
+            if let Some(mapping) = self.staleness_swaps() {
+                // One short sampling quantum with the stale apps swapped.
+                self.pending_main = true;
+                self.last_was_sampling = true;
+                return Segment {
+                    mapping,
+                    ticks: self.sampling_ticks(),
+                    is_sampling: true,
+                };
+            }
+        }
+        self.pending_main = false;
+
+        let mapping = self.optimize_mapping(&self.mapping.clone());
+        self.mapping = mapping.clone();
+        self.last_was_sampling = false;
+        Segment {
+            mapping,
+            ticks: self.quantum_ticks,
+            is_sampling: false,
+        }
+    }
+
+    fn observe(&mut self, obs: &[SegmentObservation]) {
+        let sampling = self.last_was_sampling;
+        for o in obs {
+            if o.active_ticks == 0 {
+                continue;
+            }
+            let st = &mut self.apps[o.app];
+            let slot = &mut st.samples[type_index(o.kind)];
+            let (new_ips, new_abc) = (
+                o.instructions as f64 / o.active_ticks as f64,
+                o.abc / o.active_ticks as f64,
+            );
+            if slot.valid {
+                let w = self.params.sample_blend;
+                slot.ips = w * new_ips + (1.0 - w) * slot.ips;
+                slot.abc_rate = w * new_abc + (1.0 - w) * slot.abc_rate;
+            } else {
+                *slot = Sample {
+                    ips: new_ips,
+                    abc_rate: new_abc,
+                    valid: true,
+                };
+            }
+            if sampling {
+                // Apps moved for sampling have fresh cross-type data now.
+                if st.last_kind.is_some() && st.last_kind != Some(o.kind) {
+                    st.consecutive = 0;
+                }
+            } else if st.last_kind == Some(o.kind) {
+                st.consecutive = st.consecutive.saturating_add(1);
+                // Staleness applies to the *other* type's sample: ageing is
+                // implied by `consecutive` alone.
+            } else {
+                st.consecutive = 1;
+                st.last_kind = Some(o.kind);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_2b2s() -> Vec<CoreKind> {
+        vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small]
+    }
+
+    fn is_permutation(mapping: &[usize]) -> bool {
+        let mut seen = vec![false; mapping.len()];
+        for &a in mapping {
+            if a >= mapping.len() || seen[a] {
+                return false;
+            }
+            seen[a] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn random_scheduler_emits_permutations() {
+        let mut s = RandomScheduler::new(kinds_2b2s(), 1000, 42);
+        for _ in 0..50 {
+            let seg = s.next_segment();
+            assert!(is_permutation(&seg.mapping));
+            assert_eq!(seg.ticks, 1000);
+            assert!(!seg.is_sampling);
+        }
+    }
+
+    #[test]
+    fn random_scheduler_actually_varies() {
+        let mut s = RandomScheduler::new(kinds_2b2s(), 1000, 42);
+        let maps: Vec<_> = (0..20).map(|_| s.next_segment().mapping).collect();
+        assert!(maps.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    fn observe_segment(s: &mut SamplingScheduler, seg: &Segment, profiles: &[(f64, f64, f64, f64)]) {
+        // profiles[app] = (big_ips, big_abc_rate, small_ips, small_abc_rate)
+        let kinds = s.core_kinds.clone();
+        let obs: Vec<SegmentObservation> = seg
+            .mapping
+            .iter()
+            .enumerate()
+            .map(|(core, &app)| {
+                let (bi, ba, si, sa) = profiles[app];
+                let (ips, abc) = match kinds[core] {
+                    CoreKind::Big => (bi, ba),
+                    CoreKind::Small => (si, sa),
+                };
+                SegmentObservation {
+                    app,
+                    core,
+                    kind: kinds[core],
+                    ticks: seg.ticks,
+                    active_ticks: seg.ticks,
+                    instructions: (ips * seg.ticks as f64) as u64,
+                    abc: abc * seg.ticks as f64,
+                    cpi: CpiStack::default(),
+                }
+            })
+            .collect();
+        s.observe(&obs);
+    }
+
+    /// Drive a scheduler against fixed analytic app profiles until it
+    /// settles; return the settled mapping.
+    fn settle(objective: Objective, profiles: &[(f64, f64, f64, f64)]) -> Vec<usize> {
+        let mut s = SamplingScheduler::new(
+            objective,
+            kinds_2b2s(),
+            10_000,
+            SamplingParams::default(),
+        );
+        let mut last = Vec::new();
+        for _ in 0..30 {
+            let seg = s.next_segment();
+            observe_segment(&mut s, &seg, profiles);
+            if !seg.is_sampling {
+                last = seg.mapping.clone();
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn sser_scheduler_puts_high_avf_apps_on_small_cores() {
+        // Apps 0,1: high big-core ABC rate; apps 2,3: low.
+        // All have the same performance profile.
+        let profiles = [
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 20.0, 0.5, 5.0),
+            (1.0, 20.0, 0.5, 5.0),
+        ];
+        let mapping = settle(Objective::Sser, &profiles);
+        assert!(is_permutation(&mapping));
+        // Cores 0,1 are big; they should hold the low-ABC apps 2 and 3.
+        let on_big: Vec<usize> = vec![mapping[0], mapping[1]];
+        assert!(
+            on_big.contains(&2) && on_big.contains(&3),
+            "big cores should run low-AVF apps, got {mapping:?}"
+        );
+    }
+
+    #[test]
+    fn stp_scheduler_puts_big_core_friendly_apps_on_big_cores() {
+        // Apps 0,1 speed up 4x on big; apps 2,3 only 1.25x.
+        let profiles = [
+            (2.0, 1.0, 0.5, 1.0),
+            (2.0, 1.0, 0.5, 1.0),
+            (1.0, 1.0, 0.8, 1.0),
+            (1.0, 1.0, 0.8, 1.0),
+        ];
+        let mapping = settle(Objective::Stp, &profiles);
+        let on_big: Vec<usize> = vec![mapping[0], mapping[1]];
+        assert!(
+            on_big.contains(&0) && on_big.contains(&1),
+            "big cores should run high-speedup apps, got {mapping:?}"
+        );
+    }
+
+    #[test]
+    fn initial_phase_samples_every_app_on_every_type() {
+        let mut s = SamplingScheduler::new(
+            Objective::Sser,
+            vec![CoreKind::Big, CoreKind::Small, CoreKind::Small, CoreKind::Small],
+            10_000,
+            SamplingParams::default(),
+        );
+        let profiles = [(1.0, 10.0, 0.5, 2.0); 4];
+        let mut sampling_segments = 0;
+        for _ in 0..20 {
+            let seg = s.next_segment();
+            if seg.is_sampling {
+                sampling_segments += 1;
+            }
+            observe_segment(&mut s, &seg, &profiles);
+            if s.fully_sampled() {
+                break;
+            }
+        }
+        assert!(s.fully_sampled());
+        // 1B3S needs at least 4 rotations to see every app on the big core.
+        assert!(sampling_segments >= 4, "got {sampling_segments}");
+    }
+
+    #[test]
+    fn staleness_triggers_resampling() {
+        let mut s = SamplingScheduler::new(
+            Objective::Sser,
+            kinds_2b2s(),
+            10_000,
+            SamplingParams {
+                staleness_quanta: 3,
+                sampling_fraction: 0.1,
+                ..SamplingParams::default()
+            },
+        );
+        let profiles = [
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 20.0, 0.5, 5.0),
+            (1.0, 20.0, 0.5, 5.0),
+        ];
+        let mut sampling_after_init = 0;
+        let mut seen_main = false;
+        for _ in 0..40 {
+            let seg = s.next_segment();
+            if !seg.is_sampling {
+                seen_main = true;
+            } else if seen_main {
+                sampling_after_init += 1;
+                assert_eq!(seg.ticks, 1000, "sampling quantum is a tenth");
+            }
+            observe_segment(&mut s, &seg, &profiles);
+        }
+        assert!(
+            sampling_after_init >= 2,
+            "steady-state resampling expected, got {sampling_after_init}"
+        );
+    }
+
+    #[test]
+    fn optimized_mapping_is_always_a_permutation() {
+        let profiles = [
+            (1.3, 80.0, 0.6, 9.0),
+            (0.9, 10.0, 0.6, 7.0),
+            (0.4, 60.0, 0.3, 20.0),
+            (1.9, 30.0, 0.8, 3.0),
+        ];
+        for obj in [Objective::Sser, Objective::Stp] {
+            let mapping = settle(obj, &profiles);
+            assert!(is_permutation(&mapping), "{obj:?}: {mapping:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_objective_interpolates() {
+        // Apps 0,1: high big-core ABC; apps 2,3: big speedup ratio. Pure
+        // reliability puts 0,1 on small; pure performance puts 2,3... all
+        // apps have distinct trade-offs, so the extremes must differ.
+        let profiles = [
+            (1.0, 100.0, 0.9, 10.0),  // high ABC, tiny speedup
+            (1.0, 100.0, 0.9, 10.0),
+            (2.0, 20.0, 0.5, 8.0),    // low ABC, huge speedup
+            (2.0, 20.0, 0.5, 8.0),
+        ];
+        let rel = settle(Objective::Weighted { reliability_pct: 100 }, &profiles);
+        let perf = settle(Objective::Weighted { reliability_pct: 0 }, &profiles);
+        let pure_rel = settle(Objective::Sser, &profiles);
+        assert_eq!(rel, pure_rel, "w=100% must match the Sser objective");
+        // Reliability extreme: high-ABC apps 0,1 on small (cores 2,3).
+        assert!(rel[0] >= 2 && rel[1] >= 2, "{rel:?}");
+        // Performance extreme: high-speedup apps 2,3 on big.
+        assert!(perf[0] >= 2 && perf[1] >= 2, "{perf:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneous")]
+    fn homogeneous_system_rejected() {
+        let _ = SamplingScheduler::new(
+            Objective::Sser,
+            vec![CoreKind::Big, CoreKind::Big],
+            1000,
+            SamplingParams::default(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- static
+
+/// A scheduler that pins one fixed application-to-core mapping for the
+/// whole run (no sampling, no migrations). Useful as a baseline, for
+/// isolating interference effects, and as the executor for offline oracle
+/// schedules (see [`crate::oracle`]).
+#[derive(Debug, Clone)]
+pub struct StaticScheduler {
+    mapping: Vec<usize>,
+    quantum_ticks: u64,
+}
+
+impl StaticScheduler {
+    /// Pin `mapping[core] = app` for the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` is not a permutation of `0..n`.
+    pub fn new(mapping: Vec<usize>, quantum_ticks: u64) -> Self {
+        let mut seen = vec![false; mapping.len()];
+        for &a in &mapping {
+            assert!(
+                a < mapping.len() && !seen[a],
+                "mapping must be a permutation, got {mapping:?}"
+            );
+            seen[a] = true;
+        }
+        StaticScheduler {
+            mapping,
+            quantum_ticks,
+        }
+    }
+
+    /// Build the static schedule that realizes an oracle outcome: the
+    /// applications in `on_big` (indices into the workload) are placed on
+    /// the big cores of `core_kinds`, everything else on small cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of big cores does not match `on_big`, or the
+    /// arities are inconsistent.
+    pub fn from_oracle(
+        on_big: &[usize],
+        core_kinds: &[CoreKind],
+        quantum_ticks: u64,
+    ) -> Self {
+        let n_big = core_kinds.iter().filter(|k| **k == CoreKind::Big).count();
+        assert_eq!(on_big.len(), n_big, "oracle schedule arity mismatch");
+        let n = core_kinds.len();
+        let mut big_apps = on_big.to_vec();
+        let mut small_apps: Vec<usize> =
+            (0..n).filter(|a| !on_big.contains(a)).collect();
+        let mapping: Vec<usize> = core_kinds
+            .iter()
+            .map(|k| match k {
+                CoreKind::Big => big_apps.remove(0),
+                CoreKind::Small => small_apps.remove(0),
+            })
+            .collect();
+        Self::new(mapping, quantum_ticks)
+    }
+}
+
+impl Scheduler for StaticScheduler {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn next_segment(&mut self) -> Segment {
+        Segment {
+            mapping: self.mapping.clone(),
+            ticks: self.quantum_ticks,
+            is_sampling: false,
+        }
+    }
+
+    fn observe(&mut self, _obs: &[SegmentObservation]) {}
+}
+
+#[cfg(test)]
+mod static_tests {
+    use super::*;
+
+    #[test]
+    fn static_scheduler_never_moves() {
+        let mut s = StaticScheduler::new(vec![2, 0, 3, 1], 500);
+        for _ in 0..10 {
+            let seg = s.next_segment();
+            assert_eq!(seg.mapping, vec![2, 0, 3, 1]);
+            assert_eq!(seg.ticks, 500);
+            assert!(!seg.is_sampling);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn non_permutation_rejected() {
+        let _ = StaticScheduler::new(vec![0, 0, 1, 2], 500);
+    }
+
+    #[test]
+    fn from_oracle_places_big_apps_on_big_cores() {
+        let kinds = vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small];
+        let s = StaticScheduler::from_oracle(&[1, 3], &kinds, 100);
+        let seg = {
+            let mut s = s.clone();
+            s.next_segment()
+        };
+        assert_eq!(seg.mapping[0], 1);
+        assert_eq!(seg.mapping[1], 3);
+        let on_small: Vec<usize> = vec![seg.mapping[2], seg.mapping[3]];
+        assert!(on_small.contains(&0) && on_small.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn oracle_arity_checked() {
+        let kinds = vec![CoreKind::Big, CoreKind::Small];
+        let _ = StaticScheduler::from_oracle(&[0, 1], &kinds, 100);
+    }
+}

@@ -1,0 +1,335 @@
+//! A PIE-style *predictive* performance scheduler.
+//!
+//! Van Craeynest et al.'s PIE (ISCA 2012) — reference [28] of the paper —
+//! schedules heterogeneous multicores by **predicting** an application's
+//! performance on the other core type from measurements on the current
+//! one, instead of sampling both types. This module implements a
+//! CPI-stack-based variant of that idea as an alternative to the paper's
+//! sampling-based performance-optimized scheduler:
+//!
+//! * on a big core, the small-core CPI is estimated by scaling the base
+//!   component by the width/ILP ratio and amplifying memory stalls by the
+//!   MLP loss (an in-order core cannot overlap misses);
+//! * on a small core, the big-core CPI is estimated inversely.
+//!
+//! Because it never needs cross-type samples, the predictive scheduler has
+//! **no sampling quanta** and no staleness machinery — its decisions are
+//! made fresh every quantum from that quantum's own measurements.
+
+use crate::sched::{Scheduler, Segment, SegmentObservation};
+use relsim_cpu::CoreKind;
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the cross-core performance model.
+///
+/// The defaults are fitted against this repository's isolated-run data
+/// (see the `ablation_pie` bench): the big core executes base work ~2.1×
+/// faster, front-end stalls shrink on the shallower in-order pipe, and
+/// exposed memory stalls grow ~2.6× on the small core, whose stall-on-use
+/// pipeline cannot overlap misses at all (lost memory-level parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PieModel {
+    /// Big-over-small speed ratio for base (compute) cycles.
+    pub base_ratio: f64,
+    /// Big-over-small ratio for front-end stall cycles (branch + icache).
+    pub frontend_ratio: f64,
+    /// Small-over-big amplification of exposed memory stalls (MLP loss).
+    pub memory_amplification: f64,
+    /// Big-over-small ratio for back-end resource stalls.
+    pub resource_ratio: f64,
+}
+
+impl Default for PieModel {
+    fn default() -> Self {
+        PieModel {
+            base_ratio: 2.1,
+            frontend_ratio: 1.3,
+            memory_amplification: 2.6,
+            resource_ratio: 1.8,
+        }
+    }
+}
+
+impl PieModel {
+    /// Estimate instructions-per-tick on the *other* core type, from a
+    /// measurement of `ips` with CPI-stack component fractions
+    /// `(base, frontend, resource, memory)` on a core of type `measured`.
+    pub fn predict_other_ips(
+        &self,
+        measured: CoreKind,
+        ips: f64,
+        fractions: (f64, f64, f64, f64),
+    ) -> f64 {
+        if ips <= 0.0 {
+            return 0.0;
+        }
+        let (base, frontend, resource, memory) = fractions;
+        // Relative time per unit of work on the other core: scale each
+        // cycle component by its cross-core ratio.
+        let scale = match measured {
+            CoreKind::Big => {
+                base * self.base_ratio
+                    + frontend * self.frontend_ratio
+                    + resource * self.resource_ratio
+                    + memory * self.memory_amplification
+            }
+            CoreKind::Small => {
+                base / self.base_ratio
+                    + frontend / self.frontend_ratio
+                    + resource / self.resource_ratio
+                    + memory / self.memory_amplification
+            }
+        };
+        if scale <= 0.0 {
+            return 0.0;
+        }
+        ips / scale
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Estimate {
+    ips_here: f64,
+    ips_other: f64,
+    valid: bool,
+}
+
+/// The predictive scheduler: STP-optimizing, sampling-free.
+#[derive(Debug)]
+pub struct PredictiveScheduler {
+    model: PieModel,
+    core_kinds: Vec<CoreKind>,
+    quantum_ticks: u64,
+    estimates: Vec<Estimate>,
+    kinds_now: Vec<CoreKind>,
+    mapping: Vec<usize>,
+}
+
+impl PredictiveScheduler {
+    /// Build a predictive scheduler for the given core layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or homogeneous core set.
+    pub fn new(model: PieModel, core_kinds: Vec<CoreKind>, quantum_ticks: u64) -> Self {
+        assert!(!core_kinds.is_empty(), "need at least one core");
+        assert!(
+            core_kinds.contains(&CoreKind::Big)
+                && core_kinds.contains(&CoreKind::Small),
+            "predictive scheduler needs a heterogeneous system"
+        );
+        let n = core_kinds.len();
+        PredictiveScheduler {
+            model,
+            quantum_ticks,
+            estimates: vec![Estimate::default(); n],
+            kinds_now: vec![CoreKind::Big; n],
+            mapping: (0..n).collect(),
+            core_kinds,
+        }
+    }
+
+    /// Predicted STP contribution of `app` on `kind`, normalized to its
+    /// (estimated) big-core rate.
+    fn progress(&self, app: usize, kind: CoreKind) -> f64 {
+        let e = &self.estimates[app];
+        if !e.valid {
+            return 0.0;
+        }
+        let (big, small) = match self.kinds_now[app] {
+            CoreKind::Big => (e.ips_here, e.ips_other),
+            CoreKind::Small => (e.ips_other, e.ips_here),
+        };
+        if big <= 0.0 {
+            return 0.0;
+        }
+        match kind {
+            CoreKind::Big => 1.0,
+            CoreKind::Small => small / big,
+        }
+    }
+}
+
+impl Scheduler for PredictiveScheduler {
+    fn name(&self) -> &'static str {
+        "predictive (PIE-style)"
+    }
+
+    fn next_segment(&mut self) -> Segment {
+        // Greedy pairwise switching on predicted progress, mirroring
+        // Algorithm 1's loop but on predictions instead of samples.
+        let mut mapping = self.mapping.clone();
+        if self.estimates.iter().all(|e| e.valid) {
+            loop {
+                let mut best: Option<(usize, usize, f64)> = None;
+                for (ca, &ka) in self.core_kinds.iter().enumerate() {
+                    if ka != CoreKind::Big {
+                        continue;
+                    }
+                    for (cb, &kb) in self.core_kinds.iter().enumerate() {
+                        if kb != CoreKind::Small {
+                            continue;
+                        }
+                        let (a, b) = (mapping[ca], mapping[cb]);
+                        let now = self.progress(a, CoreKind::Big)
+                            + self.progress(b, CoreKind::Small);
+                        let switched = self.progress(a, CoreKind::Small)
+                            + self.progress(b, CoreKind::Big);
+                        let gain = switched - now;
+                        if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
+                            best = Some((ca, cb, gain));
+                        }
+                    }
+                }
+                match best {
+                    Some((ca, cb, _)) => mapping.swap(ca, cb),
+                    None => break,
+                }
+            }
+        }
+        self.mapping = mapping.clone();
+        Segment {
+            mapping,
+            ticks: self.quantum_ticks,
+            is_sampling: false,
+        }
+    }
+
+    fn observe(&mut self, obs: &[SegmentObservation]) {
+        for o in obs {
+            if o.active_ticks == 0 {
+                continue;
+            }
+            let ips = o.instructions as f64 / o.active_ticks as f64;
+            let n = o.cpi.normalized();
+            let fractions = (n[0], n[1] + n[2], n[3], n[4] + n[5]);
+            let other = self.model.predict_other_ips(o.kind, ips, fractions);
+            self.estimates[o.app] = Estimate {
+                ips_here: ips,
+                ips_other: other,
+                valid: true,
+            };
+            self.kinds_now[o.app] = o.kind;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relsim_cpu::CpiStack;
+
+    fn kinds() -> Vec<CoreKind> {
+        vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small]
+    }
+
+    #[test]
+    fn model_predicts_slower_on_small_and_faster_on_big() {
+        let m = PieModel::default();
+        let compute = (0.9, 0.05, 0.05, 0.0);
+        let down = m.predict_other_ips(CoreKind::Big, 1.5, compute);
+        assert!(down < 1.5, "small core slower: {down}");
+        // The inverse prediction uses the same fractions, so the round
+        // trip is only approximately identity (component weights shift
+        // between core types).
+        let up = m.predict_other_ips(CoreKind::Small, down, compute);
+        assert!((up - 1.5).abs() / 1.5 < 0.05, "round trip: {up}");
+    }
+
+    #[test]
+    fn memory_bound_apps_lose_more_on_small_cores() {
+        // The small core's stall-on-use pipeline cannot overlap misses, so
+        // exposed memory stalls amplify beyond even the base-compute ratio
+        // (Van Craeynest et al.'s MLP insight, matched to this simulator).
+        let m = PieModel::default();
+        let compute = m.predict_other_ips(CoreKind::Big, 1.0, (1.0, 0.0, 0.0, 0.0));
+        let membound = m.predict_other_ips(CoreKind::Big, 1.0, (0.1, 0.0, 0.0, 0.9));
+        assert!(
+            membound < compute,
+            "memory-bound loses more small-core perf: {membound} vs {compute}"
+        );
+        // Front-end-bound codes lose the least (shallow in-order pipe).
+        let frontend = m.predict_other_ips(CoreKind::Big, 1.0, (0.2, 0.8, 0.0, 0.0));
+        assert!(frontend > compute);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        let m = PieModel::default();
+        assert_eq!(m.predict_other_ips(CoreKind::Big, 0.0, (1.0, 0.0, 0.0, 0.0)), 0.0);
+        assert_eq!(m.predict_other_ips(CoreKind::Big, 1.0, (0.0, 0.0, 0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn scheduler_places_mlp_apps_on_big_and_frontend_apps_on_small() {
+        // Apps 0,1 front-end bound (small speedup from the big core);
+        // apps 2,3 memory-bound with MLP (large speedup) — PIE's signature
+        // placement schedules the memory apps on big.
+        let mut s = PredictiveScheduler::new(PieModel::default(), kinds(), 10_000);
+        for _ in 0..6 {
+            let seg = s.next_segment();
+            let obs: Vec<SegmentObservation> = seg
+                .mapping
+                .iter()
+                .enumerate()
+                .map(|(core, &app)| {
+                    let frontend_bound = app < 2;
+                    let kind = [CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small][core];
+                    // True performance consistent with the model's ratios.
+                    let ips = match (frontend_bound, kind) {
+                        (true, CoreKind::Big) => 0.8,
+                        (true, CoreKind::Small) => 0.57, // ~1.4x ratio
+                        (false, CoreKind::Big) => 0.25,
+                        (false, CoreKind::Small) => 0.10, // ~2.5x ratio
+                    };
+                    let mut cpi = CpiStack::default();
+                    if frontend_bound {
+                        cpi.branch = 70;
+                        cpi.base = 30;
+                    } else {
+                        cpi.memory = 90;
+                        cpi.base = 10;
+                    }
+                    SegmentObservation {
+                        app,
+                        core,
+                        kind,
+                        ticks: seg.ticks,
+                        active_ticks: seg.ticks,
+                        instructions: (ips * seg.ticks as f64) as u64,
+                        abc: 1000.0,
+                        cpi,
+                    }
+                })
+                .collect();
+            s.observe(&obs);
+        }
+        let seg = s.next_segment();
+        let on_big = [seg.mapping[0], seg.mapping[1]];
+        assert!(
+            on_big.contains(&2) && on_big.contains(&3),
+            "MLP apps belong on big cores: {:?}",
+            seg.mapping
+        );
+    }
+
+    #[test]
+    fn no_sampling_segments_ever() {
+        let mut s = PredictiveScheduler::new(PieModel::default(), kinds(), 5_000);
+        for _ in 0..20 {
+            let seg = s.next_segment();
+            assert!(!seg.is_sampling);
+            assert_eq!(seg.ticks, 5_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneous")]
+    fn homogeneous_rejected() {
+        let _ = PredictiveScheduler::new(
+            PieModel::default(),
+            vec![CoreKind::Small, CoreKind::Small],
+            100,
+        );
+    }
+}

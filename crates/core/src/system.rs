@@ -1,0 +1,694 @@
+//! The heterogeneous multicore system runtime.
+//!
+//! [`System`] owns the cores, their private caches and ACE counters, the
+//! shared L3/DRAM backend, and the co-running applications. It executes a
+//! [`Scheduler`]'s segments tick by tick, applies migration overhead,
+//! attributes per-segment statistics to applications, and produces a
+//! [`RunResult`] from which SSER, STP and power are computed.
+
+use crate::sched::{Scheduler, SegmentObservation};
+use relsim_ace::{AceCounter, CounterKind};
+use relsim_cpu::{Core, CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
+use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+use relsim_power::{CoreActivity, SharedActivity};
+use relsim_trace::{BenchmarkProfile, OpClass, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Address-space spacing between co-running applications (64 GiB), enough
+/// to keep even mcf-sized working sets disjoint.
+const APP_ADDR_STRIDE: u64 = 1 << 36;
+
+/// Configuration of a [`System`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// One configuration per core; order defines core indices.
+    pub cores: Vec<CoreConfig>,
+    /// Private cache geometry (identical across cores, per Table 2).
+    pub cache: PrivateCacheConfig,
+    /// Shared L3 + DRAM configuration.
+    pub shared: SharedMemConfig,
+    /// Scheduler quantum in ticks (the paper's 1 ms at 2.66 GHz scales to
+    /// this; see DESIGN.md §7).
+    pub quantum_ticks: u64,
+    /// Migration penalty in ticks (the paper's 20 µs ≙ 2% of a quantum).
+    pub migration_ticks: u64,
+    /// Which ACE counter implementation the scheduler reads.
+    pub counter_kind: CounterKind,
+    /// Pre-warm caches with each application's working set before the run
+    /// (stands in for SimPoint warm state).
+    pub warm_caches: bool,
+    /// Ticks to exclude from a migrated application's measurement window
+    /// while its pipeline and L1 refill. At paper scale the refill is ~2%
+    /// of a sampling quantum; at this repository's reduced scale it would
+    /// dominate the sample, so the counters are read after the warmup.
+    pub measurement_warmup_ticks: u64,
+}
+
+impl SystemConfig {
+    /// A heterogeneous multicore with `n_big` big and `n_small` small
+    /// cores at reference frequency, paper-default parameters otherwise.
+    pub fn hcmp(n_big: usize, n_small: usize) -> Self {
+        let mut cores = Vec::new();
+        cores.extend(std::iter::repeat_with(CoreConfig::big).take(n_big));
+        cores.extend(std::iter::repeat_with(CoreConfig::small).take(n_small));
+        SystemConfig {
+            cores,
+            cache: PrivateCacheConfig::default(),
+            shared: SharedMemConfig::default(),
+            quantum_ticks: 20_000,
+            migration_ticks: 400,
+            counter_kind: CounterKind::Perfect,
+            warm_caches: true,
+            measurement_warmup_ticks: 800,
+        }
+    }
+
+    /// Same, with the small cores clocked at half frequency (Section 6.4).
+    pub fn hcmp_slow_small(n_big: usize, n_small: usize) -> Self {
+        let mut cfg = Self::hcmp(n_big, n_small);
+        for c in &mut cfg.cores {
+            if c.kind == CoreKind::Small {
+                *c = c.clone().at_half_frequency();
+            }
+        }
+        cfg
+    }
+
+    /// The core kinds, in core order.
+    pub fn core_kinds(&self) -> Vec<CoreKind> {
+        self.cores.iter().map(|c| c.kind).collect()
+    }
+}
+
+/// An application to run: a benchmark profile plus a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// The benchmark profile.
+    pub profile: BenchmarkProfile,
+    /// Trace-generation seed.
+    pub seed: u64,
+}
+
+impl AppSpec {
+    /// Spec for a named SPEC CPU2006 benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not in the catalog.
+    pub fn spec(name: &str, seed: u64) -> Self {
+        AppSpec {
+            profile: relsim_trace::spec_profile(name)
+                .unwrap_or_else(|| panic!("unknown benchmark {name:?}")),
+            seed,
+        }
+    }
+}
+
+struct AppInstance {
+    name: String,
+    gen: TraceGenerator,
+    instructions: u64,
+    abc: f64,
+    migrations: u64,
+    ticks_on_big: u64,
+}
+
+/// Per-application totals of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRunStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Instructions committed over the run.
+    pub instructions: u64,
+    /// ACE bit-time accumulated over the run (per the configured counter).
+    pub abc: f64,
+    /// Number of core migrations the application underwent.
+    pub migrations: u64,
+    /// Ticks spent mapped to a big core.
+    pub ticks_on_big: u64,
+}
+
+/// Per-core totals of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreRunStats {
+    /// Core type.
+    pub kind: CoreKind,
+    /// Core cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed on this core.
+    pub committed: u64,
+    /// Committed instruction counts per [`OpClass`] index.
+    pub class_counts: [u64; 10],
+    /// CPI stack over the whole run.
+    pub cpi: CpiStack,
+    /// L1 (I+D) accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+}
+
+impl CoreRunStats {
+    /// Convert to the power model's activity record.
+    pub fn to_activity(&self) -> CoreActivity {
+        let fp = self.class_counts[OpClass::FpAdd.index()]
+            + self.class_counts[OpClass::FpMul.index()]
+            + self.class_counts[OpClass::FpDiv.index()];
+        let mem = self.class_counts[OpClass::Load.index()]
+            + self.class_counts[OpClass::Store.index()];
+        CoreActivity {
+            kind: self.kind,
+            cycles: self.cycles,
+            // Front-end-drained cycles (mispredict recovery, I-cache
+            // stalls) are the only ones where the back end holds no live
+            // state; everything else keeps the core's dynamic machinery
+            // switching.
+            busy_cycles: self.cpi.total() - self.cpi.branch - self.cpi.icache,
+            committed: self.committed,
+            fp_ops: fp,
+            mem_ops: mem,
+            l1_accesses: self.l1_accesses,
+            l2_accesses: self.l2_accesses,
+        }
+    }
+}
+
+/// Record of one executed segment (for timelines such as Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRecord {
+    /// Start tick.
+    pub start: u64,
+    /// Length in ticks.
+    pub ticks: u64,
+    /// `mapping[core] = app`.
+    pub mapping: Vec<usize>,
+    /// Whether it was a sampling segment.
+    pub is_sampling: bool,
+    /// Per-app ABC accumulated in this segment (indexed by app).
+    pub app_abc: Vec<f64>,
+    /// Per-app instructions committed in this segment (indexed by app).
+    pub app_instructions: Vec<u64>,
+}
+
+/// Complete outcome of one system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Run length in ticks.
+    pub duration: u64,
+    /// Per-application totals (indexed by app).
+    pub apps: Vec<AppRunStats>,
+    /// Per-core totals (indexed by core).
+    pub cores: Vec<CoreRunStats>,
+    /// Shared-memory activity.
+    pub shared: SharedActivity,
+    /// Per-segment timeline.
+    pub timeline: Vec<SegmentRecord>,
+    /// Total migrations across all applications.
+    pub migrations: u64,
+}
+
+/// Feeds one core's retirement events to both counter sets.
+struct TeeObserver<'a> {
+    eval: &'a mut AceCounter,
+    sched: &'a mut AceCounter,
+}
+
+impl RetireObserver for TeeObserver<'_> {
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        self.eval.on_retire(ev);
+        self.sched.on_retire(ev);
+    }
+}
+
+/// The multicore system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    /// Perfect counters used for evaluation (SSER ground truth).
+    eval_counters: Vec<AceCounter>,
+    /// The counters the scheduler reads (the configured kind), measured
+    /// over the post-warmup window of each segment.
+    sched_counters: Vec<AceCounter>,
+    apps: Vec<AppInstance>,
+    shared: SharedMem,
+    /// Current `mapping[core] = app`.
+    mapping: Vec<usize>,
+    /// Per-core stall deadline from migration overhead.
+    stall_until: Vec<u64>,
+    /// Per-core tick at which the current segment's measurement starts
+    /// (counters reset and baselines snapshot there).
+    measure_start: Vec<u64>,
+    now: u64,
+}
+
+impl System {
+    /// Build a system running `specs` (one application per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of applications differs from the number of
+    /// cores, or the configuration is degenerate.
+    pub fn new(cfg: SystemConfig, specs: &[AppSpec]) -> Self {
+        assert_eq!(
+            specs.len(),
+            cfg.cores.len(),
+            "one application per core required"
+        );
+        assert!(!cfg.cores.is_empty(), "need at least one core");
+        let mut shared = SharedMem::new(cfg.shared);
+        let cores: Vec<Core> = cfg
+            .cores
+            .iter()
+            .map(|c| Core::new(c.clone(), cfg.cache))
+            .collect();
+        let eval_counters: Vec<AceCounter> = cfg
+            .cores
+            .iter()
+            .map(|c| AceCounter::new(c, CounterKind::Perfect))
+            .collect();
+        let sched_counters: Vec<AceCounter> = cfg
+            .cores
+            .iter()
+            .map(|c| AceCounter::new(c, cfg.counter_kind))
+            .collect();
+        let mut apps = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let gen = TraceGenerator::new(spec.profile.clone(), spec.seed, i as u64 * APP_ADDR_STRIDE);
+            if cfg.warm_caches {
+                let (base, span) = gen.address_span();
+                let warm = span.min(32 << 20);
+                shared.warm_region(base + span - warm, warm);
+            }
+            apps.push(AppInstance {
+                name: spec.profile.name.clone(),
+                gen,
+                instructions: 0,
+                abc: 0.0,
+                migrations: 0,
+                ticks_on_big: 0,
+            });
+        }
+        let n = cores.len();
+        System {
+            cores,
+            eval_counters,
+            sched_counters,
+            apps,
+            shared,
+            mapping: (0..n).collect(),
+            stall_until: vec![0; n],
+            measure_start: vec![0; n],
+            cfg,
+            now: 0,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Run under `scheduler` for `duration` ticks and report the outcome.
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler, duration: u64) -> RunResult {
+        let mut timeline = Vec::new();
+        let mut migrations_total = 0u64;
+        let end = self.now + duration;
+        // Baselines for per-core deltas: one at segment start (full
+        // attribution) and one at measurement start (scheduler samples).
+        let mut core_committed_base: Vec<u64> = self.cores.iter().map(Core::committed).collect();
+        let mut measure_base: Vec<u64> = core_committed_base.clone();
+        let mut cpi_base: Vec<relsim_cpu::CpiStack> =
+            self.cores.iter().map(|c| *c.cpi_stack()).collect();
+
+        while self.now < end {
+            let seg = scheduler.next_segment();
+            assert_eq!(seg.mapping.len(), self.cores.len(), "mapping arity");
+            let ticks = seg.ticks.min(end - self.now);
+
+            // Apply migrations. Migrated applications get a measurement
+            // warmup: their counters only start once the pipeline and L1
+            // have refilled, so the scheduler's samples reflect steady
+            // state rather than migration transients.
+            for (core, &app) in seg.mapping.iter().enumerate() {
+                if self.mapping[core] != app {
+                    self.cores[core].reset_pipeline();
+                    self.stall_until[core] = self.now + self.cfg.migration_ticks;
+                    self.apps[app].migrations += 1;
+                    migrations_total += 1;
+                    self.measure_start[core] = (self.now
+                        + self.cfg.migration_ticks
+                        + self.cfg.measurement_warmup_ticks)
+                        .min(self.now + ticks.saturating_sub(1));
+                    if self.cfg.warm_caches {
+                        // Scale correction (DESIGN.md §1): at paper scale
+                        // (2.66M-cycle quanta) an L1/L2 refill after a
+                        // migration is <1% of a quantum; at this reduced
+                        // scale it would dominate, so the incoming
+                        // application's hot set is warmed during the
+                        // migration stall.
+                        let (hot_base, hot_len) = self.apps[app].gen.hot_span();
+                        self.cores[core]
+                            .caches_mut()
+                            .warm_region(hot_base, hot_len.min(64 << 10));
+                    }
+                } else {
+                    self.measure_start[core] = self.now;
+                }
+            }
+            self.mapping = seg.mapping.clone();
+
+            // Reset counters for this segment.
+            for c in &mut self.eval_counters {
+                c.reset();
+            }
+            for c in &mut self.sched_counters {
+                c.reset();
+            }
+
+            // Execute.
+            let seg_end = self.now + ticks;
+            while self.now < seg_end {
+                let t = self.now;
+                #[allow(clippy::needless_range_loop)] // parallel arrays
+                for core_idx in 0..self.cores.len() {
+                    if t == self.measure_start[core_idx] && t > seg_end - ticks {
+                        // Start of the (post-warmup) measurement window:
+                        // snapshot progress and restart the scheduler's
+                        // counter. Evaluation counters keep the full
+                        // segment (ground truth must not lose ABC).
+                        measure_base[core_idx] = self.cores[core_idx].committed();
+                        self.sched_counters[core_idx].reset();
+                    }
+                    if t < self.stall_until[core_idx] {
+                        continue;
+                    }
+                    let app_idx = self.mapping[core_idx];
+                    let mut tee = TeeObserver {
+                        eval: &mut self.eval_counters[core_idx],
+                        sched: &mut self.sched_counters[core_idx],
+                    };
+                    self.cores[core_idx].tick(
+                        t,
+                        &mut self.apps[app_idx].gen,
+                        &mut self.shared,
+                        &mut tee,
+                    );
+                }
+                self.now += 1;
+            }
+
+            // Collect observations.
+            let mut obs = Vec::with_capacity(self.cores.len());
+            let mut app_abc = vec![0.0; self.apps.len()];
+            let mut app_instr = vec![0u64; self.apps.len()];
+            for (core_idx, core) in self.cores.iter().enumerate() {
+                let app_idx = self.mapping[core_idx];
+                let seg_start = seg_end - ticks;
+                let measured_from = self.measure_start[core_idx].clamp(seg_start, seg_end);
+                let active_ticks = seg_end - measured_from;
+                // Full-segment instructions for attribution; post-warmup
+                // window for the scheduler's sample.
+                let instructions = core.committed() - core_committed_base[core_idx];
+                let measured_instructions = core.committed() - measure_base[core_idx].max(core_committed_base[core_idx]);
+                core_committed_base[core_idx] = core.committed();
+                measure_base[core_idx] = core.committed();
+                let eval_abc = self.eval_counters[core_idx].abc(ticks);
+                // The scheduler sees the configured (possibly quantized)
+                // counter over the measurement window; evaluation always
+                // uses perfect accounting over the full segment.
+                let sched_abc = self.sched_counters[core_idx].abc(active_ticks);
+                let cpi = core.cpi_stack().since(&cpi_base[core_idx]);
+                cpi_base[core_idx] = *core.cpi_stack();
+                let kind = core.kind();
+                obs.push(SegmentObservation {
+                    app: app_idx,
+                    core: core_idx,
+                    kind,
+                    ticks,
+                    active_ticks,
+                    instructions: measured_instructions,
+                    abc: sched_abc,
+                    cpi,
+                });
+                let app = &mut self.apps[app_idx];
+                app.instructions += instructions;
+                app.abc += eval_abc;
+                if kind == CoreKind::Big {
+                    app.ticks_on_big += ticks;
+                }
+                app_abc[app_idx] = eval_abc;
+                app_instr[app_idx] = instructions;
+            }
+            scheduler.observe(&obs);
+            timeline.push(SegmentRecord {
+                start: seg_end - ticks,
+                ticks,
+                mapping: self.mapping.clone(),
+                is_sampling: seg.is_sampling,
+                app_abc,
+                app_instructions: app_instr,
+            });
+        }
+
+        let apps = self
+            .apps
+            .iter()
+            .map(|a| AppRunStats {
+                name: a.name.clone(),
+                instructions: a.instructions,
+                abc: a.abc,
+                migrations: a.migrations,
+                ticks_on_big: a.ticks_on_big,
+            })
+            .collect();
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let (l1i, l1d, l2) = c.cache_stats();
+                CoreRunStats {
+                    kind: c.kind(),
+                    cycles: c.cycles(),
+                    committed: c.committed(),
+                    class_counts: *c.class_counts(),
+                    cpi: *c.cpi_stack(),
+                    l1_accesses: l1i.accesses + l1d.accesses,
+                    l2_accesses: l2.accesses,
+                }
+            })
+            .collect();
+        RunResult {
+            duration,
+            apps,
+            cores,
+            shared: SharedActivity {
+                l3_accesses: self.shared.l3_stats().accesses,
+                mem_requests: self.shared.controller_stats().requests,
+            },
+            timeline,
+            migrations: migrations_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Objective, RandomScheduler, SamplingParams, SamplingScheduler};
+
+    fn four_apps() -> Vec<AppSpec> {
+        ["milc", "gobmk", "hmmer", "mcf"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| AppSpec::spec(n, 100 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn system_runs_under_random_scheduler() {
+        let cfg = SystemConfig::hcmp(2, 2);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let mut sys = System::new(cfg, &four_apps());
+        let mut sched = RandomScheduler::new(kinds, q, 7);
+        let r = sys.run(&mut sched, 200_000);
+        assert_eq!(r.apps.len(), 4);
+        for a in &r.apps {
+            assert!(a.instructions > 0, "{} made no progress", a.name);
+            assert!(a.abc > 0.0, "{} accumulated no ABC", a.name);
+        }
+        assert!(r.migrations > 0, "random scheduler migrates");
+        assert!(!r.timeline.is_empty());
+        let total_ticks: u64 = r.timeline.iter().map(|s| s.ticks).sum();
+        assert_eq!(total_ticks, 200_000);
+    }
+
+    #[test]
+    fn system_runs_under_reliability_scheduler() {
+        let cfg = SystemConfig::hcmp(2, 2);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let mut sys = System::new(cfg, &four_apps());
+        let mut sched = SamplingScheduler::new(
+            Objective::Sser,
+            kinds,
+            q,
+            SamplingParams::default(),
+        );
+        let r = sys.run(&mut sched, 300_000);
+        assert!(r.timeline.iter().any(|s| s.is_sampling), "sampling happened");
+        assert!(r.timeline.iter().any(|s| !s.is_sampling), "main quanta ran");
+        for a in &r.apps {
+            assert!(a.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn migration_overhead_reduces_progress() {
+        // Same workload under a scheduler that never moves anything vs one
+        // that reshuffles every quantum: total instructions should drop.
+        struct Pinned(Vec<usize>, u64);
+        impl Scheduler for Pinned {
+            fn name(&self) -> &'static str {
+                "pinned"
+            }
+            fn next_segment(&mut self) -> crate::sched::Segment {
+                crate::sched::Segment {
+                    mapping: self.0.clone(),
+                    ticks: self.1,
+                    is_sampling: false,
+                }
+            }
+            fn observe(&mut self, _obs: &[SegmentObservation]) {}
+        }
+        let mk = || {
+            let mut cfg = SystemConfig::hcmp(2, 2);
+            cfg.migration_ticks = 5000; // exaggerate to make the effect clear
+            cfg
+        };
+        let cfg = mk();
+        let q = cfg.quantum_ticks;
+        let mut pinned_sys = System::new(mk(), &four_apps());
+        let mut pinned = Pinned((0..4).collect(), q);
+        let pinned_total: u64 = pinned_sys
+            .run(&mut pinned, 200_000)
+            .apps
+            .iter()
+            .map(|a| a.instructions)
+            .sum();
+
+        let mut random_sys = System::new(cfg, &four_apps());
+        let mut random = RandomScheduler::new(
+            vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small],
+            q,
+            3,
+        );
+        let random_total: u64 = random_sys
+            .run(&mut random, 200_000)
+            .apps
+            .iter()
+            .map(|a| a.instructions)
+            .sum();
+        assert!(
+            random_total < pinned_total,
+            "random {random_total} should trail pinned {pinned_total}"
+        );
+    }
+
+    #[test]
+    fn core_stats_consistent_with_app_stats() {
+        let cfg = SystemConfig::hcmp(1, 1);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let mut sys = System::new(cfg, &four_apps()[..2].to_vec());
+        let mut sched = RandomScheduler::new(kinds, q, 5);
+        let r = sys.run(&mut sched, 100_000);
+        let apps_total: u64 = r.apps.iter().map(|a| a.instructions).sum();
+        let cores_total: u64 = r.cores.iter().map(|c| c.committed).sum();
+        assert_eq!(apps_total, cores_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "one application per core")]
+    fn app_count_must_match_core_count() {
+        let _ = System::new(SystemConfig::hcmp(2, 2), &four_apps()[..2].to_vec());
+    }
+
+    #[test]
+    fn runs_are_deterministic_end_to_end() {
+        let run = || {
+            let cfg = SystemConfig::hcmp(2, 2);
+            let kinds = cfg.core_kinds();
+            let q = cfg.quantum_ticks;
+            let mut sys = System::new(cfg, &four_apps());
+            let mut sched = SamplingScheduler::new(
+                Objective::Sser,
+                kinds,
+                q,
+                SamplingParams::default(),
+            );
+            sys.run(&mut sched, 150_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.apps, b.apps);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.shared, b.shared);
+    }
+
+    #[test]
+    fn sampling_segments_are_marked_in_timeline() {
+        let cfg = SystemConfig::hcmp(2, 2);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let mut sys = System::new(cfg, &four_apps());
+        let mut sched = SamplingScheduler::new(
+            Objective::Sser,
+            kinds,
+            q,
+            SamplingParams::default(),
+        );
+        let r = sys.run(&mut sched, 300_000);
+        let sampling: Vec<&SegmentRecord> =
+            r.timeline.iter().filter(|s| s.is_sampling).collect();
+        assert!(!sampling.is_empty());
+        for s in sampling {
+            assert!(
+                s.ticks <= q / 5,
+                "sampling segments are short: {} of quantum {q}",
+                s.ticks
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_runs_accumulate() {
+        // Two back-to-back run() calls continue the same system state.
+        let cfg = SystemConfig::hcmp(1, 1);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let mut sys = System::new(cfg, &four_apps()[..2].to_vec());
+        let mut sched = RandomScheduler::new(kinds, q, 3);
+        let r1 = sys.run(&mut sched, 60_000);
+        let r2 = sys.run(&mut sched, 60_000);
+        // Cumulative app stats grow monotonically across calls.
+        for (a1, a2) in r1.apps.iter().zip(&r2.apps) {
+            assert!(a2.instructions >= a1.instructions);
+            assert!(a2.abc >= a1.abc);
+        }
+    }
+
+    #[test]
+    fn half_frequency_small_cores_slow_the_system() {
+        let run = |cfg: SystemConfig| {
+            let kinds = cfg.core_kinds();
+            let q = cfg.quantum_ticks;
+            let mut sys = System::new(cfg, &four_apps());
+            let mut sched = RandomScheduler::new(kinds, q, 9);
+            let r = sys.run(&mut sched, 150_000);
+            r.apps.iter().map(|a| a.instructions).sum::<u64>()
+        };
+        let full = run(SystemConfig::hcmp(2, 2));
+        let slow = run(SystemConfig::hcmp_slow_small(2, 2));
+        assert!(slow < full, "half-frequency small cores: {slow} vs {full}");
+    }
+}

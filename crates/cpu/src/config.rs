@@ -1,0 +1,350 @@
+//! Core configurations reproducing Table 2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The two core types of the heterogeneous multicore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Big 4-wide out-of-order core.
+    Big,
+    /// Small 2-wide in-order core.
+    Small,
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreKind::Big => write!(f, "big"),
+            CoreKind::Small => write!(f, "small"),
+        }
+    }
+}
+
+impl CoreKind {
+    /// The other core type.
+    pub fn other(self) -> CoreKind {
+        match self {
+            CoreKind::Big => CoreKind::Small,
+            CoreKind::Small => CoreKind::Big,
+        }
+    }
+}
+
+/// Number of functional units and latency per operation class
+/// (shared structure between both core types; counts differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuConfig {
+    /// Integer adders/ALUs (also used for branches and address generation).
+    pub int_add: u32,
+    /// Integer multipliers.
+    pub int_mul: u32,
+    /// Integer dividers (unpipelined).
+    pub int_div: u32,
+    /// FP adders.
+    pub fp_add: u32,
+    /// FP multipliers.
+    pub fp_mul: u32,
+    /// FP dividers (unpipelined).
+    pub fp_div: u32,
+}
+
+impl FuConfig {
+    /// Big-core FU mix from Table 2.
+    pub fn big() -> Self {
+        FuConfig {
+            int_add: 3,
+            int_mul: 1,
+            int_div: 1,
+            fp_add: 1,
+            fp_mul: 1,
+            fp_div: 1,
+        }
+    }
+
+    /// Small-core FU mix from Table 2.
+    pub fn small() -> Self {
+        FuConfig {
+            int_add: 2,
+            int_mul: 1,
+            int_div: 1,
+            fp_add: 1,
+            fp_mul: 1,
+            fp_div: 1,
+        }
+    }
+
+    /// Total number of functional units.
+    pub fn total(&self) -> u32 {
+        self.int_add + self.int_mul + self.int_div + self.fp_add + self.fp_mul + self.fp_div
+    }
+}
+
+/// ACE-relevant bit widths per structure entry, from Table 2 (taken from
+/// Nair et al. in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitWidths {
+    /// Bits per ROB entry (big core) or per pipeline-stage latch (small).
+    pub rob_entry: u64,
+    /// Bits per issue-queue entry.
+    pub iq_entry: u64,
+    /// Bits per load-queue entry.
+    pub lq_entry: u64,
+    /// Bits per store-queue entry.
+    pub sq_entry: u64,
+    /// Bits per integer register.
+    pub int_reg: u64,
+    /// Bits per FP register.
+    pub fp_reg: u64,
+    /// Bits of state in an integer functional unit's datapath.
+    pub int_fu: u64,
+    /// Bits of state in an FP functional unit's datapath.
+    pub fp_fu: u64,
+    /// Fraction of architectural-register bits that hold live (ACE) values
+    /// at any time. Mukherjee-style ACE analysis tracks write-to-last-read
+    /// liveness; a register holding a dead value is not ACE. Reported
+    /// register-file liveness for SPEC-class codes is low (many registers
+    /// hold dead or short-lived values); 0.15 calibrates the oracle
+    /// scheduling potential (Figure 3) to the paper's 27.2% (see the
+    /// `ablation_liveness` bench for the sweep). Setting 1.0 restores the
+    /// literal "all architectural registers are ACE" reading.
+    pub arch_reg_live_fraction: f64,
+}
+
+impl Default for BitWidths {
+    fn default() -> Self {
+        BitWidths {
+            rob_entry: 76,
+            iq_entry: 32,
+            lq_entry: 80,
+            sq_entry: 144,
+            int_reg: 64,
+            fp_reg: 128,
+            int_fu: 64,
+            fp_fu: 128,
+            arch_reg_live_fraction: 0.15,
+        }
+    }
+}
+
+/// Full configuration of one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Core type.
+    pub kind: CoreKind,
+    /// Global ticks per core cycle: 1 at the 2.66 GHz reference frequency,
+    /// 2 when the core runs at 1.33 GHz (Section 6.4).
+    pub ticks_per_cycle: u64,
+    /// Fetch/dispatch/commit width.
+    pub width: u32,
+    /// Pipeline depth in stages (front-end refill penalty).
+    pub depth: u32,
+    /// ROB entries (0 for the in-order core, which has no ROB).
+    pub rob_size: u32,
+    /// Issue-queue entries.
+    pub iq_size: u32,
+    /// Load-queue entries (0 for the in-order core).
+    pub lq_size: u32,
+    /// Store-queue entries.
+    pub sq_size: u32,
+    /// Physical integer registers.
+    pub int_regs: u32,
+    /// Physical FP registers.
+    pub fp_regs: u32,
+    /// Architectural integer registers (always ACE; also reserved out of
+    /// the physical file for renaming purposes).
+    pub arch_int_regs: u32,
+    /// Architectural FP registers.
+    pub arch_fp_regs: u32,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Stall cycles charged for an L1 I-cache miss (L2 hit latency).
+    pub icache_penalty: u64,
+    /// ACE bit widths.
+    pub bits: BitWidths,
+}
+
+impl CoreConfig {
+    /// The big out-of-order core of Table 2 at the reference frequency.
+    pub fn big() -> Self {
+        CoreConfig {
+            kind: CoreKind::Big,
+            ticks_per_cycle: 1,
+            width: 4,
+            depth: 8,
+            rob_size: 128,
+            iq_size: 64,
+            lq_size: 64,
+            sq_size: 64,
+            int_regs: 120,
+            fp_regs: 96,
+            arch_int_regs: 16,
+            arch_fp_regs: 16,
+            fu: FuConfig::big(),
+            icache_penalty: 8,
+            bits: BitWidths::default(),
+        }
+    }
+
+    /// The small in-order core of Table 2 at the reference frequency.
+    pub fn small() -> Self {
+        CoreConfig {
+            kind: CoreKind::Small,
+            ticks_per_cycle: 1,
+            width: 2,
+            depth: 5,
+            rob_size: 0,
+            iq_size: 4,
+            lq_size: 0,
+            sq_size: 10,
+            int_regs: 16,
+            fp_regs: 16,
+            arch_int_regs: 16,
+            arch_fp_regs: 16,
+            fu: FuConfig::small(),
+            icache_penalty: 8,
+            bits: BitWidths::default(),
+        }
+    }
+
+    /// A copy of this configuration running at half frequency
+    /// (2 global ticks per core cycle ≙ 1.33 GHz vs the 2.66 GHz reference).
+    pub fn at_half_frequency(self) -> Self {
+        self.at_frequency_divisor(2)
+    }
+
+    /// A copy of this configuration clocked at `1/divisor` of the
+    /// reference frequency (the core performs one cycle every `divisor`
+    /// global ticks). `divisor = 1` is the 2.66 GHz reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn at_frequency_divisor(mut self, divisor: u64) -> Self {
+        assert!(divisor >= 1, "frequency divisor must be at least 1");
+        self.ticks_per_cycle = divisor;
+        self
+    }
+
+    /// Front-end delay in core cycles from fetch to dispatch/issue
+    /// readiness (pipeline depth minus the execute and writeback stages).
+    pub fn frontend_delay(&self) -> u64 {
+        (self.depth.saturating_sub(2)) as u64
+    }
+
+    /// Number of physical registers available for renaming
+    /// (physical minus architectural), per bank.
+    pub fn rename_int_regs(&self) -> u32 {
+        self.int_regs.saturating_sub(self.arch_int_regs)
+    }
+
+    /// Same for the FP bank.
+    pub fn rename_fp_regs(&self) -> u32 {
+        self.fp_regs.saturating_sub(self.arch_fp_regs)
+    }
+
+    /// Total ACE-relevant bits in this core — the denominator of AVF.
+    ///
+    /// For the big core: ROB + IQ + LQ + SQ + physical register files +
+    /// functional-unit datapaths. For the small core: pipeline-stage
+    /// latches (width × depth × rob_entry bits) + IQ + SQ + architectural
+    /// register file + FU datapaths.
+    pub fn total_bits(&self) -> u64 {
+        let b = &self.bits;
+        let storage = if self.kind == CoreKind::Big {
+            u64::from(self.rob_size) * b.rob_entry
+                + u64::from(self.iq_size) * b.iq_entry
+                + u64::from(self.lq_size) * b.lq_entry
+                + u64::from(self.sq_size) * b.sq_entry
+                + u64::from(self.int_regs) * b.int_reg
+                + u64::from(self.fp_regs) * b.fp_reg
+        } else {
+            u64::from(self.width) * u64::from(self.depth) * b.rob_entry
+                + u64::from(self.iq_size) * b.iq_entry
+                + u64::from(self.sq_size) * b.sq_entry
+                + u64::from(self.int_regs) * b.int_reg
+                + u64::from(self.fp_regs) * b.fp_reg
+        };
+        let fu_bits = u64::from(self.fu.int_add + self.fu.int_mul + self.fu.int_div) * b.int_fu
+            + u64::from(self.fu.fp_add + self.fu.fp_mul + self.fu.fp_div) * b.fp_fu;
+        storage + fu_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_big_core() {
+        let c = CoreConfig::big();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.depth, 8);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.iq_size, 64);
+        assert_eq!(c.lq_size, 64);
+        assert_eq!(c.sq_size, 64);
+        assert_eq!(c.int_regs, 120);
+        assert_eq!(c.fp_regs, 96);
+        assert_eq!(c.fu.int_add, 3);
+        assert_eq!(c.bits.rob_entry, 76);
+        assert_eq!(c.bits.sq_entry, 144);
+    }
+
+    #[test]
+    fn table2_small_core() {
+        let c = CoreConfig::small();
+        assert_eq!(c.width, 2);
+        assert_eq!(c.depth, 5);
+        assert_eq!(c.iq_size, 4);
+        assert_eq!(c.sq_size, 10);
+        assert_eq!(c.int_regs, 16);
+        assert_eq!(c.fp_regs, 16);
+        assert_eq!(c.fu.int_add, 2);
+    }
+
+    #[test]
+    fn big_core_has_many_more_bits_than_small() {
+        let big = CoreConfig::big().total_bits();
+        let small = CoreConfig::small().total_bits();
+        assert!(
+            big > 3 * small,
+            "big core ({big} bits) should dwarf small core ({small} bits)"
+        );
+    }
+
+    #[test]
+    fn half_frequency_scales_ticks() {
+        let c = CoreConfig::small().at_half_frequency();
+        assert_eq!(c.ticks_per_cycle, 2);
+        let c = CoreConfig::big().at_frequency_divisor(3);
+        assert_eq!(c.ticks_per_cycle, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency divisor")]
+    fn zero_divisor_rejected() {
+        let _ = CoreConfig::big().at_frequency_divisor(0);
+    }
+
+    #[test]
+    fn frontend_delay_follows_depth() {
+        assert_eq!(CoreConfig::big().frontend_delay(), 6);
+        assert_eq!(CoreConfig::small().frontend_delay(), 3);
+    }
+
+    #[test]
+    fn rename_registers_exclude_architectural() {
+        let c = CoreConfig::big();
+        assert_eq!(c.rename_int_regs(), 104);
+        assert_eq!(c.rename_fp_regs(), 80);
+        let s = CoreConfig::small();
+        assert_eq!(s.rename_int_regs(), 0, "in-order core does not rename");
+    }
+
+    #[test]
+    fn kind_other_flips() {
+        assert_eq!(CoreKind::Big.other(), CoreKind::Small);
+        assert_eq!(CoreKind::Small.other(), CoreKind::Big);
+        assert_eq!(CoreKind::Big.to_string(), "big");
+    }
+}

@@ -1,0 +1,168 @@
+//! A unified wrapper over the two core models.
+
+use crate::config::{CoreConfig, CoreKind};
+use crate::cpi::CpiStack;
+use crate::events::RetireObserver;
+use crate::inorder::InorderCore;
+use crate::ooo::OooCore;
+use relsim_mem::{CacheStats, PrivateCacheConfig, PrivateCaches, SharedMem};
+use relsim_trace::InstrSource;
+
+/// Either core type, behind one interface.
+///
+/// The multicore `System` in the `relsim` crate holds a `Vec<Core>` and
+/// steps every core each tick; dispatching through this enum avoids dynamic
+/// allocation and keeps the hot loop monomorphic.
+#[derive(Debug)]
+pub enum Core {
+    /// Big out-of-order core.
+    Big(OooCore),
+    /// Small in-order core.
+    Small(InorderCore),
+}
+
+impl Core {
+    /// Build a core of the kind requested by `cfg`.
+    pub fn new(cfg: CoreConfig, cache_cfg: PrivateCacheConfig) -> Self {
+        match cfg.kind {
+            CoreKind::Big => Core::Big(OooCore::new(cfg, cache_cfg)),
+            CoreKind::Small => Core::Small(InorderCore::new(cfg, cache_cfg)),
+        }
+    }
+
+    /// The core's kind.
+    pub fn kind(&self) -> CoreKind {
+        match self {
+            Core::Big(_) => CoreKind::Big,
+            Core::Small(_) => CoreKind::Small,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        match self {
+            Core::Big(c) => c.config(),
+            Core::Small(c) => c.config(),
+        }
+    }
+
+    /// Advance one global tick.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        src: &mut dyn InstrSource,
+        shared: &mut SharedMem,
+        obs: &mut dyn RetireObserver,
+    ) {
+        match self {
+            Core::Big(c) => c.tick(now, src, shared, obs),
+            Core::Small(c) => c.tick(now, src, shared, obs),
+        }
+    }
+
+    /// Correct-path instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        match self {
+            Core::Big(c) => c.committed(),
+            Core::Small(c) => c.committed(),
+        }
+    }
+
+    /// Core cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Core::Big(c) => c.cycles(),
+            Core::Small(c) => c.cycles(),
+        }
+    }
+
+    /// Accumulated CPI stack.
+    pub fn cpi_stack(&self) -> &CpiStack {
+        match self {
+            Core::Big(c) => c.cpi_stack(),
+            Core::Small(c) => c.cpi_stack(),
+        }
+    }
+
+    /// Committed instruction counts per [`relsim_trace::OpClass`] index.
+    pub fn class_counts(&self) -> &[u64; 10] {
+        match self {
+            Core::Big(c) => c.class_counts(),
+            Core::Small(c) => c.class_counts(),
+        }
+    }
+
+    /// Committed loads served by each memory level (L1, L2, L3, Memory).
+    pub fn loads_by_level(&self) -> &[u64; 4] {
+        match self {
+            Core::Big(c) => c.loads_by_level(),
+            Core::Small(c) => c.loads_by_level(),
+        }
+    }
+
+    /// Squash in-flight state on application migration.
+    pub fn reset_pipeline(&mut self) {
+        match self {
+            Core::Big(c) => c.reset_pipeline(),
+            Core::Small(c) => c.reset_pipeline(),
+        }
+    }
+
+    /// Private-cache statistics (L1I, L1D, L2).
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        match self {
+            Core::Big(c) => c.caches().stats(),
+            Core::Small(c) => c.caches().stats(),
+        }
+    }
+
+    /// Mutable access to the private caches.
+    pub fn caches_mut(&mut self) -> &mut PrivateCaches {
+        match self {
+            Core::Big(c) => c.caches_mut(),
+            Core::Small(c) => c.caches_mut(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullObserver;
+    use relsim_mem::SharedMemConfig;
+    use relsim_trace::TraceGenerator;
+
+    #[test]
+    fn wrapper_dispatches_to_both_kinds() {
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut obs = NullObserver;
+        for cfg in [CoreConfig::big(), CoreConfig::small()] {
+            let kind = cfg.kind;
+            let mut core = Core::new(cfg, PrivateCacheConfig::default());
+            assert_eq!(core.kind(), kind);
+            let p = relsim_trace::spec_profile("namd").unwrap();
+            let mut src = TraceGenerator::new(p, 1, 0);
+            for t in 0..5000 {
+                core.tick(t, &mut src, &mut shared, &mut obs);
+            }
+            assert!(core.committed() > 0, "{kind} committed nothing");
+            assert!(core.cycles() > 0);
+            assert_eq!(core.cpi_stack().total(), core.cycles());
+            core.reset_pipeline();
+        }
+    }
+
+    #[test]
+    fn class_counts_sum_to_committed() {
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut obs = NullObserver;
+        let mut core = Core::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let p = relsim_trace::spec_profile("bzip2").unwrap();
+        let mut src = TraceGenerator::new(p, 5, 0);
+        for t in 0..10_000 {
+            core.tick(t, &mut src, &mut shared, &mut obs);
+        }
+        let total: u64 = core.class_counts().iter().sum();
+        assert_eq!(total, core.committed());
+    }
+}

@@ -1,0 +1,200 @@
+//! CPI-stack accounting (Figure 2 of the paper).
+//!
+//! A CPI stack splits execution cycles into a *base* (useful work)
+//! component plus "lost" cycle components. Our classification follows the
+//! paper's Figure 2 components: branch mispredictions, I-cache misses,
+//! resource stalls, last-level-cache (L3) hits under L2 misses, and main
+//! memory accesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Cause of a zero-commit cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallCause {
+    /// Front-end is refilling after a branch misprediction, or the ROB is
+    /// empty because fetch is on the wrong path.
+    Branch,
+    /// Fetch is stalled on an instruction-cache miss.
+    ICache,
+    /// Back-end resource stall: dependence chains, functional-unit
+    /// contention, L1/L2-covered memory latency, or full queues.
+    Resource,
+    /// The ROB head is a load being served by the shared L3 (an LLC hit
+    /// under an L2 miss).
+    Llc,
+    /// The ROB head is a load being served by main memory.
+    Memory,
+}
+
+/// Accumulated cycle components of one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Cycles in which at least one instruction committed.
+    pub base: u64,
+    /// Zero-commit cycles attributed to branch mispredictions.
+    pub branch: u64,
+    /// Zero-commit cycles attributed to I-cache misses.
+    pub icache: u64,
+    /// Zero-commit cycles attributed to back-end resource stalls.
+    pub resource: u64,
+    /// Zero-commit cycles attributed to L3 (LLC) latency.
+    pub llc: u64,
+    /// Zero-commit cycles attributed to main-memory latency.
+    pub memory: u64,
+}
+
+impl CpiStack {
+    /// Record a committing cycle.
+    pub fn commit_cycle(&mut self) {
+        self.base += 1;
+    }
+
+    /// Record a zero-commit cycle with the given cause.
+    pub fn stall_cycle(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::Branch => self.branch += 1,
+            StallCause::ICache => self.icache += 1,
+            StallCause::Resource => self.resource += 1,
+            StallCause::Llc => self.llc += 1,
+            StallCause::Memory => self.memory += 1,
+        }
+    }
+
+    /// Total cycles across all components.
+    pub fn total(&self) -> u64 {
+        self.base + self.branch + self.icache + self.resource + self.llc + self.memory
+    }
+
+    /// Component fractions `(base, branch, icache, resource, llc, memory)`
+    /// normalized to the total; all zeros if no cycles were recorded.
+    pub fn normalized(&self) -> [f64; 6] {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.base as f64 / t,
+            self.branch as f64 / t,
+            self.icache as f64 / t,
+            self.resource as f64 / t,
+            self.llc as f64 / t,
+            self.memory as f64 / t,
+        ]
+    }
+
+    /// Fraction of cycles lost to front-end misses (branch + I-cache).
+    pub fn frontend_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.branch + self.icache) as f64 / t as f64
+        }
+    }
+
+    /// Component-wise difference (`self - earlier`); saturates at zero.
+    pub fn since(&self, earlier: &CpiStack) -> CpiStack {
+        CpiStack {
+            base: self.base.saturating_sub(earlier.base),
+            branch: self.branch.saturating_sub(earlier.branch),
+            icache: self.icache.saturating_sub(earlier.icache),
+            resource: self.resource.saturating_sub(earlier.resource),
+            llc: self.llc.saturating_sub(earlier.llc),
+            memory: self.memory.saturating_sub(earlier.memory),
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &CpiStack) -> CpiStack {
+        CpiStack {
+            base: self.base + other.base,
+            branch: self.branch + other.branch,
+            icache: self.icache + other.icache,
+            resource: self.resource + other.resource,
+            llc: self.llc + other.llc,
+            memory: self.memory + other.memory,
+        }
+    }
+}
+
+/// Labels for the six components, in [`CpiStack::normalized`] order.
+pub const CPI_COMPONENT_NAMES: [&str; 6] =
+    ["base", "branch", "icache", "resource", "llc", "memory"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_total() {
+        let mut s = CpiStack::default();
+        s.commit_cycle();
+        s.commit_cycle();
+        s.stall_cycle(StallCause::Branch);
+        s.stall_cycle(StallCause::Memory);
+        s.stall_cycle(StallCause::Memory);
+        assert_eq!(s.base, 2);
+        assert_eq!(s.branch, 1);
+        assert_eq!(s.memory, 2);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let mut s = CpiStack::default();
+        for _ in 0..3 {
+            s.commit_cycle();
+        }
+        s.stall_cycle(StallCause::Llc);
+        s.stall_cycle(StallCause::ICache);
+        s.stall_cycle(StallCause::Resource);
+        let n = s.normalized();
+        let sum: f64 = n.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((n[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stack_normalizes_to_zero() {
+        let s = CpiStack::default();
+        assert_eq!(s.normalized(), [0.0; 6]);
+        assert_eq!(s.frontend_fraction(), 0.0);
+    }
+
+    #[test]
+    fn frontend_fraction() {
+        let mut s = CpiStack::default();
+        s.stall_cycle(StallCause::Branch);
+        s.stall_cycle(StallCause::ICache);
+        s.commit_cycle();
+        s.commit_cycle();
+        assert!((s.frontend_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let mut a = CpiStack::default();
+        a.commit_cycle();
+        a.commit_cycle();
+        a.stall_cycle(StallCause::Memory);
+        let mut b = a;
+        b.stall_cycle(StallCause::Memory);
+        b.commit_cycle();
+        let d = b.since(&a);
+        assert_eq!(d.base, 1);
+        assert_eq!(d.memory, 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = CpiStack::default();
+        a.commit_cycle();
+        let mut b = CpiStack::default();
+        b.stall_cycle(StallCause::Resource);
+        let m = a.merged(&b);
+        assert_eq!(m.base, 1);
+        assert_eq!(m.resource, 1);
+        assert_eq!(m.total(), 2);
+    }
+}

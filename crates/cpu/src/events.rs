@@ -1,0 +1,113 @@
+//! Retirement events — the interface between the core models and the
+//! ACE-bit counting machinery.
+
+use relsim_trace::OpClass;
+
+/// Timing record of one committed (correct-path) instruction.
+///
+/// All timestamps are in global ticks. The ACE counters in `relsim-ace`
+/// derive per-structure residency from these, exactly as the paper's
+/// hardware counter architecture does at the commit stage (Section 4.2):
+///
+/// * ROB residency = `commit - dispatch`
+/// * issue-queue residency = `issue - dispatch`
+/// * load/store-queue residency = `commit - dispatch`
+/// * output-register ACE time = `commit - finish`
+/// * functional-unit occupancy = `exec_latency`
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireEvent {
+    /// Operation class. NOPs produce events but are never ACE.
+    pub op: OpClass,
+    /// Tick the instruction was dispatched into the ROB (out-of-order core)
+    /// or fetched into the pipeline (in-order core).
+    pub dispatch: u64,
+    /// Tick the instruction started executing.
+    pub issue: u64,
+    /// Tick its result became available.
+    pub finish: u64,
+    /// Tick it committed (out-of-order) or wrote back (in-order).
+    pub commit: u64,
+    /// Functional-unit occupancy in core cycles.
+    pub exec_latency: u64,
+    /// Whether the instruction produced a register value.
+    pub has_output: bool,
+}
+
+impl RetireEvent {
+    /// Whether the timestamps are internally consistent
+    /// (dispatch ≤ issue ≤ finish ≤ commit).
+    pub fn is_well_formed(&self) -> bool {
+        self.dispatch <= self.issue && self.issue <= self.finish && self.finish <= self.commit
+    }
+}
+
+/// Observer of instruction retirement, implemented by ACE counters.
+///
+/// Core models call [`on_retire`](RetireObserver::on_retire) once per
+/// committed correct-path instruction. Wrong-path instructions are squashed
+/// before commit and therefore never observed — matching the paper's
+/// assumption that wrong-path state is un-ACE.
+pub trait RetireObserver {
+    /// Called when a correct-path instruction commits.
+    fn on_retire(&mut self, ev: &RetireEvent);
+}
+
+/// A no-op observer for runs that do not need ACE accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl RetireObserver for NullObserver {
+    fn on_retire(&mut self, _ev: &RetireEvent) {}
+}
+
+/// An observer that records every event; useful in tests.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// All observed events, in commit order.
+    pub events: Vec<RetireEvent>,
+}
+
+impl RetireObserver for RecordingObserver {
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        self.events.push(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formedness() {
+        let ev = RetireEvent {
+            op: OpClass::IntAlu,
+            dispatch: 10,
+            issue: 12,
+            finish: 13,
+            commit: 20,
+            exec_latency: 1,
+            has_output: true,
+        };
+        assert!(ev.is_well_formed());
+        let bad = RetireEvent { issue: 9, ..ev };
+        assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn recording_observer_collects() {
+        let mut rec = RecordingObserver::default();
+        let ev = RetireEvent {
+            op: OpClass::Load,
+            dispatch: 0,
+            issue: 1,
+            finish: 5,
+            commit: 6,
+            exec_latency: 1,
+            has_output: true,
+        };
+        rec.on_retire(&ev);
+        rec.on_retire(&ev);
+        assert_eq!(rec.events.len(), 2);
+        NullObserver.on_retire(&ev); // must not panic
+    }
+}

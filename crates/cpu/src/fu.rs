@@ -1,0 +1,162 @@
+//! Functional-unit pool with per-cycle issue limits.
+//!
+//! Adders and multipliers are fully pipelined (one new operation per unit
+//! per cycle); dividers are unpipelined and stay busy for their full
+//! latency, matching the long latencies of Table 2.
+
+use crate::config::FuConfig;
+use relsim_trace::OpClass;
+
+/// Pool of functional units shared by the issue stage.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    cfg: FuConfig,
+    /// Per-class issues this cycle: int add, int mul, fp add, fp mul.
+    issued_now: [u32; 4],
+    int_div_busy_until: u64,
+    fp_div_busy_until: u64,
+}
+
+impl FuPool {
+    /// Build an idle pool.
+    pub fn new(cfg: FuConfig) -> Self {
+        FuPool {
+            cfg,
+            issued_now: [0; 4],
+            int_div_busy_until: 0,
+            fp_div_busy_until: 0,
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> FuConfig {
+        self.cfg
+    }
+
+    /// Start a new cycle (resets per-cycle issue counters).
+    pub fn new_cycle(&mut self) {
+        self.issued_now = [0; 4];
+    }
+
+    /// Make all units idle again (pipeline squash).
+    pub fn reset(&mut self) {
+        self.issued_now = [0; 4];
+        self.int_div_busy_until = 0;
+        self.fp_div_busy_until = 0;
+    }
+
+    /// Try to claim a unit for `op` at tick `now`; returns whether issue
+    /// may proceed. `ticks_per_cycle` converts divider latencies to ticks.
+    pub fn try_issue(&mut self, op: OpClass, now: u64, ticks_per_cycle: u64) -> bool {
+        match op {
+            // Loads, stores, branches and plain ALU ops share the integer
+            // adders (address generation / condition evaluation).
+            OpClass::IntAlu | OpClass::Load | OpClass::Store | OpClass::Branch | OpClass::Nop => {
+                if self.issued_now[0] < self.cfg.int_add {
+                    self.issued_now[0] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::IntMul => {
+                if self.issued_now[1] < self.cfg.int_mul {
+                    self.issued_now[1] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::FpAdd => {
+                if self.issued_now[2] < self.cfg.fp_add {
+                    self.issued_now[2] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::FpMul => {
+                if self.issued_now[3] < self.cfg.fp_mul {
+                    self.issued_now[3] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::IntDiv => {
+                if now >= self.int_div_busy_until {
+                    self.int_div_busy_until = now + 18 * ticks_per_cycle;
+                    true
+                } else {
+                    false
+                }
+            }
+            OpClass::FpDiv => {
+                if now >= self.fp_div_busy_until {
+                    self.fp_div_busy_until = now + 6 * ticks_per_cycle;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_add_limited_per_cycle() {
+        let mut fu = FuPool::new(FuConfig::big());
+        fu.new_cycle();
+        assert!(fu.try_issue(OpClass::IntAlu, 0, 1));
+        assert!(fu.try_issue(OpClass::Load, 0, 1));
+        assert!(fu.try_issue(OpClass::Branch, 0, 1));
+        assert!(!fu.try_issue(OpClass::IntAlu, 0, 1), "only 3 int adders");
+        fu.new_cycle();
+        assert!(fu.try_issue(OpClass::IntAlu, 1, 1), "next cycle frees slots");
+    }
+
+    #[test]
+    fn divider_is_unpipelined() {
+        let mut fu = FuPool::new(FuConfig::big());
+        fu.new_cycle();
+        assert!(fu.try_issue(OpClass::IntDiv, 0, 1));
+        fu.new_cycle();
+        assert!(!fu.try_issue(OpClass::IntDiv, 1, 1), "busy for 18 cycles");
+        assert!(!fu.try_issue(OpClass::IntDiv, 17, 1));
+        assert!(fu.try_issue(OpClass::IntDiv, 18, 1));
+    }
+
+    #[test]
+    fn fp_units_independent_of_int() {
+        let mut fu = FuPool::new(FuConfig::big());
+        fu.new_cycle();
+        for _ in 0..3 {
+            assert!(fu.try_issue(OpClass::IntAlu, 0, 1));
+        }
+        assert!(fu.try_issue(OpClass::FpAdd, 0, 1));
+        assert!(fu.try_issue(OpClass::FpMul, 0, 1));
+        assert!(!fu.try_issue(OpClass::FpAdd, 0, 1), "single fp adder");
+    }
+
+    #[test]
+    fn frequency_scales_divider_occupancy() {
+        let mut fu = FuPool::new(FuConfig::small());
+        fu.new_cycle();
+        assert!(fu.try_issue(OpClass::FpDiv, 0, 2));
+        assert!(!fu.try_issue(OpClass::FpDiv, 11, 2), "6 cycles x 2 ticks");
+        assert!(fu.try_issue(OpClass::FpDiv, 12, 2));
+    }
+
+    #[test]
+    fn reset_clears_busy_units() {
+        let mut fu = FuPool::new(FuConfig::big());
+        fu.new_cycle();
+        assert!(fu.try_issue(OpClass::IntDiv, 0, 1));
+        fu.reset();
+        assert!(fu.try_issue(OpClass::IntDiv, 1, 1));
+    }
+}

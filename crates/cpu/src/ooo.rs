@@ -1,0 +1,937 @@
+//! Cycle-level model of the big out-of-order core.
+//!
+//! The model implements the mechanisms the paper's reliability results rely
+//! on:
+//!
+//! * a 128-entry ROB whose head blocks on long-latency loads, filling the
+//!   back-end with ACE state (the high-AVF mechanism for memory-streaming
+//!   codes such as milc);
+//! * branch mispredictions that keep fetching down the **wrong path** until
+//!   the branch resolves; wrong-path instructions occupy the ROB, issue
+//!   queue, load/store queues and registers but are squashed before commit
+//!   and therefore never become ACE (the low-AVF mechanism for mcf and
+//!   libquantum);
+//! * front-end stalls (I-cache misses, post-misprediction refill) that
+//!   drain the pipeline of vulnerable state;
+//! * finite issue queue, load/store queues, physical register files and
+//!   functional units.
+//!
+//! Instruction scheduling is event-driven (producers wake their consumers),
+//! so the per-cycle cost is proportional to pipeline width, not window size.
+
+use crate::config::{CoreConfig, CoreKind};
+use crate::cpi::{CpiStack, StallCause};
+use crate::events::{RetireEvent, RetireObserver};
+use crate::fu::FuPool;
+use relsim_mem::{MemLevel, PrivateCacheConfig, PrivateCaches, SharedMem};
+use relsim_trace::{Instr, InstrSource, OpClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+const CP_RING: usize = 256;
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    instr: Instr,
+    seq: u64,
+    /// Flush-generation tag: stale references (finish events, waiter
+    /// registrations) from before a flush are ignored when the seq has
+    /// been reused by a newer entry.
+    epoch: u32,
+    wrong_path: bool,
+    dispatch: u64,
+    issue_at: u64,
+    finish_at: u64,
+    issued: bool,
+    done: bool,
+    pending_srcs: u8,
+    mem_level: Option<MemLevel>,
+    /// Consumers waiting on this entry's result (inline to avoid per-entry
+    /// heap allocation; overflow spills to `OooCore::waiter_spill`).
+    waiters: [(u64, u32); 4],
+    n_waiters: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    instr: Instr,
+    wrong_path: bool,
+    /// Tick at which the instruction clears the front-end pipeline and may
+    /// dispatch.
+    avail: u64,
+}
+
+/// The big out-of-order core (Table 2 configuration by default).
+///
+/// # Examples
+///
+/// ```
+/// use relsim_cpu::{CoreConfig, NullObserver, OooCore};
+/// use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+/// use relsim_trace::{spec_profile, TraceGenerator};
+///
+/// let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+/// let mut shared = SharedMem::new(SharedMemConfig::default());
+/// let mut src = TraceGenerator::new(spec_profile("hmmer").unwrap(), 1, 0);
+/// let mut obs = NullObserver;
+/// for tick in 0..10_000 {
+///     core.tick(tick, &mut src, &mut shared, &mut obs);
+/// }
+/// assert!(core.committed() > 0);
+/// ```
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    caches: PrivateCaches,
+
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    /// Ready-to-issue seqs, kept sorted ascending (oldest first). Small
+    /// (bounded by the issue queue), so a sorted Vec beats tree structures.
+    ready: Vec<u64>,
+    finish_events: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    iq_used: u32,
+    lq_used: u32,
+    sq_used: u32,
+    int_regs_used: u32,
+    fp_regs_used: u32,
+    fu: FuPool,
+    /// Current flush generation.
+    epoch: u32,
+    /// Overflow waiter registrations as (producer_seq, consumer_seq,
+    /// consumer_epoch); normally empty.
+    waiter_spill: Vec<(u64, u64, u32)>,
+
+    cp_ring: [u64; CP_RING],
+    cp_count: u64,
+
+    fetch_queue: VecDeque<Fetched>,
+    fq_capacity: usize,
+    in_wrong_path: bool,
+    fetch_stall_until: u64,
+    fetch_stall_icache: bool,
+    branch_refill_until: u64,
+    /// Outstanding misprediction bubble cycles not yet charged to the
+    /// branch CPI component. A flush creates a front-end bubble that only
+    /// surfaces once the ROB drains; this debt routes those downstream
+    /// zero-commit cycles to the branch component (a light-weight stand-in
+    /// for interval analysis).
+    branch_debt: u64,
+    pending_fetch: Option<Instr>,
+
+    cycles: u64,
+    committed: u64,
+    wrong_path_dispatched: u64,
+    icache_misses: u64,
+    branch_mispredicts: u64,
+    cpi: CpiStack,
+    class_counts: [u64; 10],
+    loads_by_level: [u64; 4],
+}
+
+impl OooCore {
+    /// Build an idle core with cold caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is not an out-of-order configuration
+    /// (`kind == CoreKind::Big`, `rob_size > 0`).
+    pub fn new(cfg: CoreConfig, cache_cfg: PrivateCacheConfig) -> Self {
+        assert_eq!(cfg.kind, CoreKind::Big, "OooCore requires a big-core config");
+        assert!(cfg.rob_size > 0, "out-of-order core needs a ROB");
+        let caches = PrivateCaches::new(cache_cfg, cfg.ticks_per_cycle);
+        let fq_capacity = (cfg.width as usize) * (cfg.frontend_delay() as usize + 1);
+        OooCore {
+            fu: FuPool::new(cfg.fu),
+            caches,
+            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            next_seq: 0,
+            ready: Vec::with_capacity(64),
+            finish_events: BinaryHeap::new(),
+            iq_used: 0,
+            lq_used: 0,
+            sq_used: 0,
+            int_regs_used: 0,
+            fp_regs_used: 0,
+            epoch: 0,
+            waiter_spill: Vec::new(),
+            cp_ring: [u64::MAX; CP_RING],
+            cp_count: 0,
+            fetch_queue: VecDeque::with_capacity(fq_capacity),
+            fq_capacity,
+            in_wrong_path: false,
+            fetch_stall_until: 0,
+            fetch_stall_icache: false,
+            branch_refill_until: 0,
+            branch_debt: 0,
+            pending_fetch: None,
+            cycles: 0,
+            committed: 0,
+            wrong_path_dispatched: 0,
+            icache_misses: 0,
+            branch_mispredicts: 0,
+            cpi: CpiStack::default(),
+            class_counts: [0; 10],
+            loads_by_level: [0; 4],
+            cfg,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Correct-path instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Core cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Accumulated CPI stack.
+    pub fn cpi_stack(&self) -> &CpiStack {
+        &self.cpi
+    }
+
+    /// Committed instruction counts per [`OpClass`] index.
+    pub fn class_counts(&self) -> &[u64; 10] {
+        &self.class_counts
+    }
+
+    /// Committed loads served by each memory level (L1, L2, L3, Memory).
+    pub fn loads_by_level(&self) -> &[u64; 4] {
+        &self.loads_by_level
+    }
+
+    /// Wrong-path instructions dispatched into the back-end so far.
+    pub fn wrong_path_dispatched(&self) -> u64 {
+        self.wrong_path_dispatched
+    }
+
+    /// Mispredicted branches committed so far.
+    pub fn branch_mispredicts(&self) -> u64 {
+        self.branch_mispredicts
+    }
+
+    /// I-cache miss stalls taken so far.
+    pub fn icache_misses(&self) -> u64 {
+        self.icache_misses
+    }
+
+    /// The core's private caches.
+    pub fn caches(&self) -> &PrivateCaches {
+        &self.caches
+    }
+
+    /// Mutable access to the private caches (e.g. to reset statistics).
+    pub fn caches_mut(&mut self) -> &mut PrivateCaches {
+        &mut self.caches
+    }
+
+    /// Squash all in-flight state (used when a different application is
+    /// migrated onto this core). Cache contents are deliberately kept: the
+    /// incoming application starts with a cold-for-it cache, as on real
+    /// hardware.
+    pub fn reset_pipeline(&mut self) {
+        self.rob.clear();
+        self.ready.clear();
+        self.waiter_spill.clear();
+        self.finish_events.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        self.fetch_queue.clear();
+        self.pending_fetch = None;
+        self.iq_used = 0;
+        self.lq_used = 0;
+        self.sq_used = 0;
+        self.int_regs_used = 0;
+        self.fp_regs_used = 0;
+        self.in_wrong_path = false;
+        self.fetch_stall_until = 0;
+        self.branch_refill_until = 0;
+        self.branch_debt = 0;
+        self.fetch_stall_icache = false;
+        self.cp_ring = [u64::MAX; CP_RING];
+        self.cp_count = 0;
+        self.fu.reset();
+    }
+
+    /// O(1) ROB lookup by seq. ROB seqs are always contiguous (a flush
+    /// rewinds `next_seq`), so the slot is `seq - front.seq`.
+    #[inline]
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        let idx = seq.checked_sub(front)? as usize;
+        match self.rob.get(idx) {
+            Some(e) => {
+                debug_assert_eq!(e.seq, seq);
+                Some(idx)
+            }
+            None => None,
+        }
+    }
+
+    /// Like [`rob_index`](Self::rob_index) but also validates the entry's
+    /// flush generation, for references that may predate a flush.
+    #[inline]
+    fn rob_index_epoch(&self, seq: u64, epoch: u32) -> Option<usize> {
+        let idx = self.rob_index(seq)?;
+        (self.rob[idx].epoch == epoch).then_some(idx)
+    }
+
+    fn ready_insert(&mut self, seq: u64) {
+        match self.ready.binary_search(&seq) {
+            Ok(_) => {}
+            Err(pos) => self.ready.insert(pos, seq),
+        }
+    }
+
+    fn ready_remove(&mut self, seq: u64) {
+        if let Ok(pos) = self.ready.binary_search(&seq) {
+            self.ready.remove(pos);
+        }
+    }
+
+    /// Decrement a consumer's pending-source count; insert into the ready
+    /// list when it reaches zero.
+    fn wake(&mut self, consumer: u64, epoch: u32) {
+        if let Some(j) = self.rob_index_epoch(consumer, epoch) {
+            let c = &mut self.rob[j];
+            if c.pending_srcs > 0 {
+                c.pending_srcs -= 1;
+                if c.pending_srcs == 0 && !c.issued {
+                    self.ready_insert(consumer);
+                }
+            }
+        }
+    }
+
+    /// Resolve a dependency for the instruction about to be dispatched.
+    /// Returns the ROB *index* of the producer if its value is still being
+    /// computed; `None` means the operand is already available.
+    #[inline]
+    fn unresolved_producer(&self, dist: u16) -> Option<usize> {
+        let d = dist as u64;
+        if d == 0 || d > self.cp_count || d > CP_RING as u64 {
+            return None; // out of window: treat as ready
+        }
+        let idx = ((self.cp_count - d) % CP_RING as u64) as usize;
+        let producer_seq = self.cp_ring[idx];
+        if producer_seq == u64::MAX {
+            return None;
+        }
+        match self.rob_index(producer_seq) {
+            Some(i) if !self.rob[i].done => Some(i),
+            _ => None, // committed or already finished
+        }
+    }
+
+    fn process_finish_events(&mut self, now: u64) {
+        while let Some(&Reverse((tick, seq, epoch))) = self.finish_events.peek() {
+            if tick > now {
+                break;
+            }
+            self.finish_events.pop();
+            let Some(i) = self.rob_index_epoch(seq, epoch) else { continue };
+            let e = &mut self.rob[i];
+            if !e.issued || e.done || e.finish_at != tick {
+                continue;
+            }
+            e.done = true;
+            let n = e.n_waiters as usize;
+            let mut waiters = [(0u64, 0u32); 4];
+            waiters[..n].copy_from_slice(&e.waiters[..n]);
+            e.n_waiters = 0;
+            let was_mispredict = e.instr.mispredict && !e.wrong_path;
+            for &(w, we) in &waiters[..n] {
+                self.wake(w, we);
+            }
+            if !self.waiter_spill.is_empty() {
+                let mut i = 0;
+                while i < self.waiter_spill.len() {
+                    if self.waiter_spill[i].0 == seq {
+                        let (_, w, we) = self.waiter_spill.swap_remove(i);
+                        self.wake(w, we);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if was_mispredict {
+                self.flush_after(seq, now);
+            }
+        }
+    }
+
+    /// Squash everything younger than `seq` (wrong-path recovery).
+    fn flush_after(&mut self, seq: u64, now: u64) {
+        while let Some(back) = self.rob.back() {
+            if back.seq <= seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("non-empty");
+            self.ready_remove(e.seq);
+            if !e.issued {
+                self.iq_used -= 1;
+            }
+            match e.instr.op {
+                OpClass::Load => self.lq_used -= 1,
+                OpClass::Store => self.sq_used -= 1,
+                _ => {}
+            }
+            if e.instr.has_output() {
+                if e.instr.op.is_fp() {
+                    self.fp_regs_used -= 1;
+                } else {
+                    self.int_regs_used -= 1;
+                }
+            }
+        }
+        self.next_seq = seq + 1;
+        self.epoch = self.epoch.wrapping_add(1);
+        self.waiter_spill.retain(|&(p, c, _)| p <= seq && c <= seq);
+        self.fetch_queue.clear();
+        self.pending_fetch = None;
+        self.in_wrong_path = false;
+        self.fetch_stall_icache = false;
+        // Redirect: fetch restarts next cycle; the refill delay itself comes
+        // from the front-end latency of newly fetched instructions.
+        let tpc = self.cfg.ticks_per_cycle;
+        self.fetch_stall_until = now + tpc;
+        self.branch_refill_until = now + (self.cfg.frontend_delay() + 2) * tpc;
+        self.branch_debt = (self.branch_debt + self.cfg.frontend_delay() + 2).min(64);
+    }
+
+    fn commit(&mut self, now: u64, shared: &mut SharedMem, obs: &mut dyn RetireObserver) -> u32 {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done || head.finish_at > now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("non-empty");
+            debug_assert!(!e.wrong_path, "wrong-path instruction reached commit");
+            match e.instr.op {
+                OpClass::Load => self.lq_used -= 1,
+                OpClass::Store => {
+                    self.sq_used -= 1;
+                    // The store leaves the SQ and drains to the memory
+                    // system; nothing waits on it.
+                    let _ = self.caches.access_data(e.instr.addr, true, now, shared);
+                }
+                _ => {}
+            }
+            if e.instr.has_output() {
+                if e.instr.op.is_fp() {
+                    self.fp_regs_used -= 1;
+                } else {
+                    self.int_regs_used -= 1;
+                }
+            }
+            self.committed += 1;
+            self.class_counts[e.instr.op.index()] += 1;
+            if e.instr.op == OpClass::Load {
+                let li = match e.mem_level {
+                    Some(MemLevel::L1) => 0,
+                    Some(MemLevel::L2) => 1,
+                    Some(MemLevel::L3) => 2,
+                    Some(MemLevel::Memory) => 3,
+                    None => 0,
+                };
+                self.loads_by_level[li] += 1;
+            }
+            if e.instr.op == OpClass::Branch && e.instr.mispredict {
+                self.branch_mispredicts += 1;
+            }
+            obs.on_retire(&RetireEvent {
+                op: e.instr.op,
+                dispatch: e.dispatch,
+                issue: e.issue_at,
+                finish: e.finish_at,
+                commit: now,
+                exec_latency: e.instr.exec_latency(),
+                has_output: e.instr.has_output(),
+            });
+            n += 1;
+        }
+        n
+    }
+
+    fn issue(&mut self, now: u64, shared: &mut SharedMem) {
+        self.fu.new_cycle();
+        let mut issued = 0;
+        // Examine the oldest few ready instructions only; entries skipped
+        // due to busy units stay in the ready list for later cycles.
+        let mut candidates = [0u64; 8];
+        let n_cand = self.ready.len().min(candidates.len());
+        candidates[..n_cand].copy_from_slice(&self.ready[..n_cand]);
+        let tpc = self.cfg.ticks_per_cycle;
+        for &seq in &candidates[..n_cand] {
+            if issued >= self.cfg.width {
+                break;
+            }
+            let Some(i) = self.rob_index(seq) else {
+                self.ready_remove(seq);
+                continue;
+            };
+            let op = self.rob[i].instr.op;
+            if !self.fu.try_issue(op, now, tpc) {
+                continue; // unit busy; stays ready for a later cycle
+            }
+            self.ready_remove(seq);
+            issued += 1;
+            self.iq_used -= 1;
+            let (finish_at, mem_level) = match op {
+                OpClass::Load => {
+                    let addr = self.rob[i].instr.addr;
+                    // One cycle of address generation, then the cache walk.
+                    let o = self.caches.access_data(addr, false, now + tpc, shared);
+                    (o.complete_at, Some(o.level))
+                }
+                OpClass::Store => (now + tpc, None),
+                _ => (now + self.rob[i].instr.exec_latency() * tpc, None),
+            };
+            let e = &mut self.rob[i];
+            e.issued = true;
+            e.issue_at = now;
+            e.finish_at = finish_at;
+            e.mem_level = mem_level;
+            // The event carries the entry's own epoch: entries that survive
+            // a later flush must still receive their completion.
+            let entry_epoch = e.epoch;
+            self.finish_events.push(Reverse((finish_at, seq, entry_epoch)));
+        }
+    }
+
+    fn dispatch(&mut self, now: u64) {
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(f) = self.fetch_queue.front() else { break };
+            if f.avail > now {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_size as usize {
+                break;
+            }
+            let instr = f.instr;
+            let wrong_path = f.wrong_path;
+            let is_nop = instr.op == OpClass::Nop;
+            if !is_nop && self.iq_used >= self.cfg.iq_size {
+                break;
+            }
+            match instr.op {
+                OpClass::Load if self.lq_used >= self.cfg.lq_size => break,
+                OpClass::Store if self.sq_used >= self.cfg.sq_size => break,
+                _ => {}
+            }
+            if instr.has_output() {
+                if instr.op.is_fp() {
+                    if self.fp_regs_used >= self.cfg.rename_fp_regs() {
+                        break;
+                    }
+                } else if self.int_regs_used >= self.cfg.rename_int_regs() {
+                    break;
+                }
+            }
+
+            // All resources available: dispatch.
+            self.fetch_queue.pop_front();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            match instr.op {
+                OpClass::Load => self.lq_used += 1,
+                OpClass::Store => self.sq_used += 1,
+                _ => {}
+            }
+            if instr.has_output() {
+                if instr.op.is_fp() {
+                    self.fp_regs_used += 1;
+                } else {
+                    self.int_regs_used += 1;
+                }
+            }
+
+            // Resolve producers before pushing the new entry; register this
+            // instruction as a waiter on each still-in-flight producer.
+            let mut pending = 0u8;
+            for dist in [instr.src1, instr.src2] {
+                let Some(d) = dist else { continue };
+                if let Some(pi) = self.unresolved_producer(d) {
+                    let epoch = self.epoch;
+                    let p = &mut self.rob[pi];
+                    if (p.n_waiters as usize) < p.waiters.len() {
+                        p.waiters[p.n_waiters as usize] = (seq, epoch);
+                        p.n_waiters += 1;
+                    } else {
+                        let pseq = p.seq;
+                        self.waiter_spill.push((pseq, seq, epoch));
+                    }
+                    pending += 1;
+                }
+            }
+
+            if !wrong_path {
+                let idx = (self.cp_count % CP_RING as u64) as usize;
+                self.cp_ring[idx] = seq;
+                self.cp_count += 1;
+            } else {
+                self.wrong_path_dispatched += 1;
+            }
+
+            let entry = RobEntry {
+                seq,
+                epoch: self.epoch,
+                wrong_path,
+                dispatch: now,
+                issue_at: now,
+                finish_at: u64::MAX,
+                issued: is_nop,
+                done: is_nop,
+                pending_srcs: pending,
+                mem_level: None,
+                waiters: [(0, 0); 4],
+                n_waiters: 0,
+                instr,
+            };
+            if is_nop {
+                // NOPs bypass the issue queue and complete immediately.
+                let e = self.rob.back_mut();
+                debug_assert!(e.is_none() || e.unwrap().seq < seq);
+                let mut entry = entry;
+                entry.finish_at = now;
+                self.rob.push_back(entry);
+            } else {
+                self.iq_used += 1;
+                let ready_now = pending == 0;
+                self.rob.push_back(entry);
+                if ready_now {
+                    // New seqs are always the largest: push to the back.
+                    self.ready.push(seq);
+                }
+            }
+            n += 1;
+        }
+    }
+
+    fn fetch(&mut self, now: u64, src: &mut dyn InstrSource) {
+        if now < self.fetch_stall_until {
+            return;
+        }
+        self.fetch_stall_icache = false;
+        let tpc = self.cfg.ticks_per_cycle;
+        let fe_delay = self.cfg.frontend_delay() * tpc;
+        let mut n = 0;
+        while n < self.cfg.width && self.fetch_queue.len() < self.fq_capacity {
+            let instr = if self.in_wrong_path {
+                src.wrong_path_instr()
+            } else if let Some(p) = self.pending_fetch.take() {
+                p
+            } else {
+                let i = src.next_instr();
+                if i.icache_miss {
+                    self.icache_misses += 1;
+                    self.pending_fetch = Some(Instr {
+                        icache_miss: false,
+                        ..i
+                    });
+                    self.fetch_stall_until = now + self.cfg.icache_penalty * tpc;
+                    self.fetch_stall_icache = true;
+                    return;
+                }
+                i
+            };
+            let wrong_path = self.in_wrong_path;
+            let is_mispredict = !wrong_path && instr.op == OpClass::Branch && instr.mispredict;
+            self.fetch_queue.push_back(Fetched {
+                instr,
+                wrong_path,
+                avail: now + fe_delay,
+            });
+            n += 1;
+            if is_mispredict {
+                self.in_wrong_path = true;
+                break; // remaining fetch slots this cycle are lost
+            }
+        }
+    }
+
+    fn account_cpi(&mut self, commits: u32, now: u64) {
+        if commits > 0 {
+            self.cpi.commit_cycle();
+            return;
+        }
+        let cause = if let Some(head) = self.rob.front() {
+            if head.issued && !head.done && head.instr.op == OpClass::Load {
+                // A memory-blocked ROB head dominates whatever else is
+                // going on (including concurrent wrong-path fetch).
+                match head.mem_level {
+                    Some(MemLevel::Memory) => StallCause::Memory,
+                    Some(MemLevel::L3) => StallCause::Llc,
+                    _ => StallCause::Resource,
+                }
+            } else if self.in_wrong_path || now < self.branch_refill_until {
+                // The back-end is starved or full of junk because fetch is
+                // on (or recovering from) the wrong path.
+                StallCause::Branch
+            } else if self.branch_debt > 0 {
+                self.branch_debt -= 1;
+                StallCause::Branch
+            } else {
+                StallCause::Resource
+            }
+        } else if self.fetch_stall_icache && now < self.fetch_stall_until {
+            StallCause::ICache
+        } else if self.in_wrong_path || now < self.branch_refill_until {
+            StallCause::Branch
+        } else {
+            StallCause::Resource
+        };
+        self.cpi.stall_cycle(cause);
+    }
+
+    /// Advance the core by one global tick.
+    ///
+    /// The core only performs work on its own cycle boundaries (every
+    /// `ticks_per_cycle` ticks); other ticks return immediately, which is
+    /// how frequency scaling (Section 6.4 of the paper) is modeled.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        src: &mut dyn InstrSource,
+        shared: &mut SharedMem,
+        obs: &mut dyn RetireObserver,
+    ) {
+        if !now.is_multiple_of(self.cfg.ticks_per_cycle) {
+            return;
+        }
+        self.cycles += 1;
+        self.process_finish_events(now);
+        let commits = self.commit(now, shared, obs);
+        self.issue(now, shared);
+        self.dispatch(now);
+        self.fetch(now, src);
+        self.account_cpi(commits, now);
+    }
+
+    /// Current ROB occupancy (for tests and occupancy diagnostics).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RecordingObserver;
+    use relsim_mem::SharedMemConfig;
+    use relsim_trace::TraceGenerator;
+
+    /// A scripted instruction source for unit tests.
+    struct Script {
+        instrs: Vec<Instr>,
+        pos: usize,
+    }
+
+    impl Script {
+        fn new(instrs: Vec<Instr>) -> Self {
+            Script { instrs, pos: 0 }
+        }
+    }
+
+    impl InstrSource for Script {
+        fn next_instr(&mut self) -> Instr {
+            let i = self.instrs.get(self.pos).copied().unwrap_or(Instr::nop());
+            self.pos += 1;
+            i
+        }
+        fn wrong_path_instr(&mut self) -> Instr {
+            Instr {
+                op: OpClass::IntAlu,
+                src1: Some(1),
+                ..Instr::nop()
+            }
+        }
+    }
+
+    fn run(core: &mut OooCore, src: &mut dyn InstrSource, ticks: u64) -> RecordingObserver {
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut obs = RecordingObserver::default();
+        for t in 0..ticks {
+            core.tick(t, src, &mut shared, &mut obs);
+        }
+        obs
+    }
+
+    fn alu() -> Instr {
+        Instr {
+            op: OpClass::IntAlu,
+            src1: None,
+            ..Instr::nop()
+        }
+    }
+
+    #[test]
+    fn independent_alus_commit_at_full_width() {
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let mut src = Script::new(vec![alu(); 4000]);
+        // Only 3 int-add units, so IPC is bounded by 3, not width 4.
+        let obs = run(&mut core, &mut src, 2000);
+        assert!(core.committed() >= 3 * (2000 - 50), "committed {}", core.committed());
+        assert!(obs.events.iter().all(|e| e.is_well_formed()));
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let chain = Instr {
+            op: OpClass::IntAlu,
+            src1: Some(1),
+            ..Instr::nop()
+        };
+        let mut src = Script::new(vec![chain; 2000]);
+        run(&mut core, &mut src, 1000);
+        // A dist-1 chain of 1-cycle ops commits at most 1 per cycle.
+        assert!(core.committed() <= 1000);
+        assert!(core.committed() >= 900, "committed {}", core.committed());
+    }
+
+    #[test]
+    fn retire_timestamps_ordered() {
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let p = relsim_trace::spec_profile("hmmer").unwrap();
+        let mut src = TraceGenerator::new(p, 3, 0);
+        let obs = run(&mut core, &mut src, 20_000);
+        assert!(!obs.events.is_empty());
+        for ev in &obs.events {
+            assert!(ev.is_well_formed(), "{ev:?}");
+        }
+        // Commit order is monotone.
+        for w in obs.events.windows(2) {
+            assert!(w[0].commit <= w[1].commit);
+        }
+    }
+
+    #[test]
+    fn mispredicted_branch_costs_cycles_and_spawns_wrong_path() {
+        let mk = |mis| {
+            let mut v = Vec::new();
+            for _ in 0..200 {
+                for _ in 0..9 {
+                    v.push(alu());
+                }
+                v.push(Instr {
+                    op: OpClass::Branch,
+                    src1: Some(1),
+                    mispredict: mis,
+                    ..Instr::nop()
+                });
+            }
+            v
+        };
+        let mut good = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let mut src = Script::new(mk(false));
+        run(&mut good, &mut src, 3000);
+        let mut bad = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let mut src = Script::new(mk(true));
+        run(&mut bad, &mut src, 3000);
+        assert!(
+            bad.committed() < good.committed() * 8 / 10,
+            "mispredicts should hurt IPC: {} vs {}",
+            bad.committed(),
+            good.committed()
+        );
+        assert!(bad.wrong_path_dispatched() > 0);
+        assert!(bad.cpi_stack().branch > 0, "branch stall cycles recorded");
+        assert_eq!(good.wrong_path_dispatched(), 0);
+    }
+
+    #[test]
+    fn memory_misses_block_rob_head_and_fill_rob() {
+        // Loads over a huge working set with no dependencies: head blocks,
+        // ROB fills behind it.
+        let mut v = Vec::new();
+        for i in 0..3000u64 {
+            v.push(Instr {
+                op: OpClass::Load,
+                src1: None,
+                src2: None,
+                addr: i * 4096 * 17, // conflict-heavy, far apart
+                mispredict: false,
+                icache_miss: false,
+            });
+        }
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let mut src = Script::new(v);
+        run(&mut core, &mut src, 5000);
+        let s = core.cpi_stack();
+        assert!(
+            s.memory > 0,
+            "memory stall cycles expected, stack {s:?}"
+        );
+        assert!(core.loads_by_level()[3] > 0, "memory-level loads counted");
+    }
+
+    #[test]
+    fn icache_misses_stall_frontend() {
+        let mut v = Vec::new();
+        for i in 0..2000 {
+            v.push(Instr {
+                icache_miss: i % 10 == 0,
+                ..alu()
+            });
+        }
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let mut src = Script::new(v);
+        run(&mut core, &mut src, 4000);
+        assert!(core.icache_misses() > 0);
+        assert!(core.cpi_stack().icache > 0);
+    }
+
+    #[test]
+    fn nops_commit_but_use_no_issue_slots() {
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let mut src = Script::new(vec![Instr::nop(); 4000]);
+        let obs = run(&mut core, &mut src, 1200);
+        assert!(core.committed() >= 4 * 1000, "nops flow at full width");
+        assert!(obs.events.iter().all(|e| e.op == OpClass::Nop));
+    }
+
+    #[test]
+    fn half_frequency_core_does_half_the_cycles() {
+        let cfg = CoreConfig::big().at_half_frequency();
+        let mut core = OooCore::new(cfg, PrivateCacheConfig::default());
+        let mut src = Script::new(vec![alu(); 10_000]);
+        run(&mut core, &mut src, 2000);
+        assert_eq!(core.cycles(), 1000);
+    }
+
+    #[test]
+    fn reset_pipeline_clears_inflight_state() {
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let p = relsim_trace::spec_profile("milc").unwrap();
+        let mut src = TraceGenerator::new(p, 3, 0);
+        run(&mut core, &mut src, 5000);
+        core.reset_pipeline();
+        assert_eq!(core.rob_occupancy(), 0);
+        // Core keeps running fine after the reset.
+        let committed_before = core.committed();
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut obs = RecordingObserver::default();
+        for t in 5000..15_000 {
+            core.tick(t, &mut src, &mut shared, &mut obs);
+        }
+        assert!(core.committed() > committed_before);
+    }
+
+    #[test]
+    fn cpi_stack_total_matches_cycles() {
+        let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+        let p = relsim_trace::spec_profile("gcc").unwrap();
+        let mut src = TraceGenerator::new(p, 9, 0);
+        run(&mut core, &mut src, 30_000);
+        assert_eq!(core.cpi_stack().total(), core.cycles());
+    }
+}

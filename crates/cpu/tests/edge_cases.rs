@@ -1,0 +1,310 @@
+//! Targeted edge-case tests for the core models, driven by hand-built
+//! instruction scripts.
+
+use relsim_cpu::{Core, CoreConfig, InorderCore, NullObserver, OooCore, RecordingObserver};
+use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+use relsim_trace::{Instr, InstrSource, OpClass};
+
+struct Script {
+    instrs: Vec<Instr>,
+    pos: usize,
+    looped: bool,
+    wrong_path: Instr,
+}
+
+impl Script {
+    /// Pads with NOPs once exhausted.
+    fn new(instrs: Vec<Instr>) -> Self {
+        Script {
+            instrs,
+            pos: 0,
+            looped: false,
+            wrong_path: Instr {
+                op: OpClass::IntAlu,
+                src1: Some(1),
+                ..Instr::nop()
+            },
+        }
+    }
+
+    /// Wraps around once exhausted.
+    fn looping(instrs: Vec<Instr>) -> Self {
+        let mut s = Self::new(instrs);
+        s.looped = true;
+        s
+    }
+}
+
+impl InstrSource for Script {
+    fn next_instr(&mut self) -> Instr {
+        if self.looped {
+            let i = self.instrs[self.pos % self.instrs.len()];
+            self.pos += 1;
+            return i;
+        }
+        let i = self.instrs.get(self.pos).copied().unwrap_or(Instr::nop());
+        self.pos += 1;
+        i
+    }
+    fn wrong_path_instr(&mut self) -> Instr {
+        self.wrong_path
+    }
+}
+
+fn alu() -> Instr {
+    Instr {
+        op: OpClass::IntAlu,
+        src1: None,
+        ..Instr::nop()
+    }
+}
+
+fn run_ooo(instrs: Vec<Instr>, ticks: u64) -> (OooCore, RecordingObserver) {
+    let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+    let mut shared = SharedMem::new(SharedMemConfig::default());
+    let mut src = Script::new(instrs);
+    let mut obs = RecordingObserver::default();
+    for t in 0..ticks {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    (core, obs)
+}
+
+#[test]
+fn divider_contention_serializes_divides() {
+    // Back-to-back independent divides share one unpipelined divider:
+    // throughput is bounded by the 18-cycle occupancy.
+    let divs = vec![
+        Instr {
+            op: OpClass::IntDiv,
+            src1: None,
+            src2: None,
+            ..Instr::nop()
+        };
+        50
+    ];
+    let (core, obs) = run_ooo(divs, 2000);
+    let div_events: Vec<_> = obs
+        .events
+        .iter()
+        .filter(|e| e.op == OpClass::IntDiv)
+        .collect();
+    assert_eq!(div_events.len(), 50);
+    assert!(core.committed() >= 50);
+    // 50 divides x 18 cycles on one divider >= 900 cycles of issue span.
+    let first = div_events.first().unwrap().issue;
+    let last = div_events.last().unwrap().issue;
+    assert!(
+        last - first >= 49 * 18,
+        "divides must serialize: span {}",
+        last - first
+    );
+}
+
+#[test]
+fn store_heavy_code_bounded_by_store_queue() {
+    // A long run of stores cannot exceed SQ occupancy of 64; the core must
+    // still make steady progress.
+    let stores: Vec<Instr> = (0..5000)
+        .map(|i| Instr {
+            op: OpClass::Store,
+            src1: None,
+            src2: None,
+            addr: (i % 64) * 64,
+            ..Instr::nop()
+        })
+        .collect();
+    let (core, obs) = run_ooo(stores, 4000);
+    assert!(core.committed() > 3000, "committed {}", core.committed());
+    assert!(obs.events.iter().all(|e| e.is_well_formed()));
+}
+
+#[test]
+fn mispredict_under_memory_miss_floods_wrong_path() {
+    // The mcf pattern: a load missing to memory feeds a mispredicted
+    // branch. The branch cannot resolve until the load returns, so the
+    // wrong path runs long and fills the ROB with un-ACE state.
+    let mut v = Vec::new();
+    for i in 0..60u64 {
+        v.push(Instr {
+            op: OpClass::Load,
+            src1: None,
+            src2: None,
+            addr: 0x10_0000 + i * 64 * 1031, // cold: miss to memory
+            ..Instr::nop()
+        });
+        v.push(Instr {
+            op: OpClass::Branch,
+            src1: Some(1), // depends on the load
+            mispredict: true,
+            ..Instr::nop()
+        });
+        for _ in 0..8 {
+            v.push(alu());
+        }
+    }
+    let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+    let mut shared = SharedMem::new(SharedMemConfig::default());
+    let mut src = Script::looping(v);
+    let mut obs = NullObserver;
+    for t in 0..30_000 {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    assert!(
+        core.wrong_path_dispatched() > core.committed() / 4,
+        "wrong path should be substantial: wp {} vs committed {}",
+        core.wrong_path_dispatched(),
+        core.committed()
+    );
+    assert!(core.branch_mispredicts() > 10);
+}
+
+#[test]
+fn dependent_loads_serialize_into_pointer_chase() {
+    // Each load's address depends on the previous load: no MLP.
+    let chase: Vec<Instr> = (0..200)
+        .map(|i| Instr {
+            op: OpClass::Load,
+            src1: Some(1),
+            src2: None,
+            addr: 0x20_0000 + i * 64 * 977,
+            ..Instr::nop()
+        })
+        .collect();
+    let (serial, _) = run_ooo(chase.clone(), 40_000);
+
+    // The same loads made independent: MLP overlaps the misses.
+    let parallel: Vec<Instr> = chase
+        .into_iter()
+        .map(|mut i| {
+            i.src1 = None;
+            i
+        })
+        .collect();
+    let (mlp, _) = run_ooo(parallel, 40_000);
+    assert!(
+        mlp.committed() > serial.committed() * 2,
+        "independent misses must overlap: {} vs {}",
+        mlp.committed(),
+        serial.committed()
+    );
+}
+
+#[test]
+fn issue_queue_pressure_from_long_dependence_chains() {
+    // Chains through the FP divider keep consumers waiting in the IQ; the
+    // core must not deadlock and IQ wait times must show in the events.
+    let mut v = Vec::new();
+    for _ in 0..100 {
+        v.push(Instr {
+            op: OpClass::FpDiv,
+            src1: Some(1),
+            src2: Some(2),
+            ..Instr::nop()
+        });
+        v.push(alu());
+    }
+    let (core, obs) = run_ooo(v, 10_000);
+    assert!(core.committed() >= 200);
+    let max_iq_wait = obs
+        .events
+        .iter()
+        .filter(|e| e.op == OpClass::FpDiv)
+        .map(|e| e.issue - e.dispatch)
+        .max()
+        .unwrap();
+    assert!(max_iq_wait > 6, "chained divides should wait in IQ");
+}
+
+#[test]
+fn nop_only_stream_is_never_ace_but_flows() {
+    let (core, obs) = run_ooo(vec![Instr::nop(); 2000], 600);
+    assert!(core.committed() >= 4 * 500);
+    assert!(obs.events.iter().all(|e| e.op == OpClass::Nop));
+}
+
+#[test]
+fn inorder_store_queue_capacity_throttles_bursts() {
+    // The small core's 10-entry store queue must bound store bursts
+    // without deadlock.
+    let stores: Vec<Instr> = (0..2000)
+        .map(|i| Instr {
+            op: OpClass::Store,
+            src1: None,
+            src2: None,
+            addr: (i % 32) * 64,
+            ..Instr::nop()
+        })
+        .collect();
+    let mut core = InorderCore::new(CoreConfig::small(), PrivateCacheConfig::default());
+    let mut shared = SharedMem::new(SharedMemConfig::default());
+    let mut src = Script::new(stores);
+    let mut obs = NullObserver;
+    for t in 0..3000 {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    assert!(core.committed() > 1500, "committed {}", core.committed());
+}
+
+#[test]
+fn migration_reset_mid_wrong_path_recovers() {
+    // Reset the pipeline while the core is executing down the wrong path;
+    // it must resume cleanly on the correct path.
+    let mut v = Vec::new();
+    v.push(Instr {
+        op: OpClass::Load,
+        src1: None,
+        src2: None,
+        addr: 0x40_0000,
+        ..Instr::nop()
+    });
+    v.push(Instr {
+        op: OpClass::Branch,
+        src1: Some(1),
+        mispredict: true,
+        ..Instr::nop()
+    });
+    v.extend(vec![alu(); 3000]);
+    let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+    let mut shared = SharedMem::new(SharedMemConfig::default());
+    let mut src = Script::new(v);
+    let mut obs = NullObserver;
+    for t in 0..40 {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    core.reset_pipeline(); // likely mid-speculation
+    for t in 40..2000 {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    assert!(core.committed() > 1000, "committed {}", core.committed());
+    assert_eq!(core.cpi_stack().total(), core.cycles());
+}
+
+#[test]
+fn icache_miss_streak_throttles_but_does_not_starve() {
+    let v: Vec<Instr> = (0..1500)
+        .map(|_| Instr {
+            icache_miss: true,
+            ..alu()
+        })
+        .collect();
+    let (core, _) = run_ooo(v, 20_000);
+    assert!(core.committed() > 500, "committed {}", core.committed());
+    assert!(core.icache_misses() > 100);
+    let ic_frac = core.cpi_stack().icache as f64 / core.cycles() as f64;
+    assert!(ic_frac > 0.3, "icache stall fraction {ic_frac}");
+}
+
+#[test]
+fn wrapper_core_enum_covers_both_models() {
+    for cfg in [CoreConfig::big(), CoreConfig::small()] {
+        let mut core = Core::new(cfg, PrivateCacheConfig::default());
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut src = Script::new(vec![alu(); 3000]);
+        let mut obs = NullObserver;
+        for t in 0..1500 {
+            core.tick(t, &mut src, &mut shared, &mut obs);
+        }
+        assert!(core.committed() > 1000);
+    }
+}

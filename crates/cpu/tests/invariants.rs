@@ -1,0 +1,146 @@
+//! Invariant tests of the core models under randomized instruction
+//! streams: timestamps well-formed, counts consistent, no deadlock, no
+//! panic, across a wide space of synthetic profiles.
+
+use proptest::prelude::*;
+use relsim_cpu::{Core, CoreConfig, RecordingObserver};
+use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+use relsim_trace::{
+    BenchmarkProfile, MemoryProfile, OpMix, PhaseProfile, Suite, TraceGenerator,
+};
+
+fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.05f64..0.4,  // load
+        0.0f64..0.2,   // store
+        0.0f64..0.3,   // branch
+        0.0f64..0.3,   // fp
+        0.0f64..0.05,  // nop
+        1.0f64..20.0,  // dep
+        0.0f64..0.15,  // mispredict
+        0.0f64..0.03,  // icache
+        0.0f64..0.8,   // stream
+    )
+        .prop_map(
+            |(load, store, branch, fp, nop, dep, mis, ic, stream)| {
+                let scale = 1.0 / (load + store + branch + fp + nop + 0.3);
+                let k = scale.min(1.0);
+                BenchmarkProfile::single_phase(
+                    "arb",
+                    Suite::Int,
+                    PhaseProfile {
+                        len_instrs: 10_000,
+                        mix: OpMix {
+                            load: load * k,
+                            store: store * k,
+                            branch: branch * k,
+                            int_mul: 0.0,
+                            int_div: 0.0,
+                            fp_add: fp * k / 2.0,
+                            fp_mul: fp * k / 2.0,
+                            fp_div: 0.0,
+                            nop: nop * k,
+                        },
+                        mean_dep_dist: dep,
+                        branch_mispredict_rate: mis,
+                        icache_miss_rate: ic,
+                        mem: MemoryProfile {
+                            stream_fraction: stream,
+                            hot_fraction: (0.9 - stream).max(0.0),
+                            hot_bytes: 16 << 10,
+                            cold_bytes: 1 << 20,
+                            stream_stride: 8,
+                        },
+                    },
+                )
+            },
+        )
+}
+
+fn check_core(cfg: CoreConfig, profile: BenchmarkProfile, seed: u64, ticks: u64) {
+    let mut core = Core::new(cfg, PrivateCacheConfig::default());
+    let mut shared = SharedMem::new(SharedMemConfig::default());
+    let mut src = TraceGenerator::new(profile, seed, 0);
+    let mut obs = RecordingObserver::default();
+    for t in 0..ticks {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    // Liveness: the core must make progress on any valid stream.
+    assert!(
+        core.committed() > 0,
+        "core deadlocked: 0 instructions in {ticks} ticks"
+    );
+    assert_eq!(obs.events.len() as u64, core.committed());
+    // Every retirement record is internally consistent.
+    let mut last_commit = 0;
+    for ev in &obs.events {
+        assert!(ev.is_well_formed(), "{ev:?}");
+        assert!(ev.commit >= last_commit, "commit order violated");
+        last_commit = ev.commit;
+    }
+    // Accounting identities.
+    assert_eq!(core.class_counts().iter().sum::<u64>(), core.committed());
+    assert_eq!(core.cpi_stack().total(), core.cycles());
+    let loads: u64 = core.loads_by_level().iter().sum();
+    assert_eq!(
+        loads,
+        core.class_counts()[relsim_trace::OpClass::Load.index()]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The out-of-order core never deadlocks, never reorders commits, and
+    /// keeps its accounting identities on arbitrary workloads.
+    #[test]
+    fn ooo_core_invariants(profile in arb_profile(), seed in 0u64..100) {
+        check_core(CoreConfig::big(), profile, seed, 30_000);
+    }
+
+    /// Same for the in-order core.
+    #[test]
+    fn inorder_core_invariants(profile in arb_profile(), seed in 0u64..100) {
+        check_core(CoreConfig::small(), profile, seed, 30_000);
+    }
+
+    /// Identical inputs give bit-identical outcomes on both cores.
+    #[test]
+    fn cores_are_deterministic(profile in arb_profile(), seed in 0u64..100) {
+        for cfg in [CoreConfig::big(), CoreConfig::small()] {
+            let run = |cfg: CoreConfig| {
+                let mut core = Core::new(cfg, PrivateCacheConfig::default());
+                let mut shared = SharedMem::new(SharedMemConfig::default());
+                let mut src = TraceGenerator::new(profile.clone(), seed, 0);
+                let mut obs = RecordingObserver::default();
+                for t in 0..10_000 {
+                    core.tick(t, &mut src, &mut shared, &mut obs);
+                }
+                (core.committed(), core.cycles(), obs.events.len())
+            };
+            prop_assert_eq!(run(cfg.clone()), run(cfg));
+        }
+    }
+
+    /// The half-frequency core commits no more instructions than the
+    /// full-frequency core over the same wall-clock window.
+    #[test]
+    fn half_frequency_is_never_faster(profile in arb_profile(), seed in 0u64..50) {
+        let run = |cfg: CoreConfig| {
+            let mut core = Core::new(cfg, PrivateCacheConfig::default());
+            let mut shared = SharedMem::new(SharedMemConfig::default());
+            let mut src = TraceGenerator::new(profile.clone(), seed, 0);
+            let mut obs = relsim_cpu::NullObserver;
+            for t in 0..20_000 {
+                core.tick(t, &mut src, &mut shared, &mut obs);
+            }
+            core.committed()
+        };
+        let full = run(CoreConfig::small());
+        let half = run(CoreConfig::small().at_half_frequency());
+        // Allow a sliver of slack: the slower clock can align memory
+        // completions slightly differently.
+        prop_assert!(half as f64 <= full as f64 * 1.02 + 50.0,
+            "half-frequency committed {half} vs {full}");
+    }
+}

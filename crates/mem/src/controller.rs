@@ -1,0 +1,148 @@
+//! Bandwidth-limited DRAM controller model.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the memory controller.
+///
+/// Defaults follow Table 2 of the paper: 25.6 GB/s of bandwidth and 45 ns
+/// access latency, expressed in big-core cycles at 2.66 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemControllerConfig {
+    /// DRAM access latency in ticks (45 ns ≈ 120 ticks at 2.66 GHz).
+    pub latency_ticks: u64,
+    /// Ticks to transfer one cache line on the memory bus
+    /// (64 B / 25.6 GB/s = 2.5 ns ≈ 7 ticks at 2.66 GHz).
+    pub transfer_ticks: u64,
+}
+
+impl Default for MemControllerConfig {
+    fn default() -> Self {
+        MemControllerConfig {
+            latency_ticks: 120,
+            transfer_ticks: 7,
+        }
+    }
+}
+
+/// Statistics of the memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemControllerStats {
+    /// Total line requests served.
+    pub requests: u64,
+    /// Total ticks requests spent queued behind the bus (contention delay).
+    pub queue_ticks: u64,
+}
+
+/// A simple bandwidth-limited memory controller.
+///
+/// Each request occupies the bus for `transfer_ticks`; requests arriving
+/// while the bus is busy queue behind it, which is how co-running
+/// applications slow each other down on memory bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use relsim_mem::{MemController, MemControllerConfig};
+///
+/// let mut ctrl = MemController::new(MemControllerConfig::default());
+/// let first = ctrl.request(0);
+/// let second = ctrl.request(0); // queues behind the first transfer
+/// assert!(second > first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemController {
+    cfg: MemControllerConfig,
+    next_free: u64,
+    stats: MemControllerStats,
+}
+
+impl MemController {
+    /// Create an idle controller.
+    pub fn new(cfg: MemControllerConfig) -> Self {
+        MemController {
+            cfg,
+            next_free: 0,
+            stats: MemControllerStats::default(),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> MemControllerConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MemControllerStats {
+        self.stats
+    }
+
+    /// Reset statistics and bus state.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemControllerStats::default();
+        self.next_free = 0;
+    }
+
+    /// Issue a line request at tick `now`; returns the tick at which the
+    /// data is available to the requester.
+    pub fn request(&mut self, now: u64) -> u64 {
+        let start = now.max(self.next_free);
+        self.stats.requests += 1;
+        self.stats.queue_ticks += start - now;
+        self.next_free = start + self.cfg.transfer_ticks;
+        start + self.cfg.latency_ticks + self.cfg.transfer_ticks
+    }
+
+    /// Average queueing delay per request in ticks.
+    pub fn avg_queue_delay(&self) -> f64 {
+        if self.stats.requests == 0 {
+            0.0
+        } else {
+            self.stats.queue_ticks as f64 / self.stats.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_latency() {
+        let mut c = MemController::new(MemControllerConfig::default());
+        let done = c.request(1000);
+        assert_eq!(done, 1000 + 120 + 7);
+        assert_eq!(c.stats().queue_ticks, 0);
+    }
+
+    #[test]
+    fn back_to_back_requests_serialize_on_bus() {
+        let mut c = MemController::new(MemControllerConfig::default());
+        let a = c.request(0);
+        let b = c.request(0);
+        let d = c.request(0);
+        assert_eq!(a, 127);
+        assert_eq!(b, 7 + 127);
+        assert_eq!(d, 14 + 127);
+        assert_eq!(c.stats().queue_ticks, 7 + 14);
+    }
+
+    #[test]
+    fn bus_frees_up_over_time() {
+        let mut c = MemController::new(MemControllerConfig::default());
+        let _ = c.request(0);
+        // A request far in the future sees an idle bus again.
+        let done = c.request(10_000);
+        assert_eq!(done, 10_000 + 127);
+    }
+
+    #[test]
+    fn avg_queue_delay_reported() {
+        let mut c = MemController::new(MemControllerConfig {
+            latency_ticks: 100,
+            transfer_ticks: 10,
+        });
+        c.request(0); // no delay
+        c.request(0); // 10 delay
+        assert!((c.avg_queue_delay() - 5.0).abs() < 1e-12);
+    }
+}

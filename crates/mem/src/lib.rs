@@ -1,0 +1,37 @@
+//! # relsim-mem
+//!
+//! Cache hierarchy and memory controller models for the `relsim`
+//! heterogeneous multicore simulator: set-associative LRU caches
+//! ([`Cache`]), per-core private hierarchies ([`PrivateCaches`]), and the
+//! shared L3 + bandwidth-limited DRAM controller ([`SharedMem`]) where
+//! multiprogram interference arises.
+//!
+//! Default configurations reproduce Table 2 of *Reliability-Aware
+//! Scheduling on Heterogeneous Multicore Processors* (HPCA 2017): 32 KB L1s,
+//! a 256 KB private L2, an 8 MB shared L3, and 25.6 GB/s / 45 ns DRAM.
+//!
+//! # Quick start
+//!
+//! ```
+//! use relsim_mem::{PrivateCacheConfig, PrivateCaches, SharedMem, SharedMemConfig};
+//!
+//! let mut shared = SharedMem::new(SharedMemConfig::default());
+//! let mut core0 = PrivateCaches::new(PrivateCacheConfig::default(), 1);
+//! let outcome = core0.access_data(0x1000, false, 0, &mut shared);
+//! println!("cold miss served by {:?} at tick {}", outcome.level, outcome.complete_at);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod controller;
+mod hierarchy;
+mod prefetch;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use controller::{MemController, MemControllerConfig, MemControllerStats};
+pub use hierarchy::{
+    AccessOutcome, MemLevel, PrivateCacheConfig, PrivateCaches, SharedMem, SharedMemConfig,
+};
+pub use prefetch::{PrefetchConfig, PrefetchStats, Prefetcher};

@@ -1,0 +1,181 @@
+//! Property-based tests of the cache and memory-controller models.
+
+use proptest::prelude::*;
+use relsim_mem::{Cache, CacheConfig, MemController, MemControllerConfig};
+use std::collections::HashMap;
+
+fn cache_strategy() -> impl Strategy<Value = CacheConfig> {
+    // Small caches so property runs are fast: 2^s sets, 1-8 ways.
+    (0u32..6, 1u32..9).prop_map(|(set_bits, ways)| {
+        let sets = 1u64 << set_bits;
+        CacheConfig {
+            size_bytes: sets * ways as u64 * 64,
+            ways,
+            line_bytes: 64,
+            latency: 1,
+        }
+    })
+}
+
+proptest! {
+    /// Immediately re-accessing any address hits.
+    #[test]
+    fn access_then_hit(cfg in cache_strategy(), addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(cfg);
+        for addr in addrs {
+            let _ = c.access(addr, false);
+            prop_assert!(c.access(addr, false), "addr {addr:#x} must hit after fill");
+        }
+    }
+
+    /// The cache never holds more distinct lines than its capacity.
+    #[test]
+    fn capacity_respected(cfg in cache_strategy(), addrs in prop::collection::vec(0u64..10_000_000, 1..500)) {
+        let mut c = Cache::new(cfg);
+        let mut inserted: Vec<u64> = Vec::new();
+        for addr in addrs {
+            let _ = c.access(addr, false);
+            let line = addr / 64 * 64;
+            if !inserted.contains(&line) {
+                inserted.push(line);
+            }
+        }
+        let resident = inserted.iter().filter(|&&l| c.contains(l)).count() as u64;
+        let capacity_lines = cfg.size_bytes / cfg.line_bytes;
+        prop_assert!(resident <= capacity_lines, "{resident} lines in a {capacity_lines}-line cache");
+    }
+
+    /// Hits + misses always equals accesses; hit count matches a
+    /// reference model when the working set fits one way-set.
+    #[test]
+    fn stats_are_consistent(cfg in cache_strategy(), addrs in prop::collection::vec(0u64..1_000_000, 0..300)) {
+        let mut c = Cache::new(cfg);
+        for &addr in &addrs {
+            let _ = c.access(addr, false);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert_eq!(s.hits + s.misses(), s.accesses);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    /// A direct-comparison LRU model: for a single set, the cache's
+    /// hit/miss sequence matches a straightforward LRU list.
+    #[test]
+    fn matches_reference_lru_for_single_set(
+        ways in 1u32..9,
+        lines in prop::collection::vec(0u64..12, 1..300),
+    ) {
+        // One set: sets = 1, so every line maps there.
+        let cfg = CacheConfig {
+            size_bytes: ways as u64 * 64,
+            ways,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let mut c = Cache::new(cfg);
+        let mut lru: Vec<u64> = Vec::new(); // front = most recent
+        for line in lines {
+            let addr = line * 64;
+            let expect_hit = lru.contains(&line);
+            let got_hit = c.access(addr, false);
+            prop_assert_eq!(got_hit, expect_hit, "line {} divergence", line);
+            lru.retain(|&l| l != line);
+            lru.insert(0, line);
+            lru.truncate(ways as usize);
+        }
+    }
+
+    /// Write-backs only happen for lines that were written.
+    #[test]
+    fn writebacks_bounded_by_writes(
+        ops in prop::collection::vec((0u64..2048, prop::bool::ANY), 1..400),
+    ) {
+        let cfg = CacheConfig { size_bytes: 4 * 64, ways: 2, line_bytes: 64, latency: 1 };
+        let mut c = Cache::new(cfg);
+        let mut writes = 0u64;
+        for (line, is_write) in ops {
+            let _ = c.access(line * 64, is_write);
+            writes += is_write as u64;
+        }
+        prop_assert!(c.stats().writebacks <= writes);
+    }
+
+    /// Memory controller completions are monotone in request order and
+    /// never earlier than latency + transfer.
+    #[test]
+    fn controller_completions_monotone(
+        gaps in prop::collection::vec(0u64..50, 1..200),
+        cfg in (1u64..300, 1u64..30).prop_map(|(l, t)| MemControllerConfig {
+            latency_ticks: l,
+            transfer_ticks: t,
+        }),
+    ) {
+        let mut ctrl = MemController::new(cfg);
+        let mut now = 0u64;
+        let mut last_done = 0u64;
+        for gap in gaps {
+            now += gap;
+            let done = ctrl.request(now);
+            prop_assert!(done >= now + cfg.latency_ticks + cfg.transfer_ticks);
+            prop_assert!(done >= last_done, "completions must be monotone");
+            last_done = done;
+        }
+    }
+
+    /// Bandwidth accounting: over any request train, the bus serves at
+    /// most one line per transfer window.
+    #[test]
+    fn controller_respects_bandwidth(
+        n in 1usize..200,
+        cfg in (1u64..100, 1u64..20).prop_map(|(l, t)| MemControllerConfig {
+            latency_ticks: l,
+            transfer_ticks: t,
+        }),
+    ) {
+        let mut ctrl = MemController::new(cfg);
+        // All requests arrive at tick 0: completion i = latency + (i+1)*transfer.
+        let mut last = 0;
+        for i in 0..n {
+            let done = ctrl.request(0);
+            prop_assert_eq!(done, cfg.latency_ticks + (i as u64 + 1) * cfg.transfer_ticks);
+            prop_assert!(done > last);
+            last = done;
+        }
+    }
+}
+
+/// Cross-checking the cache against a fully-associative per-set hash-map
+/// model over longer random streams.
+#[test]
+fn randomized_against_reference_model() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let cfg = CacheConfig {
+        size_bytes: 8 << 10,
+        ways: 4,
+        line_bytes: 64,
+        latency: 1,
+    };
+    let sets = cfg.sets();
+    let mut cache = Cache::new(cfg);
+    // Reference: per-set LRU lists.
+    let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut rng = SmallRng::seed_from_u64(42);
+    for i in 0..200_000u64 {
+        let addr = if rng.gen_bool(0.7) {
+            rng.gen_range(0u64..(4 << 10))
+        } else {
+            rng.gen_range(0u64..(1 << 20))
+        };
+        let line = addr / 64;
+        let set = line % sets;
+        let entry = model.entry(set).or_default();
+        let expect_hit = entry.contains(&line);
+        let got = cache.access(addr, false);
+        assert_eq!(got, expect_hit, "divergence at access {i} addr {addr:#x}");
+        entry.retain(|&l| l != line);
+        entry.insert(0, line);
+        entry.truncate(4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Aggregation helpers for experiment reporting.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn arithmetic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any element is negative.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "geometric mean requires non-negative values"
+    );
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Harmonic mean; 0 for an empty slice or if any element is 0.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.contains(&0.0) {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|&x| 1.0 / x).sum::<f64>()
+}
+
+/// Normalize each value to a per-element baseline (`value / baseline`),
+/// as the paper's figures normalize schedulers to the random scheduler.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn normalize_to(values: &[f64], baselines: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), baselines.len(), "length mismatch");
+    values
+        .iter()
+        .zip(baselines)
+        .map(|(&v, &b)| if b == 0.0 { 0.0 } else { v / b })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_on_simple_data() {
+        let xs = [1.0, 2.0, 4.0];
+        assert!((arithmetic_mean(&xs) - 7.0 / 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&xs) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&xs) - 3.0 / 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_ordering_holds() {
+        // HM <= GM <= AM for positive values.
+        let xs = [0.5, 3.0, 7.0, 2.2];
+        assert!(harmonic_mean(&xs) <= geometric_mean(&xs));
+        assert!(geometric_mean(&xs) <= arithmetic_mean(&xs));
+    }
+
+    #[test]
+    fn normalization() {
+        let v = normalize_to(&[2.0, 6.0], &[4.0, 3.0]);
+        assert_eq!(v, vec![0.5, 2.0]);
+        assert_eq!(normalize_to(&[1.0], &[0.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalization_length_checked() {
+        let _ = normalize_to(&[1.0], &[1.0, 2.0]);
+    }
+}

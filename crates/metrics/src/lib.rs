@@ -1,0 +1,40 @@
+//! # relsim-metrics
+//!
+//! Reliability and performance metrics for multiprogram workloads on
+//! (heterogeneous) multicores, from *Reliability-Aware Scheduling on
+//! Heterogeneous Multicore Processors* (HPCA 2017, Section 3):
+//!
+//! * [`ser`] — soft error rate of a single program (Equation 1);
+//! * [`wser`] — weighted SER of one application in a multiprogram mix
+//!   (Equation 2), which scales SER by the application's slowdown relative
+//!   to an isolated reference core;
+//! * [`sser`] — the paper's novel System Soft Error Rate (Equation 3), the
+//!   sum of per-application weighted SERs;
+//! * [`stp`] — system throughput (weighted speedup) after Eyerman &
+//!   Eeckhout, used by the performance-optimized scheduler.
+//!
+//! # Quick start (Table 1(c) of the paper)
+//!
+//! ```
+//! use relsim_metrics::{sser, AppOutcome};
+//!
+//! // Benchmark A on the small core: SER 1/8 at slowdown 4 -> wSER 0.5.
+//! // Benchmark B on the big core: SER 1 at slowdown 1 -> wSER 1.
+//! let apps = [
+//!     AppOutcome { abc: 1.0 / 8.0, time: 1.0, time_ref: 0.25 },
+//!     AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+//! ];
+//! let s = sser(&apps, 1.0);
+//! assert!((s - 1.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod reliability;
+mod throughput;
+
+pub use aggregate::{arithmetic_mean, geometric_mean, harmonic_mean, normalize_to};
+pub use reliability::{ser, slowdown, sser, wser, AppOutcome};
+pub use throughput::{antt, stp, AppProgress};

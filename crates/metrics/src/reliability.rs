@@ -1,0 +1,145 @@
+//! SER, wSER and SSER (Equations 1–3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Measured outcome of one application over an evaluation window.
+///
+/// `abc` is the total ACE bit-time accumulated, `time` the (wall) time the
+/// application ran in the multiprogram mix, and `time_ref` the time an
+/// isolated reference core (a big core, per the paper) would have needed
+/// for the same amount of work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppOutcome {
+    /// Total ACE bit-time over the window.
+    pub abc: f64,
+    /// Time the application actually took (same unit as `time_ref`).
+    pub time: f64,
+    /// Time the isolated reference core would need for the same work.
+    pub time_ref: f64,
+}
+
+impl AppOutcome {
+    /// The application's slowdown relative to the reference core.
+    pub fn slowdown(&self) -> f64 {
+        slowdown(self.time, self.time_ref)
+    }
+}
+
+/// Soft error rate (Equation 1): `SER = ABC / T × IFR`.
+///
+/// `abc` is the total ACE bit count over the execution, `time` the
+/// execution time, and `ifr` the intrinsic fault rate (errors per bit per
+/// time unit).
+///
+/// # Examples
+///
+/// ```
+/// // 1000 ACE bit-seconds over 10 seconds at IFR 1e-6/s.
+/// let r = relsim_metrics::ser(1000.0, 10.0, 1e-6);
+/// assert!((r - 1e-4).abs() < 1e-18);
+/// ```
+pub fn ser(abc: f64, time: f64, ifr: f64) -> f64 {
+    if time <= 0.0 {
+        return 0.0;
+    }
+    abc / time * ifr
+}
+
+/// Application slowdown: `T / T_ref`.
+pub fn slowdown(time: f64, time_ref: f64) -> f64 {
+    if time_ref <= 0.0 {
+        return 0.0;
+    }
+    time / time_ref
+}
+
+/// Weighted SER (Equation 2): `wSER = SER × slowdown = ABC / T_ref × IFR`.
+///
+/// Note the cancellation the paper highlights: the application's own
+/// execution time drops out, leaving only the reference time. An
+/// application that runs longer (is slowed down more) accumulates more ABC
+/// for the same work and therefore a higher wSER.
+pub fn wser(abc: f64, time_ref: f64, ifr: f64) -> f64 {
+    if time_ref <= 0.0 {
+        return 0.0;
+    }
+    abc / time_ref * ifr
+}
+
+/// System Soft Error Rate (Equation 3): the sum of per-application
+/// weighted SERs. Lower is better.
+///
+/// # Examples
+///
+/// Table 1(b) of the paper — one application slowed down 2×:
+///
+/// ```
+/// use relsim_metrics::{sser, AppOutcome};
+/// let apps = [
+///     AppOutcome { abc: 2.0, time: 2.0, time_ref: 1.0 }, // SER 1, slowdown 2
+///     AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 }, // SER 1, slowdown 1
+/// ];
+/// assert!((sser(&apps, 1.0) - 3.0).abs() < 1e-12);
+/// ```
+pub fn sser(apps: &[AppOutcome], ifr: f64) -> f64 {
+    apps.iter().map(|a| wser(a.abc, a.time_ref, ifr)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ser_definition() {
+        assert_eq!(ser(100.0, 10.0, 1.0), 10.0);
+        assert_eq!(ser(100.0, 0.0, 1.0), 0.0, "degenerate time");
+    }
+
+    #[test]
+    fn wser_is_ser_times_slowdown() {
+        let (abc, t, t_ref, ifr) = (120.0, 6.0, 2.0, 1e-3);
+        let direct = wser(abc, t_ref, ifr);
+        let composed = ser(abc, t, ifr) * slowdown(t, t_ref);
+        assert!((direct - composed).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wser_independent_of_own_time() {
+        // Equation 2's cancellation: T drops out entirely.
+        assert_eq!(wser(50.0, 5.0, 1.0), 10.0);
+    }
+
+    #[test]
+    fn table1_example_a_homogeneous_no_interference() {
+        let apps = [
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+        ];
+        assert!((sser(&apps, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_example_b_one_app_slowed() {
+        // SER stays 1 (ABC grows with time), slowdown 2 -> wSER 2.
+        let apps = [
+            AppOutcome { abc: 2.0, time: 2.0, time_ref: 1.0 },
+            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+        ];
+        assert!((sser(&apps, 1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_example_c_heterogeneous() {
+        // A on small: SER 1/8 over time 1 with time_ref 0.25 (slowdown 4).
+        let a = AppOutcome { abc: 1.0 / 8.0, time: 1.0, time_ref: 0.25 };
+        assert!((a.slowdown() - 4.0).abs() < 1e-12);
+        let b = AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 };
+        assert!((sser(&[a, b], 1.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sser_scales_with_ifr() {
+        let apps = [AppOutcome { abc: 3.0, time: 1.0, time_ref: 1.0 }];
+        assert!((sser(&apps, 2.0) - 2.0 * sser(&apps, 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! System throughput (STP) — the performance metric used by the
+//! performance-optimized scheduler (Eyerman & Eeckhout, IEEE Micro 2008).
+
+use serde::{Deserialize, Serialize};
+
+/// Progress of one application over an evaluation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppProgress {
+    /// Work completed (e.g. instructions committed) in the window.
+    pub work: f64,
+    /// Wall time of the window.
+    pub time: f64,
+    /// Work rate of the isolated reference core (e.g. instructions per
+    /// tick on an isolated big core).
+    pub ref_rate: f64,
+}
+
+impl AppProgress {
+    /// Normalized progress: the application's work rate relative to the
+    /// isolated reference core. 1.0 means "as fast as isolated".
+    pub fn normalized_progress(&self) -> f64 {
+        if self.time <= 0.0 || self.ref_rate <= 0.0 {
+            return 0.0;
+        }
+        (self.work / self.time) / self.ref_rate
+    }
+}
+
+/// System throughput: the sum of per-application normalized progress,
+/// also known as weighted speedup. Higher is better; `n` applications
+/// running as fast as on isolated reference cores give STP = n.
+///
+/// # Examples
+///
+/// ```
+/// use relsim_metrics::{stp, AppProgress};
+/// let apps = [
+///     AppProgress { work: 100.0, time: 100.0, ref_rate: 1.0 }, // full speed
+///     AppProgress { work: 50.0, time: 100.0, ref_rate: 1.0 },  // half speed
+/// ];
+/// assert!((stp(&apps) - 1.5).abs() < 1e-12);
+/// ```
+pub fn stp(apps: &[AppProgress]) -> f64 {
+    apps.iter().map(AppProgress::normalized_progress).sum()
+}
+
+/// Average normalized turnaround time — the user-perspective companion of
+/// STP from Eyerman & Eeckhout (the paper's metrics reference \[7\]): the
+/// arithmetic mean of per-application slowdowns. Lower is better; 1.0
+/// means every application ran as fast as on its isolated reference core.
+///
+/// Applications with zero progress contribute an infinite slowdown; the
+/// result is then infinite, which faithfully reflects a starved workload.
+///
+/// # Examples
+///
+/// ```
+/// use relsim_metrics::{antt, AppProgress};
+/// let apps = [
+///     AppProgress { work: 100.0, time: 100.0, ref_rate: 1.0 }, // slowdown 1
+///     AppProgress { work: 50.0, time: 100.0, ref_rate: 1.0 },  // slowdown 2
+/// ];
+/// assert!((antt(&apps) - 1.5).abs() < 1e-12);
+/// ```
+pub fn antt(apps: &[AppProgress]) -> f64 {
+    if apps.is_empty() {
+        return 0.0;
+    }
+    apps.iter()
+        .map(|a| {
+            let p = a.normalized_progress();
+            if p <= 0.0 {
+                f64::INFINITY
+            } else {
+                1.0 / p
+            }
+        })
+        .sum::<f64>()
+        / apps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_speed_apps_sum_to_n() {
+        let apps = vec![
+            AppProgress {
+                work: 10.0,
+                time: 10.0,
+                ref_rate: 1.0
+            };
+            4
+        ];
+        assert!((stp(&apps) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_reduces_stp() {
+        let fast = AppProgress { work: 100.0, time: 100.0, ref_rate: 1.0 };
+        let slow = AppProgress { work: 25.0, time: 100.0, ref_rate: 1.0 };
+        assert!(stp(&[fast, slow]) < stp(&[fast, fast]));
+    }
+
+    #[test]
+    fn antt_is_mean_slowdown() {
+        let apps = [
+            AppProgress { work: 100.0, time: 100.0, ref_rate: 1.0 },
+            AppProgress { work: 25.0, time: 100.0, ref_rate: 1.0 },
+        ];
+        assert!((antt(&apps) - 2.5).abs() < 1e-12);
+        assert_eq!(antt(&[]), 0.0);
+    }
+
+    #[test]
+    fn starved_app_gives_infinite_antt() {
+        let apps = [AppProgress { work: 0.0, time: 100.0, ref_rate: 1.0 }];
+        assert!(antt(&apps).is_infinite());
+    }
+
+    #[test]
+    fn stp_and_antt_move_oppositely() {
+        let fast = [AppProgress { work: 90.0, time: 100.0, ref_rate: 1.0 }; 2];
+        let slow = [AppProgress { work: 40.0, time: 100.0, ref_rate: 1.0 }; 2];
+        assert!(stp(&fast) > stp(&slow));
+        assert!(antt(&fast) < antt(&slow));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        let p = AppProgress { work: 10.0, time: 0.0, ref_rate: 1.0 };
+        assert_eq!(p.normalized_progress(), 0.0);
+        let p = AppProgress { work: 10.0, time: 10.0, ref_rate: 0.0 };
+        assert_eq!(p.normalized_progress(), 0.0);
+    }
+}

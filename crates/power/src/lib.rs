@@ -1,0 +1,296 @@
+//! # relsim-power
+//!
+//! Event-based power model for the `relsim` simulator, standing in for the
+//! McPAT results of Figure 12 in *Reliability-Aware Scheduling on
+//! Heterogeneous Multicore Processors* (HPCA 2017). The figure only needs
+//! the *relative* chip/system power of the three schedulers, which is
+//! driven by which core type executes which workload; this model captures
+//! that with per-core-type static power and per-event dynamic energies.
+//!
+//! # Quick start
+//!
+//! ```
+//! use relsim_power::{CoreActivity, PowerModel, SharedActivity};
+//! use relsim_cpu::CoreKind;
+//!
+//! let model = PowerModel::default();
+//! let cores = [CoreActivity {
+//!     kind: CoreKind::Big,
+//!     cycles: 1_000_000,
+//!     busy_cycles: 900_000,
+//!     committed: 800_000,
+//!     fp_ops: 100_000,
+//!     mem_ops: 250_000,
+//!     l1_accesses: 1_300_000,
+//!     l2_accesses: 60_000,
+//! }];
+//! let shared = SharedActivity { l3_accesses: 20_000, mem_requests: 4_000 };
+//! let report = model.report(&cores, &shared, 1_000_000);
+//! assert!(report.system_watts() > report.chip_watts);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use relsim_cpu::CoreKind;
+use serde::{Deserialize, Serialize};
+
+/// Activity counters of one core over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreActivity {
+    /// Core type.
+    pub kind: CoreKind,
+    /// Core cycles elapsed (the core is clocked the whole window).
+    pub cycles: u64,
+    /// Cycles with live back-end state (everything except front-end-drain
+    /// stalls). An out-of-order core burns most of its dynamic power in
+    /// structures that are active whenever the window holds instructions —
+    /// wakeup/select, LSQ search, replay — regardless of commit rate.
+    pub busy_cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Floating-point instructions committed.
+    pub fp_ops: u64,
+    /// Memory instructions committed.
+    pub mem_ops: u64,
+    /// L1 (I+D) accesses.
+    pub l1_accesses: u64,
+    /// Private L2 accesses.
+    pub l2_accesses: u64,
+}
+
+/// Activity of the shared uncore over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SharedActivity {
+    /// Shared L3 accesses.
+    pub l3_accesses: u64,
+    /// DRAM line requests.
+    pub mem_requests: u64,
+}
+
+/// Power report for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Average chip power (cores + L3) in watts.
+    pub chip_watts: f64,
+    /// Average DRAM power in watts.
+    pub dram_watts: f64,
+}
+
+impl PowerReport {
+    /// Total system power (chip + DRAM).
+    pub fn system_watts(&self) -> f64 {
+        self.chip_watts + self.dram_watts
+    }
+
+    /// Energy-delay product for a run of `seconds` that completed `work`
+    /// units (e.g. instructions): `E × (seconds / work)` — lower is
+    /// better. Returns infinity for zero work.
+    pub fn edp(&self, seconds: f64, work: f64) -> f64 {
+        if work <= 0.0 || seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        let energy = self.system_watts() * seconds;
+        energy * (seconds / work)
+    }
+
+    /// Energy-delay-squared product (`E × delay²`), emphasizing
+    /// performance more strongly than [`edp`](Self::edp).
+    pub fn ed2p(&self, seconds: f64, work: f64) -> f64 {
+        if work <= 0.0 || seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        let energy = self.system_watts() * seconds;
+        let delay = seconds / work;
+        energy * delay * delay
+    }
+}
+
+/// Energy/power parameters. Defaults are calibrated to plausible 32 nm
+/// values: a big OoO core draws several watts under load, a small in-order
+/// core well under one watt, DRAM ~1 W idle plus ~20 nJ per line transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Big-core static (leakage + clock) power in watts.
+    pub big_static_w: f64,
+    /// Small-core static power in watts.
+    pub small_static_w: f64,
+    /// L3 static power in watts.
+    pub l3_static_w: f64,
+    /// DRAM background power in watts.
+    pub dram_static_w: f64,
+    /// Big-core dynamic energy per busy cycle (joules) — occupancy-driven
+    /// power that burns whether or not instructions commit.
+    pub big_busy_epc: f64,
+    /// Small-core dynamic energy per busy cycle (joules).
+    pub small_busy_epc: f64,
+    /// Big-core marginal dynamic energy per committed instruction (joules).
+    pub big_epi: f64,
+    /// Small-core marginal dynamic energy per committed instruction (joules).
+    pub small_epi: f64,
+    /// Extra energy per FP instruction (joules).
+    pub fp_extra: f64,
+    /// Extra energy per memory instruction in the core (joules).
+    pub mem_extra: f64,
+    /// Energy per L1 access (joules).
+    pub l1_energy: f64,
+    /// Energy per L2 access (joules).
+    pub l2_energy: f64,
+    /// Energy per L3 access (joules).
+    pub l3_energy: f64,
+    /// Energy per DRAM line request (joules).
+    pub dram_energy: f64,
+    /// Tick duration in seconds (1 / 2.66 GHz by default).
+    pub tick_seconds: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            big_static_w: 2.0,
+            small_static_w: 0.3,
+            l3_static_w: 1.0,
+            dram_static_w: 1.0,
+            big_busy_epc: 0.9e-9,
+            small_busy_epc: 0.15e-9,
+            big_epi: 0.15e-9,
+            small_epi: 0.08e-9,
+            fp_extra: 0.2e-9,
+            mem_extra: 0.1e-9,
+            l1_energy: 0.05e-9,
+            l2_energy: 0.3e-9,
+            l3_energy: 2.0e-9,
+            dram_energy: 35e-9,
+            tick_seconds: 1.0 / 2.66e9,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Dynamic energy one core consumed over its window (joules).
+    pub fn core_dynamic_energy(&self, a: &CoreActivity) -> f64 {
+        let (epi, epc) = match a.kind {
+            CoreKind::Big => (self.big_epi, self.big_busy_epc),
+            CoreKind::Small => (self.small_epi, self.small_busy_epc),
+        };
+        a.busy_cycles as f64 * epc
+            + a.committed as f64 * epi
+            + a.fp_ops as f64 * self.fp_extra
+            + a.mem_ops as f64 * self.mem_extra
+            + a.l1_accesses as f64 * self.l1_energy
+            + a.l2_accesses as f64 * self.l2_energy
+    }
+
+    /// Static power of one core (watts).
+    pub fn core_static_watts(&self, kind: CoreKind) -> f64 {
+        match kind {
+            CoreKind::Big => self.big_static_w,
+            CoreKind::Small => self.small_static_w,
+        }
+    }
+
+    /// Average power over a window of `ticks` global ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is zero.
+    pub fn report(&self, cores: &[CoreActivity], shared: &SharedActivity, ticks: u64) -> PowerReport {
+        assert!(ticks > 0, "window must be non-empty");
+        let seconds = ticks as f64 * self.tick_seconds;
+        let core_dynamic: f64 = cores.iter().map(|a| self.core_dynamic_energy(a)).sum();
+        let core_static: f64 = cores
+            .iter()
+            .map(|a| self.core_static_watts(a.kind))
+            .sum::<f64>()
+            * seconds;
+        let l3 = self.l3_static_w * seconds + shared.l3_accesses as f64 * self.l3_energy;
+        let dram = self.dram_static_w * seconds + shared.mem_requests as f64 * self.dram_energy;
+        PowerReport {
+            chip_watts: (core_dynamic + core_static + l3) / seconds,
+            dram_watts: dram / seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_core(kind: CoreKind) -> CoreActivity {
+        CoreActivity {
+            kind,
+            cycles: 1_000_000,
+            busy_cycles: 950_000,
+            committed: 900_000,
+            fp_ops: 200_000,
+            mem_ops: 300_000,
+            l1_accesses: 1_500_000,
+            l2_accesses: 50_000,
+        }
+    }
+
+    #[test]
+    fn big_core_draws_more_than_small() {
+        let m = PowerModel::default();
+        let big = m.core_dynamic_energy(&busy_core(CoreKind::Big))
+            + m.core_static_watts(CoreKind::Big);
+        let small = m.core_dynamic_energy(&busy_core(CoreKind::Small))
+            + m.core_static_watts(CoreKind::Small);
+        assert!(big > 2.0 * small);
+    }
+
+    #[test]
+    fn report_includes_static_floor() {
+        let m = PowerModel::default();
+        let idle = CoreActivity {
+            kind: CoreKind::Big,
+            cycles: 1_000_000,
+            busy_cycles: 0,
+            committed: 0,
+            fp_ops: 0,
+            mem_ops: 0,
+            l1_accesses: 0,
+            l2_accesses: 0,
+        };
+        let r = m.report(&[idle], &SharedActivity::default(), 1_000_000);
+        assert!((r.chip_watts - (m.big_static_w + m.l3_static_w)).abs() < 1e-9);
+        assert!((r.dram_watts - m.dram_static_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_traffic_raises_dram_power() {
+        let m = PowerModel::default();
+        let quiet = m.report(&[], &SharedActivity::default(), 1_000_000);
+        let busy = m.report(
+            &[],
+            &SharedActivity {
+                l3_accesses: 100_000,
+                mem_requests: 100_000,
+            },
+            1_000_000,
+        );
+        assert!(busy.dram_watts > quiet.dram_watts);
+        assert!(busy.chip_watts > quiet.chip_watts, "L3 energy counts as chip");
+        assert!(busy.system_watts() > quiet.system_watts());
+    }
+
+    #[test]
+    fn edp_orders_configurations_sensibly() {
+        let r = PowerReport { chip_watts: 10.0, dram_watts: 2.0 };
+        // Same energy budget, double the work -> half the delay -> lower EDP.
+        let slow = r.edp(1.0, 1e6);
+        let fast = r.edp(1.0, 2e6);
+        assert!(fast < slow);
+        // ED2P penalizes delay harder.
+        assert!(r.ed2p(1.0, 1e6) / r.ed2p(1.0, 2e6) > slow / fast);
+        assert!(r.edp(1.0, 0.0).is_infinite());
+        assert!(r.ed2p(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let m = PowerModel::default();
+        let _ = m.report(&[], &SharedActivity::default(), 0);
+    }
+}

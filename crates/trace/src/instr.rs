@@ -1,0 +1,199 @@
+//! Dynamic instruction model.
+//!
+//! The simulator consumes a stream of [`Instr`] values. Each instruction
+//! carries everything a cycle-level core model needs: its operation class,
+//! register dependency distances, a memory address (for loads and stores),
+//! and front-end event annotations (branch misprediction, I-cache miss).
+
+use serde::{Deserialize, Serialize};
+
+/// Operation class of a dynamic instruction.
+///
+/// The classes map one-to-one onto the functional units of Table 2 in the
+/// paper, plus loads, stores, branches and NOPs. Branches execute on an
+/// integer ALU; loads and stores compute their address on an integer ALU and
+/// then access the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer add/logic/compare (1-cycle latency).
+    IntAlu,
+    /// Integer multiply (3-cycle latency).
+    IntMul,
+    /// Integer divide (18-cycle latency, unpipelined).
+    IntDiv,
+    /// Floating-point add (3-cycle latency).
+    FpAdd,
+    /// Floating-point multiply (5-cycle latency).
+    FpMul,
+    /// Floating-point divide (6-cycle latency, unpipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// No-operation. NOPs occupy pipeline resources but are never ACE.
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order usable for indexing tables.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Nop,
+    ];
+
+    /// Index of this class within [`OpClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 5,
+            OpClass::Load => 6,
+            OpClass::Store => 7,
+            OpClass::Branch => 8,
+            OpClass::Nop => 9,
+        }
+    }
+
+    /// True for floating-point operations (they write 128-bit registers).
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// True for memory operations.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether instructions of this class produce a register result.
+    ///
+    /// Stores, branches and NOPs do not allocate a physical destination
+    /// register; everything else does.
+    pub fn has_output(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch | OpClass::Nop)
+    }
+}
+
+/// A single dynamic instruction.
+///
+/// Register dependencies are encoded as *dependency distances*: `src1` and
+/// `src2` give the number of dynamic instructions between this instruction
+/// and the producer of the corresponding source operand (1 = the immediately
+/// preceding instruction). This compact encoding is standard in statistical
+/// trace-driven simulation and is sufficient to model issue timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Operation class.
+    pub op: OpClass,
+    /// Dependency distance of the first source operand, if any.
+    pub src1: Option<u16>,
+    /// Dependency distance of the second source operand, if any.
+    pub src2: Option<u16>,
+    /// Effective address for loads and stores (byte address); 0 otherwise.
+    pub addr: u64,
+    /// For branches: whether the branch predictor mispredicts it.
+    pub mispredict: bool,
+    /// Whether fetching this instruction misses in the L1 I-cache.
+    pub icache_miss: bool,
+}
+
+impl Instr {
+    /// A NOP instruction with no dependencies and no events.
+    pub fn nop() -> Self {
+        Instr {
+            op: OpClass::Nop,
+            src1: None,
+            src2: None,
+            addr: 0,
+            mispredict: false,
+            icache_miss: false,
+        }
+    }
+
+    /// Execution latency of this instruction class in core cycles,
+    /// excluding memory-hierarchy latency for loads.
+    ///
+    /// Latencies follow Table 2 of the paper. Loads return the 1-cycle
+    /// address-generation latency; the cache access time is added by the
+    /// core model based on where the access hits.
+    pub fn exec_latency(&self) -> u64 {
+        match self.op {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Nop => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 18,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 5,
+            OpClass::FpDiv => 6,
+            OpClass::Load => 1,
+            OpClass::Store => 1,
+        }
+    }
+
+    /// Whether this instruction produces a register value.
+    pub fn has_output(&self) -> bool {
+        self.op.has_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_indexable() {
+        for (i, op) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "index mismatch for {op:?}");
+        }
+    }
+
+    #[test]
+    fn latencies_match_table2() {
+        let mk = |op| Instr { op, ..Instr::nop() };
+        assert_eq!(mk(OpClass::IntAlu).exec_latency(), 1);
+        assert_eq!(mk(OpClass::IntMul).exec_latency(), 3);
+        assert_eq!(mk(OpClass::IntDiv).exec_latency(), 18);
+        assert_eq!(mk(OpClass::FpAdd).exec_latency(), 3);
+        assert_eq!(mk(OpClass::FpMul).exec_latency(), 5);
+        assert_eq!(mk(OpClass::FpDiv).exec_latency(), 6);
+    }
+
+    #[test]
+    fn output_register_rules() {
+        assert!(OpClass::Load.has_output());
+        assert!(OpClass::IntAlu.has_output());
+        assert!(OpClass::FpMul.has_output());
+        assert!(!OpClass::Store.has_output());
+        assert!(!OpClass::Branch.has_output());
+        assert!(!OpClass::Nop.has_output());
+    }
+
+    #[test]
+    fn fp_and_mem_classification() {
+        assert!(OpClass::FpAdd.is_fp());
+        assert!(!OpClass::IntMul.is_fp());
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn nop_constructor_is_inert() {
+        let n = Instr::nop();
+        assert_eq!(n.op, OpClass::Nop);
+        assert!(n.src1.is_none() && n.src2.is_none());
+        assert!(!n.mispredict && !n.icache_miss);
+    }
+}

@@ -1,0 +1,40 @@
+//! # relsim-trace
+//!
+//! Synthetic, statistically-profiled instruction traces for the `relsim`
+//! heterogeneous multicore simulator.
+//!
+//! This crate is the workload substrate of the reproduction of
+//! *Reliability-Aware Scheduling on Heterogeneous Multicore Processors*
+//! (HPCA 2017). The paper evaluates on 1-billion-instruction SPEC CPU2006
+//! SimPoints; since those traces are not redistributable, this crate
+//! synthesizes statistically equivalent instruction streams from
+//! per-benchmark profiles (see [`spec2006_profiles`]) that preserve the
+//! workload characteristics the paper's results depend on: instruction mix,
+//! ILP, branch-misprediction and I-cache miss rates, memory working sets,
+//! and program phase behaviour.
+//!
+//! # Quick start
+//!
+//! ```
+//! use relsim_trace::{spec_profile, InstrSource, TraceGenerator};
+//!
+//! let profile = spec_profile("milc").expect("milc is in the catalog");
+//! let mut gen = TraceGenerator::new(profile, /*seed*/ 1, /*addr_base*/ 0);
+//! let instr = gen.next_instr();
+//! println!("first milc instruction: {:?}", instr.op);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod instr;
+mod profile;
+mod record;
+mod spec;
+
+pub use generate::{InstrSource, TraceGenerator};
+pub use instr::{Instr, OpClass};
+pub use record::{record_from_source, ReadTraceError, RecordedTrace, TraceWriter};
+pub use profile::{BenchmarkProfile, MemoryProfile, OpMix, PhaseProfile, Suite};
+pub use spec::{spec2006_profiles, spec_names, spec_profile};

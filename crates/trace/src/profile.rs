@@ -1,0 +1,304 @@
+//! Statistical workload profiles.
+//!
+//! A [`BenchmarkProfile`] is a compact statistical description of a program:
+//! its instruction mix, dependency-distance distribution (instruction-level
+//! parallelism), branch-misprediction and I-cache miss rates, and memory
+//! access behaviour (working-set sizes and streaming/random mix), optionally
+//! split into a sequence of program phases.
+//!
+//! Profiles are the substitution this reproduction makes for SPEC CPU2006
+//! SimPoint traces (see DESIGN.md §1): each profile is calibrated so that
+//! the resulting big-core AVF, CPI stack and phase behaviour qualitatively
+//! match the corresponding benchmark in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-mix fractions. All fields are probabilities; the non-listed
+/// remainder (up to 1.0) is assigned to plain integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of branches.
+    pub branch: f64,
+    /// Fraction of integer multiplies.
+    pub int_mul: f64,
+    /// Fraction of integer divides.
+    pub int_div: f64,
+    /// Fraction of floating-point adds.
+    pub fp_add: f64,
+    /// Fraction of floating-point multiplies.
+    pub fp_mul: f64,
+    /// Fraction of floating-point divides.
+    pub fp_div: f64,
+    /// Fraction of NOPs (never ACE).
+    pub nop: f64,
+}
+
+impl OpMix {
+    /// A typical integer-code mix: mostly ALU ops, loads, stores, branches.
+    pub fn int_default() -> Self {
+        OpMix {
+            load: 0.25,
+            store: 0.10,
+            branch: 0.18,
+            int_mul: 0.01,
+            int_div: 0.001,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            nop: 0.02,
+        }
+    }
+
+    /// A typical floating-point mix: fewer branches, substantial FP work.
+    pub fn fp_default() -> Self {
+        OpMix {
+            load: 0.28,
+            store: 0.10,
+            branch: 0.05,
+            int_mul: 0.005,
+            int_div: 0.0,
+            fp_add: 0.14,
+            fp_mul: 0.12,
+            fp_div: 0.005,
+            nop: 0.02,
+        }
+    }
+
+    /// Sum of all explicit fractions (the integer-ALU remainder is
+    /// `1.0 - total()`).
+    pub fn total(&self) -> f64 {
+        self.load
+            + self.store
+            + self.branch
+            + self.int_mul
+            + self.int_div
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+            + self.nop
+    }
+
+    /// Whether the mix is valid: all fractions non-negative and summing to
+    /// at most 1.0 (leaving a non-negative integer-ALU remainder).
+    pub fn is_valid(&self) -> bool {
+        let fields = [
+            self.load,
+            self.store,
+            self.branch,
+            self.int_mul,
+            self.int_div,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.nop,
+        ];
+        fields.iter().all(|f| *f >= 0.0) && self.total() <= 1.0 + 1e-9
+    }
+}
+
+/// Memory access behaviour of a phase.
+///
+/// Each load/store address is drawn from one of three streams:
+/// a sequential *streaming* walk (spatial locality, prefetch-like reuse of
+/// cache lines), a small *hot* working set (temporal locality, L1-resident),
+/// and a large *cold* working set (capacity misses that exercise L2, the
+/// shared L3 and memory depending on `cold_bytes`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Probability that an access belongs to the streaming walk.
+    pub stream_fraction: f64,
+    /// Probability that an access hits the hot working set.
+    /// The remainder (1 - stream - hot) goes to the cold working set.
+    pub hot_fraction: f64,
+    /// Size of the hot working set in bytes (choose ≤ L1D to model hits).
+    pub hot_bytes: u64,
+    /// Size of the cold working set in bytes. Sizes beyond the L3 capacity
+    /// produce main-memory traffic.
+    pub cold_bytes: u64,
+    /// Stride of the streaming walk in bytes.
+    pub stream_stride: u64,
+}
+
+impl MemoryProfile {
+    /// Cache-friendly default: nearly everything in a small hot set.
+    pub fn cache_resident() -> Self {
+        MemoryProfile {
+            stream_fraction: 0.05,
+            hot_fraction: 0.90,
+            hot_bytes: 16 << 10,
+            cold_bytes: 512 << 10,
+            stream_stride: 8,
+        }
+    }
+
+    /// Streaming default: large sequential walks through memory.
+    pub fn streaming() -> Self {
+        MemoryProfile {
+            stream_fraction: 0.70,
+            hot_fraction: 0.20,
+            hot_bytes: 16 << 10,
+            cold_bytes: 64 << 20,
+            stream_stride: 8,
+        }
+    }
+
+    /// Pointer-chasing default: random accesses over a huge working set.
+    pub fn pointer_chasing() -> Self {
+        MemoryProfile {
+            stream_fraction: 0.05,
+            hot_fraction: 0.35,
+            hot_bytes: 16 << 10,
+            cold_bytes: 256 << 20,
+            stream_stride: 8,
+        }
+    }
+
+    /// Whether the fractions are valid probabilities.
+    pub fn is_valid(&self) -> bool {
+        self.stream_fraction >= 0.0
+            && self.hot_fraction >= 0.0
+            && self.stream_fraction + self.hot_fraction <= 1.0 + 1e-9
+            && self.hot_bytes > 0
+            && self.cold_bytes > 0
+            && self.stream_stride > 0
+    }
+}
+
+/// One program phase: a statistically homogeneous region of execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Length of the phase in dynamic instructions. After the last phase the
+    /// generator wraps back to the first, so phases also define the period
+    /// of the program's time-varying behaviour.
+    pub len_instrs: u64,
+    /// Instruction mix.
+    pub mix: OpMix,
+    /// Mean register-dependency distance. Larger values mean more ILP:
+    /// consumers are further from producers, so more instructions can issue
+    /// in parallel.
+    pub mean_dep_dist: f64,
+    /// Probability that a branch is mispredicted.
+    pub branch_mispredict_rate: f64,
+    /// Probability that fetching an instruction misses the L1 I-cache.
+    pub icache_miss_rate: f64,
+    /// Memory behaviour.
+    pub mem: MemoryProfile,
+}
+
+impl PhaseProfile {
+    /// A cache-resident, well-predicted compute phase of the given length.
+    pub fn compute(len_instrs: u64) -> Self {
+        PhaseProfile {
+            len_instrs,
+            mix: OpMix::fp_default(),
+            mean_dep_dist: 6.0,
+            branch_mispredict_rate: 0.01,
+            icache_miss_rate: 0.0005,
+            mem: MemoryProfile::cache_resident(),
+        }
+    }
+
+    /// Validity of all contained distributions.
+    pub fn is_valid(&self) -> bool {
+        self.len_instrs > 0
+            && self.mix.is_valid()
+            && self.mean_dep_dist >= 1.0
+            && (0.0..=1.0).contains(&self.branch_mispredict_rate)
+            && (0.0..=1.0).contains(&self.icache_miss_rate)
+            && self.mem.is_valid()
+    }
+}
+
+/// Which SPEC CPU2006 suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPECint 2006.
+    Int,
+    /// SPECfp 2006.
+    Fp,
+}
+
+/// A complete statistical profile of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: String,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Ordered program phases. Must be non-empty.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl BenchmarkProfile {
+    /// Create a single-phase profile.
+    pub fn single_phase(name: impl Into<String>, suite: Suite, phase: PhaseProfile) -> Self {
+        BenchmarkProfile {
+            name: name.into(),
+            suite,
+            phases: vec![phase],
+        }
+    }
+
+    /// Total instructions across one pass of all phases.
+    pub fn period_instrs(&self) -> u64 {
+        self.phases.iter().map(|p| p.len_instrs).sum()
+    }
+
+    /// Validity of the profile and all phases.
+    pub fn is_valid(&self) -> bool {
+        !self.phases.is_empty() && self.phases.iter().all(PhaseProfile::is_valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mixes_valid() {
+        assert!(OpMix::int_default().is_valid());
+        assert!(OpMix::fp_default().is_valid());
+        assert!(OpMix::int_default().total() < 1.0);
+    }
+
+    #[test]
+    fn invalid_mix_detected() {
+        let mut m = OpMix::int_default();
+        m.load = 0.9; // total now > 1
+        assert!(!m.is_valid());
+        let mut m = OpMix::int_default();
+        m.store = -0.1;
+        assert!(!m.is_valid());
+    }
+
+    #[test]
+    fn memory_profiles_valid() {
+        assert!(MemoryProfile::cache_resident().is_valid());
+        assert!(MemoryProfile::streaming().is_valid());
+        assert!(MemoryProfile::pointer_chasing().is_valid());
+    }
+
+    #[test]
+    fn phase_and_profile_validity() {
+        let p = PhaseProfile::compute(1_000_000);
+        assert!(p.is_valid());
+        let b = BenchmarkProfile::single_phase("test", Suite::Fp, p.clone());
+        assert!(b.is_valid());
+        assert_eq!(b.period_instrs(), 1_000_000);
+
+        let empty = BenchmarkProfile {
+            name: "empty".into(),
+            suite: Suite::Int,
+            phases: vec![],
+        };
+        assert!(!empty.is_valid());
+
+        let mut bad = p;
+        bad.mean_dep_dist = 0.5;
+        assert!(!bad.is_valid());
+    }
+}

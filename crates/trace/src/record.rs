@@ -1,0 +1,360 @@
+//! Recording and replaying instruction traces.
+//!
+//! A [`TraceWriter`] serializes any instruction stream into a compact
+//! binary format (16 bytes per instruction plus a 16-byte header), and a
+//! [`RecordedTrace`] replays it as an [`InstrSource`]. This decouples
+//! workload generation from simulation: traces can be generated once and
+//! replayed many times, shipped between machines, or — in principle —
+//! converted from real instruction traces produced by binary
+//! instrumentation.
+
+use crate::generate::InstrSource;
+use crate::instr::{Instr, OpClass};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"RELSIMT\x01";
+
+fn op_to_u8(op: OpClass) -> u8 {
+    op.index() as u8
+}
+
+fn op_from_u8(v: u8) -> Option<OpClass> {
+    OpClass::ALL.get(v as usize).copied()
+}
+
+/// Streaming writer for the binary trace format.
+///
+/// # Examples
+///
+/// ```
+/// use relsim_trace::{Instr, RecordedTrace, TraceWriter};
+///
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf);
+/// w.write(&Instr::nop()).unwrap();
+/// w.finish().unwrap();
+/// let trace = RecordedTrace::read(&buf[..]).unwrap();
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    count: u64,
+    header_written: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap a writer. A mutable reference also works (`&mut Vec<u8>`).
+    pub fn new(out: W) -> Self {
+        TraceWriter {
+            out,
+            count: 0,
+            header_written: false,
+        }
+    }
+
+    /// Append one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, instr: &Instr) -> io::Result<()> {
+        if !self.header_written {
+            self.out.write_all(MAGIC)?;
+            // Count placeholder: patched logically by the reader, which
+            // trusts the trailing count written by `finish`.
+            self.header_written = true;
+        }
+        let mut rec = [0u8; 16];
+        rec[0] = op_to_u8(instr.op);
+        rec[1] = (instr.mispredict as u8) | ((instr.icache_miss as u8) << 1);
+        rec[2..4].copy_from_slice(&instr.src1.unwrap_or(0).to_le_bytes());
+        rec[4..6].copy_from_slice(&instr.src2.unwrap_or(0).to_le_bytes());
+        rec[6..8].copy_from_slice(&[0, 0]); // reserved
+        rec[8..16].copy_from_slice(&instr.addr.to_le_bytes());
+        self.out.write_all(&rec)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Finish the trace, writing the trailing record count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if !self.header_written {
+            self.out.write_all(MAGIC)?;
+        }
+        self.out.write_all(&self.count.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Errors while reading a recorded trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a relsim trace (bad magic) or is corrupt.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::Malformed(what) => write!(f, "malformed trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// An in-memory recorded trace, replayable as an [`InstrSource`].
+///
+/// Replay loops back to the beginning when the recording is exhausted
+/// (matching the restart semantics of the live generator). Wrong-path
+/// requests replay *future* instructions from a separate cursor — a common
+/// approximation in trace-driven simulation, since recorded traces contain
+/// the correct path only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    instrs: Vec<Instr>,
+    pos: usize,
+    wp_pos: usize,
+    /// Completed replay passes over the recording.
+    pub loops: u64,
+}
+
+impl RecordedTrace {
+    /// Build directly from instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Self {
+        assert!(!instrs.is_empty(), "empty trace");
+        RecordedTrace {
+            instrs,
+            pos: 0,
+            wp_pos: 0,
+            loops: 0,
+        }
+    }
+
+    /// Parse the binary format from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] when the input is not a valid trace.
+    pub fn read<R: Read>(mut input: R) -> Result<Self, ReadTraceError> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ReadTraceError::Malformed("bad magic"));
+        }
+        let mut body = Vec::new();
+        input.read_to_end(&mut body)?;
+        if body.len() < 8 || (body.len() - 8) % 16 != 0 {
+            return Err(ReadTraceError::Malformed("truncated body"));
+        }
+        let n = (body.len() - 8) / 16;
+        let mut count_bytes = [0u8; 8];
+        count_bytes.copy_from_slice(&body[body.len() - 8..]);
+        if u64::from_le_bytes(count_bytes) != n as u64 {
+            return Err(ReadTraceError::Malformed("count mismatch"));
+        }
+        let mut instrs = Vec::with_capacity(n);
+        for rec in body[..body.len() - 8].chunks_exact(16) {
+            let op = op_from_u8(rec[0]).ok_or(ReadTraceError::Malformed("bad opcode"))?;
+            let src1 = u16::from_le_bytes([rec[2], rec[3]]);
+            let src2 = u16::from_le_bytes([rec[4], rec[5]]);
+            let mut addr_bytes = [0u8; 8];
+            addr_bytes.copy_from_slice(&rec[8..16]);
+            instrs.push(Instr {
+                op,
+                src1: (src1 != 0).then_some(src1),
+                src2: (src2 != 0).then_some(src2),
+                addr: u64::from_le_bytes(addr_bytes),
+                mispredict: rec[1] & 1 != 0,
+                icache_miss: rec[1] & 2 != 0,
+            });
+        }
+        if instrs.is_empty() {
+            return Err(ReadTraceError::Malformed("empty trace"));
+        }
+        Ok(Self::from_instrs(instrs))
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Always false (empty traces are rejected at construction).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Restart replay from the beginning.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+        self.wp_pos = 0;
+        self.loops = 0;
+    }
+}
+
+impl InstrSource for RecordedTrace {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.instrs[self.pos];
+        self.pos += 1;
+        if self.pos == self.instrs.len() {
+            self.pos = 0;
+            self.loops += 1;
+        }
+        self.wp_pos = self.pos;
+        i
+    }
+
+    fn wrong_path_instr(&mut self) -> Instr {
+        // Replay upcoming instructions as speculative filler, stripped of
+        // their events (a wrong path does not redirect again).
+        let mut i = self.instrs[self.wp_pos];
+        self.wp_pos = (self.wp_pos + 1) % self.instrs.len();
+        i.mispredict = false;
+        i.icache_miss = false;
+        i
+    }
+}
+
+/// Record `n` correct-path instructions from any source.
+pub fn record_from_source<S: InstrSource, W: Write>(
+    source: &mut S,
+    n: u64,
+    out: W,
+) -> io::Result<u64> {
+    let mut w = TraceWriter::new(out);
+    for _ in 0..n {
+        w.write(&source.next_instr())?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TraceGenerator;
+    use crate::spec::spec_profile;
+
+    fn demo_instrs() -> Vec<Instr> {
+        vec![
+            Instr {
+                op: OpClass::Load,
+                src1: Some(3),
+                src2: None,
+                addr: 0xdead_b000,
+                mispredict: false,
+                icache_miss: true,
+            },
+            Instr {
+                op: OpClass::Branch,
+                src1: Some(1),
+                src2: None,
+                addr: 0,
+                mispredict: true,
+                icache_miss: false,
+            },
+            Instr::nop(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_instructions() {
+        let instrs = demo_instrs();
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf);
+        for i in &instrs {
+            w.write(i).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 3);
+        let t = RecordedTrace::read(&buf[..]).unwrap();
+        assert_eq!(t.len(), 3);
+        let mut t = t;
+        for want in &instrs {
+            assert_eq!(&t.next_instr(), want);
+        }
+    }
+
+    #[test]
+    fn replay_loops_like_the_paper_restart_rule() {
+        let mut t = RecordedTrace::from_instrs(demo_instrs());
+        for _ in 0..7 {
+            let _ = t.next_instr();
+        }
+        assert_eq!(t.loops, 2);
+        assert_eq!(t.next_instr(), demo_instrs()[1]);
+    }
+
+    #[test]
+    fn wrong_path_replays_future_without_events() {
+        let mut t = RecordedTrace::from_instrs(demo_instrs());
+        let _ = t.next_instr(); // consume the load
+        let wp = t.wrong_path_instr(); // peeks the branch
+        assert_eq!(wp.op, OpClass::Branch);
+        assert!(!wp.mispredict, "events stripped on the wrong path");
+        // Correct path unaffected.
+        assert!(t.next_instr().mispredict);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            RecordedTrace::read(&b"not a trace"[..]),
+            Err(ReadTraceError::Io(_)) | Err(ReadTraceError::Malformed(_))
+        ));
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf).finish().unwrap();
+        assert!(matches!(
+            RecordedTrace::read(&buf[..]),
+            Err(ReadTraceError::Malformed("empty trace"))
+        ));
+        // Corrupt the trailing count.
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf);
+        w.write(&Instr::nop()).unwrap();
+        w.finish().unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert!(matches!(
+            RecordedTrace::read(&buf[..]),
+            Err(ReadTraceError::Malformed("count mismatch"))
+        ));
+    }
+
+    #[test]
+    fn recorded_generator_trace_matches_live_generation() {
+        let profile = spec_profile("hmmer").unwrap();
+        let mut live = TraceGenerator::new(profile.clone(), 9, 0);
+        let mut buf = Vec::new();
+        record_from_source(&mut live, 5000, &mut buf).unwrap();
+        let mut replay = RecordedTrace::read(&buf[..]).unwrap();
+        let mut fresh = TraceGenerator::new(profile, 9, 0);
+        for i in 0..5000 {
+            assert_eq!(replay.next_instr(), fresh.next_instr(), "diverged at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let _ = RecordedTrace::from_instrs(Vec::new());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the trace generator and profile catalog.
+
+use proptest::prelude::*;
+use relsim_trace::{
+    spec2006_profiles, BenchmarkProfile, InstrSource, MemoryProfile, OpClass, OpMix,
+    PhaseProfile, Suite, TraceGenerator,
+};
+
+fn arb_mix() -> impl Strategy<Value = OpMix> {
+    // Draw raw weights and normalize to keep the sum <= 0.9 (leaving an
+    // IntAlu remainder).
+    prop::collection::vec(0.0f64..1.0, 9).prop_map(|w| {
+        let sum: f64 = w.iter().sum::<f64>().max(1e-9);
+        let k = 0.9 / sum;
+        OpMix {
+            load: w[0] * k,
+            store: w[1] * k,
+            branch: w[2] * k,
+            int_mul: w[3] * k,
+            int_div: w[4] * k,
+            fp_add: w[5] * k,
+            fp_mul: w[6] * k,
+            fp_div: w[7] * k,
+            nop: w[8] * k,
+        }
+    })
+}
+
+fn arb_phase() -> impl Strategy<Value = PhaseProfile> {
+    (
+        arb_mix(),
+        1.0f64..32.0,
+        0.0f64..0.2,
+        0.0f64..0.05,
+        0.0f64..0.8,
+        0.0f64..0.9,
+        10u64..1000,
+    )
+        .prop_map(|(mix, dep, mis, ic, stream, hot_raw, len)| {
+            let hot = hot_raw.min(1.0 - stream).max(0.0);
+            PhaseProfile {
+                len_instrs: len,
+                mix,
+                mean_dep_dist: dep,
+                branch_mispredict_rate: mis,
+                icache_miss_rate: ic,
+                mem: MemoryProfile {
+                    stream_fraction: stream,
+                    hot_fraction: hot,
+                    hot_bytes: 4 << 10,
+                    cold_bytes: 64 << 10,
+                    stream_stride: 8,
+                },
+            }
+        })
+}
+
+proptest! {
+    /// Any valid profile generates well-formed instructions forever.
+    #[test]
+    fn generated_instructions_are_well_formed(
+        phase in arb_phase(),
+        seed in 0u64..1000,
+    ) {
+        let p = BenchmarkProfile::single_phase("prop", Suite::Int, phase);
+        prop_assume!(p.is_valid());
+        let mut g = TraceGenerator::new(p, seed, 0);
+        for _ in 0..2000 {
+            let i = g.next_instr();
+            // Dependency distances are bounded.
+            if let Some(d) = i.src1 { prop_assert!(d >= 1 && d <= 255); }
+            if let Some(d) = i.src2 { prop_assert!(d >= 1 && d <= 255); }
+            // Only branches mispredict; only memory ops carry addresses.
+            if i.mispredict { prop_assert_eq!(i.op, OpClass::Branch); }
+            if !i.op.is_mem() { prop_assert_eq!(i.addr, 0); }
+            if i.op == OpClass::Nop {
+                prop_assert!(i.src1.is_none() && i.src2.is_none());
+            }
+        }
+    }
+
+    /// Two generators with the same seed stay in lockstep regardless of
+    /// interleaved wrong-path draws.
+    #[test]
+    fn lockstep_under_speculation(
+        phase in arb_phase(),
+        seed in 0u64..1000,
+        wp_pattern in prop::collection::vec(0usize..12, 1..40),
+    ) {
+        let p = BenchmarkProfile::single_phase("prop", Suite::Fp, phase);
+        prop_assume!(p.is_valid());
+        let mut a = TraceGenerator::new(p.clone(), seed, 0);
+        let mut b = TraceGenerator::new(p, seed, 0);
+        for (i, &wp) in wp_pattern.iter().cycle().take(500).enumerate() {
+            for _ in 0..wp {
+                let _ = b.wrong_path_instr();
+            }
+            prop_assert_eq!(a.next_instr(), b.next_instr(), "diverged at {}", i);
+        }
+    }
+
+    /// reset() always restores the exact initial stream.
+    #[test]
+    fn reset_is_exact(
+        phase in arb_phase(),
+        seed in 0u64..1000,
+        warmup in 1usize..3000,
+    ) {
+        let p = BenchmarkProfile::single_phase("prop", Suite::Int, phase);
+        prop_assume!(p.is_valid());
+        let mut g = TraceGenerator::new(p, seed, 0);
+        let head: Vec<_> = (0..50).map(|_| g.next_instr()).collect();
+        for _ in 0..warmup {
+            let _ = g.next_instr();
+        }
+        g.reset();
+        let again: Vec<_> = (0..50).map(|_| g.next_instr()).collect();
+        prop_assert_eq!(head, again);
+    }
+
+    /// Memory addresses always fall inside the advertised address span.
+    #[test]
+    fn addresses_stay_in_span(
+        phase in arb_phase(),
+        seed in 0u64..1000,
+        base_shift in 20u32..40,
+    ) {
+        let base = 1u64 << base_shift;
+        let p = BenchmarkProfile::single_phase("prop", Suite::Int, phase);
+        prop_assume!(p.is_valid());
+        let mut g = TraceGenerator::new(p, seed, base);
+        let (b, span) = g.address_span();
+        prop_assert_eq!(b, base);
+        for _ in 0..2000 {
+            let i = g.next_instr();
+            if i.op.is_mem() {
+                prop_assert!(i.addr >= base && i.addr < base + span,
+                    "addr {:#x} outside [{:#x}, {:#x})", i.addr, base, base + span);
+            }
+        }
+    }
+
+    /// The generated counter advances by exactly one per correct-path
+    /// instruction and never from wrong-path draws.
+    #[test]
+    fn generated_count_tracks_correct_path(
+        phase in arb_phase(),
+        n in 1u64..2000,
+    ) {
+        let p = BenchmarkProfile::single_phase("prop", Suite::Int, phase);
+        prop_assume!(p.is_valid());
+        let mut g = TraceGenerator::new(p, 3, 0);
+        for _ in 0..5 {
+            let _ = g.wrong_path_instr();
+        }
+        prop_assert_eq!(g.generated(), 0);
+        for _ in 0..n {
+            let _ = g.next_instr();
+        }
+        prop_assert_eq!(g.generated(), n);
+    }
+}
+
+/// Every catalog profile must generate cleanly for an extended stream.
+#[test]
+fn catalog_profiles_generate_cleanly() {
+    for p in spec2006_profiles() {
+        let mut g = TraceGenerator::new(p.clone(), 1, 0);
+        let mut mem_ops = 0u64;
+        for _ in 0..20_000 {
+            let i = g.next_instr();
+            if i.op.is_mem() {
+                mem_ops += 1;
+                assert!(i.addr % 8 == 0, "{}: unaligned address", p.name);
+            }
+        }
+        assert!(
+            mem_ops > 1000,
+            "{}: implausibly few memory operations ({mem_ops})",
+            p.name
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Design-space sweep: how do core counts, the big/small split and the
+//! small-core frequency affect the reliability/performance trade-off for a
+//! fixed workload under reliability-aware scheduling?
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use relsim::evaluate::{evaluate, DEFAULT_IFR};
+use relsim::experiments::{Context, Scale};
+use relsim::{
+    AppSpec, Objective, SamplingParams, SamplingScheduler, System, SystemConfig,
+};
+
+fn main() {
+    let scale = Scale::quick();
+    println!("characterizing benchmarks...");
+    let ctx = Context::build(scale);
+
+    let benchmarks = ["milc", "zeusmp", "gobmk", "perlbench"];
+    let specs: Vec<AppSpec> = benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, 10 + i as u64))
+        .collect();
+
+    println!(
+        "\nsweeping HCMP configurations for {} under reliability-aware scheduling:\n",
+        benchmarks.join("+")
+    );
+    println!(
+        "{:<22} {:>12} {:>8} {:>11}",
+        "configuration", "SSER", "STP", "migrations"
+    );
+
+    let mut points = Vec::new();
+    for (label, cfg) in [
+        ("1B3S", SystemConfig::hcmp(1, 3)),
+        ("2B2S", SystemConfig::hcmp(2, 2)),
+        ("3B1S", SystemConfig::hcmp(3, 1)),
+        ("2B2S small@1.33GHz", SystemConfig::hcmp_slow_small(2, 2)),
+    ] {
+        let mut cfg = cfg;
+        cfg.quantum_ticks = scale.quantum_ticks;
+        cfg.migration_ticks = scale.quantum_ticks / 50;
+        let mut sched = SamplingScheduler::new(
+            Objective::Sser,
+            cfg.core_kinds(),
+            cfg.quantum_ticks,
+            SamplingParams::default(),
+        );
+        let mut system = System::new(cfg, &specs);
+        let result = system.run(&mut sched, scale.run_ticks);
+        let eval = evaluate(&result, &ctx.refs, DEFAULT_IFR);
+        println!(
+            "{:<22} {:>12.4e} {:>8.3} {:>11}",
+            label, eval.sser, eval.stp, result.migrations
+        );
+        points.push((label, eval.sser, eval.stp));
+    }
+
+    // Report the Pareto-efficient configurations (min SSER, max STP).
+    let pareto: Vec<&str> = points
+        .iter()
+        .filter(|(_, s, t)| {
+            !points
+                .iter()
+                .any(|(_, s2, t2)| s2 < s && t2 >= t || s2 <= s && t2 > t)
+        })
+        .map(|(l, _, _)| *l)
+        .collect();
+    println!("\nPareto-efficient configurations: {}", pareto.join(", "));
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build a 2-big + 2-small heterogeneous multicore, run the
+//! same four-program workload under the random, performance-optimized and
+//! reliability-optimized schedulers, and compare system soft error rate
+//! (SSER) and system throughput (STP).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use relsim::experiments::{hcmp_config, run_mix, Context, Scale, SchedKind};
+use relsim::mixes::Mix;
+use relsim::SamplingParams;
+
+fn main() {
+    // Characterize every benchmark in isolation once (reference table for
+    // the SSER/STP metrics). `Scale::quick()` keeps this example fast.
+    let scale = Scale::quick();
+    println!("building isolated reference table (29 benchmarks x 2 core types)...");
+    let ctx = Context::build(scale);
+
+    // A reliability-divergent workload: two high-AVF memory streamers plus
+    // two low-AVF branchy codes.
+    let mix = Mix {
+        category: "HHLL".into(),
+        benchmarks: vec![
+            "milc".into(),
+            "lbm".into(),
+            "gobmk".into(),
+            "perlbench".into(),
+        ],
+    };
+    let cfg = hcmp_config(&ctx, 2, 2);
+
+    println!(
+        "\nrunning {} on a 2B2S HCMP for {} ticks under three schedulers:\n",
+        mix.benchmarks.join("+"),
+        scale.run_ticks
+    );
+    println!(
+        "{:<24} {:>12} {:>8} {:>28}",
+        "scheduler", "SSER", "STP", "apps mostly on big cores"
+    );
+    for sched in SchedKind::ALL {
+        let (eval, result) = run_mix(&ctx, &cfg, &mix, sched, SamplingParams::default());
+        let mut on_big: Vec<&str> = result
+            .apps
+            .iter()
+            .filter(|a| a.ticks_on_big * 2 > result.duration)
+            .map(|a| a.name.as_str())
+            .collect();
+        on_big.sort();
+        println!(
+            "{:<24} {:>12.4e} {:>8.3} {:>28}",
+            sched.name(),
+            eval.sser,
+            eval.stp,
+            on_big.join("+")
+        );
+    }
+    println!(
+        "\nThe reliability-optimized scheduler keeps the vulnerable memory \
+         streamers (milc, lbm)\noff the big out-of-order cores, trading a \
+         little throughput for a much lower SSER."
+    );
+}

@@ -1,0 +1,127 @@
+//! Determinism and invariant tests across the full stack: identical
+//! configurations must produce bit-identical results, and system-level
+//! invariants must hold under every scheduler.
+
+use relsim::experiments::{hcmp_config, run_mix, Context, Scale, SchedKind};
+use relsim::mixes::Mix;
+use relsim::SamplingParams;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| {
+        Context::build(Scale {
+            isolation_ticks: 80_000,
+            run_ticks: 150_000,
+            quantum_ticks: 8_000,
+            per_category: 1,
+            seed: 5,
+        })
+    })
+}
+
+fn mix() -> Mix {
+    Mix {
+        category: "test".into(),
+        benchmarks: vec![
+            "hmmer".into(),
+            "milc".into(),
+            "gobmk".into(),
+            "povray".into(),
+        ],
+    }
+}
+
+#[test]
+fn full_runs_are_bit_identical() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    for sched in SchedKind::ALL {
+        let (a_eval, a_run) = run_mix(ctx, &cfg, &mix(), sched, SamplingParams::default());
+        let (b_eval, b_run) = run_mix(ctx, &cfg, &mix(), sched, SamplingParams::default());
+        assert_eq!(a_eval.sser, b_eval.sser, "{sched:?} SSER not deterministic");
+        assert_eq!(a_eval.stp, b_eval.stp);
+        assert_eq!(a_run.apps, b_run.apps);
+        assert_eq!(a_run.timeline.len(), b_run.timeline.len());
+    }
+}
+
+#[test]
+fn timeline_covers_run_exactly_once() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    for sched in SchedKind::ALL {
+        let (_, run) = run_mix(ctx, &cfg, &mix(), sched, SamplingParams::default());
+        let total: u64 = run.timeline.iter().map(|s| s.ticks).sum();
+        assert_eq!(total, run.duration, "{sched:?} timeline gaps/overlap");
+        // Segments are contiguous.
+        let mut expect = 0;
+        for seg in &run.timeline {
+            assert_eq!(seg.start, expect, "{sched:?} segment start");
+            expect += seg.ticks;
+        }
+    }
+}
+
+#[test]
+fn every_segment_mapping_is_a_permutation() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    for sched in SchedKind::ALL {
+        let (_, run) = run_mix(ctx, &cfg, &mix(), sched, SamplingParams::default());
+        for seg in &run.timeline {
+            let mut seen = vec![false; seg.mapping.len()];
+            for &a in &seg.mapping {
+                assert!(!seen[a], "{sched:?} app {a} double-mapped");
+                seen[a] = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn per_app_instructions_sum_to_core_totals() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    for sched in SchedKind::ALL {
+        let (_, run) = run_mix(ctx, &cfg, &mix(), sched, SamplingParams::default());
+        let apps: u64 = run.apps.iter().map(|a| a.instructions).sum();
+        let cores: u64 = run.cores.iter().map(|c| c.committed).sum();
+        assert_eq!(apps, cores, "{sched:?} accounting mismatch");
+        // Timeline per-app instruction records also sum to the same total.
+        let timeline: u64 = run
+            .timeline
+            .iter()
+            .map(|s| s.app_instructions.iter().sum::<u64>())
+            .sum();
+        assert_eq!(timeline, apps, "{sched:?} timeline accounting");
+    }
+}
+
+#[test]
+fn abc_is_positive_and_finite_for_all_apps() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    for sched in SchedKind::ALL {
+        let (eval, run) = run_mix(ctx, &cfg, &mix(), sched, SamplingParams::default());
+        for a in &run.apps {
+            assert!(a.abc.is_finite() && a.abc > 0.0, "{sched:?} {}", a.name);
+        }
+        assert!(eval.sser.is_finite() && eval.sser > 0.0);
+        assert!(eval.stp.is_finite() && eval.stp > 0.0);
+    }
+}
+
+#[test]
+fn different_seeds_change_random_schedule_but_not_validity() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    // Different workload seeds (via context seed) change outcomes; the
+    // run itself stays valid.
+    let (a, ra) = run_mix(ctx, &cfg, &mix(), SchedKind::Random, SamplingParams::default());
+    let mut mix2 = mix();
+    mix2.benchmarks.swap(0, 1);
+    let (b, rb) = run_mix(ctx, &cfg, &mix2, SchedKind::Random, SamplingParams::default());
+    assert!(a.sser > 0.0 && b.sser > 0.0);
+    assert_eq!(ra.duration, rb.duration);
+}

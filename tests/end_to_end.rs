@@ -1,0 +1,221 @@
+//! End-to-end integration tests spanning all relsim crates: do the
+//! paper's qualitative claims hold on the full simulation stack?
+
+use relsim::evaluate::{evaluate, DEFAULT_IFR};
+use relsim::experiments::{hcmp_config, run_mix, Context, Scale, SchedKind};
+use relsim::mixes::Mix;
+use relsim::oracle::oracle_schedules;
+use relsim::{AppSpec, RandomScheduler, SamplingParams, System, SystemConfig};
+use relsim_cpu::CoreKind;
+use std::sync::OnceLock;
+
+/// One shared tiny context for all integration tests (building it runs 58
+/// isolated simulations, so share it).
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| {
+        Context::build(Scale {
+            isolation_ticks: 120_000,
+            run_ticks: 250_000,
+            quantum_ticks: 10_000,
+            per_category: 1,
+            seed: 77,
+        })
+    })
+}
+
+fn divergent_mix() -> Mix {
+    // Two high-AVF memory streamers + two low-AVF branchy codes: the
+    // HHLL-style mix where reliability-aware scheduling matters most.
+    Mix {
+        category: "HHLL".into(),
+        benchmarks: vec![
+            "milc".into(),
+            "lbm".into(),
+            "gobmk".into(),
+            "sjeng".into(),
+        ],
+    }
+}
+
+#[test]
+fn avf_classification_matches_paper_examples() {
+    let ctx = ctx();
+    // Section 2.3: mcf and libquantum are low-AVF despite being
+    // memory-intensive; milc and zeusmp-class codes are high-AVF.
+    use relsim::mixes::Category;
+    assert_eq!(ctx.class.category_of("mcf"), Some(Category::L));
+    assert_eq!(ctx.class.category_of("libquantum"), Some(Category::L));
+    assert_eq!(ctx.class.category_of("gobmk"), Some(Category::L));
+    assert_eq!(ctx.class.category_of("milc"), Some(Category::H));
+    assert_eq!(ctx.class.category_of("lbm"), Some(Category::H));
+}
+
+#[test]
+fn low_avf_benchmarks_have_larger_frontend_components() {
+    // Figure 2's observation: the low-AVF side exhibits more front-end
+    // stall cycles than the high-AVF side.
+    let ctx = ctx();
+    let avfs = ctx.refs.sorted_big_avfs();
+    let frontend = |names: &[(String, f64)]| -> f64 {
+        names
+            .iter()
+            .map(|(n, _)| {
+                ctx.refs
+                    .get(n, CoreKind::Big)
+                    .unwrap()
+                    .cpi
+                    .frontend_fraction()
+            })
+            .sum::<f64>()
+            / names.len() as f64
+    };
+    let low = frontend(&avfs[..8]);
+    let high = frontend(&avfs[avfs.len() - 8..]);
+    assert!(
+        low > high,
+        "low-AVF codes should drain the front-end more: {low:.4} vs {high:.4}"
+    );
+}
+
+#[test]
+fn reliability_scheduler_beats_random_and_perf_on_divergent_mix() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    let mix = divergent_mix();
+    let (random, _) = run_mix(ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
+    let (perf, _) = run_mix(ctx, &cfg, &mix, SchedKind::PerfOpt, SamplingParams::default());
+    let (rel, _) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    assert!(
+        rel.sser < random.sser,
+        "rel {} should beat random {}",
+        rel.sser,
+        random.sser
+    );
+    assert!(
+        rel.sser < perf.sser,
+        "rel {} should beat perf-opt {}",
+        rel.sser,
+        perf.sser
+    );
+    // The performance-optimized scheduler should win on throughput.
+    assert!(
+        perf.stp >= rel.stp * 0.98,
+        "perf-opt STP {} should be at least rel-opt's {}",
+        perf.stp,
+        rel.stp
+    );
+}
+
+#[test]
+fn reliability_scheduler_places_high_avf_apps_on_small_cores() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 2, 2);
+    let mix = divergent_mix();
+    let (_, result) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    // milc and lbm (apps 0, 1) should spend most ticks on small cores.
+    for i in 0..2 {
+        let frac = result.apps[i].ticks_on_big as f64 / result.duration as f64;
+        assert!(
+            frac < 0.5,
+            "{} spent {frac:.2} of its time on big cores",
+            result.apps[i].name
+        );
+    }
+}
+
+#[test]
+fn oracle_is_at_least_as_good_as_online_scheduler() {
+    // The oracle picks the best static schedule from isolated data; the
+    // online scheduler pays sampling and migration overhead and suffers
+    // interference. Allow a small tolerance for interference effects the
+    // oracle cannot see.
+    let ctx = ctx();
+    let mix = divergent_mix();
+    let oracle = oracle_schedules(&ctx.refs, &mix.benchmarks, 2);
+    // Oracle wSER-rate units differ from the run-based SSER, so compare
+    // *relative* improvements: oracle gain vs measured online gain.
+    let cfg = hcmp_config(ctx, 2, 2);
+    let (perf, _) = run_mix(ctx, &cfg, &mix, SchedKind::PerfOpt, SamplingParams::default());
+    let (rel, _) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let online_gain = 1.0 - rel.sser / perf.sser;
+    let oracle_gain = oracle.ser_gain();
+    assert!(
+        online_gain <= oracle_gain + 0.15,
+        "online gain {online_gain:.3} should not dramatically exceed oracle {oracle_gain:.3}"
+    );
+}
+
+#[test]
+fn interference_slows_applications_down() {
+    // Co-running applications share the L3 and memory bandwidth; their
+    // slowdown versus isolated big-core execution must exceed 1 for
+    // memory-heavy mixes even when both run on big cores.
+    let ctx = ctx();
+    let mut cfg = SystemConfig::hcmp(2, 2);
+    cfg.quantum_ticks = 10_000;
+    let specs = vec![
+        AppSpec::spec("milc", 1),
+        AppSpec::spec("lbm", 2),
+        AppSpec::spec("leslie3d", 3),
+        AppSpec::spec("bwaves", 4),
+    ];
+    let kinds = cfg.core_kinds();
+    let mut sys = System::new(cfg, &specs);
+    let mut sched = RandomScheduler::new(kinds, 10_000, 5);
+    let r = sys.run(&mut sched, 200_000);
+    let e = evaluate(&r, &ctx.refs, DEFAULT_IFR);
+    let mean_slowdown: f64 =
+        e.apps.iter().map(|a| a.slowdown).sum::<f64>() / e.apps.len() as f64;
+    assert!(
+        mean_slowdown > 1.2,
+        "four memory streamers must interfere: mean slowdown {mean_slowdown:.2}"
+    );
+}
+
+#[test]
+fn rob_only_counter_preserves_scheduling_quality() {
+    // Section 6.6: scheduling on ROB ABC alone performs like full core ABC.
+    let ctx = ctx();
+    let mix = divergent_mix();
+    let full_cfg = hcmp_config(ctx, 2, 2);
+    let mut rob_cfg = full_cfg.clone();
+    rob_cfg.counter_kind = relsim::CounterKind::HwRobOnly;
+    let (full, _) = run_mix(ctx, &full_cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (rob, _) = run_mix(ctx, &rob_cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    // Evaluation SSER always uses perfect counters; the counter kind only
+    // changes what the *scheduler* sees. The two runs should land within a
+    // modest band of each other.
+    let ratio = rob.sser / full.sser;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "ROB-only scheduling quality ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn eight_core_system_runs_and_improves_reliability() {
+    let ctx = ctx();
+    let cfg = hcmp_config(ctx, 4, 4);
+    let mix = Mix {
+        category: "HHHHLLLL".into(),
+        benchmarks: vec![
+            "milc".into(),
+            "lbm".into(),
+            "bwaves".into(),
+            "GemsFDTD".into(),
+            "gobmk".into(),
+            "sjeng".into(),
+            "perlbench".into(),
+            "mcf".into(),
+        ],
+    };
+    let (random, _) = run_mix(ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
+    let (rel, _) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    assert!(
+        rel.sser < random.sser,
+        "rel {} vs random {}",
+        rel.sser,
+        random.sser
+    );
+}

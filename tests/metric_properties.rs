@@ -1,0 +1,200 @@
+//! Property-based tests of the metric layer and its interaction with the
+//! simulation stack.
+
+use proptest::prelude::*;
+use relsim_metrics::{ser, slowdown, sser, stp, wser, AppOutcome, AppProgress};
+
+proptest! {
+    /// Equation 2's cancellation: wSER is independent of the application's
+    /// own execution time, only of its reference time.
+    #[test]
+    fn wser_ignores_own_time(
+        abc in 1.0f64..1e12,
+        t1 in 1.0f64..1e9,
+        t2 in 1.0f64..1e9,
+        t_ref in 1.0f64..1e9,
+        ifr in 1e-15f64..1e-3,
+    ) {
+        let a = ser(abc, t1, ifr) * slowdown(t1, t_ref);
+        let b = ser(abc, t2, ifr) * slowdown(t2, t_ref);
+        let direct = wser(abc, t_ref, ifr);
+        prop_assert!((a - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+        prop_assert!((b - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+
+    /// SSER is monotone: increasing any application's ABC (more exposed
+    /// state for the same work) can only increase system SER.
+    #[test]
+    fn sser_monotone_in_abc(
+        abcs in prop::collection::vec(1.0f64..1e9, 1..8),
+        extra in 1.0f64..1e9,
+        idx in 0usize..8,
+    ) {
+        let apps: Vec<AppOutcome> = abcs.iter()
+            .map(|&abc| AppOutcome { abc, time: 10.0, time_ref: 5.0 })
+            .collect();
+        let base = sser(&apps, 1e-9);
+        let mut bumped = apps.clone();
+        let i = idx % bumped.len();
+        bumped[i].abc += extra;
+        prop_assert!(sser(&bumped, 1e-9) > base);
+    }
+
+    /// SSER is linear in IFR.
+    #[test]
+    fn sser_linear_in_ifr(
+        abcs in prop::collection::vec(1.0f64..1e9, 1..8),
+        k in 1.0f64..1e3,
+    ) {
+        let apps: Vec<AppOutcome> = abcs.iter()
+            .map(|&abc| AppOutcome { abc, time: 10.0, time_ref: 5.0 })
+            .collect();
+        let a = sser(&apps, 1e-9) * k;
+        let b = sser(&apps, 1e-9 * k);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    /// STP is bounded by the number of applications when nothing runs
+    /// faster than its reference.
+    #[test]
+    fn stp_bounded_by_app_count(
+        rates in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let apps: Vec<AppProgress> = rates.iter()
+            .map(|&r| AppProgress { work: r * 100.0, time: 100.0, ref_rate: 1.0 })
+            .collect();
+        let s = stp(&apps);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= apps.len() as f64 + 1e-12);
+    }
+
+    /// Permuting applications changes neither SSER nor STP.
+    #[test]
+    fn metrics_are_permutation_invariant(
+        abcs in prop::collection::vec(1.0f64..1e9, 2..8),
+        rot in 1usize..8,
+    ) {
+        let apps: Vec<AppOutcome> = abcs.iter().enumerate()
+            .map(|(i, &abc)| AppOutcome {
+                abc,
+                time: 10.0 + i as f64,
+                time_ref: 5.0 + i as f64 / 2.0,
+            })
+            .collect();
+        let mut rotated = apps.clone();
+        rotated.rotate_left(rot % apps.len());
+        let a = sser(&apps, 1e-9);
+        let b = sser(&rotated, 1e-9);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+}
+
+/// Properties of the ACE hardware counters against perfect accounting.
+mod counters {
+    use proptest::prelude::*;
+    use relsim_ace::{AceCounter, CounterKind};
+    use relsim_cpu::{CoreConfig, RetireEvent, RetireObserver};
+    use relsim_trace::OpClass;
+
+    proptest! {
+        /// For residencies below the 12-bit timestamp range, the baseline
+        /// hardware counter's ROB accounting matches perfect accounting
+        /// exactly.
+        #[test]
+        fn hw_matches_perfect_below_wrap(
+            events in prop::collection::vec(
+                (0u64..1000, 1u64..50, 1u64..200, 1u64..3000), 1..200),
+        ) {
+            let cfg = CoreConfig::big();
+            let mut perfect = AceCounter::new(&cfg, CounterKind::Perfect);
+            let mut hw = AceCounter::new(&cfg, CounterKind::HwBaseline);
+            let mut t = 0u64;
+            for (gap, d_issue, d_finish, d_commit) in events {
+                t += gap;
+                let dispatch = t;
+                let issue = dispatch + d_issue;
+                let finish = issue + d_finish;
+                let commit = finish + (d_commit % 1000);
+                // Keep total residency under 4096 cycles (no wrap).
+                prop_assume!(commit - dispatch < 4096);
+                let ev = RetireEvent {
+                    op: OpClass::IntAlu,
+                    dispatch,
+                    issue,
+                    finish,
+                    commit,
+                    exec_latency: 1,
+                    has_output: true,
+                };
+                perfect.on_retire(&ev);
+                hw.on_retire(&ev);
+            }
+            let p = perfect.stack(0);
+            let h = hw.stack(0);
+            prop_assert!((p.rob - h.rob).abs() < 1e-6, "rob {} vs {}", p.rob, h.rob);
+            prop_assert!((p.iq - h.iq).abs() < 1e-6);
+        }
+
+        /// The ROB-only counter is always a lower bound on perfect core ABC
+        /// (it observes a subset of the structures).
+        #[test]
+        fn rob_only_is_lower_bound(
+            events in prop::collection::vec(
+                (0u64..100, 1u64..20, 1u64..50, 1u64..500), 1..100),
+        ) {
+            let cfg = CoreConfig::big();
+            let mut perfect = AceCounter::new(&cfg, CounterKind::Perfect);
+            let mut rob = AceCounter::new(&cfg, CounterKind::HwRobOnly);
+            let mut t = 0u64;
+            for (gap, d_issue, d_finish, d_commit) in events {
+                t += gap;
+                let ev = RetireEvent {
+                    op: OpClass::Load,
+                    dispatch: t,
+                    issue: t + d_issue,
+                    finish: t + d_issue + d_finish,
+                    commit: (t + d_issue + d_finish + d_commit).min(t + 4000),
+                    exec_latency: 1,
+                    has_output: true,
+                };
+                if !ev.is_well_formed() {
+                    continue;
+                }
+                perfect.on_retire(&ev);
+                rob.on_retire(&ev);
+            }
+            prop_assert!(rob.abc(1000) <= perfect.abc(1000) + 1e-6);
+        }
+    }
+}
+
+/// Properties of the workload-mix generator.
+mod mixes {
+    use proptest::prelude::*;
+    use relsim::mixes::{generate_mixes, Classification};
+
+    fn classification() -> Classification {
+        let avfs: Vec<(String, f64)> = (0..29)
+            .map(|i| (format!("b{i:02}"), i as f64))
+            .collect();
+        Classification::from_avfs(&avfs, 8)
+    }
+
+    proptest! {
+        /// Any seed yields valid mixes: right arity, no duplicates,
+        /// categories match.
+        #[test]
+        fn mixes_always_valid(seed in 0u64..10_000, apps in prop::sample::select(vec![2usize, 4, 8])) {
+            let class = classification();
+            let mixes = generate_mixes(&class, apps, 2, seed);
+            prop_assert_eq!(mixes.len(), 12);
+            for m in &mixes {
+                prop_assert_eq!(m.benchmarks.len(), apps);
+                let mut d = m.benchmarks.clone();
+                d.sort();
+                d.dedup();
+                prop_assert_eq!(d.len(), apps, "duplicates in a mix");
+            }
+        }
+    }
+}

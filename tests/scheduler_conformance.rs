@@ -1,0 +1,228 @@
+//! Scheduler conformance suite: every scheduler implementation must
+//! uphold the same contract across system shapes — valid permutations,
+//! positive segment lengths, stability under odd arities, and liveness.
+
+use relsim::{
+    Objective, PieModel, PredictiveScheduler, RandomScheduler, SamplingParams,
+    SamplingScheduler, Scheduler, SegmentObservation, StaticScheduler,
+};
+use relsim_cpu::{CoreKind, CpiStack};
+
+fn shapes() -> Vec<Vec<CoreKind>> {
+    use CoreKind::{Big, Small};
+    vec![
+        vec![Big, Small],
+        vec![Big, Small, Small, Small],
+        vec![Big, Big, Small, Small],
+        vec![Big, Big, Big, Small],
+        vec![Big, Big, Big, Big, Small, Small, Small, Small],
+    ]
+}
+
+fn all_schedulers(kinds: &[CoreKind], quantum: u64) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(RandomScheduler::new(kinds.to_vec(), quantum, 7)),
+        Box::new(SamplingScheduler::new(
+            Objective::Sser,
+            kinds.to_vec(),
+            quantum,
+            SamplingParams::default(),
+        )),
+        Box::new(SamplingScheduler::new(
+            Objective::Stp,
+            kinds.to_vec(),
+            quantum,
+            SamplingParams::default(),
+        )),
+        Box::new(SamplingScheduler::new(
+            Objective::Weighted { reliability_pct: 50 },
+            kinds.to_vec(),
+            quantum,
+            SamplingParams::default(),
+        )),
+        Box::new(PredictiveScheduler::new(
+            PieModel::default(),
+            kinds.to_vec(),
+            quantum,
+        )),
+        Box::new(StaticScheduler::new(
+            (0..kinds.len()).collect(),
+            quantum,
+        )),
+    ]
+}
+
+/// Feed a synthetic observation consistent with the mapping.
+fn observe(s: &mut dyn Scheduler, mapping: &[usize], kinds: &[CoreKind], ticks: u64) {
+    let obs: Vec<SegmentObservation> = mapping
+        .iter()
+        .enumerate()
+        .map(|(core, &app)| {
+            let mut cpi = CpiStack::default();
+            cpi.base = 60;
+            cpi.memory = 40;
+            SegmentObservation {
+                app,
+                core,
+                kind: kinds[core],
+                ticks,
+                active_ticks: ticks,
+                instructions: 500 + 97 * app as u64 + 13 * core as u64,
+                abc: 4000.0 + 803.0 * app as f64,
+                cpi,
+            }
+        })
+        .collect();
+    s.observe(&obs);
+}
+
+#[test]
+fn every_scheduler_emits_valid_segments_on_every_shape() {
+    for kinds in shapes() {
+        for mut sched in all_schedulers(&kinds, 10_000) {
+            for round in 0..40 {
+                let seg = sched.next_segment();
+                assert_eq!(
+                    seg.mapping.len(),
+                    kinds.len(),
+                    "{} arity on {kinds:?}",
+                    sched.name()
+                );
+                let mut seen = vec![false; kinds.len()];
+                for &a in &seg.mapping {
+                    assert!(
+                        a < kinds.len() && !seen[a],
+                        "{} produced a non-permutation at round {round}: {:?}",
+                        sched.name(),
+                        seg.mapping
+                    );
+                    seen[a] = true;
+                }
+                assert!(seg.ticks > 0, "{} empty segment", sched.name());
+                assert!(
+                    seg.ticks <= 10_000,
+                    "{} oversized segment {}",
+                    sched.name(),
+                    seg.ticks
+                );
+                observe(sched.as_mut(), &seg.mapping, &kinds, seg.ticks);
+            }
+        }
+    }
+}
+
+#[test]
+fn sampling_schedulers_leave_the_initial_phase() {
+    for kinds in shapes() {
+        let mut sched = SamplingScheduler::new(
+            Objective::Sser,
+            kinds.clone(),
+            10_000,
+            SamplingParams::default(),
+        );
+        let mut saw_main = false;
+        for _ in 0..30 {
+            let seg = sched.next_segment();
+            if !seg.is_sampling {
+                saw_main = true;
+            }
+            observe(&mut sched, &seg.mapping, &kinds, seg.ticks);
+        }
+        assert!(
+            saw_main,
+            "sampling scheduler stuck in its initial phase on {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn schedulers_tolerate_zero_progress_observations() {
+    // An application may commit nothing in a segment (deep stall); no
+    // scheduler may panic or divide by zero on that.
+    for kinds in shapes() {
+        for mut sched in all_schedulers(&kinds, 5_000) {
+            for _ in 0..10 {
+                let seg = sched.next_segment();
+                let obs: Vec<SegmentObservation> = seg
+                    .mapping
+                    .iter()
+                    .enumerate()
+                    .map(|(core, &app)| SegmentObservation {
+                        app,
+                        core,
+                        kind: kinds[core],
+                        ticks: seg.ticks,
+                        active_ticks: 0,
+                        instructions: 0,
+                        abc: 0.0,
+                        cpi: CpiStack::default(),
+                    })
+                    .collect();
+                sched.observe(&obs);
+            }
+            let seg = sched.next_segment();
+            assert_eq!(seg.mapping.len(), kinds.len());
+        }
+    }
+}
+
+#[test]
+fn weighted_extremes_bracket_the_pure_objectives() {
+    // On a 2B2S shape with divergent synthetic apps, the weighted
+    // scheduler at 100% must settle like Sser, and at 0% like a
+    // performance-flavored objective (high-speedup apps on big).
+    let kinds = vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small];
+    let profiles: [(f64, f64, f64, f64); 4] = [
+        (1.0, 100.0, 0.9, 10.0),
+        (1.0, 100.0, 0.9, 10.0),
+        (2.0, 20.0, 0.5, 8.0),
+        (2.0, 20.0, 0.5, 8.0),
+    ];
+    let settle = |objective: Objective| -> Vec<usize> {
+        let mut s = SamplingScheduler::new(
+            objective,
+            kinds.clone(),
+            10_000,
+            SamplingParams::default(),
+        );
+        let mut last = Vec::new();
+        for _ in 0..30 {
+            let seg = s.next_segment();
+            let obs: Vec<SegmentObservation> = seg
+                .mapping
+                .iter()
+                .enumerate()
+                .map(|(core, &app)| {
+                    let (bi, ba, si, sa) = profiles[app];
+                    let (ips, abc) = match kinds[core] {
+                        CoreKind::Big => (bi, ba),
+                        CoreKind::Small => (si, sa),
+                    };
+                    SegmentObservation {
+                        app,
+                        core,
+                        kind: kinds[core],
+                        ticks: seg.ticks,
+                        active_ticks: seg.ticks,
+                        instructions: (ips * seg.ticks as f64) as u64,
+                        abc: abc * seg.ticks as f64,
+                        cpi: CpiStack::default(),
+                    }
+                })
+                .collect();
+            s.observe(&obs);
+            if !seg.is_sampling {
+                last = seg.mapping;
+            }
+        }
+        last
+    };
+    let rel = settle(Objective::Weighted { reliability_pct: 100 });
+    assert_eq!(rel, settle(Objective::Sser));
+    let perf = settle(Objective::Weighted { reliability_pct: 0 });
+    // High-speedup, low-ABC apps 2,3 on the big cores.
+    assert!(
+        perf[..2].contains(&2) && perf[..2].contains(&3),
+        "perf extreme: {perf:?}"
+    );
+}
