@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — the same checks the GitHub Actions workflow runs.
+# Fully offline: every dependency is a path dependency under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ci.sh: all checks passed"

@@ -114,7 +114,11 @@ mod tests {
             exec_latency: 1,
             has_output: true,
         };
-        for kind in [CounterKind::Perfect, CounterKind::HwBaseline, CounterKind::HwRobOnly] {
+        for kind in [
+            CounterKind::Perfect,
+            CounterKind::HwBaseline,
+            CounterKind::HwRobOnly,
+        ] {
             let mut c = AceCounter::new(&cfg, kind);
             c.on_retire(&ev);
             assert!(c.abc(10) > 0.0, "{kind:?}");
@@ -142,7 +146,11 @@ mod tests {
         for i in 0..10_000u64 {
             let (d, iss, fin, com) = (t, t + 2 + i % 5, t + 4 + i % 5, t + 12 + i % 40);
             let ev = RetireEvent {
-                op: if i % 4 == 0 { OpClass::Load } else { OpClass::IntAlu },
+                op: if i % 4 == 0 {
+                    OpClass::Load
+                } else {
+                    OpClass::IntAlu
+                },
                 dispatch: d,
                 issue: iss,
                 finish: fin,

@@ -98,8 +98,7 @@ impl PerfectAceCounters {
             bits: cfg.bits,
             ticks_per_cycle: cfg.ticks_per_cycle,
             arch_reg_bits: (u64::from(cfg.arch_int_regs) * cfg.bits.int_reg
-                + u64::from(cfg.arch_fp_regs) * cfg.bits.fp_reg)
-                as f64
+                + u64::from(cfg.arch_fp_regs) * cfg.bits.fp_reg) as f64
                 * cfg.bits.arch_reg_live_fraction,
             rob: 0,
             iq: 0,

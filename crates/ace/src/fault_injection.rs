@@ -102,7 +102,11 @@ impl AceTimeline {
                         _ => {}
                     }
                     if ev.has_output {
-                        let reg = if ev.op.is_fp() { bits.fp_reg } else { bits.int_reg };
+                        let reg = if ev.op.is_fp() {
+                            bits.fp_reg
+                        } else {
+                            bits.int_reg
+                        };
                         add(ev.finish, ev.commit, reg);
                     }
                 }
@@ -114,7 +118,11 @@ impl AceTimeline {
                     }
                 }
             }
-            let fu = if ev.op.is_fp() { bits.fp_fu } else { bits.int_fu };
+            let fu = if ev.op.is_fp() {
+                bits.fp_fu
+            } else {
+                bits.int_fu
+            };
             add(
                 ev.issue,
                 ev.issue + ev.exec_latency * cfg.ticks_per_cycle,
@@ -179,19 +187,39 @@ impl AceTimeline {
 /// assert!(result.consistent_with(timeline.avf(), 0.01));
 /// ```
 pub fn run_campaign(timeline: &AceTimeline, injections: u64, seed: u64) -> CampaignResult {
+    run_campaign_traced(timeline, injections, seed, &mut relsim_obs::NullSink)
+}
+
+/// [`run_campaign`], streaming one `FaultInjected` event per injection to
+/// `sink` (tick = strike tick, outcome `"ace_hit"` or `"masked"`). The
+/// event stream is a deterministic function of the seed.
+pub fn run_campaign_traced(
+    timeline: &AceTimeline,
+    injections: u64,
+    seed: u64,
+    sink: &mut dyn relsim_obs::EventSink,
+) -> CampaignResult {
     assert!(injections > 0, "need at least one injection");
     let mut rng = SmallRng::seed_from_u64(seed);
     let duration = timeline.buckets.len() as u64 * timeline.bucket_ticks;
     let mut hits = 0u64;
-    for _ in 0..injections {
+    for i in 0..injections {
         let tick = rng.gen_range(0..duration);
         // A uniformly random bit of the core is struck; it is ACE with
         // probability ace_bits(t) / total_bits.
         let p = (timeline.ace_bits_at(tick) / timeline.total_bits as f64).clamp(0.0, 1.0);
-        if rng.gen::<f64>() < p {
+        let hit = rng.gen::<f64>() < p;
+        if hit {
             hits += 1;
         }
+        sink.emit(&relsim_obs::Event::FaultInjected {
+            tick,
+            injection: i,
+            structure: "core".to_string(),
+            outcome: if hit { "ace_hit" } else { "masked" }.to_string(),
+        });
     }
+    sink.flush();
     let est = hits as f64 / injections as f64;
     let ci = 1.96 * (est * (1.0 - est) / injections as f64).sqrt();
     CampaignResult {
@@ -213,6 +241,26 @@ pub fn validate_counters(
     duration: u64,
     injections: u64,
     seed: u64,
+) -> (CampaignResult, f64) {
+    validate_counters_traced(
+        cfg,
+        profile,
+        duration,
+        injections,
+        seed,
+        &mut relsim_obs::NullSink,
+    )
+}
+
+/// [`validate_counters`], streaming the fault-injection campaign's
+/// `FaultInjected` events to `sink`.
+pub fn validate_counters_traced(
+    cfg: &CoreConfig,
+    profile: &relsim_trace::BenchmarkProfile,
+    duration: u64,
+    injections: u64,
+    seed: u64,
+    sink: &mut dyn relsim_obs::EventSink,
 ) -> (CampaignResult, f64) {
     use crate::counters::PerfectAceCounters;
     use relsim_cpu::{Core, RetireObserver};
@@ -242,7 +290,7 @@ pub fn validate_counters(
     }
     let counter_avf = avf(both.counters.abc(duration), cfg.total_bits(), duration);
     let timeline = AceTimeline::from_events(cfg, &both.events, duration, 64);
-    let campaign = run_campaign(&timeline, injections, seed ^ 0xfa57);
+    let campaign = run_campaign_traced(&timeline, injections, seed ^ 0xfa57, sink);
     (campaign, counter_avf)
 }
 
@@ -337,6 +385,26 @@ mod tests {
             campaign.avf_estimate,
             campaign.confidence_95
         );
+    }
+
+    #[test]
+    fn traced_campaign_emits_one_event_per_injection() {
+        use relsim_obs::{Event, MemorySink};
+        let cfg = CoreConfig::big();
+        let events = vec![ev(0, 2, 3, 40), ev(10, 12, 13, 90)];
+        let t = AceTimeline::from_events(&cfg, &events, 200, 10);
+        let mut sink = MemorySink::new();
+        let r = run_campaign_traced(&t, 500, 3, &mut sink);
+        assert_eq!(sink.events.len(), 500);
+        let hits = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::FaultInjected { outcome, .. } if outcome == "ace_hit"))
+            .count() as u64;
+        assert_eq!(hits, r.ace_hits, "event outcomes match the result");
+        // Tracing must not perturb the campaign's RNG stream.
+        let untraced = run_campaign(&t, 500, 3);
+        assert_eq!(untraced, r);
     }
 
     #[test]

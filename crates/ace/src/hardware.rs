@@ -85,8 +85,7 @@ impl HwAceCounters {
             bits: cfg.bits,
             ticks_per_cycle: cfg.ticks_per_cycle,
             arch_reg_bits: (u64::from(cfg.arch_int_regs) * cfg.bits.int_reg
-                + u64::from(cfg.arch_fp_regs) * cfg.bits.fp_reg)
-                as f64
+                + u64::from(cfg.arch_fp_regs) * cfg.bits.fp_reg) as f64
                 * cfg.bits.arch_reg_live_fraction,
             occ: [0; 6],
             retired: 0,
@@ -143,8 +142,7 @@ impl HwAceCounters {
                 iq: f64::from(self.occ[1]) * t * b.iq_entry as f64,
                 lq: f64::from(self.occ[2]) * t * b.lq_entry as f64,
                 sq: f64::from(self.occ[3]) * t * b.sq_entry as f64,
-                regfile: f64::from(self.occ[4]) * t * 64.0
-                    + elapsed as f64 * self.arch_reg_bits,
+                regfile: f64::from(self.occ[4]) * t * 64.0 + elapsed as f64 * self.arch_reg_bits,
                 fu: f64::from(self.occ[5]) * t * 64.0,
             },
         }
@@ -174,19 +172,15 @@ impl RetireObserver for HwAceCounters {
                 }
                 if ev.has_output {
                     // The hardware reconstructs finish as issue + latency.
-                    let reg = self.residency(
-                        ev.issue + ev.exec_latency * self.ticks_per_cycle,
-                        ev.commit,
-                    );
+                    let reg = self
+                        .residency(ev.issue + ev.exec_latency * self.ticks_per_cycle, ev.commit);
                     // Width-normalized to 64-bit units in hardware; the
                     // software multiplier uses 64 bits per unit.
                     let units = if ev.op.is_fp() { 2 } else { 1 };
                     self.occ[4] = self.occ[4].wrapping_add(reg * units);
                 }
                 let units = if ev.op.is_fp() { 2 } else { 1 };
-                self.occ[5] = self
-                    .occ[5]
-                    .wrapping_add(ev.exec_latency as u32 * units);
+                self.occ[5] = self.occ[5].wrapping_add(ev.exec_latency as u32 * units);
             }
             (CoreKind::Small, _) => {
                 // The in-order hardware tracks fetch→writeback time plus
@@ -195,9 +189,7 @@ impl RetireObserver for HwAceCounters {
                 let pipe = self.residency(ev.dispatch, ev.commit);
                 self.occ[0] = self.occ[0].wrapping_add(pipe);
                 let units = if ev.op.is_fp() { 2 } else { 1 };
-                self.occ[5] = self
-                    .occ[5]
-                    .wrapping_add(ev.exec_latency as u32 * units);
+                self.occ[5] = self.occ[5].wrapping_add(ev.exec_latency as u32 * units);
             }
         }
     }
@@ -265,7 +257,13 @@ mod tests {
         let per_event = 4000u64;
         let events = u64::from(u32::MAX) / per_event + 2;
         for i in 0..events {
-            hw.on_retire(&ev(OpClass::IntAlu, i * 10_000, i * 10_000 + 1, i * 10_000 + 2, i * 10_000 + per_event));
+            hw.on_retire(&ev(
+                OpClass::IntAlu,
+                i * 10_000,
+                i * 10_000 + 1,
+                i * 10_000 + 2,
+                i * 10_000 + per_event,
+            ));
         }
         let total_cycles = events * per_event;
         let expected_wrapped = (total_cycles % (1 << 32)) as f64;

@@ -19,8 +19,7 @@ fn bench_cores(c: &mut Criterion) {
                     let mut core = Core::new(cfg.clone(), PrivateCacheConfig::default());
                     let mut shared = SharedMem::new(SharedMemConfig::default());
                     let mut counter = AceCounter::new(cfg, CounterKind::Perfect);
-                    let mut src =
-                        TraceGenerator::new(spec_profile(bench).unwrap(), 1, 0);
+                    let mut src = TraceGenerator::new(spec_profile(bench).unwrap(), 1, 0);
                     for t in 0..TICKS {
                         core.tick(t, &mut src, &mut shared, &mut counter);
                     }

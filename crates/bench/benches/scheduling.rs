@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relsim::{
-    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
-    SegmentObservation,
+    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler, SegmentObservation,
 };
 use relsim_ace::{AceCounter, CounterKind};
 use relsim_cpu::{CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
@@ -35,7 +34,13 @@ fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_decision");
     for n in [4usize, 8, 16] {
         let kinds: Vec<CoreKind> = (0..n)
-            .map(|i| if i < n / 2 { CoreKind::Big } else { CoreKind::Small })
+            .map(|i| {
+                if i < n / 2 {
+                    CoreKind::Big
+                } else {
+                    CoreKind::Small
+                }
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("reliability", n), &kinds, |b, kinds| {
             let mut s = SamplingScheduler::new(
@@ -63,7 +68,11 @@ fn bench_schedulers(c: &mut Criterion) {
         exec_latency: 1,
         has_output: true,
     };
-    for kind in [CounterKind::Perfect, CounterKind::HwBaseline, CounterKind::HwRobOnly] {
+    for kind in [
+        CounterKind::Perfect,
+        CounterKind::HwBaseline,
+        CounterKind::HwRobOnly,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,

@@ -13,12 +13,21 @@ use relsim_bench::{context, pct, scale_from_args};
 use relsim_cpu::CoreKind;
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let mix = Mix {
         category: "HHLL".into(),
-        benchmarks: vec!["milc".into(), "lbm".into(), "gobmk".into(), "perlbench".into()],
+        benchmarks: vec![
+            "milc".into(),
+            "lbm".into(),
+            "gobmk".into(),
+            "perlbench".into(),
+        ],
     };
-    println!("# Ablation: small-core frequency sweep on 2B2S ({})", mix.benchmarks.join("+"));
+    println!(
+        "# Ablation: small-core frequency sweep on 2B2S ({})",
+        mix.benchmarks.join("+")
+    );
     println!(
         "{:<12} {:>12} {:>8} {:>12} {:>8} {:>12}",
         "small clock", "rel SSER", "rel STP", "rand SSER", "rand STP", "rel benefit"
@@ -32,8 +41,20 @@ fn main() {
         }
         cfg.quantum_ticks = ctx.scale.quantum_ticks;
         cfg.migration_ticks = (ctx.scale.quantum_ticks / 50).max(1);
-        let (rel, _) = run_mix(&ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
-        let (rand, _) = run_mix(&ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
+        let (rel, _) = run_mix(
+            &ctx,
+            &cfg,
+            &mix,
+            SchedKind::RelOpt,
+            SamplingParams::default(),
+        );
+        let (rand, _) = run_mix(
+            &ctx,
+            &cfg,
+            &mix,
+            SchedKind::Random,
+            SamplingParams::default(),
+        );
         println!(
             "{:<12} {:>12.3e} {:>8.3} {:>12.3e} {:>8.3} {:>12}",
             format!("2.66/{divisor} GHz"),

@@ -11,6 +11,7 @@ use relsim_cpu::CoreConfig;
 use relsim_metrics::arithmetic_mean;
 
 fn main() {
+    relsim_bench::obs_init();
     let quick = std::env::args().any(|a| a == "--quick");
     let ticks: u64 = if quick { 100_000 } else { 400_000 };
     println!("# Ablation: arch-register liveness fraction vs oracle potential");

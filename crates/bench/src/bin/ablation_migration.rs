@@ -7,6 +7,7 @@ use relsim::SamplingParams;
 use relsim_bench::{context, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let mix = Mix {
         category: "HHLL".into(),
@@ -20,8 +21,20 @@ fn main() {
     for frac in [0.0, 0.02, 0.05, 0.1, 0.25] {
         let mut cfg = hcmp_config(&ctx, 2, 2);
         cfg.migration_ticks = (cfg.quantum_ticks as f64 * frac) as u64;
-        let (rel, _) = run_mix(&ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
-        let (rand, _) = run_mix(&ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
+        let (rel, _) = run_mix(
+            &ctx,
+            &cfg,
+            &mix,
+            SchedKind::RelOpt,
+            SamplingParams::default(),
+        );
+        let (rand, _) = run_mix(
+            &ctx,
+            &cfg,
+            &mix,
+            SchedKind::Random,
+            SamplingParams::default(),
+        );
         println!(
             "{:>9.0}% {:>12.4e} {:>8.3} {:>12.4e} {:>8.3}",
             frac * 100.0,

@@ -5,23 +5,30 @@
 use relsim::evaluate::{evaluate, DEFAULT_IFR};
 use relsim::experiments::hcmp_config;
 use relsim::mixes::Mix;
-use relsim::{
-    AppSpec, Objective, SamplingParams, SamplingScheduler, System,
-};
+use relsim::{AppSpec, Objective, SamplingParams, SamplingScheduler, System};
 use relsim_bench::{context, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let mix = Mix {
         category: "HHLL".into(),
-        benchmarks: vec!["milc".into(), "lbm".into(), "gobmk".into(), "perlbench".into()],
+        benchmarks: vec![
+            "milc".into(),
+            "lbm".into(),
+            "gobmk".into(),
+            "perlbench".into(),
+        ],
     };
     let cfg = hcmp_config(&ctx, 2, 2);
     println!(
         "# Ablation: blended objective sweep on 2B2S ({})",
         mix.benchmarks.join("+")
     );
-    println!("{:>16} {:>12} {:>8} {:>8}", "reliability wt", "SSER", "STP", "ANTT");
+    println!(
+        "{:>16} {:>12} {:>8} {:>8}",
+        "reliability wt", "SSER", "STP", "ANTT"
+    );
     for pct in [0u8, 25, 50, 75, 100] {
         let specs: Vec<AppSpec> = mix
             .benchmarks
@@ -30,7 +37,9 @@ fn main() {
             .map(|(i, n)| AppSpec::spec(n, ctx.scale.seed ^ (i as u64 + 1)))
             .collect();
         let mut sched = SamplingScheduler::new(
-            Objective::Weighted { reliability_pct: pct },
+            Objective::Weighted {
+                reliability_pct: pct,
+            },
             cfg.core_kinds(),
             cfg.quantum_ticks,
             SamplingParams::default(),

@@ -14,6 +14,7 @@ use relsim_bench::{context, pct, scale_from_args};
 use relsim_cpu::CoreKind;
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     println!("# Part 1: cross-core IPS prediction accuracy (big -> small)");
     println!(
@@ -46,10 +47,21 @@ fn main() {
     println!("\n# Part 2: end-to-end on a divergent 2B2S workload");
     let mix = Mix {
         category: "HHLL".into(),
-        benchmarks: vec!["milc".into(), "lbm".into(), "gobmk".into(), "perlbench".into()],
+        benchmarks: vec![
+            "milc".into(),
+            "lbm".into(),
+            "gobmk".into(),
+            "perlbench".into(),
+        ],
     };
     let cfg = hcmp_config(&ctx, 2, 2);
-    let (perf, rp) = run_mix(&ctx, &cfg, &mix, SchedKind::PerfOpt, SamplingParams::default());
+    let (perf, rp) = run_mix(
+        &ctx,
+        &cfg,
+        &mix,
+        SchedKind::PerfOpt,
+        SamplingParams::default(),
+    );
     // Run the predictive scheduler manually.
     let specs: Vec<AppSpec> = mix
         .benchmarks

@@ -13,6 +13,7 @@ use relsim_mem::{PrefetchConfig, PrivateCacheConfig};
 use relsim_trace::spec_profile;
 
 fn main() {
+    relsim_bench::obs_init();
     let quick = std::env::args().any(|a| a == "--quick");
     let ticks: u64 = if quick { 150_000 } else { 600_000 };
     println!("# Ablation: L2 stream prefetcher (isolated big core, {ticks} ticks)");

@@ -8,6 +8,7 @@ use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
 use relsim_trace::{spec2006_profiles, InstrSource, OpClass, TraceGenerator};
 
 fn main() {
+    relsim_bench::obs_init();
     let quick = std::env::args().any(|a| a == "--quick");
     let n_instr: u64 = if quick { 50_000 } else { 300_000 };
     let ticks: u64 = if quick { 100_000 } else { 400_000 };
@@ -51,14 +52,17 @@ fn main() {
         }
         let (l1i, l1d, _) = core.cache_stats();
         let _ = l1i;
-        let mem_per_ki =
-            core.loads_by_level()[3] as f64 / (core.committed() as f64 / 1000.0);
+        let mem_per_ki = core.loads_by_level()[3] as f64 / (core.committed() as f64 / 1000.0);
         println!(
             "{:<12} {:>6.1}% {:>6.1}% {:>7.3} {:>6.2}% {:>8.2} {:>8.3} {:>6.1}% {:>8.2}",
             p.name,
             loads as f64 / n_instr as f64 * 100.0,
             branches as f64 / n_instr as f64 * 100.0,
-            if branches > 0 { mis as f64 / branches as f64 } else { 0.0 },
+            if branches > 0 {
+                mis as f64 / branches as f64
+            } else {
+                0.0
+            },
             nops as f64 / n_instr as f64 * 100.0,
             dep_sum as f64 / dep_n.max(1) as f64,
             core.committed() as f64 / core.cycles() as f64,

@@ -17,13 +17,14 @@ fn load(path: &str) -> Vec<MixComparison> {
 }
 
 fn main() {
+    relsim_bench::obs_init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let default = "target/experiments/fig06_sser_stp.json".to_owned();
     let (old_path, new_path) = match args.as_slice() {
         [a, b] => (a.clone(), b.clone()),
         [] => (default.clone(), default),
         _ => {
-            eprintln!("usage: compare_runs <old.json> <new.json>");
+            relsim_obs::error!("usage: compare_runs <old.json> <new.json>");
             std::process::exit(2);
         }
     };
@@ -37,10 +38,26 @@ fn main() {
         "metric", "old", "new", "delta"
     );
     for (name, a, b) in [
-        ("rel vs random SSER reduction", so.rel_vs_random_sser, sn.rel_vs_random_sser),
-        ("rel vs perf SSER reduction", so.rel_vs_perf_sser, sn.rel_vs_perf_sser),
-        ("rel STP loss vs perf", so.rel_vs_perf_stp_loss, sn.rel_vs_perf_stp_loss),
-        ("perf vs random SSER reduction", so.perf_vs_random_sser, sn.perf_vs_random_sser),
+        (
+            "rel vs random SSER reduction",
+            so.rel_vs_random_sser,
+            sn.rel_vs_random_sser,
+        ),
+        (
+            "rel vs perf SSER reduction",
+            so.rel_vs_perf_sser,
+            sn.rel_vs_perf_sser,
+        ),
+        (
+            "rel STP loss vs perf",
+            so.rel_vs_perf_stp_loss,
+            sn.rel_vs_perf_stp_loss,
+        ),
+        (
+            "perf vs random SSER reduction",
+            so.perf_vs_random_sser,
+            sn.perf_vs_random_sser,
+        ),
     ] {
         println!(
             "{name:<36} {:>12} {:>12} {:>10}",
@@ -53,9 +70,7 @@ fn main() {
     let mut movers: Vec<(String, f64)> = old
         .iter()
         .filter_map(|o| {
-            let n = new
-                .iter()
-                .find(|n| n.mix.benchmarks == o.mix.benchmarks)?;
+            let n = new.iter().find(|n| n.mix.benchmarks == o.mix.benchmarks)?;
             let delta = n.sser_vs_random(SchedKind::RelOpt) - o.sser_vs_random(SchedKind::RelOpt);
             Some((o.mix.benchmarks.join("+"), delta))
         })

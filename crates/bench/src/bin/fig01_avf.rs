@@ -4,10 +4,14 @@
 use relsim_bench::{context, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let rows = relsim::experiments::isolated_characterization(&ctx);
     println!("# Figure 1: big-core AVF (sorted ascending), classification");
-    println!("{:<12} {:>8} {:>4} {:>8} {:>8}", "benchmark", "AVF", "cat", "IPC", "ABC/tick");
+    println!(
+        "{:<12} {:>8} {:>4} {:>8} {:>8}",
+        "benchmark", "AVF", "cat", "IPC", "ABC/tick"
+    );
     for r in &rows {
         println!(
             "{:<12} {:>8.4} {:>4} {:>8.3} {:>8.0}",

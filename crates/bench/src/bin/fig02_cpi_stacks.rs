@@ -5,6 +5,7 @@ use relsim_bench::{context, save_json, scale_from_args};
 use relsim_cpu::CPI_COMPONENT_NAMES;
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let rows = relsim::experiments::isolated_characterization(&ctx);
     println!("# Figure 2: normalized CPI stacks (order matches Figure 1)");
@@ -21,5 +22,11 @@ fn main() {
         }
         println!();
     }
-    save_json("fig02_cpi_stacks", &rows.iter().map(|r| (r.name.clone(), r.big.cpi.normalized())).collect::<Vec<_>>());
+    save_json(
+        "fig02_cpi_stacks",
+        &rows
+            .iter()
+            .map(|r| (r.name.clone(), r.big.cpi.normalized()))
+            .collect::<Vec<_>>(),
+    );
 }

@@ -7,6 +7,7 @@ use relsim_bench::{context, pct, save_json, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let outcomes = oracle_study(&ctx);
     println!("# Figure 3: oracle SER gain & STP loss (4-program, 2B2S)");

@@ -5,10 +5,14 @@
 use relsim_bench::{context, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let t = relsim::experiments::abc_timeline(&ctx, "calculix", "povray");
     println!("# Figure 4 (left): isolated big-core ABC per quantum");
-    println!("{:<8} {:>14} {:>14}", "quantum", t.isolated[0].0, t.isolated[1].0);
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "quantum", t.isolated[0].0, t.isolated[1].0
+    );
     let n = t.isolated[0].1.len().min(t.isolated[1].1.len());
     for i in 0..n {
         println!(
@@ -17,12 +21,18 @@ fn main() {
         );
     }
     println!("# Figure 4 (right): co-running on 1B1S under reliability-aware scheduling");
-    println!("{:<10} {:>14} {:>5} {:>14} {:>5}", "tick", t.corun[0].0, "big?", t.corun[1].0, "big?");
+    println!(
+        "{:<10} {:>14} {:>5} {:>14} {:>5}",
+        "tick", t.corun[0].0, "big?", t.corun[1].0, "big?"
+    );
     let m = t.corun[0].1.len().min(t.corun[1].1.len());
     for i in 0..m {
         let (s0, a0, b0) = t.corun[0].1[i];
         let (_, a1, b1) = t.corun[1].1[i];
-        println!("{:<10} {:>14.0} {:>5} {:>14.0} {:>5}", s0, a0, b0 as u8, a1, b1 as u8);
+        println!(
+            "{:<10} {:>14.0} {:>5} {:>14.0} {:>5}",
+            s0, a0, b0 as u8, a1, b1 as u8
+        );
     }
     // Count migrations visible in the schedule.
     let mut switches = 0;

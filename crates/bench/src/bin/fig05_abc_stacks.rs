@@ -6,6 +6,7 @@ use relsim_ace::ABC_STACK_NAMES;
 use relsim_bench::{context, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let rows = relsim::experiments::isolated_characterization(&ctx);
     println!("# Figure 5: ABC stacks on the big out-of-order core");
@@ -28,5 +29,11 @@ fn main() {
     let mean_rob = rob_fracs.iter().sum::<f64>() / rob_fracs.len() as f64;
     println!("# corr(ROB ABC, core ABC) = {corr:.3} (paper: 0.99)");
     println!("# mean ROB share of core ABC = {mean_rob:.2} (paper: ~0.5)");
-    save_json("fig05_abc_stacks", &rows.iter().map(|r| (r.name.clone(), r.big.stack)).collect::<Vec<_>>());
+    save_json(
+        "fig05_abc_stacks",
+        &rows
+            .iter()
+            .map(|r| (r.name.clone(), r.big.stack))
+            .collect::<Vec<_>>(),
+    );
 }

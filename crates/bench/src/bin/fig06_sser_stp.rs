@@ -6,6 +6,7 @@ use relsim::experiments::{fig6_comparisons, summarize, SchedKind};
 use relsim_bench::{context, pct, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let comparisons = fig6_comparisons(&ctx);
 

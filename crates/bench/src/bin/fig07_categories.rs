@@ -4,6 +4,7 @@ use relsim::experiments::{by_category, fig6_comparisons};
 use relsim_bench::{context, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let comparisons = fig6_comparisons(&ctx);
     let cats = by_category(&comparisons);

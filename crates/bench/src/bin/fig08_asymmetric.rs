@@ -4,6 +4,7 @@ use relsim::experiments::{fig8_asymmetric, summarize};
 use relsim_bench::{context, pct, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let results = fig8_asymmetric(&ctx);
     println!("# Figure 8: SSER reduction of reliability-aware scheduling per configuration");

@@ -4,6 +4,7 @@ use relsim::experiments::{fig6_comparisons, fig9_low_frequency, summarize};
 use relsim_bench::{context, pct, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     println!("# Figure 9: small-core frequency sensitivity (2B2S)");
     let full = summarize(&fig6_comparisons(&ctx));

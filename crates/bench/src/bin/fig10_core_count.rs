@@ -5,6 +5,7 @@ use relsim::experiments::{fig10_core_count, summarize};
 use relsim_bench::{context, pct, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let results = fig10_core_count(&ctx);
     println!("# Figure 10: SSER reduction (rel-opt vs random) per core count and counter");

@@ -5,6 +5,7 @@ use relsim::experiments::{fig11_sampling_sweep, summarize};
 use relsim_bench::{context, pct, save_json, scale_from_args};
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let settings = [
         (5u32, 0.1f64),

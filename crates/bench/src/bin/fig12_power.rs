@@ -5,6 +5,7 @@ use relsim_bench::{context, pct, save_json, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 
 fn main() {
+    relsim_bench::obs_init();
     let ctx = context(scale_from_args());
     let comparisons = fig6_comparisons(&ctx);
     let mut chip = [Vec::new(), Vec::new(), Vec::new()];
@@ -17,7 +18,10 @@ fn main() {
     }
     let names = ["random", "performance-optimized", "reliability-optimized"];
     println!("# Figure 12: average power per scheduler (2B2S, 4-program workloads)");
-    println!("{:<24} {:>10} {:>10}", "scheduler", "chip (W)", "system (W)");
+    println!(
+        "{:<24} {:>10} {:>10}",
+        "scheduler", "chip (W)", "system (W)"
+    );
     let mut rows = Vec::new();
     for i in 0..3 {
         let cw = arithmetic_mean(&chip[i]);

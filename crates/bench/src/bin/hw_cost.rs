@@ -4,6 +4,7 @@
 use relsim_ace::hw_cost::{baseline_big, in_order_small, rob_only_big};
 
 fn main() {
+    relsim_bench::obs_init();
     println!("# Hardware cost of the ACE counter architecture (Section 4.2)");
     let b = baseline_big(128, 4);
     println!(

@@ -2,8 +2,8 @@
 //! `target/experiments/` (run `run_all` first).
 
 use relsim::experiments::{by_category, ComparisonSummary, IsolatedRow, MixComparison, SchedKind};
-use relsim_bench::svg::{Svg, PALETTE};
 use relsim_bench::out_dir;
+use relsim_bench::svg::{Svg, PALETTE};
 use relsim_cpu::CPI_COMPONENT_NAMES;
 
 fn load<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
@@ -14,12 +14,13 @@ fn load<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
 fn save(name: &str, doc: String) {
     let path = out_dir().join(format!("{name}.svg"));
     match std::fs::write(&path, doc) {
-        Ok(()) => println!("wrote {path:?}"),
-        Err(e) => eprintln!("could not write {path:?}: {e}"),
+        Ok(()) => relsim_obs::info!("wrote {path:?}"),
+        Err(e) => relsim_obs::warn!("could not write {path:?}: {e}"),
     }
 }
 
 fn main() {
+    relsim_bench::obs_init();
     if let Some(rows) = load::<Vec<IsolatedRow>>("fig01_avf") {
         // Figure 1: sorted AVF scatter.
         let avfs: Vec<f64> = rows.iter().map(|r| r.big.avf).collect();
@@ -31,20 +32,26 @@ fn main() {
 
         // Figure 2: normalized CPI stacks.
         let labels: Vec<String> = rows.iter().map(|r| r.name.clone()).collect();
-        let stacks: Vec<Vec<f64>> = rows.iter().map(|r| r.big.cpi.normalized().to_vec()).collect();
+        let stacks: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.big.cpi.normalized().to_vec())
+            .collect();
         let mut svg = Svg::new("Figure 2: normalized CPI stacks (big core)");
         svg.axes(0.0, 1.0, "fraction of cycles");
         svg.stacked_bars(&labels, &stacks, &CPI_COMPONENT_NAMES);
         save("fig02_cpi_stacks", svg.finish());
 
         // Figure 5: ABC stacks.
-        let stacks: Vec<Vec<f64>> = rows.iter().map(|r| r.big.stack.normalized().to_vec()).collect();
+        let stacks: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.big.stack.normalized().to_vec())
+            .collect();
         let mut svg = Svg::new("Figure 5: ABC stacks (big core)");
         svg.axes(0.0, 1.0, "fraction of core ABC");
         svg.stacked_bars(&labels, &stacks, &relsim_ace::ABC_STACK_NAMES);
         save("fig05_abc_stacks", svg.finish());
     } else {
-        eprintln!("fig01_avf.json missing — run run_all first");
+        relsim_obs::warn!("fig01_avf.json missing — run run_all first");
     }
 
     if let Some(comparisons) = load::<Vec<MixComparison>>("fig06_sser_stp") {
@@ -113,7 +120,11 @@ fn main() {
     if !labels.is_empty() {
         let mut svg = Svg::new("Figure 8: SSER reduction of rel-opt vs random (%)");
         svg.axes(0.0, 40.0, "SSER reduction (%)");
-        svg.grouped_bars(&labels, &[("reliability-optimized", vals, PALETTE[0])], 40.0);
+        svg.grouped_bars(
+            &labels,
+            &[("reliability-optimized", vals, PALETTE[0])],
+            40.0,
+        );
         save("fig08_asymmetric", svg.finish());
     }
 }

@@ -10,6 +10,7 @@ use relsim_bench::{context, pct, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 
 fn main() {
+    relsim_bench::obs_init();
     let mut scale = scale_from_args();
     // Robustness sweeps multiply runtime by the seed count; shrink the
     // per-seed workload set accordingly.
@@ -19,7 +20,10 @@ fn main() {
         ..scale
     });
     let seeds = [11u64, 23, 47, 89, 131];
-    println!("# Seed-robustness of the Figure 6 headline (2B2S, {} seeds)", seeds.len());
+    println!(
+        "# Seed-robustness of the Figure 6 headline (2B2S, {} seeds)",
+        seeds.len()
+    );
     println!(
         "{:>6} {:>16} {:>16} {:>14}",
         "seed", "rel vs random", "rel vs perf", "STP loss"

@@ -12,20 +12,33 @@ use relsim_metrics::arithmetic_mean;
 use std::time::Instant;
 
 fn main() {
+    relsim_bench::obs_init();
     let t0 = Instant::now();
     let scale = scale_from_args();
     let ctx = context(scale);
-    println!("=== relsim: full evaluation at {scale:?}\n");
+    relsim_obs::info!("=== relsim: full evaluation at {scale:?}");
 
     // Figures 1/2/5 ------------------------------------------------------
     let rows = isolated_characterization(&ctx);
-    println!("[Fig 1] big-core AVF range: {:.3} (min, {}) .. {:.3} (max, {})",
-        rows.first().unwrap().big.avf, rows.first().unwrap().name,
-        rows.last().unwrap().big.avf, rows.last().unwrap().name);
+    println!(
+        "[Fig 1] big-core AVF range: {:.3} (min, {}) .. {:.3} (max, {})",
+        rows.first().unwrap().big.avf,
+        rows.first().unwrap().name,
+        rows.last().unwrap().big.avf,
+        rows.last().unwrap().name
+    );
     let frontend_low: f64 = arithmetic_mean(
-        &rows[..8].iter().map(|r| r.big.cpi.frontend_fraction()).collect::<Vec<_>>());
+        &rows[..8]
+            .iter()
+            .map(|r| r.big.cpi.frontend_fraction())
+            .collect::<Vec<_>>(),
+    );
     let frontend_high: f64 = arithmetic_mean(
-        &rows[rows.len() - 8..].iter().map(|r| r.big.cpi.frontend_fraction()).collect::<Vec<_>>());
+        &rows[rows.len() - 8..]
+            .iter()
+            .map(|r| r.big.cpi.frontend_fraction())
+            .collect::<Vec<_>>(),
+    );
     println!("[Fig 2] mean front-end stall fraction: low-AVF 8 = {frontend_low:.3}, high-AVF 8 = {frontend_high:.3}");
     let corr = rob_abc_correlation(&rows);
     println!("[Fig 5] corr(ROB ABC, core ABC) = {corr:.3} (paper: 0.99)");
@@ -53,7 +66,8 @@ fn main() {
     );
     println!(
         "[Fig 6] rel STP loss vs perf {} (paper 6.3%); perf vs random SSER {} (paper 7.3%)",
-        pct(s.rel_vs_perf_stp_loss), pct(s.perf_vs_random_sser)
+        pct(s.rel_vs_perf_stp_loss),
+        pct(s.perf_vs_random_sser)
     );
     save_json("fig06_sser_stp", &comparisons);
     save_json("fig06_summary", &s);
@@ -63,14 +77,33 @@ fn main() {
             sser[2] / sser[0], sser[1] / sser[0], stp[2] / stp[0], stp[1] / stp[0]
         );
     }
-    let chip: Vec<[f64; 3]> = comparisons.iter()
-        .map(|c| [c.power[0].chip_watts, c.power[1].chip_watts, c.power[2].chip_watts]).collect();
-    let sysw: Vec<[f64; 3]> = comparisons.iter()
-        .map(|c| [c.power[0].system_watts(), c.power[1].system_watts(), c.power[2].system_watts()]).collect();
-    let mean = |v: &Vec<[f64; 3]>, i: usize| arithmetic_mean(&v.iter().map(|x| x[i]).collect::<Vec<_>>());
+    let chip: Vec<[f64; 3]> = comparisons
+        .iter()
+        .map(|c| {
+            [
+                c.power[0].chip_watts,
+                c.power[1].chip_watts,
+                c.power[2].chip_watts,
+            ]
+        })
+        .collect();
+    let sysw: Vec<[f64; 3]> = comparisons
+        .iter()
+        .map(|c| {
+            [
+                c.power[0].system_watts(),
+                c.power[1].system_watts(),
+                c.power[2].system_watts(),
+            ]
+        })
+        .collect();
+    let mean =
+        |v: &Vec<[f64; 3]>, i: usize| arithmetic_mean(&v.iter().map(|x| x[i]).collect::<Vec<_>>());
     println!(
         "[Fig 12] chip W: random {:.2} perf {:.2} rel {:.2}; rel vs perf {} (paper -6.0%)",
-        mean(&chip, 0), mean(&chip, 1), mean(&chip, 2),
+        mean(&chip, 0),
+        mean(&chip, 1),
+        mean(&chip, 2),
         pct(mean(&chip, 2) / mean(&chip, 1) - 1.0)
     );
     println!(
@@ -103,7 +136,8 @@ fn main() {
     let half = summarize(&fig9_low_frequency(&ctx));
     println!(
         "[Fig 9] small @1.33GHz: rel vs random {} (paper 29.8%), perf vs random {} (paper 13%)",
-        pct(half.rel_vs_random_sser), pct(half.perf_vs_random_sser)
+        pct(half.rel_vs_random_sser),
+        pct(half.perf_vs_random_sser)
     );
     save_json("fig09_frequency", &half);
 
@@ -113,23 +147,32 @@ fn main() {
         let r = summarize(&rob_abc);
         println!(
             "[Fig 10] {label}: core ABC {} | ROB ABC {} (paper 2B2S: 32% / 31.6%)",
-            pct(c.rel_vs_random_sser), pct(r.rel_vs_random_sser)
+            pct(c.rel_vs_random_sser),
+            pct(r.rel_vs_random_sser)
         );
         save_json(&format!("fig10_{label}"), &(c, r));
     }
 
     // Figure 11 ----------------------------------------------------------
-    let settings = [(5u32, 0.1f64), (10, 0.05), (10, 0.1), (10, 0.2), (50, 0.1), (100, 0.1)];
+    let settings = [
+        (5u32, 0.1f64),
+        (10, 0.05),
+        (10, 0.1),
+        (10, 0.2),
+        (50, 0.1),
+        (100, 0.1),
+    ];
     let mut fig11 = Vec::new();
     for ((r, s_), comp) in fig11_sampling_sweep(&ctx, &settings) {
         let s = summarize(&comp);
         println!(
             "[Fig 11] (r={r:>3}, s={s_:.2}): rel vs random SSER {} STP {}",
-            pct(s.rel_vs_random_sser), pct(s.rel_vs_random_stp)
+            pct(s.rel_vs_random_sser),
+            pct(s.rel_vs_random_stp)
         );
         fig11.push(((r, s_), s));
     }
     save_json("fig11_sampling", &fig11);
 
-    println!("\n=== done in {:.1}s", t0.elapsed().as_secs_f64());
+    relsim_obs::info!("=== done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -6,18 +6,27 @@
 //!     --benchmarks milc,lbm,gobmk,perlbench \
 //!     --big 2 --small 2 \
 //!     --scheduler reliability \
-//!     --ticks 1000000 [--quantum 20000] [--rob-only] [--half-freq-small]
+//!     --ticks 1000000 [--quantum 20000] [--rob-only] [--half-freq-small] \
+//!     [--trace-out trace.jsonl] [--metrics-out metrics.json] [--quiet]
 //! ```
 //!
 //! Prints per-application placement, slowdown and wSER, plus system SSER,
 //! STP and power. `--list` prints the benchmark catalog.
+//!
+//! With `--trace-out` the run streams a structured JSONL event log
+//! (scheduler decisions with predicted objectives, migrations, samples);
+//! with `--metrics-out` it writes a metrics snapshot (core, cache and
+//! DRAM counters) plus a run manifest (`*.manifest.json`) recording the
+//! full configuration, scheduler, seed and host-time profile.
 
 use relsim::evaluate::{evaluate, DEFAULT_IFR};
 use relsim::experiments::{Context, Scale};
 use relsim::{
-    AppSpec, CounterKind, Objective, RandomScheduler, SamplingParams, SamplingScheduler,
+    AppSpec, CounterKind, Objective, RandomScheduler, RunObs, SamplingParams, SamplingScheduler,
     Scheduler, StaticScheduler, System, SystemConfig,
 };
+use relsim_bench::MODEL_VERSION;
+use relsim_obs::{info, manifest_path, write_manifest, Phase, RunManifest, OBS_HELP};
 use relsim_power::{PowerModel, SharedActivity};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -32,6 +41,7 @@ fn flag(name: &str) -> bool {
 }
 
 fn main() {
+    let obs_args = relsim_bench::obs_init();
     if flag("--list") {
         println!("available benchmarks:");
         for n in relsim_trace::spec_names() {
@@ -43,7 +53,7 @@ fn main() {
         println!(
             "usage: simulate --benchmarks a,b,c,d [--big N] [--small N] \
              [--scheduler random|performance|reliability|static] \
-             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]"
+             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}"
         );
         return;
     }
@@ -66,16 +76,26 @@ fn main() {
     let quantum: u64 = arg_value("--quantum").map_or(20_000, |v| v.parse().expect("--quantum"));
     let sched_name = arg_value("--scheduler").unwrap_or_else(|| "reliability".to_owned());
 
+    let mut obs = match obs_args.sink() {
+        Ok(sink) => RunObs::with_sink(sink),
+        Err(e) => {
+            relsim_obs::error!("could not open --trace-out: {e}");
+            std::process::exit(1);
+        }
+    };
+
     // Reference table for the metrics (cached across invocations).
     let mut scale = Scale::default_scale();
     scale.quantum_ticks = quantum;
-    let ctx = Context::load_or_build(
-        scale,
-        &std::path::Path::new("target/experiments").join(format!(
-            "context-cli-{}-{}.json",
-            scale.isolation_ticks, scale.seed
-        )),
-    );
+    let ctx = obs.timers.time(Phase::Setup, || {
+        Context::load_or_build(
+            scale,
+            &std::path::Path::new("target/experiments").join(format!(
+                "context-cli-{}-{}.json",
+                scale.isolation_ticks, scale.seed
+            )),
+        )
+    });
 
     let mut cfg = if flag("--half-freq-small") {
         SystemConfig::hcmp_slow_small(n_big, n_small)
@@ -115,14 +135,18 @@ fn main() {
         .enumerate()
         .map(|(i, n)| AppSpec::spec(n, i as u64 + 1))
         .collect();
-    let mut system = System::new(cfg, &specs);
-    println!(
+    let mut system = obs
+        .timers
+        .time(Phase::Setup, || System::new(cfg.clone(), &specs));
+    info!(
         "running {} on {n_big}B{n_small}S under {} for {ticks} ticks...",
         benchmarks.join("+"),
         scheduler.name()
     );
-    let result = system.run(scheduler.as_mut(), ticks);
-    let eval = evaluate(&result, &ctx.refs, DEFAULT_IFR);
+    let result = system.run_traced(scheduler.as_mut(), ticks, &mut obs);
+    let eval = obs
+        .timers
+        .time(Phase::Metrics, || evaluate(&result, &ctx.refs, DEFAULT_IFR));
 
     println!(
         "\n{:<14} {:>9} {:>10} {:>10} {:>10} {:>6}",
@@ -140,7 +164,11 @@ fn main() {
         );
     }
     let power = PowerModel::default().report(
-        &result.cores.iter().map(|c| c.to_activity()).collect::<Vec<_>>(),
+        &result
+            .cores
+            .iter()
+            .map(|c| c.to_activity())
+            .collect::<Vec<_>>(),
         &SharedActivity {
             l3_accesses: result.shared.l3_accesses,
             mem_requests: result.shared.mem_requests,
@@ -155,4 +183,41 @@ fn main() {
         power.system_watts(),
         result.migrations
     );
+
+    // Observability outputs: metrics snapshot, then the run manifest next
+    // to whichever result file anchors this run.
+    let mut outputs: Vec<String> = Vec::new();
+    if let Some(path) = &obs_args.trace_out {
+        outputs.push(path.display().to_string());
+        info!("wrote event trace {path:?}");
+    }
+    match obs_args.write_metrics(&obs.recorder.snapshot()) {
+        Ok(Some(path)) => {
+            outputs.push(path.display().to_string());
+            info!("wrote metrics snapshot {path:?}");
+        }
+        Ok(None) => {}
+        Err(e) => relsim_obs::warn!("could not write --metrics-out: {e}"),
+    }
+    if let Some(anchor) = obs_args
+        .metrics_out
+        .as_ref()
+        .or(obs_args.trace_out.as_ref())
+    {
+        let mut manifest =
+            RunManifest::new("simulate", MODEL_VERSION, scheduler.name(), scale.seed);
+        manifest.duration_ticks = ticks;
+        manifest.scale = serde_json::to_value(&scale).unwrap_or(serde::Value::Null);
+        manifest.config = serde_json::to_value(&cfg).unwrap_or(serde::Value::Null);
+        manifest.elapsed_seconds = obs.timers.elapsed().as_secs_f64();
+        manifest.host_profile = obs.timers.profile();
+        manifest.outputs = outputs;
+        match write_manifest(anchor, &manifest) {
+            Ok(path) => info!("wrote run manifest {path:?}"),
+            Err(e) => relsim_obs::warn!(
+                "could not write run manifest {:?}: {e}",
+                manifest_path(anchor)
+            ),
+        }
+    }
 }

@@ -16,29 +16,54 @@ fn row(label: &str, apps: &[AppOutcome]) {
 }
 
 fn main() {
+    relsim_bench::obs_init();
     println!("# Table 1: SSER worked examples (IFR = 1)");
     println!("(a) homogeneous multicore, no interference (paper: SSER = 2)");
     row(
         "a",
         &[
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
         ],
     );
     println!("(b) homogeneous multicore, one app slowed 2x (paper: SSER = 3)");
     row(
         "b",
         &[
-            AppOutcome { abc: 2.0, time: 2.0, time_ref: 1.0 },
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome {
+                abc: 2.0,
+                time: 2.0,
+                time_ref: 1.0,
+            },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
         ],
     );
     println!("(c) heterogeneous multicore (paper: SSER = 1.5)");
     row(
         "c",
         &[
-            AppOutcome { abc: 1.0 / 8.0, time: 1.0, time_ref: 0.25 },
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome {
+                abc: 1.0 / 8.0,
+                time: 1.0,
+                time_ref: 0.25,
+            },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
         ],
     );
 }

@@ -7,11 +7,26 @@ fn show(label: &str, c: &CoreConfig) {
     println!("  type            : {}", c.kind);
     println!("  width           : {}", c.width);
     println!("  pipeline depth  : {} stages", c.depth);
-    println!("  ROB             : {} x {} bit", c.rob_size, c.bits.rob_entry);
-    println!("  issue queue     : {} x {} bit", c.iq_size, c.bits.iq_entry);
-    println!("  load queue      : {} x {} bit", c.lq_size, c.bits.lq_entry);
-    println!("  store queue     : {} x {} bit", c.sq_size, c.bits.sq_entry);
-    println!("  int registers   : {} x {} bit", c.int_regs, c.bits.int_reg);
+    println!(
+        "  ROB             : {} x {} bit",
+        c.rob_size, c.bits.rob_entry
+    );
+    println!(
+        "  issue queue     : {} x {} bit",
+        c.iq_size, c.bits.iq_entry
+    );
+    println!(
+        "  load queue      : {} x {} bit",
+        c.lq_size, c.bits.lq_entry
+    );
+    println!(
+        "  store queue     : {} x {} bit",
+        c.sq_size, c.bits.sq_entry
+    );
+    println!(
+        "  int registers   : {} x {} bit",
+        c.int_regs, c.bits.int_reg
+    );
     println!("  fp registers    : {} x {} bit", c.fp_regs, c.bits.fp_reg);
     println!(
         "  FUs             : {} int add, {} int mul, {} int div, {} fp add, {} fp mul, {} fp div",
@@ -21,6 +36,7 @@ fn show(label: &str, c: &CoreConfig) {
 }
 
 fn main() {
+    relsim_bench::obs_init();
     println!("# Table 2: core configurations");
     show("big out-of-order", &CoreConfig::big());
     show("small in-order", &CoreConfig::small());

@@ -1,13 +1,28 @@
 //! Validate the ACE counter architecture against Monte Carlo fault
 //! injection (the methodology ACE analysis replaces — Section 7.1 of the
 //! paper discusses the relationship).
+//!
+//! With `--trace-out campaign.jsonl` every injected fault is streamed as
+//! a `FaultInjected` event (strike tick plus `ace_hit`/`masked` outcome).
 
-use relsim_ace::fault_injection::validate_counters;
+use relsim_ace::fault_injection::validate_counters_traced;
 use relsim_cpu::CoreConfig;
 
 fn main() {
+    let obs_args = relsim_bench::obs_init();
+    let mut sink = match obs_args.sink() {
+        Ok(sink) => sink,
+        Err(e) => {
+            relsim_obs::error!("could not open --trace-out: {e}");
+            std::process::exit(1);
+        }
+    };
     let quick = std::env::args().any(|a| a == "--quick");
-    let (ticks, injections) = if quick { (60_000, 50_000) } else { (300_000, 400_000) };
+    let (ticks, injections) = if quick {
+        (60_000, 50_000)
+    } else {
+        (300_000, 400_000)
+    };
     println!("# ACE analysis vs Monte Carlo fault injection");
     println!(
         "{:<12} {:>6} {:>12} {:>18} {:>10}",
@@ -18,7 +33,7 @@ fn main() {
         for cfg in [CoreConfig::big(), CoreConfig::small()] {
             let kind = cfg.kind;
             let (campaign, counter_avf) =
-                validate_counters(&cfg, &profile, ticks, injections, 7);
+                validate_counters_traced(&cfg, &profile, ticks, injections, 7, sink.as_mut());
             println!(
                 "{:<12} {:>6} {:>12.4} {:>12.4} ±{:.4} {:>6}",
                 name,

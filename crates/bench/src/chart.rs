@@ -72,12 +72,13 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) {
         .iter()
         .map(|(_, v)| *v)
         .fold(0.0f64, |a, b| if b.is_finite() { a.max(b) } else { a });
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, value) in rows {
-        println!(
-            "  {label:<label_w$} {} {value:.3}",
-            bar(*value, max, width)
-        );
+        println!("  {label:<label_w$} {} {value:.3}", bar(*value, max, width));
     }
 }
 
@@ -93,8 +94,15 @@ pub fn grouped_bar_chart(
     let max = rows
         .iter()
         .flat_map(|(_, a, b)| [*a, *b])
-        .fold(0.0f64, |acc, v| if v.is_finite() { acc.max(v) } else { acc });
-    let label_w = rows.iter().map(|(l, _, _)| l.chars().count()).max().unwrap_or(0);
+        .fold(
+            0.0f64,
+            |acc, v| if v.is_finite() { acc.max(v) } else { acc },
+        );
+    let label_w = rows
+        .iter()
+        .map(|(l, _, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, a, b) in rows {
         let bar_a: String = bar(*a, max, width).replace('█', "▒");
         println!("  {label:<label_w$} {bar_a} {a:.3}");

@@ -1,15 +1,17 @@
 //! # relsim-bench
 //!
 //! Shared plumbing for the figure/table regeneration binaries: scale
-//! parsing, context caching and result output. Each paper table/figure has
-//! a binary in `src/bin/`; run e.g.
+//! parsing, context caching, observability wiring and result output. Each
+//! paper table/figure has a binary in `src/bin/`; run e.g.
 //!
 //! ```text
 //! cargo run --release -p relsim-bench --bin fig01_avf
 //! cargo run --release -p relsim-bench --bin run_all -- --quick
 //! ```
 //!
-//! Every binary accepts `--quick` for a smoke-test scale.
+//! Every binary accepts `--quick` for a smoke-test scale, plus the shared
+//! observability flags (`--trace-out`, `--metrics-out`, `--quiet`,
+//! `--log-level`); see [`obs_init`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,11 +20,22 @@ pub mod chart;
 pub mod svg;
 
 use relsim::experiments::{Context, Scale};
+use relsim_obs::info;
 use serde::Serialize;
 use std::path::PathBuf;
 
+pub use relsim_obs::ObsArgs;
+
 /// Bump when simulator/model changes invalidate cached reference tables.
 pub const MODEL_VERSION: u32 = 3;
+
+/// Parse the shared observability flags from the process arguments and
+/// apply the requested log level. Call once at the top of every binary's
+/// `main`; progress output below the chosen level (everything under
+/// `--quiet`) is silenced while stdout data stays untouched.
+pub fn obs_init() -> ObsArgs {
+    ObsArgs::from_env()
+}
 
 /// Parse the experiment scale from CLI arguments (`--quick` shrinks it).
 pub fn scale_from_args() -> Scale {
@@ -49,22 +62,25 @@ pub fn context(scale: Scale) -> Context {
         "context-{MODEL_VERSION}-{}-{}.json",
         scale.isolation_ticks, scale.seed
     ));
-    eprintln!("# context: building/loading isolated reference table ({path:?})");
+    info!("context: building/loading isolated reference table ({path:?})");
     Context::load_or_build(scale, &path)
 }
 
-/// Persist a JSON result artifact next to the printed output.
+/// Persist a JSON result artifact next to the printed output. The write
+/// is atomic (temp file + rename in the output directory), so a reader —
+/// or a concurrent run of the same figure — never observes a partial
+/// file.
 pub fn save_json<T: Serialize>(name: &str, data: &T) {
     let path = out_dir().join(format!("{name}.json"));
     match serde_json::to_vec_pretty(data) {
         Ok(bytes) => {
-            if let Err(e) = std::fs::write(&path, bytes) {
-                eprintln!("# warning: could not write {path:?}: {e}");
+            if let Err(e) = relsim_obs::write_atomic(&path, &bytes) {
+                relsim_obs::warn!("could not write {path:?}: {e}");
             } else {
-                eprintln!("# wrote {path:?}");
+                info!("wrote {path:?}");
             }
         }
-        Err(e) => eprintln!("# warning: could not serialize {name}: {e}"),
+        Err(e) => relsim_obs::warn!("could not serialize {name}: {e}"),
     }
 }
 

@@ -21,7 +21,9 @@ pub const PALETTE: [&str; 6] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// An SVG document builder.
@@ -104,7 +106,15 @@ impl Svg {
     }
 
     /// Plot one series of y-values as connected dots, x spread uniformly.
-    pub fn series(&mut self, values: &[f64], y_min: f64, y_max: f64, color: &str, label: &str, index: usize) {
+    pub fn series(
+        &mut self,
+        values: &[f64],
+        y_min: f64,
+        y_max: f64,
+        color: &str,
+        label: &str,
+        index: usize,
+    ) {
         if values.is_empty() {
             return;
         }
@@ -268,7 +278,10 @@ mod tests {
         svg.axes(0.0, 2.0, "y");
         svg.grouped_bars(
             &["a".into(), "b".into()],
-            &[("s1", vec![1.0, 2.0], PALETTE[0]), ("s2", vec![0.5, 1.5], PALETTE[1])],
+            &[
+                ("s1", vec![1.0, 2.0], PALETTE[0]),
+                ("s2", vec![0.5, 1.5], PALETTE[1]),
+            ],
             2.0,
         );
         let doc = svg.finish();

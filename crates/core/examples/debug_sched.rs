@@ -4,7 +4,10 @@ use relsim::*;
 
 fn main() {
     let scale = Scale::default_scale();
-    let ctx = Context::load_or_build(scale, std::path::Path::new("target/experiments/context-2-1000000-2017.json"));
+    let ctx = Context::load_or_build(
+        scale,
+        std::path::Path::new("target/experiments/context-2-1000000-2017.json"),
+    );
     let mixes = [
         ("HHLL", vec!["milc", "zeusmp", "astar", "perlbench"]),
         ("HHHH", vec!["calculix", "bwaves", "leslie3d", "lbm"]),
@@ -13,13 +16,25 @@ fn main() {
     ];
     let settings = [(0.0, 1.0), (0.0, 0.6), (0.03, 0.6), (0.08, 0.5)];
     let cfgs = hcmp_config(&ctx, 2, 2);
-    println!("{:<6} {:<10} {}", "mix", "sched", settings.map(|(t,b)| format!("  th{t}/bl{b}")).join(""));
+    println!(
+        "{:<6} {:<10} {}",
+        "mix",
+        "sched",
+        settings.map(|(t, b)| format!("  th{t}/bl{b}")).join("")
+    );
     for (label, names) in &mixes {
-        let mix = Mix { category: label.to_string(), benchmarks: names.iter().map(|s| s.to_string()).collect() };
+        let mix = Mix {
+            category: label.to_string(),
+            benchmarks: names.iter().map(|s| s.to_string()).collect(),
+        };
         for sched in [SchedKind::PerfOpt, SchedKind::RelOpt] {
             let mut row = String::new();
             for (th, bl) in settings {
-                let p = SamplingParams { switch_threshold: th, sample_blend: bl, ..SamplingParams::default() };
+                let p = SamplingParams {
+                    switch_threshold: th,
+                    sample_blend: bl,
+                    ..SamplingParams::default()
+                };
                 let (e, _) = run_mix(&ctx, &cfgs, &mix, sched, p);
                 row += &format!(" {:>10.3e}", e.sser);
             }

@@ -92,12 +92,8 @@ mod tests {
     fn evaluation_produces_sane_metrics() {
         let names = ["hmmer", "povray"];
         let profiles: Vec<_> = names.iter().map(|n| spec_profile(n).unwrap()).collect();
-        let refs = ReferenceTable::build(
-            &profiles,
-            &CoreConfig::big(),
-            &CoreConfig::small(),
-            150_000,
-        );
+        let refs =
+            ReferenceTable::build(&profiles, &CoreConfig::big(), &CoreConfig::small(), 150_000);
         let cfg = SystemConfig::hcmp(1, 1);
         let kinds = cfg.core_kinds();
         let q = cfg.quantum_ticks;

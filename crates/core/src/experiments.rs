@@ -9,9 +9,7 @@ use crate::evaluate::{evaluate, Evaluation, DEFAULT_IFR};
 use crate::isolated::{run_isolated, IsolatedResult, ReferenceTable};
 use crate::mixes::{generate_mixes, Classification, Mix};
 use crate::oracle::{oracle_schedules, OracleOutcome};
-use crate::sched::{
-    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
-};
+use crate::sched::{Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler};
 use crate::system::{AppSpec, RunResult, System, SystemConfig};
 use relsim_ace::CounterKind;
 use relsim_cpu::{CoreConfig, CoreKind};
@@ -227,7 +225,11 @@ pub fn isolated_characterization(ctx: &Context) -> Vec<IsolatedRow> {
         .sorted_big_avfs()
         .into_iter()
         .map(|(name, _)| {
-            let big = ctx.refs.get(&name, CoreKind::Big).expect("in table").clone();
+            let big = ctx
+                .refs
+                .get(&name, CoreKind::Big)
+                .expect("in table")
+                .clone();
             let category = ctx
                 .class
                 .category_of(&name)
@@ -342,8 +344,7 @@ pub fn compare_schedulers(
                 let i = sched_index(sched);
                 sser[i] = eval.sser;
                 stp[i] = eval.stp;
-                let activities: Vec<_> =
-                    result.cores.iter().map(|c| c.to_activity()).collect();
+                let activities: Vec<_> = result.cores.iter().map(|c| c.to_activity()).collect();
                 let shared = SharedActivity {
                     l3_accesses: result.shared.l3_accesses,
                     mem_requests: result.shared.mem_requests,
@@ -384,13 +385,9 @@ pub struct ComparisonSummary {
 
 /// Summarize a comparison set.
 pub fn summarize(comparisons: &[MixComparison]) -> ComparisonSummary {
-    let red =
-        |num: &dyn Fn(&MixComparison) -> f64, den: &dyn Fn(&MixComparison) -> f64| -> Vec<f64> {
-            comparisons
-                .iter()
-                .map(|c| 1.0 - num(c) / den(c))
-                .collect()
-        };
+    let red = |num: &dyn Fn(&MixComparison) -> f64,
+               den: &dyn Fn(&MixComparison) -> f64|
+     -> Vec<f64> { comparisons.iter().map(|c| 1.0 - num(c) / den(c)).collect() };
     let rel_rand = red(&|c| c.sser[2], &|c| c.sser[0]);
     let rel_perf = red(&|c| c.sser[2], &|c| c.sser[1]);
     let perf_rand = red(&|c| c.sser[1], &|c| c.sser[0]);
@@ -429,8 +426,7 @@ pub fn by_category(comparisons: &[MixComparison]) -> Vec<(String, [f64; 3], [f64
             let mut sser = [0.0; 3];
             let mut stp = [0.0; 3];
             for i in 0..3 {
-                sser[i] =
-                    arithmetic_mean(&members.iter().map(|m| m.sser[i]).collect::<Vec<_>>());
+                sser[i] = arithmetic_mean(&members.iter().map(|m| m.sser[i]).collect::<Vec<_>>());
                 stp[i] = arithmetic_mean(&members.iter().map(|m| m.stp[i]).collect::<Vec<_>>());
             }
             (cat, sser, stp)
@@ -505,7 +501,13 @@ pub fn abc_timeline(ctx: &Context, bench_a: &str, bench_b: &str) -> AbcTimeline 
         category: "fig4".into(),
         benchmarks: vec![bench_a.to_string(), bench_b.to_string()],
     };
-    let (_, result) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (_, result) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
     let mut corun = vec![
         (bench_a.to_string(), Vec::new()),
         (bench_b.to_string(), Vec::new()),
@@ -571,9 +573,7 @@ pub fn fig9_low_frequency(ctx: &Context) -> Vec<MixComparison> {
 
 /// Figure 10: core-count scaling (1B1S/2B2S/4B4S) and the ROB-only
 /// counter variant on each.
-pub fn fig10_core_count(
-    ctx: &Context,
-) -> Vec<(String, Vec<MixComparison>, Vec<MixComparison>)> {
+pub fn fig10_core_count(ctx: &Context) -> Vec<(String, Vec<MixComparison>, Vec<MixComparison>)> {
     let configs = [
         ("1B1S".to_string(), 1usize, 1usize, ctx.two_program_mixes()),
         ("2B2S".to_string(), 2, 2, ctx.four_program_mixes()),
@@ -583,12 +583,10 @@ pub fn fig10_core_count(
         .into_iter()
         .map(|(label, b, s, mixes)| {
             let cfg = hcmp_config(ctx, b, s);
-            let core_abc =
-                compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default());
+            let core_abc = compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default());
             let mut rob_cfg = cfg.clone();
             rob_cfg.counter_kind = CounterKind::HwRobOnly;
-            let rob_abc =
-                compare_schedulers(ctx, &rob_cfg, &mixes, SamplingParams::default());
+            let rob_abc = compare_schedulers(ctx, &rob_cfg, &mixes, SamplingParams::default());
             (label, core_abc, rob_abc)
         })
         .collect()
@@ -609,7 +607,10 @@ pub fn fig11_sampling_sweep(
                 sampling_fraction: fraction,
                 ..SamplingParams::default()
             };
-            ((period, fraction), compare_schedulers(ctx, &cfg, &mixes, params))
+            (
+                (period, fraction),
+                compare_schedulers(ctx, &cfg, &mixes, params),
+            )
         })
         .collect()
 }

@@ -46,7 +46,13 @@ pub fn run_isolated(
     duration: u64,
     seed: u64,
 ) -> IsolatedResult {
-    run_isolated_with(profile, core_cfg, PrivateCacheConfig::default(), duration, seed)
+    run_isolated_with(
+        profile,
+        core_cfg,
+        PrivateCacheConfig::default(),
+        duration,
+        seed,
+    )
 }
 
 /// Like [`run_isolated`], with an explicit private-cache configuration
@@ -109,7 +115,9 @@ impl From<Vec<IsolatedResult>> for ReferenceTable {
 impl From<ReferenceTable> for Vec<IsolatedResult> {
     fn from(t: ReferenceTable) -> Self {
         let mut v: Vec<IsolatedResult> = t.entries.into_values().collect();
-        v.sort_by(|a, b| (&a.name, a.kind == CoreKind::Small).cmp(&(&b.name, b.kind == CoreKind::Small)));
+        v.sort_by(|a, b| {
+            (&a.name, a.kind == CoreKind::Small).cmp(&(&b.name, b.kind == CoreKind::Small))
+        });
         v
     }
 }
@@ -223,12 +231,7 @@ mod tests {
             .iter()
             .map(|n| spec_profile(n).unwrap())
             .collect();
-        let t = ReferenceTable::build(
-            &profiles,
-            &CoreConfig::big(),
-            &CoreConfig::small(),
-            100_000,
-        );
+        let t = ReferenceTable::build(&profiles, &CoreConfig::big(), &CoreConfig::small(), 100_000);
         assert_eq!(t.names(), vec!["hmmer".to_owned(), "mcf".to_owned()]);
         assert!(t.ref_ips("hmmer") > t.ref_ips("mcf"));
         assert!(t.get("mcf", CoreKind::Small).is_some());

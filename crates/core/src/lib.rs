@@ -52,9 +52,10 @@ mod sched_pie;
 mod system;
 
 pub use relsim_ace::CounterKind;
+pub use relsim_obs::RunObs;
 pub use sched::{
-    Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler, Segment,
-    SegmentObservation, StaticScheduler,
+    DecisionInfo, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
+    Segment, SegmentObservation, StaticScheduler,
 };
 pub use sched_pie::{PieModel, PredictiveScheduler};
 pub use system::{

@@ -165,10 +165,7 @@ impl<'a> PoolDrawer<'a> {
             self.pools[idx] = fresh;
         }
         // Find a candidate not already used in this mix.
-        if let Some(pos) = self.pools[idx]
-            .iter()
-            .position(|n| !exclude.contains(n))
-        {
+        if let Some(pos) = self.pools[idx].iter().position(|n| !exclude.contains(n)) {
             return self.pools[idx].remove(pos);
         }
         // Everything left collides with the mix; draw from a fresh copy of

@@ -133,12 +133,7 @@ mod tests {
             .iter()
             .map(|n| spec_profile(n).unwrap())
             .collect();
-        ReferenceTable::build(
-            &profiles,
-            &CoreConfig::big(),
-            &CoreConfig::small(),
-            150_000,
-        )
+        ReferenceTable::build(&profiles, &CoreConfig::big(), &CoreConfig::small(), 150_000)
     }
 
     #[test]

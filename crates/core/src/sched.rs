@@ -52,6 +52,25 @@ pub struct SegmentObservation {
     pub cpi: CpiStack,
 }
 
+/// A scheduler's explanation of its most recent [`Scheduler::next_segment`]
+/// decision, consumed by the tracing runtime ([`crate::System::run_traced`])
+/// to emit `SchedulerDecision` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionInfo {
+    /// The mapping the scheduler committed to.
+    pub mapping: Vec<usize>,
+    /// Objective value the scheduler predicts for the chosen mapping, in
+    /// the scheduler's own units and direction (SSER cost: lower is
+    /// better; STP progress: higher is better). `None` for schedulers
+    /// that do not predict (random, static, sampling phases).
+    pub predicted_objective: Option<f64>,
+    /// Objective value of keeping the previous mapping instead, same
+    /// units as `predicted_objective`.
+    pub baseline_objective: Option<f64>,
+    /// Human-readable justification, e.g. `"pair-switch improves SSER"`.
+    pub reason: String,
+}
+
 /// A scheduler decides the next segment and learns from observations.
 pub trait Scheduler {
     /// Short name for reports.
@@ -62,6 +81,14 @@ pub trait Scheduler {
 
     /// Digest the observations of the segment just executed.
     fn observe(&mut self, obs: &[SegmentObservation]);
+
+    /// Explain the decision behind the most recent
+    /// [`Scheduler::next_segment`] call. The default returns `None`,
+    /// keeping simple and test-local schedulers source-compatible; the
+    /// shipped schedulers record every decision.
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        None
+    }
 }
 
 /// Sampling parameters (Section 4.1: quantum 1 ms, sampling quantum
@@ -103,6 +130,7 @@ pub struct RandomScheduler {
     core_kinds: Vec<CoreKind>,
     quantum_ticks: u64,
     rng: SmallRng,
+    last_decision: Option<DecisionInfo>,
 }
 
 impl RandomScheduler {
@@ -112,6 +140,7 @@ impl RandomScheduler {
             core_kinds,
             quantum_ticks,
             rng: SmallRng::seed_from_u64(seed),
+            last_decision: None,
         }
     }
 }
@@ -124,6 +153,12 @@ impl Scheduler for RandomScheduler {
     fn next_segment(&mut self) -> Segment {
         let mut mapping: Vec<usize> = (0..self.core_kinds.len()).collect();
         mapping.shuffle(&mut self.rng);
+        self.last_decision = Some(DecisionInfo {
+            mapping: mapping.clone(),
+            predicted_objective: None,
+            baseline_objective: None,
+            reason: "uniform random shuffle".to_string(),
+        });
         Segment {
             mapping,
             ticks: self.quantum_ticks,
@@ -132,6 +167,10 @@ impl Scheduler for RandomScheduler {
     }
 
     fn observe(&mut self, _obs: &[SegmentObservation]) {}
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        self.last_decision.clone()
+    }
 }
 
 // -------------------------------------------------------------- sampling
@@ -202,6 +241,8 @@ pub struct SamplingScheduler {
     pending_main: bool,
     /// Whether the segment most recently issued was a sampling segment.
     last_was_sampling: bool,
+    /// Explanation of the most recent `next_segment` decision.
+    last_decision: Option<DecisionInfo>,
 }
 
 impl SamplingScheduler {
@@ -219,8 +260,7 @@ impl SamplingScheduler {
     ) -> Self {
         assert!(!core_kinds.is_empty(), "need at least one core");
         assert!(
-            core_kinds.contains(&CoreKind::Big)
-                && core_kinds.contains(&CoreKind::Small),
+            core_kinds.contains(&CoreKind::Big) && core_kinds.contains(&CoreKind::Small),
             "sampling scheduler needs a heterogeneous system"
         );
         let n = core_kinds.len();
@@ -233,8 +273,19 @@ impl SamplingScheduler {
             init_rotation: 0,
             pending_main: false,
             last_was_sampling: false,
+            last_decision: None,
             core_kinds,
         }
+    }
+
+    /// Total objective cost of a mapping (sum of per-pair costs; lower is
+    /// better for every objective, see [`Self::pair_cost`]).
+    fn total_cost(&self, mapping: &[usize]) -> f64 {
+        mapping
+            .iter()
+            .zip(&self.core_kinds)
+            .map(|(&app, &kind)| self.pair_cost(app, kind))
+            .sum()
     }
 
     /// Whether every application has a sample for both core types.
@@ -293,8 +344,10 @@ impl SamplingScheduler {
                         continue;
                     }
                     let (a, b) = (mapping[ca], mapping[cb]);
-                    let current = self.pair_cost(a, CoreKind::Big) + self.pair_cost(b, CoreKind::Small);
-                    let switched = self.pair_cost(a, CoreKind::Small) + self.pair_cost(b, CoreKind::Big);
+                    let current =
+                        self.pair_cost(a, CoreKind::Big) + self.pair_cost(b, CoreKind::Small);
+                    let switched =
+                        self.pair_cost(a, CoreKind::Small) + self.pair_cost(b, CoreKind::Big);
                     let gain = current - switched; // positive = improvement
                     let needed = self.params.switch_threshold * current.abs().max(1e-12);
                     if gain > needed && best.is_none_or(|(_, _, g)| gain > g) {
@@ -389,6 +442,12 @@ impl Scheduler for SamplingScheduler {
             // Initial sampling phase: rotate applications across cores so
             // every application visits every core type.
             let mapping = self.rotated_mapping(self.init_rotation);
+            self.last_decision = Some(DecisionInfo {
+                mapping: mapping.clone(),
+                predicted_objective: None,
+                baseline_objective: None,
+                reason: format!("initial sampling rotation {}", self.init_rotation),
+            });
             self.init_rotation += 1;
             self.last_was_sampling = true;
             return Segment {
@@ -403,6 +462,15 @@ impl Scheduler for SamplingScheduler {
                 // One short sampling quantum with the stale apps swapped.
                 self.pending_main = true;
                 self.last_was_sampling = true;
+                self.last_decision = Some(DecisionInfo {
+                    mapping: mapping.clone(),
+                    predicted_objective: None,
+                    baseline_objective: None,
+                    reason: format!(
+                        "re-sample applications stale for >= {} quanta",
+                        self.params.staleness_quanta
+                    ),
+                });
                 return Segment {
                     mapping,
                     ticks: self.sampling_ticks(),
@@ -412,7 +480,23 @@ impl Scheduler for SamplingScheduler {
         }
         self.pending_main = false;
 
-        let mapping = self.optimize_mapping(&self.mapping.clone());
+        let previous = self.mapping.clone();
+        let baseline = self.total_cost(&previous);
+        let mapping = self.optimize_mapping(&previous);
+        let predicted = self.total_cost(&mapping);
+        self.last_decision = Some(DecisionInfo {
+            mapping: mapping.clone(),
+            predicted_objective: Some(predicted),
+            baseline_objective: Some(baseline),
+            reason: if mapping == previous {
+                "keep mapping: no pair-switch clears the threshold".to_string()
+            } else {
+                format!(
+                    "pair-switch: predicted cost {predicted:.6e} vs {baseline:.6e} \
+                     for the previous mapping"
+                )
+            },
+        });
         self.mapping = mapping.clone();
         self.last_was_sampling = false;
         Segment {
@@ -460,6 +544,10 @@ impl Scheduler for SamplingScheduler {
             }
         }
     }
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        self.last_decision.clone()
+    }
 }
 
 #[cfg(test)]
@@ -467,7 +555,12 @@ mod tests {
     use super::*;
 
     fn kinds_2b2s() -> Vec<CoreKind> {
-        vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small]
+        vec![
+            CoreKind::Big,
+            CoreKind::Big,
+            CoreKind::Small,
+            CoreKind::Small,
+        ]
     }
 
     fn is_permutation(mapping: &[usize]) -> bool {
@@ -499,7 +592,11 @@ mod tests {
         assert!(maps.windows(2).any(|w| w[0] != w[1]));
     }
 
-    fn observe_segment(s: &mut SamplingScheduler, seg: &Segment, profiles: &[(f64, f64, f64, f64)]) {
+    fn observe_segment(
+        s: &mut SamplingScheduler,
+        seg: &Segment,
+        profiles: &[(f64, f64, f64, f64)],
+    ) {
         // profiles[app] = (big_ips, big_abc_rate, small_ips, small_abc_rate)
         let kinds = s.core_kinds.clone();
         let obs: Vec<SegmentObservation> = seg
@@ -530,12 +627,8 @@ mod tests {
     /// Drive a scheduler against fixed analytic app profiles until it
     /// settles; return the settled mapping.
     fn settle(objective: Objective, profiles: &[(f64, f64, f64, f64)]) -> Vec<usize> {
-        let mut s = SamplingScheduler::new(
-            objective,
-            kinds_2b2s(),
-            10_000,
-            SamplingParams::default(),
-        );
+        let mut s =
+            SamplingScheduler::new(objective, kinds_2b2s(), 10_000, SamplingParams::default());
         let mut last = Vec::new();
         for _ in 0..30 {
             let seg = s.next_segment();
@@ -588,7 +681,12 @@ mod tests {
     fn initial_phase_samples_every_app_on_every_type() {
         let mut s = SamplingScheduler::new(
             Objective::Sser,
-            vec![CoreKind::Big, CoreKind::Small, CoreKind::Small, CoreKind::Small],
+            vec![
+                CoreKind::Big,
+                CoreKind::Small,
+                CoreKind::Small,
+                CoreKind::Small,
+            ],
             10_000,
             SamplingParams::default(),
         );
@@ -665,12 +763,17 @@ mod tests {
         // reliability puts 0,1 on small; pure performance puts 2,3... all
         // apps have distinct trade-offs, so the extremes must differ.
         let profiles = [
-            (1.0, 100.0, 0.9, 10.0),  // high ABC, tiny speedup
+            (1.0, 100.0, 0.9, 10.0), // high ABC, tiny speedup
             (1.0, 100.0, 0.9, 10.0),
-            (2.0, 20.0, 0.5, 8.0),    // low ABC, huge speedup
+            (2.0, 20.0, 0.5, 8.0), // low ABC, huge speedup
             (2.0, 20.0, 0.5, 8.0),
         ];
-        let rel = settle(Objective::Weighted { reliability_pct: 100 }, &profiles);
+        let rel = settle(
+            Objective::Weighted {
+                reliability_pct: 100,
+            },
+            &profiles,
+        );
         let perf = settle(Objective::Weighted { reliability_pct: 0 }, &profiles);
         let pure_rel = settle(Objective::Sser, &profiles);
         assert_eq!(rel, pure_rel, "w=100% must match the Sser objective");
@@ -678,6 +781,45 @@ mod tests {
         assert!(rel[0] >= 2 && rel[1] >= 2, "{rel:?}");
         // Performance extreme: high-speedup apps 2,3 on big.
         assert!(perf[0] >= 2 && perf[1] >= 2, "{perf:?}");
+    }
+
+    #[test]
+    fn decisions_are_recorded_with_objectives() {
+        let profiles = [
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 20.0, 0.5, 5.0),
+            (1.0, 20.0, 0.5, 5.0),
+        ];
+        let mut s = SamplingScheduler::new(
+            Objective::Sser,
+            kinds_2b2s(),
+            10_000,
+            SamplingParams::default(),
+        );
+        assert!(
+            s.last_decision().is_none(),
+            "no decision before the first segment"
+        );
+        let mut main_decisions = 0;
+        for _ in 0..30 {
+            let seg = s.next_segment();
+            let d = s.last_decision().expect("every segment leaves a decision");
+            assert_eq!(d.mapping, seg.mapping);
+            if seg.is_sampling {
+                assert!(d.predicted_objective.is_none());
+            } else {
+                assert!(d.predicted_objective.is_some());
+                assert!(d.baseline_objective.is_some());
+                // The chosen mapping can never predict worse than keeping
+                // the previous one.
+                assert!(d.predicted_objective <= d.baseline_objective);
+                main_decisions += 1;
+            }
+            assert!(!d.reason.is_empty());
+            observe_segment(&mut s, &seg, &profiles);
+        }
+        assert!(main_decisions > 0);
     }
 
     #[test]
@@ -733,17 +875,12 @@ impl StaticScheduler {
     ///
     /// Panics if the number of big cores does not match `on_big`, or the
     /// arities are inconsistent.
-    pub fn from_oracle(
-        on_big: &[usize],
-        core_kinds: &[CoreKind],
-        quantum_ticks: u64,
-    ) -> Self {
+    pub fn from_oracle(on_big: &[usize], core_kinds: &[CoreKind], quantum_ticks: u64) -> Self {
         let n_big = core_kinds.iter().filter(|k| **k == CoreKind::Big).count();
         assert_eq!(on_big.len(), n_big, "oracle schedule arity mismatch");
         let n = core_kinds.len();
         let mut big_apps = on_big.to_vec();
-        let mut small_apps: Vec<usize> =
-            (0..n).filter(|a| !on_big.contains(a)).collect();
+        let mut small_apps: Vec<usize> = (0..n).filter(|a| !on_big.contains(a)).collect();
         let mapping: Vec<usize> = core_kinds
             .iter()
             .map(|k| match k {
@@ -769,6 +906,15 @@ impl Scheduler for StaticScheduler {
     }
 
     fn observe(&mut self, _obs: &[SegmentObservation]) {}
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        Some(DecisionInfo {
+            mapping: self.mapping.clone(),
+            predicted_objective: None,
+            baseline_objective: None,
+            reason: "pinned mapping".to_string(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -794,7 +940,12 @@ mod static_tests {
 
     #[test]
     fn from_oracle_places_big_apps_on_big_cores() {
-        let kinds = vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small];
+        let kinds = vec![
+            CoreKind::Big,
+            CoreKind::Big,
+            CoreKind::Small,
+            CoreKind::Small,
+        ];
         let s = StaticScheduler::from_oracle(&[1, 3], &kinds, 100);
         let seg = {
             let mut s = s.clone();

@@ -16,7 +16,7 @@
 //! **no sampling quanta** and no staleness machinery — its decisions are
 //! made fresh every quantum from that quantum's own measurements.
 
-use crate::sched::{Scheduler, Segment, SegmentObservation};
+use crate::sched::{DecisionInfo, Scheduler, Segment, SegmentObservation};
 use relsim_cpu::CoreKind;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +103,7 @@ pub struct PredictiveScheduler {
     estimates: Vec<Estimate>,
     kinds_now: Vec<CoreKind>,
     mapping: Vec<usize>,
+    last_decision: Option<DecisionInfo>,
 }
 
 impl PredictiveScheduler {
@@ -114,8 +115,7 @@ impl PredictiveScheduler {
     pub fn new(model: PieModel, core_kinds: Vec<CoreKind>, quantum_ticks: u64) -> Self {
         assert!(!core_kinds.is_empty(), "need at least one core");
         assert!(
-            core_kinds.contains(&CoreKind::Big)
-                && core_kinds.contains(&CoreKind::Small),
+            core_kinds.contains(&CoreKind::Big) && core_kinds.contains(&CoreKind::Small),
             "predictive scheduler needs a heterogeneous system"
         );
         let n = core_kinds.len();
@@ -125,8 +125,19 @@ impl PredictiveScheduler {
             estimates: vec![Estimate::default(); n],
             kinds_now: vec![CoreKind::Big; n],
             mapping: (0..n).collect(),
+            last_decision: None,
             core_kinds,
         }
+    }
+
+    /// Predicted STP of a whole mapping (sum of per-app progress; higher
+    /// is better).
+    fn total_progress(&self, mapping: &[usize]) -> f64 {
+        mapping
+            .iter()
+            .zip(&self.core_kinds)
+            .map(|(&app, &kind)| self.progress(app, kind))
+            .sum()
     }
 
     /// Predicted STP contribution of `app` on `kind`, normalized to its
@@ -158,8 +169,10 @@ impl Scheduler for PredictiveScheduler {
     fn next_segment(&mut self) -> Segment {
         // Greedy pairwise switching on predicted progress, mirroring
         // Algorithm 1's loop but on predictions instead of samples.
+        let previous = self.mapping.clone();
         let mut mapping = self.mapping.clone();
-        if self.estimates.iter().all(|e| e.valid) {
+        let predicting = self.estimates.iter().all(|e| e.valid);
+        if predicting {
             loop {
                 let mut best: Option<(usize, usize, f64)> = None;
                 for (ca, &ka) in self.core_kinds.iter().enumerate() {
@@ -171,10 +184,10 @@ impl Scheduler for PredictiveScheduler {
                             continue;
                         }
                         let (a, b) = (mapping[ca], mapping[cb]);
-                        let now = self.progress(a, CoreKind::Big)
-                            + self.progress(b, CoreKind::Small);
-                        let switched = self.progress(a, CoreKind::Small)
-                            + self.progress(b, CoreKind::Big);
+                        let now =
+                            self.progress(a, CoreKind::Big) + self.progress(b, CoreKind::Small);
+                        let switched =
+                            self.progress(a, CoreKind::Small) + self.progress(b, CoreKind::Big);
                         let gain = switched - now;
                         if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
                             best = Some((ca, cb, gain));
@@ -187,6 +200,30 @@ impl Scheduler for PredictiveScheduler {
                 }
             }
         }
+        self.last_decision = Some(if predicting {
+            let baseline = self.total_progress(&previous);
+            let predicted = self.total_progress(&mapping);
+            DecisionInfo {
+                mapping: mapping.clone(),
+                predicted_objective: Some(predicted),
+                baseline_objective: Some(baseline),
+                reason: if mapping == previous {
+                    "keep mapping: no predicted pair-switch gain".to_string()
+                } else {
+                    format!(
+                        "PIE pair-switch: predicted STP {predicted:.4} vs {baseline:.4} \
+                         for the previous mapping"
+                    )
+                },
+            }
+        } else {
+            DecisionInfo {
+                mapping: mapping.clone(),
+                predicted_objective: None,
+                baseline_objective: None,
+                reason: "warm-up: waiting for first-quantum measurements".to_string(),
+            }
+        });
         self.mapping = mapping.clone();
         Segment {
             mapping,
@@ -212,6 +249,10 @@ impl Scheduler for PredictiveScheduler {
             self.kinds_now[o.app] = o.kind;
         }
     }
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        self.last_decision.clone()
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +261,12 @@ mod tests {
     use relsim_cpu::CpiStack;
 
     fn kinds() -> Vec<CoreKind> {
-        vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small]
+        vec![
+            CoreKind::Big,
+            CoreKind::Big,
+            CoreKind::Small,
+            CoreKind::Small,
+        ]
     }
 
     #[test]
@@ -256,8 +302,14 @@ mod tests {
     #[test]
     fn degenerate_inputs_yield_zero() {
         let m = PieModel::default();
-        assert_eq!(m.predict_other_ips(CoreKind::Big, 0.0, (1.0, 0.0, 0.0, 0.0)), 0.0);
-        assert_eq!(m.predict_other_ips(CoreKind::Big, 1.0, (0.0, 0.0, 0.0, 0.0)), 0.0);
+        assert_eq!(
+            m.predict_other_ips(CoreKind::Big, 0.0, (1.0, 0.0, 0.0, 0.0)),
+            0.0
+        );
+        assert_eq!(
+            m.predict_other_ips(CoreKind::Big, 1.0, (0.0, 0.0, 0.0, 0.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -274,7 +326,12 @@ mod tests {
                 .enumerate()
                 .map(|(core, &app)| {
                     let frontend_bound = app < 2;
-                    let kind = [CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small][core];
+                    let kind = [
+                        CoreKind::Big,
+                        CoreKind::Big,
+                        CoreKind::Small,
+                        CoreKind::Small,
+                    ][core];
                     // True performance consistent with the model's ratios.
                     let ips = match (frontend_bound, kind) {
                         (true, CoreKind::Big) => 0.8,

@@ -10,6 +10,7 @@ use crate::sched::{Scheduler, SegmentObservation};
 use relsim_ace::{AceCounter, CounterKind};
 use relsim_cpu::{Core, CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
 use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+use relsim_obs::{Event, Phase, RunObs};
 use relsim_power::{CoreActivity, SharedActivity};
 use relsim_trace::{BenchmarkProfile, OpClass, TraceGenerator};
 use serde::{Deserialize, Serialize};
@@ -153,8 +154,8 @@ impl CoreRunStats {
         let fp = self.class_counts[OpClass::FpAdd.index()]
             + self.class_counts[OpClass::FpMul.index()]
             + self.class_counts[OpClass::FpDiv.index()];
-        let mem = self.class_counts[OpClass::Load.index()]
-            + self.class_counts[OpClass::Store.index()];
+        let mem =
+            self.class_counts[OpClass::Load.index()] + self.class_counts[OpClass::Store.index()];
         CoreActivity {
             kind: self.kind,
             cycles: self.cycles,
@@ -272,7 +273,8 @@ impl System {
             .collect();
         let mut apps = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
-            let gen = TraceGenerator::new(spec.profile.clone(), spec.seed, i as u64 * APP_ADDR_STRIDE);
+            let gen =
+                TraceGenerator::new(spec.profile.clone(), spec.seed, i as u64 * APP_ADDR_STRIDE);
             if cfg.warm_caches {
                 let (base, span) = gen.address_span();
                 let warm = span.min(32 << 20);
@@ -308,52 +310,126 @@ impl System {
     }
 
     /// Run under `scheduler` for `duration` ticks and report the outcome.
+    ///
+    /// Equivalent to [`System::run_traced`] with observability disabled
+    /// (null sink, unused recorder) — the tracing hooks reduce to a few
+    /// per-segment no-ops, so untraced runs pay essentially nothing.
     pub fn run(&mut self, scheduler: &mut dyn Scheduler, duration: u64) -> RunResult {
+        let mut obs = RunObs::disabled();
+        self.run_traced(scheduler, duration, &mut obs)
+    }
+
+    /// Run under `scheduler` for `duration` ticks, streaming structured
+    /// events to `obs.sink`, accumulating counters/histograms in
+    /// `obs.recorder`, and attributing host wall-time to phases in
+    /// `obs.timers`.
+    ///
+    /// Event stream per segment: `SchedulerDecision` (when the scheduler
+    /// reports one), `QuantumStart`, one `Migration` per moved
+    /// application, and one `SampleTaken` per application after sampling
+    /// segments. The stream is framed by `RunStart`/`RunEnd`. All events
+    /// are a deterministic function of the run's inputs, so two same-seed
+    /// runs emit byte-identical JSONL.
+    pub fn run_traced(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        duration: u64,
+        obs: &mut RunObs,
+    ) -> RunResult {
+        let RunObs {
+            sink,
+            recorder,
+            timers,
+        } = obs;
         let mut timeline = Vec::new();
         let mut migrations_total = 0u64;
         let end = self.now + duration;
+        sink.emit(&Event::RunStart {
+            tick: self.now,
+            scheduler: scheduler.name().to_string(),
+            cores: self.cores.len(),
+            apps: self.apps.len(),
+            quantum_ticks: self.cfg.quantum_ticks,
+            duration_ticks: duration,
+        });
+        // Metric handles are registered once; the per-segment hot path is
+        // index arithmetic only.
+        let m_quanta = recorder.counter("sim.quanta");
+        let m_sampling = recorder.counter("sim.sampling_quanta");
+        let m_migrations = recorder.counter("sim.migrations");
+        let m_instructions = recorder.counter("sim.instructions");
+        let m_ticks = recorder.counter("sim.ticks");
+        let h_seg_instr = recorder.histogram("sim.segment_instructions");
+        let h_seg_migr = recorder.histogram("sim.segment_migrations");
         // Baselines for per-core deltas: one at segment start (full
         // attribution) and one at measurement start (scheduler samples).
         let mut core_committed_base: Vec<u64> = self.cores.iter().map(Core::committed).collect();
         let mut measure_base: Vec<u64> = core_committed_base.clone();
         let mut cpi_base: Vec<relsim_cpu::CpiStack> =
             self.cores.iter().map(|c| *c.cpi_stack()).collect();
+        let mut quantum_index = 0u64;
 
         while self.now < end {
-            let seg = scheduler.next_segment();
+            let seg = timers.time(Phase::Scheduler, || scheduler.next_segment());
             assert_eq!(seg.mapping.len(), self.cores.len(), "mapping arity");
             let ticks = seg.ticks.min(end - self.now);
+            if let Some(d) = scheduler.last_decision() {
+                sink.emit(&Event::SchedulerDecision {
+                    tick: self.now,
+                    mapping: d.mapping,
+                    predicted_objective: d.predicted_objective,
+                    baseline_objective: d.baseline_objective,
+                    reason: d.reason,
+                });
+            }
+            sink.emit(&Event::QuantumStart {
+                tick: self.now,
+                index: quantum_index,
+                mapping: seg.mapping.clone(),
+                is_sampling: seg.is_sampling,
+            });
+            quantum_index += 1;
 
             // Apply migrations. Migrated applications get a measurement
             // warmup: their counters only start once the pipeline and L1
             // have refilled, so the scheduler's samples reflect steady
             // state rather than migration transients.
-            for (core, &app) in seg.mapping.iter().enumerate() {
-                if self.mapping[core] != app {
-                    self.cores[core].reset_pipeline();
-                    self.stall_until[core] = self.now + self.cfg.migration_ticks;
-                    self.apps[app].migrations += 1;
-                    migrations_total += 1;
-                    self.measure_start[core] = (self.now
-                        + self.cfg.migration_ticks
-                        + self.cfg.measurement_warmup_ticks)
-                        .min(self.now + ticks.saturating_sub(1));
-                    if self.cfg.warm_caches {
-                        // Scale correction (DESIGN.md §1): at paper scale
-                        // (2.66M-cycle quanta) an L1/L2 refill after a
-                        // migration is <1% of a quantum; at this reduced
-                        // scale it would dominate, so the incoming
-                        // application's hot set is warmed during the
-                        // migration stall.
-                        let (hot_base, hot_len) = self.apps[app].gen.hot_span();
-                        self.cores[core]
-                            .caches_mut()
-                            .warm_region(hot_base, hot_len.min(64 << 10));
+            let mut seg_migrations = 0u64;
+            timers.time(Phase::Migration, || {
+                for (core, &app) in seg.mapping.iter().enumerate() {
+                    if self.mapping[core] != app {
+                        sink.emit(&Event::Migration {
+                            tick: self.now,
+                            app,
+                            from_core: self.mapping.iter().position(|&a| a == app).unwrap_or(core),
+                            to_core: core,
+                        });
+                        self.cores[core].reset_pipeline();
+                        self.stall_until[core] = self.now + self.cfg.migration_ticks;
+                        self.apps[app].migrations += 1;
+                        migrations_total += 1;
+                        seg_migrations += 1;
+                        self.measure_start[core] = (self.now
+                            + self.cfg.migration_ticks
+                            + self.cfg.measurement_warmup_ticks)
+                            .min(self.now + ticks.saturating_sub(1));
+                        if self.cfg.warm_caches {
+                            // Scale correction (DESIGN.md §1): at paper scale
+                            // (2.66M-cycle quanta) an L1/L2 refill after a
+                            // migration is <1% of a quantum; at this reduced
+                            // scale it would dominate, so the incoming
+                            // application's hot set is warmed during the
+                            // migration stall.
+                            let (hot_base, hot_len) = self.apps[app].gen.hot_span();
+                            self.cores[core]
+                                .caches_mut()
+                                .warm_region(hot_base, hot_len.min(64 << 10));
+                        }
+                    } else {
+                        self.measure_start[core] = self.now;
                     }
-                } else {
-                    self.measure_start[core] = self.now;
                 }
-            }
+            });
             self.mapping = seg.mapping.clone();
 
             // Reset counters for this segment.
@@ -366,35 +442,37 @@ impl System {
 
             // Execute.
             let seg_end = self.now + ticks;
-            while self.now < seg_end {
-                let t = self.now;
-                #[allow(clippy::needless_range_loop)] // parallel arrays
-                for core_idx in 0..self.cores.len() {
-                    if t == self.measure_start[core_idx] && t > seg_end - ticks {
-                        // Start of the (post-warmup) measurement window:
-                        // snapshot progress and restart the scheduler's
-                        // counter. Evaluation counters keep the full
-                        // segment (ground truth must not lose ABC).
-                        measure_base[core_idx] = self.cores[core_idx].committed();
-                        self.sched_counters[core_idx].reset();
+            timers.time(Phase::CoreTick, || {
+                while self.now < seg_end {
+                    let t = self.now;
+                    #[allow(clippy::needless_range_loop)] // parallel arrays
+                    for core_idx in 0..self.cores.len() {
+                        if t == self.measure_start[core_idx] && t > seg_end - ticks {
+                            // Start of the (post-warmup) measurement window:
+                            // snapshot progress and restart the scheduler's
+                            // counter. Evaluation counters keep the full
+                            // segment (ground truth must not lose ABC).
+                            measure_base[core_idx] = self.cores[core_idx].committed();
+                            self.sched_counters[core_idx].reset();
+                        }
+                        if t < self.stall_until[core_idx] {
+                            continue;
+                        }
+                        let app_idx = self.mapping[core_idx];
+                        let mut tee = TeeObserver {
+                            eval: &mut self.eval_counters[core_idx],
+                            sched: &mut self.sched_counters[core_idx],
+                        };
+                        self.cores[core_idx].tick(
+                            t,
+                            &mut self.apps[app_idx].gen,
+                            &mut self.shared,
+                            &mut tee,
+                        );
                     }
-                    if t < self.stall_until[core_idx] {
-                        continue;
-                    }
-                    let app_idx = self.mapping[core_idx];
-                    let mut tee = TeeObserver {
-                        eval: &mut self.eval_counters[core_idx],
-                        sched: &mut self.sched_counters[core_idx],
-                    };
-                    self.cores[core_idx].tick(
-                        t,
-                        &mut self.apps[app_idx].gen,
-                        &mut self.shared,
-                        &mut tee,
-                    );
+                    self.now += 1;
                 }
-                self.now += 1;
-            }
+            });
 
             // Collect observations.
             let mut obs = Vec::with_capacity(self.cores.len());
@@ -408,7 +486,8 @@ impl System {
                 // Full-segment instructions for attribution; post-warmup
                 // window for the scheduler's sample.
                 let instructions = core.committed() - core_committed_base[core_idx];
-                let measured_instructions = core.committed() - measure_base[core_idx].max(core_committed_base[core_idx]);
+                let measured_instructions =
+                    core.committed() - measure_base[core_idx].max(core_committed_base[core_idx]);
                 core_committed_base[core_idx] = core.committed();
                 measure_base[core_idx] = core.committed();
                 let eval_abc = self.eval_counters[core_idx].abc(ticks);
@@ -438,7 +517,39 @@ impl System {
                 app_abc[app_idx] = eval_abc;
                 app_instr[app_idx] = instructions;
             }
-            scheduler.observe(&obs);
+            if seg.is_sampling {
+                // Sampling segments exist to produce measurements; expose
+                // the exact numbers the scheduler will act on.
+                for o in &obs {
+                    sink.emit(&Event::SampleTaken {
+                        tick: self.now,
+                        app: o.app,
+                        core: o.core,
+                        cpi: if o.instructions > 0 {
+                            o.active_ticks as f64 / o.instructions as f64
+                        } else {
+                            0.0
+                        },
+                        abc_rate: if o.active_ticks > 0 {
+                            o.abc / o.active_ticks as f64
+                        } else {
+                            0.0
+                        },
+                        instructions: o.instructions,
+                    });
+                }
+            }
+            timers.time(Phase::Scheduler, || scheduler.observe(&obs));
+            recorder.inc(m_quanta);
+            if seg.is_sampling {
+                recorder.inc(m_sampling);
+            }
+            recorder.add(m_migrations, seg_migrations);
+            recorder.add(m_ticks, ticks);
+            let seg_instr: u64 = app_instr.iter().sum();
+            recorder.add(m_instructions, seg_instr);
+            recorder.observe(h_seg_instr, seg_instr);
+            recorder.observe(h_seg_migr, seg_migrations);
             timeline.push(SegmentRecord {
                 start: seg_end - ticks,
                 ticks,
@@ -449,44 +560,66 @@ impl System {
             });
         }
 
-        let apps = self
-            .apps
-            .iter()
-            .map(|a| AppRunStats {
-                name: a.name.clone(),
-                instructions: a.instructions,
-                abc: a.abc,
-                migrations: a.migrations,
-                ticks_on_big: a.ticks_on_big,
-            })
-            .collect();
-        let cores = self
-            .cores
-            .iter()
-            .map(|c| {
-                let (l1i, l1d, l2) = c.cache_stats();
-                CoreRunStats {
-                    kind: c.kind(),
-                    cycles: c.cycles(),
-                    committed: c.committed(),
-                    class_counts: *c.class_counts(),
-                    cpi: *c.cpi_stack(),
-                    l1_accesses: l1i.accesses + l1d.accesses,
-                    l2_accesses: l2.accesses,
-                }
-            })
-            .collect();
-        RunResult {
-            duration,
-            apps,
-            cores,
-            shared: SharedActivity {
-                l3_accesses: self.shared.l3_stats().accesses,
-                mem_requests: self.shared.controller_stats().requests,
-            },
-            timeline,
-            migrations: migrations_total,
+        let result = timers.time(Phase::Metrics, || {
+            let apps: Vec<AppRunStats> = self
+                .apps
+                .iter()
+                .map(|a| AppRunStats {
+                    name: a.name.clone(),
+                    instructions: a.instructions,
+                    abc: a.abc,
+                    migrations: a.migrations,
+                    ticks_on_big: a.ticks_on_big,
+                })
+                .collect();
+            let cores: Vec<CoreRunStats> = self
+                .cores
+                .iter()
+                .map(|c| {
+                    let (l1i, l1d, l2) = c.cache_stats();
+                    CoreRunStats {
+                        kind: c.kind(),
+                        cycles: c.cycles(),
+                        committed: c.committed(),
+                        class_counts: *c.class_counts(),
+                        cpi: *c.cpi_stack(),
+                        l1_accesses: l1i.accesses + l1d.accesses,
+                        l2_accesses: l2.accesses,
+                    }
+                })
+                .collect();
+            RunResult {
+                duration,
+                apps,
+                cores,
+                shared: SharedActivity {
+                    l3_accesses: self.shared.l3_stats().accesses,
+                    mem_requests: self.shared.controller_stats().requests,
+                },
+                timeline,
+                migrations: migrations_total,
+            }
+        });
+        // Cumulative-totals counters (core cycles/instructions, cache and
+        // DRAM miss/bandwidth counters from the memory crate).
+        let c_cycles = recorder.counter("core.cycles");
+        let c_committed = recorder.counter("core.instructions");
+        for c in &result.cores {
+            recorder.add(c_cycles, c.cycles);
+            recorder.add(c_committed, c.committed);
         }
+        for core in &mut self.cores {
+            core.caches_mut().record_metrics(recorder);
+        }
+        self.shared.record_metrics(recorder);
+        sink.emit(&Event::RunEnd {
+            tick: self.now,
+            quanta: quantum_index,
+            migrations: migrations_total,
+            instructions: result.apps.iter().map(|a| a.instructions).sum(),
+        });
+        sink.flush();
+        result
     }
 }
 
@@ -501,6 +634,20 @@ mod tests {
             .enumerate()
             .map(|(i, n)| AppSpec::spec(n, 100 + i as u64))
             .collect()
+    }
+
+    /// `Write` target shared with the test body, so the JSONL bytes
+    /// survive the boxed sink.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
     }
 
     #[test]
@@ -528,14 +675,13 @@ mod tests {
         let kinds = cfg.core_kinds();
         let q = cfg.quantum_ticks;
         let mut sys = System::new(cfg, &four_apps());
-        let mut sched = SamplingScheduler::new(
-            Objective::Sser,
-            kinds,
-            q,
-            SamplingParams::default(),
-        );
+        let mut sched =
+            SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
         let r = sys.run(&mut sched, 300_000);
-        assert!(r.timeline.iter().any(|s| s.is_sampling), "sampling happened");
+        assert!(
+            r.timeline.iter().any(|s| s.is_sampling),
+            "sampling happened"
+        );
         assert!(r.timeline.iter().any(|s| !s.is_sampling), "main quanta ran");
         for a in &r.apps {
             assert!(a.instructions > 0);
@@ -578,7 +724,12 @@ mod tests {
 
         let mut random_sys = System::new(cfg, &four_apps());
         let mut random = RandomScheduler::new(
-            vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small],
+            vec![
+                CoreKind::Big,
+                CoreKind::Big,
+                CoreKind::Small,
+                CoreKind::Small,
+            ],
             q,
             3,
         );
@@ -599,7 +750,7 @@ mod tests {
         let cfg = SystemConfig::hcmp(1, 1);
         let kinds = cfg.core_kinds();
         let q = cfg.quantum_ticks;
-        let mut sys = System::new(cfg, &four_apps()[..2].to_vec());
+        let mut sys = System::new(cfg, &four_apps()[..2]);
         let mut sched = RandomScheduler::new(kinds, q, 5);
         let r = sys.run(&mut sched, 100_000);
         let apps_total: u64 = r.apps.iter().map(|a| a.instructions).sum();
@@ -610,7 +761,110 @@ mod tests {
     #[test]
     #[should_panic(expected = "one application per core")]
     fn app_count_must_match_core_count() {
-        let _ = System::new(SystemConfig::hcmp(2, 2), &four_apps()[..2].to_vec());
+        let _ = System::new(SystemConfig::hcmp(2, 2), &four_apps()[..2]);
+    }
+
+    #[test]
+    fn traced_runs_emit_a_coherent_event_stream() {
+        use relsim_obs::{Event, JsonlSink, RunObs};
+
+        let cfg = SystemConfig::hcmp(2, 2);
+        let kinds = cfg.core_kinds();
+        let q = cfg.quantum_ticks;
+        let mut sys = System::new(cfg, &four_apps());
+        let mut sched =
+            SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
+        let buf = SharedBuf::default();
+        let mut obs = RunObs::with_sink(Box::new(JsonlSink::new(buf.clone())));
+        let r = sys.run_traced(&mut sched, 300_000, &mut obs);
+
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid event JSON"))
+            .collect();
+        assert!(matches!(events.first(), Some(Event::RunStart { .. })));
+        assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+        // Every quantum gets a start event, and every non-sampling quantum
+        // a decision with a predicted objective.
+        let quanta = events
+            .iter()
+            .filter(|e| matches!(e, Event::QuantumStart { .. }))
+            .count();
+        assert_eq!(quanta, r.timeline.len());
+        let mut main_decisions = 0;
+        for pair in events.windows(2) {
+            if let [Event::SchedulerDecision {
+                mapping,
+                predicted_objective,
+                ..
+            }, Event::QuantumStart {
+                mapping: qmap,
+                is_sampling,
+                ..
+            }] = pair
+            {
+                assert_eq!(mapping, qmap, "decision matches the quantum it starts");
+                if !is_sampling {
+                    assert!(predicted_objective.is_some());
+                    main_decisions += 1;
+                }
+            }
+        }
+        assert!(main_decisions > 0, "main quanta carry predicted objectives");
+        // Migration events agree with the run totals.
+        let migration_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::Migration { .. }))
+            .count() as u64;
+        assert_eq!(migration_events, r.migrations);
+        // Sampling segments produce the samples the scheduler acts on.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SampleTaken { .. })));
+        // The recorder agrees with the result, and the memory counters
+        // from the hierarchy are present.
+        let snap = obs.recorder.snapshot();
+        assert_eq!(snap.counter("sim.quanta"), Some(r.timeline.len() as u64));
+        assert_eq!(snap.counter("sim.migrations"), Some(r.migrations));
+        assert_eq!(
+            snap.counter("sim.instructions"),
+            Some(r.apps.iter().map(|a| a.instructions).sum())
+        );
+        assert_eq!(
+            snap.counter("core.instructions"),
+            Some(r.cores.iter().map(|c| c.committed).sum())
+        );
+        assert!(snap.counter("mem.l1.accesses").unwrap_or(0) > 0);
+        assert!(snap.counter("mem.l3.accesses").unwrap_or(0) > 0);
+        assert!(snap.counter("mem.dram.requests").unwrap_or(0) > 0);
+        // Phase timers saw the dominant phases.
+        let profile = obs.timers.profile();
+        assert!(profile.seconds("core_tick").unwrap() > 0.0);
+        assert!(profile.attributed_seconds <= profile.elapsed_seconds);
+    }
+
+    #[test]
+    fn same_seed_traced_runs_are_byte_identical() {
+        use relsim_obs::{JsonlSink, RunObs};
+
+        let trace = || {
+            let cfg = SystemConfig::hcmp(2, 2);
+            let kinds = cfg.core_kinds();
+            let q = cfg.quantum_ticks;
+            let mut sys = System::new(cfg, &four_apps());
+            let mut sched =
+                SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
+            let buf = SharedBuf::default();
+            let mut obs = RunObs::with_sink(Box::new(JsonlSink::new(buf.clone())));
+            sys.run_traced(&mut sched, 200_000, &mut obs);
+            let bytes = buf.0.borrow().clone();
+            bytes
+        };
+        let a = trace();
+        let b = trace();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same-seed event logs must be byte-identical");
     }
 
     #[test]
@@ -620,12 +874,8 @@ mod tests {
             let kinds = cfg.core_kinds();
             let q = cfg.quantum_ticks;
             let mut sys = System::new(cfg, &four_apps());
-            let mut sched = SamplingScheduler::new(
-                Objective::Sser,
-                kinds,
-                q,
-                SamplingParams::default(),
-            );
+            let mut sched =
+                SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
             sys.run(&mut sched, 150_000)
         };
         let a = run();
@@ -641,15 +891,10 @@ mod tests {
         let kinds = cfg.core_kinds();
         let q = cfg.quantum_ticks;
         let mut sys = System::new(cfg, &four_apps());
-        let mut sched = SamplingScheduler::new(
-            Objective::Sser,
-            kinds,
-            q,
-            SamplingParams::default(),
-        );
+        let mut sched =
+            SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
         let r = sys.run(&mut sched, 300_000);
-        let sampling: Vec<&SegmentRecord> =
-            r.timeline.iter().filter(|s| s.is_sampling).collect();
+        let sampling: Vec<&SegmentRecord> = r.timeline.iter().filter(|s| s.is_sampling).collect();
         assert!(!sampling.is_empty());
         for s in sampling {
             assert!(
@@ -666,7 +911,7 @@ mod tests {
         let cfg = SystemConfig::hcmp(1, 1);
         let kinds = cfg.core_kinds();
         let q = cfg.quantum_ticks;
-        let mut sys = System::new(cfg, &four_apps()[..2].to_vec());
+        let mut sys = System::new(cfg, &four_apps()[..2]);
         let mut sched = RandomScheduler::new(kinds, q, 3);
         let r1 = sys.run(&mut sched, 60_000);
         let r2 = sys.run(&mut sched, 60_000);

@@ -3,10 +3,23 @@ use relsim_mem::*;
 use relsim_trace::*;
 use std::time::Instant;
 
-struct Replay { v: Vec<Instr>, i: usize }
+struct Replay {
+    v: Vec<Instr>,
+    i: usize,
+}
 impl InstrSource for Replay {
-    fn next_instr(&mut self) -> Instr { let x = self.v[self.i % self.v.len()]; self.i += 1; x }
-    fn wrong_path_instr(&mut self) -> Instr { Instr { op: OpClass::IntAlu, src1: Some(1), ..Instr::nop() } }
+    fn next_instr(&mut self) -> Instr {
+        let x = self.v[self.i % self.v.len()];
+        self.i += 1;
+        x
+    }
+    fn wrong_path_instr(&mut self) -> Instr {
+        Instr {
+            op: OpClass::IntAlu,
+            src1: Some(1),
+            ..Instr::nop()
+        }
+    }
 }
 
 fn main() {
@@ -14,8 +27,13 @@ fn main() {
     let mut g = TraceGenerator::new(spec_profile("hmmer").unwrap(), 1, 0);
     let t0 = Instant::now();
     let mut acc = 0u64;
-    for _ in 0..2_000_000 { acc = acc.wrapping_add(g.next_instr().addr); }
-    println!("gen alone: {:.0}ns/instr (acc {acc})", t0.elapsed().as_secs_f64()/2e6*1e9);
+    for _ in 0..2_000_000 {
+        acc = acc.wrapping_add(g.next_instr().addr);
+    }
+    println!(
+        "gen alone: {:.0}ns/instr (acc {acc})",
+        t0.elapsed().as_secs_f64() / 2e6 * 1e9
+    );
 
     // 2) pre-generated replay through the core
     let mut g = TraceGenerator::new(spec_profile("hmmer").unwrap(), 1, 0);
@@ -25,7 +43,14 @@ fn main() {
     let mut src = Replay { v, i: 0 };
     let mut obs = NullObserver;
     let t0 = Instant::now();
-    for t in 0..1_000_000u64 { core.tick(t, &mut src, &mut shared, &mut obs); }
+    for t in 0..1_000_000u64 {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
     let el = t0.elapsed().as_secs_f64();
-    println!("core only: {:.0}ns/cycle, ipc={:.2}, {:.0}ns/instr", el/1e6*1e9, core.committed() as f64/1e6, el/core.committed() as f64*1e9);
+    println!(
+        "core only: {:.0}ns/cycle, ipc={:.2}, {:.0}ns/instr",
+        el / 1e6 * 1e9,
+        core.committed() as f64 / 1e6,
+        el / core.committed() as f64 * 1e9
+    );
 }

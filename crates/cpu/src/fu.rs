@@ -116,7 +116,10 @@ mod tests {
         assert!(fu.try_issue(OpClass::Branch, 0, 1));
         assert!(!fu.try_issue(OpClass::IntAlu, 0, 1), "only 3 int adders");
         fu.new_cycle();
-        assert!(fu.try_issue(OpClass::IntAlu, 1, 1), "next cycle frees slots");
+        assert!(
+            fu.try_issue(OpClass::IntAlu, 1, 1),
+            "next cycle frees slots"
+        );
     }
 
     #[test]

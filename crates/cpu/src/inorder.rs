@@ -92,7 +92,11 @@ impl InorderCore {
     /// Panics if `cfg` is not an in-order configuration
     /// (`kind == CoreKind::Small`).
     pub fn new(cfg: CoreConfig, cache_cfg: PrivateCacheConfig) -> Self {
-        assert_eq!(cfg.kind, CoreKind::Small, "InorderCore requires a small-core config");
+        assert_eq!(
+            cfg.kind,
+            CoreKind::Small,
+            "InorderCore requires a small-core config"
+        );
         let caches = PrivateCaches::new(cache_cfg, cfg.ticks_per_cycle);
         let pipe_capacity = (cfg.width * cfg.depth) as usize;
         InorderCore {
@@ -549,7 +553,11 @@ mod tests {
             pos: 0,
         };
         let obs = run(&mut core, &mut src, 2000);
-        assert!(core.committed() >= 2 * (2000 - 30), "committed {}", core.committed());
+        assert!(
+            core.committed() >= 2 * (2000 - 30),
+            "committed {}",
+            core.committed()
+        );
         assert!(obs.events.iter().all(|e| e.is_well_formed()));
     }
 
@@ -635,9 +643,23 @@ mod tests {
             v
         };
         let mut good = InorderCore::new(CoreConfig::small(), PrivateCacheConfig::default());
-        run(&mut good, &mut Script { instrs: mk(false), pos: 0 }, 3000);
+        run(
+            &mut good,
+            &mut Script {
+                instrs: mk(false),
+                pos: 0,
+            },
+            3000,
+        );
         let mut bad = InorderCore::new(CoreConfig::small(), PrivateCacheConfig::default());
-        run(&mut bad, &mut Script { instrs: mk(true), pos: 0 }, 3000);
+        run(
+            &mut bad,
+            &mut Script {
+                instrs: mk(true),
+                pos: 0,
+            },
+            3000,
+        );
         assert!(bad.committed() < good.committed());
         assert!(bad.cpi_stack().branch > 0);
         assert!(bad.wrong_path_fetched() > 0);

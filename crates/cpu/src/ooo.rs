@@ -137,7 +137,11 @@ impl OooCore {
     /// Panics if `cfg` is not an out-of-order configuration
     /// (`kind == CoreKind::Big`, `rob_size > 0`).
     pub fn new(cfg: CoreConfig, cache_cfg: PrivateCacheConfig) -> Self {
-        assert_eq!(cfg.kind, CoreKind::Big, "OooCore requires a big-core config");
+        assert_eq!(
+            cfg.kind,
+            CoreKind::Big,
+            "OooCore requires a big-core config"
+        );
         assert!(cfg.rob_size > 0, "out-of-order core needs a ROB");
         let caches = PrivateCaches::new(cache_cfg, cfg.ticks_per_cycle);
         let fq_capacity = (cfg.width as usize) * (cfg.frontend_delay() as usize + 1);
@@ -335,7 +339,9 @@ impl OooCore {
                 break;
             }
             self.finish_events.pop();
-            let Some(i) = self.rob_index_epoch(seq, epoch) else { continue };
+            let Some(i) = self.rob_index_epoch(seq, epoch) else {
+                continue;
+            };
             let e = &mut self.rob[i];
             if !e.issued || e.done || e.finish_at != tick {
                 continue;
@@ -502,14 +508,17 @@ impl OooCore {
             // The event carries the entry's own epoch: entries that survive
             // a later flush must still receive their completion.
             let entry_epoch = e.epoch;
-            self.finish_events.push(Reverse((finish_at, seq, entry_epoch)));
+            self.finish_events
+                .push(Reverse((finish_at, seq, entry_epoch)));
         }
     }
 
     fn dispatch(&mut self, now: u64) {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(f) = self.fetch_queue.front() else { break };
+            let Some(f) = self.fetch_queue.front() else {
+                break;
+            };
             if f.avail > now {
                 break;
             }
@@ -779,7 +788,11 @@ mod tests {
         let mut src = Script::new(vec![alu(); 4000]);
         // Only 3 int-add units, so IPC is bounded by 3, not width 4.
         let obs = run(&mut core, &mut src, 2000);
-        assert!(core.committed() >= 3 * (2000 - 50), "committed {}", core.committed());
+        assert!(
+            core.committed() >= 3 * (2000 - 50),
+            "committed {}",
+            core.committed()
+        );
         assert!(obs.events.iter().all(|e| e.is_well_formed()));
     }
 
@@ -867,10 +880,7 @@ mod tests {
         let mut src = Script::new(v);
         run(&mut core, &mut src, 5000);
         let s = core.cpi_stack();
-        assert!(
-            s.memory > 0,
-            "memory stall cycles expected, stack {s:?}"
-        );
+        assert!(s.memory > 0, "memory stall cycles expected, stack {s:?}");
         assert!(core.loads_by_level()[3] > 0, "memory-level loads counted");
     }
 

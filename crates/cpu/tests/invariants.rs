@@ -5,56 +5,52 @@
 use proptest::prelude::*;
 use relsim_cpu::{Core, CoreConfig, RecordingObserver};
 use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
-use relsim_trace::{
-    BenchmarkProfile, MemoryProfile, OpMix, PhaseProfile, Suite, TraceGenerator,
-};
+use relsim_trace::{BenchmarkProfile, MemoryProfile, OpMix, PhaseProfile, Suite, TraceGenerator};
 
 fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
     (
-        0.05f64..0.4,  // load
-        0.0f64..0.2,   // store
-        0.0f64..0.3,   // branch
-        0.0f64..0.3,   // fp
-        0.0f64..0.05,  // nop
-        1.0f64..20.0,  // dep
-        0.0f64..0.15,  // mispredict
-        0.0f64..0.03,  // icache
-        0.0f64..0.8,   // stream
+        0.05f64..0.4, // load
+        0.0f64..0.2,  // store
+        0.0f64..0.3,  // branch
+        0.0f64..0.3,  // fp
+        0.0f64..0.05, // nop
+        1.0f64..20.0, // dep
+        0.0f64..0.15, // mispredict
+        0.0f64..0.03, // icache
+        0.0f64..0.8,  // stream
     )
-        .prop_map(
-            |(load, store, branch, fp, nop, dep, mis, ic, stream)| {
-                let scale = 1.0 / (load + store + branch + fp + nop + 0.3);
-                let k = scale.min(1.0);
-                BenchmarkProfile::single_phase(
-                    "arb",
-                    Suite::Int,
-                    PhaseProfile {
-                        len_instrs: 10_000,
-                        mix: OpMix {
-                            load: load * k,
-                            store: store * k,
-                            branch: branch * k,
-                            int_mul: 0.0,
-                            int_div: 0.0,
-                            fp_add: fp * k / 2.0,
-                            fp_mul: fp * k / 2.0,
-                            fp_div: 0.0,
-                            nop: nop * k,
-                        },
-                        mean_dep_dist: dep,
-                        branch_mispredict_rate: mis,
-                        icache_miss_rate: ic,
-                        mem: MemoryProfile {
-                            stream_fraction: stream,
-                            hot_fraction: (0.9 - stream).max(0.0),
-                            hot_bytes: 16 << 10,
-                            cold_bytes: 1 << 20,
-                            stream_stride: 8,
-                        },
+        .prop_map(|(load, store, branch, fp, nop, dep, mis, ic, stream)| {
+            let scale = 1.0 / (load + store + branch + fp + nop + 0.3);
+            let k = scale.min(1.0);
+            BenchmarkProfile::single_phase(
+                "arb",
+                Suite::Int,
+                PhaseProfile {
+                    len_instrs: 10_000,
+                    mix: OpMix {
+                        load: load * k,
+                        store: store * k,
+                        branch: branch * k,
+                        int_mul: 0.0,
+                        int_div: 0.0,
+                        fp_add: fp * k / 2.0,
+                        fp_mul: fp * k / 2.0,
+                        fp_div: 0.0,
+                        nop: nop * k,
                     },
-                )
-            },
-        )
+                    mean_dep_dist: dep,
+                    branch_mispredict_rate: mis,
+                    icache_miss_rate: ic,
+                    mem: MemoryProfile {
+                        stream_fraction: stream,
+                        hot_fraction: (0.9 - stream).max(0.0),
+                        hot_bytes: 16 << 10,
+                        cold_bytes: 1 << 20,
+                        stream_stride: 8,
+                    },
+                },
+            )
+        })
 }
 
 fn check_core(cfg: CoreConfig, profile: BenchmarkProfile, seed: u64, ticks: u64) {

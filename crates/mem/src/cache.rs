@@ -23,7 +23,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (capacity not divisible by
     /// `ways * line_bytes`, or non-power-of-two line size).
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes.is_power_of_two(), "line size not a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size not a power of two"
+        );
         let bytes_per_way_set = self.ways as u64 * self.line_bytes;
         assert!(
             bytes_per_way_set > 0 && self.size_bytes.is_multiple_of(bytes_per_way_set),
@@ -225,7 +228,10 @@ mod tests {
         assert!(!c.access(0, false));
         assert!(c.access(0, false));
         assert!(c.access(63, false), "same line");
-        assert!(!c.access(128, false), "different set? no: 128/64=2, 2%2=0 same set, new tag");
+        assert!(
+            !c.access(128, false),
+            "different set? no: 128/64=2, 2%2=0 same set, new tag"
+        );
     }
 
     #[test]

@@ -145,6 +145,24 @@ impl SharedMem {
         self.controller.reset_stats();
     }
 
+    /// Add the shared hierarchy's miss/bandwidth totals to `rec` under
+    /// `mem.l3.*` / `mem.dram.*`. Totals are cumulative since construction
+    /// (or the last [`SharedMem::reset_stats`]), so call this once per run.
+    pub fn record_metrics(&self, rec: &mut relsim_obs::Recorder) {
+        let l3 = self.l3_stats();
+        let dram = self.controller_stats();
+        for (name, value) in [
+            ("mem.l3.accesses", l3.accesses),
+            ("mem.l3.misses", l3.misses()),
+            ("mem.l3.writebacks", l3.writebacks),
+            ("mem.dram.requests", dram.requests),
+            ("mem.dram.queue_ticks", dram.queue_ticks),
+        ] {
+            let id = rec.counter(name);
+            rec.add(id, value);
+        }
+    }
+
     /// Untimed warm-up of the shared L3 over an address range (see
     /// [`PrivateCaches::warm_region`]). Statistics are reset afterwards.
     pub fn warm_region(&mut self, base: u64, bytes: u64) {
@@ -252,6 +270,23 @@ impl PrivateCaches {
     /// Statistics of (L1I, L1D, L2).
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
         (self.l1i.stats(), self.l1d.stats(), self.l2.stats())
+    }
+
+    /// Add this hierarchy's access/miss totals to `rec`, aggregated under
+    /// `mem.l1.*` / `mem.l2.*` (call once per core per run; totals from
+    /// multiple cores accumulate into the same counters).
+    pub fn record_metrics(&self, rec: &mut relsim_obs::Recorder) {
+        let (l1i, l1d, l2) = self.stats();
+        for (name, value) in [
+            ("mem.l1.accesses", l1i.accesses + l1d.accesses),
+            ("mem.l1.misses", l1i.misses() + l1d.misses()),
+            ("mem.l2.accesses", l2.accesses),
+            ("mem.l2.misses", l2.misses()),
+            ("mem.prefetch.issued", self.prefetch_stats().issued),
+        ] {
+            let id = rec.counter(name);
+            rec.add(id, value);
+        }
     }
 
     /// Reset statistics of all three levels.
@@ -365,6 +400,21 @@ mod tests {
         let o = p.access_instr(0x4000_0000, 500, &mut s);
         assert_eq!(o.level, MemLevel::L1);
         assert_eq!(o.complete_at, 502);
+    }
+
+    #[test]
+    fn record_metrics_exports_hierarchy_counters() {
+        let (mut p, mut s) = setup();
+        p.access_data(0x10000, false, 0, &mut s);
+        p.access_data(0x10000, false, 1000, &mut s);
+        let mut rec = relsim_obs::Recorder::new();
+        p.record_metrics(&mut rec);
+        s.record_metrics(&mut rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("mem.l1.accesses"), Some(2));
+        assert_eq!(snap.counter("mem.l1.misses"), Some(1));
+        assert_eq!(snap.counter("mem.l3.misses"), Some(1));
+        assert_eq!(snap.counter("mem.dram.requests"), Some(1));
     }
 
     #[test]

@@ -112,8 +112,16 @@ mod tests {
     #[test]
     fn table1_example_a_homogeneous_no_interference() {
         let apps = [
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
         ];
         assert!((sser(&apps, 1.0) - 2.0).abs() < 1e-12);
     }
@@ -122,8 +130,16 @@ mod tests {
     fn table1_example_b_one_app_slowed() {
         // SER stays 1 (ABC grows with time), slowdown 2 -> wSER 2.
         let apps = [
-            AppOutcome { abc: 2.0, time: 2.0, time_ref: 1.0 },
-            AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 },
+            AppOutcome {
+                abc: 2.0,
+                time: 2.0,
+                time_ref: 1.0,
+            },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
         ];
         assert!((sser(&apps, 1.0) - 3.0).abs() < 1e-12);
     }
@@ -131,15 +147,27 @@ mod tests {
     #[test]
     fn table1_example_c_heterogeneous() {
         // A on small: SER 1/8 over time 1 with time_ref 0.25 (slowdown 4).
-        let a = AppOutcome { abc: 1.0 / 8.0, time: 1.0, time_ref: 0.25 };
+        let a = AppOutcome {
+            abc: 1.0 / 8.0,
+            time: 1.0,
+            time_ref: 0.25,
+        };
         assert!((a.slowdown() - 4.0).abs() < 1e-12);
-        let b = AppOutcome { abc: 1.0, time: 1.0, time_ref: 1.0 };
+        let b = AppOutcome {
+            abc: 1.0,
+            time: 1.0,
+            time_ref: 1.0,
+        };
         assert!((sser(&[a, b], 1.0) - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn sser_scales_with_ifr() {
-        let apps = [AppOutcome { abc: 3.0, time: 1.0, time_ref: 1.0 }];
+        let apps = [AppOutcome {
+            abc: 3.0,
+            time: 1.0,
+            time_ref: 1.0,
+        }];
         assert!((sser(&apps, 2.0) - 2.0 * sser(&apps, 1.0)).abs() < 1e-12);
     }
 }

@@ -98,16 +98,32 @@ mod tests {
 
     #[test]
     fn slowdown_reduces_stp() {
-        let fast = AppProgress { work: 100.0, time: 100.0, ref_rate: 1.0 };
-        let slow = AppProgress { work: 25.0, time: 100.0, ref_rate: 1.0 };
+        let fast = AppProgress {
+            work: 100.0,
+            time: 100.0,
+            ref_rate: 1.0,
+        };
+        let slow = AppProgress {
+            work: 25.0,
+            time: 100.0,
+            ref_rate: 1.0,
+        };
         assert!(stp(&[fast, slow]) < stp(&[fast, fast]));
     }
 
     #[test]
     fn antt_is_mean_slowdown() {
         let apps = [
-            AppProgress { work: 100.0, time: 100.0, ref_rate: 1.0 },
-            AppProgress { work: 25.0, time: 100.0, ref_rate: 1.0 },
+            AppProgress {
+                work: 100.0,
+                time: 100.0,
+                ref_rate: 1.0,
+            },
+            AppProgress {
+                work: 25.0,
+                time: 100.0,
+                ref_rate: 1.0,
+            },
         ];
         assert!((antt(&apps) - 2.5).abs() < 1e-12);
         assert_eq!(antt(&[]), 0.0);
@@ -115,23 +131,43 @@ mod tests {
 
     #[test]
     fn starved_app_gives_infinite_antt() {
-        let apps = [AppProgress { work: 0.0, time: 100.0, ref_rate: 1.0 }];
+        let apps = [AppProgress {
+            work: 0.0,
+            time: 100.0,
+            ref_rate: 1.0,
+        }];
         assert!(antt(&apps).is_infinite());
     }
 
     #[test]
     fn stp_and_antt_move_oppositely() {
-        let fast = [AppProgress { work: 90.0, time: 100.0, ref_rate: 1.0 }; 2];
-        let slow = [AppProgress { work: 40.0, time: 100.0, ref_rate: 1.0 }; 2];
+        let fast = [AppProgress {
+            work: 90.0,
+            time: 100.0,
+            ref_rate: 1.0,
+        }; 2];
+        let slow = [AppProgress {
+            work: 40.0,
+            time: 100.0,
+            ref_rate: 1.0,
+        }; 2];
         assert!(stp(&fast) > stp(&slow));
         assert!(antt(&fast) < antt(&slow));
     }
 
     #[test]
     fn degenerate_inputs_yield_zero() {
-        let p = AppProgress { work: 10.0, time: 0.0, ref_rate: 1.0 };
+        let p = AppProgress {
+            work: 10.0,
+            time: 0.0,
+            ref_rate: 1.0,
+        };
         assert_eq!(p.normalized_progress(), 0.0);
-        let p = AppProgress { work: 10.0, time: 10.0, ref_rate: 0.0 };
+        let p = AppProgress {
+            work: 10.0,
+            time: 10.0,
+            ref_rate: 0.0,
+        };
         assert_eq!(p.normalized_progress(), 0.0);
     }
 }

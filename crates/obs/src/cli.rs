@@ -1,0 +1,155 @@
+//! Shared observability CLI arguments for every bench binary.
+
+use crate::events::{file_sink, EventSink, NullSink};
+use crate::log::{set_log_level, LogLevel};
+use crate::recorder::MetricsSnapshot;
+use crate::write_atomic;
+use std::io;
+use std::path::PathBuf;
+
+/// The observability flags every entry point accepts:
+///
+/// - `--trace-out <path>`: write the structured JSONL event log here
+/// - `--metrics-out <path>`: write the metrics snapshot JSON here
+/// - `--quiet`: silence progress logging (level `error`)
+/// - `--log-level <error|warn|info|debug>`: set verbosity explicitly
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    pub trace_out: Option<PathBuf>,
+    pub metrics_out: Option<PathBuf>,
+    pub quiet: bool,
+    pub log_level: Option<LogLevel>,
+}
+
+/// Help text fragment describing the shared flags, for `--help` output.
+pub const OBS_HELP: &str = "  --trace-out <path>    write a structured JSONL event log\n  \
+     --metrics-out <path>  write a metrics snapshot JSON\n  \
+     --quiet               silence progress output (errors only)\n  \
+     --log-level <level>   error|warn|info|debug (default info)";
+
+impl ObsArgs {
+    /// Parse the shared flags from the process arguments and apply the
+    /// resulting log level. Unrecognized arguments are ignored so each
+    /// binary keeps its own flag handling.
+    pub fn from_env() -> ObsArgs {
+        let args = Self::parse_from(std::env::args().skip(1));
+        args.apply_log_level();
+        args
+    }
+
+    /// Parse from an explicit argument list (testable, does not touch the
+    /// global log level). Accepts both `--flag value` and `--flag=value`.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> ObsArgs {
+        let mut out = ObsArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            match flag.as_str() {
+                "--trace-out" => {
+                    out.trace_out = inline.or_else(|| iter.next()).map(PathBuf::from);
+                    if out.trace_out.is_none() {
+                        crate::warn!("--trace-out given without a path; ignoring");
+                    }
+                }
+                "--metrics-out" => {
+                    out.metrics_out = inline.or_else(|| iter.next()).map(PathBuf::from);
+                    if out.metrics_out.is_none() {
+                        crate::warn!("--metrics-out given without a path; ignoring");
+                    }
+                }
+                "--quiet" | "-q" => out.quiet = true,
+                "--log-level" => {
+                    let value = inline.or_else(|| iter.next());
+                    out.log_level = value.as_deref().and_then(LogLevel::parse);
+                    if out.log_level.is_none() {
+                        crate::warn!(
+                            "unknown --log-level {:?}; expected error|warn|info|debug",
+                            value.as_deref().unwrap_or("")
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Apply `--quiet` / `--log-level` to the process-wide logger.
+    /// `--quiet` wins over an explicit level.
+    pub fn apply_log_level(&self) {
+        if self.quiet {
+            set_log_level(LogLevel::Error);
+        } else if let Some(level) = self.log_level {
+            set_log_level(level);
+        }
+    }
+
+    /// Open the event sink: a JSONL file sink when `--trace-out` was
+    /// given, the null sink otherwise.
+    pub fn sink(&self) -> io::Result<Box<dyn EventSink>> {
+        match &self.trace_out {
+            Some(path) => Ok(Box::new(file_sink(path)?)),
+            None => Ok(Box::new(NullSink)),
+        }
+    }
+
+    /// Write the metrics snapshot if `--metrics-out` was given. Returns
+    /// the path written, if any.
+    pub fn write_metrics(&self, snapshot: &MetricsSnapshot) -> io::Result<Option<PathBuf>> {
+        let Some(path) = &self.metrics_out else {
+            return Ok(None);
+        };
+        let bytes = serde_json::to_vec_pretty(snapshot)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_atomic(path, &bytes)?;
+        Ok(Some(path.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ObsArgs {
+        ObsArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_separate_and_inline_values() {
+        let a = parse(&["--trace-out", "t.jsonl", "--metrics-out=m.json", "--quiet"]);
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(a.metrics_out, Some(PathBuf::from("m.json")));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn ignores_unrelated_flags() {
+        let a = parse(&["--benchmarks", "milc,lbm", "--ticks", "5000"]);
+        assert!(a.trace_out.is_none() && a.metrics_out.is_none() && !a.quiet);
+    }
+
+    #[test]
+    fn parses_log_level() {
+        assert_eq!(
+            parse(&["--log-level", "debug"]).log_level,
+            Some(LogLevel::Debug)
+        );
+        assert_eq!(parse(&["--log-level=warn"]).log_level, Some(LogLevel::Warn));
+        assert_eq!(parse(&["--log-level", "bogus"]).log_level, None);
+    }
+
+    #[test]
+    fn default_sink_is_null() {
+        let a = ObsArgs::default();
+        let mut sink = a.sink().unwrap();
+        sink.emit(&crate::Event::RunEnd {
+            tick: 0,
+            quanta: 0,
+            migrations: 0,
+            instructions: 0,
+        });
+    }
+}

@@ -1,0 +1,286 @@
+//! Structured event log: the `Event` enum and pluggable sinks.
+//!
+//! Events serialize to one compact JSON object per line (JSONL). Field
+//! order is declaration order and floats use shortest round-trip
+//! formatting, so the byte stream is a deterministic function of the
+//! run's inputs — two same-seed runs produce byte-identical logs.
+
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// One simulation event. Every variant carries `tick`, the global
+/// simulated time at which it occurred.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A traced run began.
+    RunStart {
+        tick: u64,
+        scheduler: String,
+        cores: usize,
+        apps: usize,
+        quantum_ticks: u64,
+        duration_ticks: u64,
+    },
+    /// A scheduling quantum (segment) began.
+    QuantumStart {
+        tick: u64,
+        index: u64,
+        mapping: Vec<usize>,
+        is_sampling: bool,
+    },
+    /// The scheduler committed to a mapping, with the objective values
+    /// that justified it. `predicted_objective` is the objective the
+    /// scheduler expects from the chosen mapping; `baseline_objective` is
+    /// the value of keeping the previous mapping (absent for schedulers
+    /// that do not predict, e.g. random).
+    SchedulerDecision {
+        tick: u64,
+        mapping: Vec<usize>,
+        predicted_objective: Option<f64>,
+        baseline_objective: Option<f64>,
+        reason: String,
+    },
+    /// An application moved between cores at a quantum boundary.
+    Migration {
+        tick: u64,
+        app: usize,
+        from_core: usize,
+        to_core: usize,
+    },
+    /// A sampling quantum produced fresh per-app measurements.
+    SampleTaken {
+        tick: u64,
+        app: usize,
+        core: usize,
+        cpi: f64,
+        abc_rate: f64,
+        instructions: u64,
+    },
+    /// A fault-injection campaign injected one fault.
+    FaultInjected {
+        tick: u64,
+        injection: u64,
+        structure: String,
+        outcome: String,
+    },
+    /// A traced run finished.
+    RunEnd {
+        tick: u64,
+        quanta: u64,
+        migrations: u64,
+        instructions: u64,
+    },
+}
+
+impl Event {
+    /// The simulated tick the event is stamped with.
+    pub fn tick(&self) -> u64 {
+        match self {
+            Event::RunStart { tick, .. }
+            | Event::QuantumStart { tick, .. }
+            | Event::SchedulerDecision { tick, .. }
+            | Event::Migration { tick, .. }
+            | Event::SampleTaken { tick, .. }
+            | Event::FaultInjected { tick, .. }
+            | Event::RunEnd { tick, .. } => *tick,
+        }
+    }
+
+    /// The variant name, e.g. `"SchedulerDecision"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "RunStart",
+            Event::QuantumStart { .. } => "QuantumStart",
+            Event::SchedulerDecision { .. } => "SchedulerDecision",
+            Event::Migration { .. } => "Migration",
+            Event::SampleTaken { .. } => "SampleTaken",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::RunEnd { .. } => "RunEnd",
+        }
+    }
+
+    /// The event as one compact JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("event serialization cannot fail")
+    }
+}
+
+/// Destination for a stream of events.
+pub trait EventSink {
+    fn emit(&mut self, event: &Event);
+
+    /// Flush any buffered output. Sinks without buffers ignore this.
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. The default for untraced runs.
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Keeps events in memory, preserving emission order. For tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    pub events: Vec<Event>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to any `Write`.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Consume the sink and get the writer back (after flushing).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        let line = event.to_jsonl();
+        let _ = self.writer.write_all(line.as_bytes());
+        let _ = self.writer.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Open a buffered JSONL file sink, creating parent directories.
+pub fn file_sink(path: &Path) -> io::Result<JsonlSink<BufWriter<File>>> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                tick: 0,
+                scheduler: "sampling-sser".into(),
+                cores: 4,
+                apps: 4,
+                quantum_ticks: 20_000,
+                duration_ticks: 100_000,
+            },
+            Event::QuantumStart {
+                tick: 0,
+                index: 0,
+                mapping: vec![0, 1, 2, 3],
+                is_sampling: true,
+            },
+            Event::SampleTaken {
+                tick: 20_000,
+                app: 1,
+                core: 0,
+                cpi: 1.25,
+                abc_rate: 0.4,
+                instructions: 16_000,
+            },
+            Event::SchedulerDecision {
+                tick: 20_000,
+                mapping: vec![1, 0, 2, 3],
+                predicted_objective: Some(3.5e-4),
+                baseline_objective: Some(4.1e-4),
+                reason: "switch apps 0<->1: gain 14.6% over threshold".into(),
+            },
+            Event::Migration {
+                tick: 20_000,
+                app: 0,
+                from_core: 0,
+                to_core: 1,
+            },
+            Event::RunEnd {
+                tick: 100_000,
+                quanta: 5,
+                migrations: 2,
+                instructions: 250_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_sink_preserves_emission_order() {
+        let events = sample_events();
+        let mut sink = MemorySink::new();
+        for e in &events {
+            sink.emit(e);
+        }
+        assert_eq!(sink.events, events);
+        // Ticks are non-decreasing in a well-formed stream.
+        let ticks: Vec<u64> = sink.events.iter().map(Event::tick).collect();
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ticks, sorted);
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        for original in sample_events() {
+            let line = original.to_jsonl();
+            assert!(!line.contains('\n'), "JSONL line must be single-line");
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, original);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = sample_events();
+        for e in &events {
+            sink.emit(e);
+        }
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, original) in lines.iter().zip(&events) {
+            let back: Event = serde_json::from_str(line).unwrap();
+            assert_eq!(&back, original);
+        }
+    }
+
+    #[test]
+    fn identical_event_streams_serialize_to_identical_bytes() {
+        let write = || {
+            let mut sink = JsonlSink::new(Vec::new());
+            for e in sample_events() {
+                sink.emit(&e);
+            }
+            sink.into_inner()
+        };
+        assert_eq!(write(), write());
+    }
+}

@@ -1,0 +1,110 @@
+//! Leveled progress logging to stderr.
+//!
+//! Progress output goes to stderr through these macros so stdout stays
+//! reserved for machine-parseable data; `--quiet` (level `error`)
+//! silences everything but failures. The level is a process-wide atomic
+//! so every crate in the stack sees the CLI's choice.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity threshold, ordered from quietest to loudest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl LogLevel {
+    /// Parse a CLI level name.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "quiet" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" | "trace" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Set the process-wide log level.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Error,
+        1 => LogLevel::Warn,
+        2 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+#[doc(hidden)]
+pub fn __log(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    if level <= log_level() {
+        eprintln!("[{}] {}", level.name(), args);
+    }
+}
+
+/// Log at error level (never silenced by `--quiet`).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::__log($crate::log::LogLevel::Error, format_args!($($arg)*))
+    };
+}
+
+/// Log at warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::__log($crate::log::LogLevel::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Log at info level — the default for progress output.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::__log($crate::log::LogLevel::Info, format_args!($($arg)*))
+    };
+}
+
+/// Log at debug level (hidden unless `--log-level debug`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::__log($crate::log::LogLevel::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        assert_eq!(LogLevel::parse("INFO"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Error));
+        assert_eq!(LogLevel::parse("bogus"), None);
+    }
+}

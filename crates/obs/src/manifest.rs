@@ -1,0 +1,115 @@
+//! Run manifests: the provenance record written next to every result.
+
+use crate::timers::HostProfile;
+use crate::write_atomic;
+use serde::{Deserialize, Serialize, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything needed to trace a result file back to its exact
+/// configuration and reproduce it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Producing binary, e.g. `"simulate"` or `"fig6_sser"`.
+    pub tool: String,
+    /// The repository's result-schema version (`relsim_bench::MODEL_VERSION`).
+    pub model_version: u32,
+    /// Scheduler name as reported by `Scheduler::name()`.
+    pub scheduler: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Simulated duration in ticks.
+    pub duration_ticks: u64,
+    /// The experiment `Scale` as generic JSON (kept generic so obs does
+    /// not depend on the core crate).
+    pub scale: Value,
+    /// The full `SystemConfig` as generic JSON.
+    pub config: Value,
+    /// Host wall time consumed by the run, in seconds.
+    pub elapsed_seconds: f64,
+    /// Host-time attribution per simulation phase.
+    pub host_profile: HostProfile,
+    /// Result/trace/metrics files this run produced.
+    pub outputs: Vec<String>,
+}
+
+impl RunManifest {
+    /// Start a manifest with the identity fields; callers fill in the
+    /// timing and output fields as the run completes.
+    pub fn new(tool: &str, model_version: u32, scheduler: &str, seed: u64) -> Self {
+        RunManifest {
+            tool: tool.to_string(),
+            model_version,
+            scheduler: scheduler.to_string(),
+            seed,
+            duration_ticks: 0,
+            scale: Value::Null,
+            config: Value::Null,
+            elapsed_seconds: 0.0,
+            host_profile: HostProfile {
+                phases: Vec::new(),
+                attributed_seconds: 0.0,
+                elapsed_seconds: 0.0,
+            },
+            outputs: Vec::new(),
+        }
+    }
+}
+
+/// The manifest path for a result file: `foo.json` -> `foo.manifest.json`.
+pub fn manifest_path(result: &Path) -> PathBuf {
+    let stem = result
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "result".to_string());
+    result.with_file_name(format!("{stem}.manifest.json"))
+}
+
+/// Atomically write `manifest` next to `result`, returning the path.
+pub fn write_manifest(result: &Path, manifest: &RunManifest) -> io::Result<PathBuf> {
+    let path = manifest_path(result);
+    let bytes = serde_json::to_vec_pretty(manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_atomic(&path, &bytes)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_path_is_sibling_with_suffix() {
+        assert_eq!(
+            manifest_path(Path::new("out/fig6_sser.json")),
+            PathBuf::from("out/fig6_sser.manifest.json")
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = RunManifest::new("simulate", 3, "sampling-sser", 2017);
+        m.duration_ticks = 1_200_000;
+        m.scale = Value::Object(vec![(
+            "run_ticks".to_string(),
+            Value::Number(serde::Number::PosInt(1_200_000)),
+        )]);
+        m.outputs = vec!["trace.jsonl".to_string()];
+        let bytes = serde_json::to_vec(&m).unwrap();
+        let back: RunManifest = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn write_manifest_lands_next_to_result() {
+        let dir = std::env::temp_dir().join(format!("relsim-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let result = dir.join("fig.json");
+        let m = RunManifest::new("t", 3, "static", 1);
+        let path = write_manifest(&result, &m).unwrap();
+        assert_eq!(path, dir.join("fig.manifest.json"));
+        let back: RunManifest = serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,359 @@
+//! Metrics registry: counters, gauges, and log2-bucketed histograms.
+//!
+//! Handles are plain indices, so the hot-path update methods are a bounds
+//! check and an add — cheap enough for per-segment (and even per-tick)
+//! accounting in the simulation loop.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Central metrics registry for one run.
+#[derive(Debug, Default, Clone)]
+pub struct Recorder {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter (or return the existing handle for this name).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge (or return the existing handle for this name).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram (or return the existing handle for this name).
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push((name.to_string(), Histogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].1 += by;
+    }
+
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.observe(value);
+    }
+
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Freeze the current state into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| h.snapshot(name))
+                .collect(),
+        }
+    }
+}
+
+/// Power-of-two bucketed histogram of `u64` observations.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Quantile estimates therefore carry at most a 2x
+/// relative error — plenty for latency/size distributions in a simulator.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket holding `value`.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i == 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the rank-`ceil(q * count)` smallest observation,
+    /// clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serializable view, with only non-empty buckets listed as
+    /// `(lower_bound, count)` pairs.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_low(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen, serializable state of a [`Recorder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Frozen, serializable state of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    /// `(bucket lower bound, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 is its own bucket; each power of two starts a new bucket and
+        // (2^i - 1) closes the previous one.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for i in 1..64usize {
+            let low = 1u64 << (i - 1);
+            assert_eq!(bucket_index(low), i, "lower edge of bucket {i}");
+            let high = (1u64 << i) - 1;
+            assert_eq!(bucket_index(high), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_accounting_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        let snap = h.snapshot("t");
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        let total: u64 = snap.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn quantiles_carry_at_most_2x_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // True p50 = 500; the estimate must be in the same power-of-two
+        // bucket, i.e. within [500, 1023].
+        let p50 = h.quantile(0.50);
+        assert!((500..=1023).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1023).contains(&p99), "p99 estimate {p99}");
+        // Extremes are exact thanks to min/max clamping.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_exact() {
+        let mut h = Histogram::new();
+        h.observe(37);
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), 37);
+        }
+    }
+
+    #[test]
+    fn registry_dedupes_names() {
+        let mut r = Recorder::new();
+        let a = r.counter("sim.quanta");
+        let b = r.counter("sim.quanta");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.add(b, 2);
+        assert_eq!(r.counter_value(a), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let mut r = Recorder::new();
+        let c = r.counter("core.instructions");
+        r.add(c, 12345);
+        let g = r.gauge("sched.objective");
+        r.set(g, -0.25);
+        let h = r.histogram("mem.latency");
+        for v in [1, 2, 3, 64, 200, 0] {
+            r.observe(h, v);
+        }
+        let snap = r.snapshot();
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("core.instructions"), Some(12345));
+        assert_eq!(back.gauge("sched.objective"), Some(-0.25));
+        assert_eq!(back.histograms[0].count, 6);
+    }
+}

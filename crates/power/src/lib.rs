@@ -194,7 +194,12 @@ impl PowerModel {
     /// # Panics
     ///
     /// Panics if `ticks` is zero.
-    pub fn report(&self, cores: &[CoreActivity], shared: &SharedActivity, ticks: u64) -> PowerReport {
+    pub fn report(
+        &self,
+        cores: &[CoreActivity],
+        shared: &SharedActivity,
+        ticks: u64,
+    ) -> PowerReport {
         assert!(ticks > 0, "window must be non-empty");
         let seconds = ticks as f64 * self.tick_seconds;
         let core_dynamic: f64 = cores.iter().map(|a| self.core_dynamic_energy(a)).sum();
@@ -232,8 +237,8 @@ mod tests {
     #[test]
     fn big_core_draws_more_than_small() {
         let m = PowerModel::default();
-        let big = m.core_dynamic_energy(&busy_core(CoreKind::Big))
-            + m.core_static_watts(CoreKind::Big);
+        let big =
+            m.core_dynamic_energy(&busy_core(CoreKind::Big)) + m.core_static_watts(CoreKind::Big);
         let small = m.core_dynamic_energy(&busy_core(CoreKind::Small))
             + m.core_static_watts(CoreKind::Small);
         assert!(big > 2.0 * small);
@@ -270,13 +275,19 @@ mod tests {
             1_000_000,
         );
         assert!(busy.dram_watts > quiet.dram_watts);
-        assert!(busy.chip_watts > quiet.chip_watts, "L3 energy counts as chip");
+        assert!(
+            busy.chip_watts > quiet.chip_watts,
+            "L3 energy counts as chip"
+        );
         assert!(busy.system_watts() > quiet.system_watts());
     }
 
     #[test]
     fn edp_orders_configurations_sensibly() {
-        let r = PowerReport { chip_watts: 10.0, dram_watts: 2.0 };
+        let r = PowerReport {
+            chip_watts: 10.0,
+            dram_watts: 2.0,
+        };
         // Same energy budget, double the work -> half the delay -> lower EDP.
         let slow = r.edp(1.0, 1e6);
         let fast = r.edp(1.0, 2e6);

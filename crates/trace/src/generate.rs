@@ -158,7 +158,11 @@ impl TraceGenerator {
     ///
     /// Panics if the profile is invalid (see [`BenchmarkProfile::is_valid`]).
     pub fn new(profile: BenchmarkProfile, seed: u64, addr_base: u64) -> Self {
-        assert!(profile.is_valid(), "invalid benchmark profile {:?}", profile.name);
+        assert!(
+            profile.is_valid(),
+            "invalid benchmark profile {:?}",
+            profile.name
+        );
         let tables = profile.phases.iter().map(PhaseTables::build).collect();
         TraceGenerator {
             tables,
@@ -238,7 +242,11 @@ impl TraceGenerator {
     }
 
     fn sample_addr(&mut self, mem: &MemoryProfile, wrong_path: bool) -> u64 {
-        let rng = if wrong_path { &mut self.wp_rng } else { &mut self.rng };
+        let rng = if wrong_path {
+            &mut self.wp_rng
+        } else {
+            &mut self.rng
+        };
         let u: f64 = rng.gen();
         let hot_len = mem.hot_bytes.max(REGION_ALIGN);
         let cold_len = mem.cold_bytes.max(REGION_ALIGN);
@@ -396,10 +404,7 @@ mod tests {
             phase.mean_dep_dist = mean;
             let t = PhaseTables::build(&phase);
             let got: f64 = t.dep.iter().map(|&d| d as f64).sum::<f64>() / TABLE as f64;
-            assert!(
-                (got - mean).abs() / mean < 0.12,
-                "mean {mean}: got {got}"
-            );
+            assert!((got - mean).abs() / mean < 0.12, "mean {mean}: got {got}");
         }
     }
 

@@ -35,6 +35,6 @@ mod spec;
 
 pub use generate::{InstrSource, TraceGenerator};
 pub use instr::{Instr, OpClass};
-pub use record::{record_from_source, ReadTraceError, RecordedTrace, TraceWriter};
 pub use profile::{BenchmarkProfile, MemoryProfile, OpMix, PhaseProfile, Suite};
+pub use record::{record_from_source, ReadTraceError, RecordedTrace, TraceWriter};
 pub use spec::{spec2006_profiles, spec_names, spec_profile};

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use relsim_trace::{
-    spec2006_profiles, BenchmarkProfile, InstrSource, MemoryProfile, OpClass, OpMix,
-    PhaseProfile, Suite, TraceGenerator,
+    spec2006_profiles, BenchmarkProfile, InstrSource, MemoryProfile, OpClass, OpMix, PhaseProfile,
+    Suite, TraceGenerator,
 };
 
 fn arb_mix() -> impl Strategy<Value = OpMix> {
@@ -68,8 +68,8 @@ proptest! {
         for _ in 0..2000 {
             let i = g.next_instr();
             // Dependency distances are bounded.
-            if let Some(d) = i.src1 { prop_assert!(d >= 1 && d <= 255); }
-            if let Some(d) = i.src2 { prop_assert!(d >= 1 && d <= 255); }
+            if let Some(d) = i.src1 { prop_assert!((1..=255).contains(&d)); }
+            if let Some(d) = i.src2 { prop_assert!((1..=255).contains(&d)); }
             // Only branches mispredict; only memory ops carry addresses.
             if i.mispredict { prop_assert_eq!(i.op, OpClass::Branch); }
             if !i.op.is_mem() { prop_assert_eq!(i.addr, 0); }
@@ -171,7 +171,7 @@ fn catalog_profiles_generate_cleanly() {
             let i = g.next_instr();
             if i.op.is_mem() {
                 mem_ops += 1;
-                assert!(i.addr % 8 == 0, "{}: unaligned address", p.name);
+                assert!(i.addr.is_multiple_of(8), "{}: unaligned address", p.name);
             }
         }
         assert!(

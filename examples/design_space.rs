@@ -8,9 +8,7 @@
 
 use relsim::evaluate::{evaluate, DEFAULT_IFR};
 use relsim::experiments::{Context, Scale};
-use relsim::{
-    AppSpec, Objective, SamplingParams, SamplingScheduler, System, SystemConfig,
-};
+use relsim::{AppSpec, Objective, SamplingParams, SamplingScheduler, System, SystemConfig};
 
 fn main() {
     let scale = Scale::quick();

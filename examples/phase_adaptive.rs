@@ -42,11 +42,7 @@ fn main() {
         );
     }
 
-    let switches = t.corun[0]
-        .1
-        .windows(2)
-        .filter(|w| w[0].2 != w[1].2)
-        .count();
+    let switches = t.corun[0].1.windows(2).filter(|w| w[0].2 != w[1].2).count();
     println!(
         "\ncalculix switched core types {switches} times: the scheduler tracks \
          its ABC through phase changes\nand puts whichever application is \

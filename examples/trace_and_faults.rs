@@ -40,8 +40,14 @@ fn main() {
     let replayed = RecordedTrace::read(&buf[..]).expect("valid trace");
     let from_replay = run(Box::new(replayed));
     let from_live = run(Box::new(TraceGenerator::new(profile.clone(), 7, 0)));
-    println!("replayed run:  {} instructions in {} cycles", from_replay.0, from_replay.1);
-    println!("live run:      {} instructions in {} cycles", from_live.0, from_live.1);
+    println!(
+        "replayed run:  {} instructions in {} cycles",
+        from_replay.0, from_replay.1
+    );
+    println!(
+        "live run:      {} instructions in {} cycles",
+        from_live.0, from_live.1
+    );
     assert_eq!(from_replay, from_live, "replay must match live generation");
 
     // 3. Fault-injection: cross-check the ACE counters.

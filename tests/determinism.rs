@@ -118,10 +118,22 @@ fn different_seeds_change_random_schedule_but_not_validity() {
     let cfg = hcmp_config(ctx, 2, 2);
     // Different workload seeds (via context seed) change outcomes; the
     // run itself stays valid.
-    let (a, ra) = run_mix(ctx, &cfg, &mix(), SchedKind::Random, SamplingParams::default());
+    let (a, ra) = run_mix(
+        ctx,
+        &cfg,
+        &mix(),
+        SchedKind::Random,
+        SamplingParams::default(),
+    );
     let mut mix2 = mix();
     mix2.benchmarks.swap(0, 1);
-    let (b, rb) = run_mix(ctx, &cfg, &mix2, SchedKind::Random, SamplingParams::default());
+    let (b, rb) = run_mix(
+        ctx,
+        &cfg,
+        &mix2,
+        SchedKind::Random,
+        SamplingParams::default(),
+    );
     assert!(a.sser > 0.0 && b.sser > 0.0);
     assert_eq!(ra.duration, rb.duration);
 }

@@ -29,12 +29,7 @@ fn divergent_mix() -> Mix {
     // HHLL-style mix where reliability-aware scheduling matters most.
     Mix {
         category: "HHLL".into(),
-        benchmarks: vec![
-            "milc".into(),
-            "lbm".into(),
-            "gobmk".into(),
-            "sjeng".into(),
-        ],
+        benchmarks: vec!["milc".into(), "lbm".into(), "gobmk".into(), "sjeng".into()],
     }
 }
 
@@ -83,9 +78,27 @@ fn reliability_scheduler_beats_random_and_perf_on_divergent_mix() {
     let ctx = ctx();
     let cfg = hcmp_config(ctx, 2, 2);
     let mix = divergent_mix();
-    let (random, _) = run_mix(ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
-    let (perf, _) = run_mix(ctx, &cfg, &mix, SchedKind::PerfOpt, SamplingParams::default());
-    let (rel, _) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (random, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::Random,
+        SamplingParams::default(),
+    );
+    let (perf, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::PerfOpt,
+        SamplingParams::default(),
+    );
+    let (rel, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
     assert!(
         rel.sser < random.sser,
         "rel {} should beat random {}",
@@ -112,7 +125,13 @@ fn reliability_scheduler_places_high_avf_apps_on_small_cores() {
     let ctx = ctx();
     let cfg = hcmp_config(ctx, 2, 2);
     let mix = divergent_mix();
-    let (_, result) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (_, result) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
     // milc and lbm (apps 0, 1) should spend most ticks on small cores.
     for i in 0..2 {
         let frac = result.apps[i].ticks_on_big as f64 / result.duration as f64;
@@ -136,8 +155,20 @@ fn oracle_is_at_least_as_good_as_online_scheduler() {
     // Oracle wSER-rate units differ from the run-based SSER, so compare
     // *relative* improvements: oracle gain vs measured online gain.
     let cfg = hcmp_config(ctx, 2, 2);
-    let (perf, _) = run_mix(ctx, &cfg, &mix, SchedKind::PerfOpt, SamplingParams::default());
-    let (rel, _) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (perf, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::PerfOpt,
+        SamplingParams::default(),
+    );
+    let (rel, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
     let online_gain = 1.0 - rel.sser / perf.sser;
     let oracle_gain = oracle.ser_gain();
     assert!(
@@ -165,8 +196,7 @@ fn interference_slows_applications_down() {
     let mut sched = RandomScheduler::new(kinds, 10_000, 5);
     let r = sys.run(&mut sched, 200_000);
     let e = evaluate(&r, &ctx.refs, DEFAULT_IFR);
-    let mean_slowdown: f64 =
-        e.apps.iter().map(|a| a.slowdown).sum::<f64>() / e.apps.len() as f64;
+    let mean_slowdown: f64 = e.apps.iter().map(|a| a.slowdown).sum::<f64>() / e.apps.len() as f64;
     assert!(
         mean_slowdown > 1.2,
         "four memory streamers must interfere: mean slowdown {mean_slowdown:.2}"
@@ -181,8 +211,20 @@ fn rob_only_counter_preserves_scheduling_quality() {
     let full_cfg = hcmp_config(ctx, 2, 2);
     let mut rob_cfg = full_cfg.clone();
     rob_cfg.counter_kind = relsim::CounterKind::HwRobOnly;
-    let (full, _) = run_mix(ctx, &full_cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
-    let (rob, _) = run_mix(ctx, &rob_cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (full, _) = run_mix(
+        ctx,
+        &full_cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
+    let (rob, _) = run_mix(
+        ctx,
+        &rob_cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
     // Evaluation SSER always uses perfect counters; the counter kind only
     // changes what the *scheduler* sees. The two runs should land within a
     // modest band of each other.
@@ -210,8 +252,20 @@ fn eight_core_system_runs_and_improves_reliability() {
             "mcf".into(),
         ],
     };
-    let (random, _) = run_mix(ctx, &cfg, &mix, SchedKind::Random, SamplingParams::default());
-    let (rel, _) = run_mix(ctx, &cfg, &mix, SchedKind::RelOpt, SamplingParams::default());
+    let (random, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::Random,
+        SamplingParams::default(),
+    );
+    let (rel, _) = run_mix(
+        ctx,
+        &cfg,
+        &mix,
+        SchedKind::RelOpt,
+        SamplingParams::default(),
+    );
     assert!(
         rel.sser < random.sser,
         "rel {} vs random {}",

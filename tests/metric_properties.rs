@@ -174,9 +174,7 @@ mod mixes {
     use relsim::mixes::{generate_mixes, Classification};
 
     fn classification() -> Classification {
-        let avfs: Vec<(String, f64)> = (0..29)
-            .map(|i| (format!("b{i:02}"), i as f64))
-            .collect();
+        let avfs: Vec<(String, f64)> = (0..29).map(|i| (format!("b{i:02}"), i as f64)).collect();
         Classification::from_avfs(&avfs, 8)
     }
 

@@ -3,8 +3,8 @@
 //! positive segment lengths, stability under odd arities, and liveness.
 
 use relsim::{
-    Objective, PieModel, PredictiveScheduler, RandomScheduler, SamplingParams,
-    SamplingScheduler, Scheduler, SegmentObservation, StaticScheduler,
+    Objective, PieModel, PredictiveScheduler, RandomScheduler, SamplingParams, SamplingScheduler,
+    Scheduler, SegmentObservation, StaticScheduler,
 };
 use relsim_cpu::{CoreKind, CpiStack};
 
@@ -35,7 +35,9 @@ fn all_schedulers(kinds: &[CoreKind], quantum: u64) -> Vec<Box<dyn Scheduler>> {
             SamplingParams::default(),
         )),
         Box::new(SamplingScheduler::new(
-            Objective::Weighted { reliability_pct: 50 },
+            Objective::Weighted {
+                reliability_pct: 50,
+            },
             kinds.to_vec(),
             quantum,
             SamplingParams::default(),
@@ -45,10 +47,7 @@ fn all_schedulers(kinds: &[CoreKind], quantum: u64) -> Vec<Box<dyn Scheduler>> {
             kinds.to_vec(),
             quantum,
         )),
-        Box::new(StaticScheduler::new(
-            (0..kinds.len()).collect(),
-            quantum,
-        )),
+        Box::new(StaticScheduler::new((0..kinds.len()).collect(), quantum)),
     ]
 }
 
@@ -58,9 +57,11 @@ fn observe(s: &mut dyn Scheduler, mapping: &[usize], kinds: &[CoreKind], ticks: 
         .iter()
         .enumerate()
         .map(|(core, &app)| {
-            let mut cpi = CpiStack::default();
-            cpi.base = 60;
-            cpi.memory = 40;
+            let cpi = CpiStack {
+                base: 60,
+                memory: 40,
+                ..Default::default()
+            };
             SegmentObservation {
                 app,
                 core,
@@ -171,7 +172,12 @@ fn weighted_extremes_bracket_the_pure_objectives() {
     // On a 2B2S shape with divergent synthetic apps, the weighted
     // scheduler at 100% must settle like Sser, and at 0% like a
     // performance-flavored objective (high-speedup apps on big).
-    let kinds = vec![CoreKind::Big, CoreKind::Big, CoreKind::Small, CoreKind::Small];
+    let kinds = vec![
+        CoreKind::Big,
+        CoreKind::Big,
+        CoreKind::Small,
+        CoreKind::Small,
+    ];
     let profiles: [(f64, f64, f64, f64); 4] = [
         (1.0, 100.0, 0.9, 10.0),
         (1.0, 100.0, 0.9, 10.0),
@@ -179,12 +185,8 @@ fn weighted_extremes_bracket_the_pure_objectives() {
         (2.0, 20.0, 0.5, 8.0),
     ];
     let settle = |objective: Objective| -> Vec<usize> {
-        let mut s = SamplingScheduler::new(
-            objective,
-            kinds.clone(),
-            10_000,
-            SamplingParams::default(),
-        );
+        let mut s =
+            SamplingScheduler::new(objective, kinds.clone(), 10_000, SamplingParams::default());
         let mut last = Vec::new();
         for _ in 0..30 {
             let seg = s.next_segment();
@@ -217,7 +219,9 @@ fn weighted_extremes_bracket_the_pure_objectives() {
         }
         last
     };
-    let rel = settle(Objective::Weighted { reliability_pct: 100 });
+    let rel = settle(Objective::Weighted {
+        reliability_pct: 100,
+    });
     assert_eq!(rel, settle(Objective::Sser));
     let perf = settle(Objective::Weighted { reliability_pct: 0 });
     // High-speedup, low-ABC apps 2,3 on the big cores.

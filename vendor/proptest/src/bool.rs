@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Either boolean with equal probability.
+pub struct Any;
+
+/// The `prop::bool::ANY` strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = std::primitive::bool;
+
+    fn generate(&self, rng: &mut SmallRng) -> std::primitive::bool {
+        rng.gen_bool(0.5)
+    }
+}

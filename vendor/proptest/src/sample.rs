@@ -1,0 +1,23 @@
+//! Sampling strategies: `select`.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Uniformly pick one of the given options per case.
+pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}

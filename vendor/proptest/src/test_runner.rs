@@ -1,0 +1,95 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How a single drawn case ended, when it did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition; it is
+    /// discarded and another input is drawn.
+    Reject(String),
+    /// A `prop_assert!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration. Only `cases` is consulted; the rest of real
+/// proptest's knobs are accepted-by-absence.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run `f` against `config.cases` generated inputs. The RNG seed is a
+/// deterministic function of the test's module path and the attempt
+/// number, so failures are reproducible run-to-run.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        attempt += 1;
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest `{name}`: too many prop_assume! rejections \
+                     ({rejects} while trying to reach {} cases)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s) \
+                     (attempt seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,49 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The small, fast generator: xoshiro256++, the same algorithm rand 0.8's
+/// `SmallRng` uses on 64-bit platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    /// Expand a 64-bit seed into the full state through SplitMix64, as
+    /// recommended by the xoshiro authors (and done by rand 0.8).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for API compatibility; statistically strong generators are
+/// out of scope for the offline shim.
+pub type StdRng = SmallRng;

@@ -1,0 +1,63 @@
+//! Sequence-related extensions.
+
+use crate::{Rng, RngCore};
+
+/// Slice extensions: the workspace uses `shuffle` only.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, iterating from the end as rand 0.8 does.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element, if any.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements left in place");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..20).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

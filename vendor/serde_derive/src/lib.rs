@@ -1,0 +1,400 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's simplified `to_value`/`from_value` model,
+//! without `syn`/`quote`: the input item is parsed directly from the token
+//! stream and the impl is emitted as a string.
+//!
+//! Supported shapes — the complete set this workspace uses:
+//! - structs with named fields (serialized as ordered JSON objects),
+//! - enums with unit variants (serialized as strings) and struct variants
+//!   (serialized as single-key objects),
+//! - the container attributes `#[serde(from = "T", into = "T")]`.
+//!
+//! Generics, tuple structs, and field-level attributes are intentionally
+//! unsupported and fail loudly at macro-expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `#[derive]` input item.
+struct Input {
+    name: String,
+    kind: Kind,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field names for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let body = if let Some(into_ty) = &item.into_ty {
+        format!(
+            "let converted: {into_ty} = \
+             ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&converted)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => serialize_struct_body(fields),
+            Kind::Enum(variants) => serialize_enum_body(&item.name, variants),
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let body = if let Some(from_ty) = &item.from_ty {
+        format!(
+            "let converted: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(converted))"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => deserialize_struct_body(&item.name, fields),
+            Kind::Enum(variants) => deserialize_enum_body(&item.name, variants),
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct_body(fields: &[String]) -> String {
+    let mut out = String::from(
+        "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "obj.push((::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(obj)");
+    out
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            None => out.push_str(&format!(
+                "{name}::{vname} => \
+                 ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                out.push_str(&format!("{name}::{vname} {{ {bindings} }} => {{\n"));
+                out.push_str(
+                    "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    out.push_str(&format!(
+                        "obj.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})));\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(obj))])\n}}\n"
+                ));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn deserialize_struct_body(name: &str, fields: &[String]) -> String {
+    let mut out = String::from("match v {\n::serde::Value::Object(obj) => ");
+    out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: ::serde::__private::field(obj, \"{f}\", \"{name}\")?,\n"
+        ));
+    }
+    out.push_str(&format!(
+        "}}),\n_ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected object for {name}\")),\n}}"
+    ));
+    out
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as strings, struct variants as single-key objects.
+    let mut out = String::from("match v {\n");
+    out.push_str("::serde::Value::String(s) => match s.as_str() {\n");
+    for v in variants.iter().filter(|v| v.fields.is_none()) {
+        let vname = &v.name;
+        out.push_str(&format!(
+            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+        ));
+    }
+    out.push_str(&format!(
+        "other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{other}}` of {name}\"))),\n}},\n"
+    ));
+    out.push_str("::serde::Value::Object(outer) if outer.len() == 1 => {\n");
+    out.push_str("let (tag, inner) = &outer[0];\nmatch tag.as_str() {\n");
+    for v in variants.iter() {
+        let Some(fields) = &v.fields else { continue };
+        let vname = &v.name;
+        out.push_str(&format!("\"{vname}\" => match inner {{\n"));
+        out.push_str(&format!(
+            "::serde::Value::Object(obj) => ::std::result::Result::Ok({name}::{vname} {{\n"
+        ));
+        for f in fields {
+            out.push_str(&format!(
+                "{f}: ::serde::__private::field(obj, \"{f}\", \"{name}::{vname}\")?,\n"
+            ));
+        }
+        out.push_str(&format!(
+            "}}),\n_ => ::std::result::Result::Err(::serde::Error::custom(\
+             \"expected object body for {name}::{vname}\")),\n}},\n"
+        ));
+    }
+    out.push_str(&format!(
+        "other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n"
+    ));
+    out.push_str(&format!(
+        "_ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected string or object for {name}\")),\n}}"
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut from_ty = None;
+    let mut into_ty = None;
+
+    // Leading attributes (doc comments, #[serde(...)], #[derive(...)], ...)
+    // and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    scan_serde_attr(g.stream(), &mut from_ty, &mut into_ty);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: `{name}` must be a brace-bodied struct or enum \
+             without generics (got {other:?})"
+        ),
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body, &name)),
+        "enum" => Kind::Enum(parse_variants(body, &name)),
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        kind,
+        from_ty,
+        into_ty,
+    }
+}
+
+/// Extract `from`/`into` types out of one attribute's bracket group, if it
+/// is a `serde(...)` attribute.
+fn scan_serde_attr(
+    stream: TokenStream,
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return;
+    };
+    let mut key: Option<String> = None;
+    for tt in args.stream() {
+        match tt {
+            TokenTree::Ident(id) => key = Some(id.to_string()),
+            TokenTree::Literal(lit) => {
+                let raw = lit.to_string();
+                let ty = raw.trim_matches('"').to_string();
+                match key.as_deref() {
+                    Some("from") => *from_ty = Some(ty),
+                    Some("into") => *into_ty = Some(ty),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the names. Types are
+/// skipped with angle-bracket depth tracking so commas inside generics do
+/// not split fields.
+fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name in `{ty}`, got {other:?}"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive shim: `{ty}` must use named fields \
+                 (after `{field}` expected `:`, got {other:?})"
+            ),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name in `{ty}`, got {other:?}"),
+            None => break,
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                Some(parse_named_fields(inner, ty))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde_derive shim: tuple variant `{ty}::{name}` is unsupported; \
+                 use a struct variant"
+            ),
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        // Skip discriminants (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        _ => {}
+                    }
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    variants
+}

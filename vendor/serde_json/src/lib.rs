@@ -1,0 +1,161 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the subset of the public API this workspace uses — `to_vec`,
+//! `to_vec_pretty`, `to_string`, `to_string_pretty`, `from_slice`,
+//! `from_str`, `to_value`, `from_value`, and the `Value` type — on top of
+//! the vendored `serde` shim's value model.
+//!
+//! Output is deterministic: object keys keep insertion (declaration) order
+//! and floats use Rust's shortest round-trip formatting, so identical data
+//! always serializes to identical bytes. This property is load-bearing for
+//! the observability layer's byte-identical event logs.
+
+mod read;
+mod write;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    /// Byte offset of a parse error, when known.
+    offset: Option<usize>,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: None,
+        }
+    }
+
+    pub(crate) fn at(msg: impl Into<String>, offset: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {off}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize to a compact JSON byte vector.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serialize to a pretty-printed (2-space indent) JSON byte vector.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Convert any serializable value into a generic [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a typed value from a generic [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Parse a typed value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let value = read::parse(bytes)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parse a typed value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    from_slice(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for json in ["null", "true", "false", "0", "-17", "3.5", "\"hi\\n\""] {
+            let v: Value = from_str(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn round_trips_nested() {
+        let json = r#"{"a":[1,2,{"b":null}],"c":"x","d":-2.5}"#;
+        let v: Value = from_str(json).unwrap();
+        assert_eq!(to_string(&v).unwrap(), json);
+    }
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{}}"#).unwrap();
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\t quote\" slash\\ nl\n unicode \u{1F600} ctl\u{0001}";
+        let encoded = to_string(&String::from(original)).unwrap();
+        let back: String = from_str(&encoded).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn numbers_keep_integer_identity() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v: Value = from_str("-9223372036854775808").unwrap();
+        assert_eq!(v.as_i64(), Some(i64::MIN));
+        let v: Value = from_str("1e3").unwrap();
+        assert_eq!(v.as_f64(), Some(1000.0));
+    }
+}

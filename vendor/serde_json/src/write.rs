@@ -1,0 +1,114 @@
+//! JSON output, compact and pretty.
+
+use serde::{Number, Value};
+use std::fmt::Write as _;
+
+pub(crate) fn compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => number(n, out),
+        Value::String(s) => string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                string(k, out);
+                out.push(':');
+                compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(indent + 1, out);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                pad(indent + 1, out);
+                string(k, out);
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            pad(indent, out);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn number(n: &Number, out: &mut String) {
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        // Rust's float Display is the shortest round-trip decimal, which
+        // keeps serialization deterministic. JSON has no NaN/Infinity, so
+        // non-finite values degrade to null.
+        Number::Float(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
