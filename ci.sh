@@ -16,4 +16,20 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> parallel determinism: run_all --quick at -j1 vs -j2"
+# Same grid, different worker counts: every artifact (result JSON, the
+# cached reference table, the event trace) and stdout must be
+# byte-identical. The host-time profile goes to stderr, which is the one
+# stream allowed to differ.
+for j in 1 2; do
+  out="target/ci-determinism/j$j"
+  rm -rf "$out"
+  mkdir -p "$out"
+  RELSIM_OUT="$out" target/release/run_all --quick --jobs "$j" \
+    --trace-out "$out/events.jsonl" >"target/ci-determinism/stdout-j$j.txt"
+done
+diff -r target/ci-determinism/j1 target/ci-determinism/j2
+diff target/ci-determinism/stdout-j1.txt target/ci-determinism/stdout-j2.txt
+echo "    -j1 and -j2 outputs are byte-identical"
+
 echo "==> ci.sh: all checks passed"

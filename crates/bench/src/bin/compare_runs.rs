@@ -67,7 +67,7 @@ fn main() {
         );
     }
     // Per-mix largest movers.
-    let mut movers: Vec<(String, f64)> = old
+    let movers: Vec<(String, f64)> = old
         .iter()
         .filter_map(|o| {
             let n = new.iter().find(|n| n.mix.benchmarks == o.mix.benchmarks)?;
@@ -75,9 +75,17 @@ fn main() {
             Some((o.mix.benchmarks.join("+"), delta))
         })
         .collect();
+    // A NaN delta (a broken run in either file) must not be ranked among
+    // real movements — |NaN| sorts arbitrarily under total_cmp. Surface
+    // those workloads explicitly instead.
+    let (invalid, mut movers): (Vec<_>, Vec<_>) = movers.into_iter().partition(|(_, d)| d.is_nan());
     movers.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
     println!("\n# largest per-workload movement in rel-opt normalized SSER:");
     for (name, delta) in movers.iter().take(5) {
         println!("  {name:<44} {:>8}", pct(*delta));
+    }
+    for (name, _) in &invalid {
+        println!("  {name:<44} {:>8}", "NaN");
+        relsim_obs::warn!("workload {name} has a non-finite SSER delta (broken run?)");
     }
 }

@@ -3,23 +3,36 @@
 //! workloads on a 2B2S HCMP. Also prints the paper's headline numbers.
 
 use relsim::experiments::{fig6_comparisons, summarize, SchedKind};
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
-    let comparisons = fig6_comparisons(&ctx);
+    let comparisons = fig6_comparisons(&ctx, &mut obs);
 
     println!("# Figure 6: per-workload SSER & STP normalized to random (2B2S, 4-program)");
     println!(
         "{:<44} {:>10} {:>10} {:>10} {:>10}",
         "workload", "SSER perf", "SSER rel", "STP perf", "STP rel"
     );
-    let mut rows: Vec<_> = comparisons.iter().collect();
+    // A NaN normalized SSER (broken reference run) has no place in a
+    // sorted ranking; report those workloads explicitly instead of
+    // letting total_cmp order them arbitrarily among real results.
+    let (mut rows, invalid): (Vec<_>, Vec<_>) = comparisons
+        .iter()
+        .partition(|c| c.sser_vs_random(SchedKind::RelOpt).is_finite());
     rows.sort_by(|a, b| {
         a.sser_vs_random(SchedKind::RelOpt)
             .total_cmp(&b.sser_vs_random(SchedKind::RelOpt))
     });
+    for c in &invalid {
+        relsim_obs::warn!(
+            "workload {}:{} has non-finite normalized SSER; excluded from ranking",
+            c.mix.category,
+            c.mix.benchmarks.join("+")
+        );
+    }
     for c in rows {
         let label = format!("{}:{}", c.mix.category, c.mix.benchmarks.join("+"));
         println!(
@@ -58,4 +71,5 @@ fn main() {
     );
     save_json("fig06_sser_stp", &comparisons);
     save_json("fig06_summary", &s);
+    obs_finish(&obs_args, &mut obs);
 }

@@ -1,12 +1,13 @@
 //! Figure 7: SSER and STP per workload category on 2B2S.
 
 use relsim::experiments::{by_category, fig6_comparisons};
-use relsim_bench::{context, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, run_obs, save_json, scale_from_args};
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
-    let comparisons = fig6_comparisons(&ctx);
+    let comparisons = fig6_comparisons(&ctx, &mut obs);
     let cats = by_category(&comparisons);
     println!("# Figure 7: per-category SSER (a) and STP (b), normalized to random");
     println!(
@@ -34,4 +35,5 @@ fn main() {
         40,
     );
     save_json("fig07_categories", &cats);
+    obs_finish(&obs_args, &mut obs);
 }

@@ -1,12 +1,13 @@
 //! Figure 8: SSER across asymmetric HCMPs with 4 cores (1B3S, 2B2S, 3B1S).
 
 use relsim::experiments::{fig8_asymmetric, summarize};
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
-    let results = fig8_asymmetric(&ctx);
+    let results = fig8_asymmetric(&ctx, &mut obs);
     println!("# Figure 8: SSER reduction of reliability-aware scheduling per configuration");
     println!(
         "{:<6} {:>16} {:>16} {:>14}",
@@ -30,4 +31,5 @@ fn main() {
             .map(|(l, c)| (l.clone(), summarize(c)))
             .collect::<Vec<_>>(),
     );
+    obs_finish(&obs_args, &mut obs);
 }

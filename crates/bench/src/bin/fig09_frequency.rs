@@ -1,14 +1,15 @@
 //! Figure 9: 2B2S with the small cores at half frequency (1.33 GHz).
 
 use relsim::experiments::{fig6_comparisons, fig9_low_frequency, summarize};
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
     println!("# Figure 9: small-core frequency sensitivity (2B2S)");
-    let full = summarize(&fig6_comparisons(&ctx));
-    let half = summarize(&fig9_low_frequency(&ctx));
+    let full = summarize(&fig6_comparisons(&ctx, &mut obs));
+    let half = summarize(&fig9_low_frequency(&ctx, &mut obs));
     println!(
         "small @ 2.66 GHz: rel vs random {} (paper 32.0%), perf vs random {} (paper 7.3%)",
         pct(full.rel_vs_random_sser),
@@ -20,4 +21,5 @@ fn main() {
         pct(half.perf_vs_random_sser)
     );
     save_json("fig09_frequency", &[("2.66GHz", full), ("1.33GHz", half)]);
+    obs_finish(&obs_args, &mut obs);
 }

@@ -2,12 +2,13 @@
 //! full core-ABC counters and the area-optimized ROB-only counters.
 
 use relsim::experiments::{fig10_core_count, summarize};
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
-    let results = fig10_core_count(&ctx);
+    let results = fig10_core_count(&ctx, &mut obs);
     println!("# Figure 10: SSER reduction (rel-opt vs random) per core count and counter");
     println!("{:<6} {:>14} {:>14}", "config", "core ABC", "ROB ABC");
     for (label, core_abc, rob_abc) in &results {
@@ -28,4 +29,5 @@ fn main() {
             .map(|(l, c, r)| (l.clone(), summarize(c), summarize(r)))
             .collect::<Vec<_>>(),
     );
+    obs_finish(&obs_args, &mut obs);
 }

@@ -2,10 +2,11 @@
 //! resample every r quanta, for a sampling quantum of fraction s.
 
 use relsim::experiments::{fig11_sampling_sweep, summarize};
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
     let settings = [
         (5u32, 0.1f64),
@@ -15,7 +16,7 @@ fn main() {
         (50, 0.1),
         (100, 0.1),
     ];
-    let results = fig11_sampling_sweep(&ctx, &settings);
+    let results = fig11_sampling_sweep(&ctx, &settings, &mut obs);
     println!("# Figure 11: sampling-parameter sweep on 2B2S (rel-opt vs random)");
     println!(
         "{:<12} {:>14} {:>14}",
@@ -40,4 +41,5 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     // (schema matches run_all's fig11 artifact)
+    obs_finish(&obs_args, &mut obs);
 }

@@ -1,13 +1,14 @@
 //! Figure 12: chip-level and total system power per scheduler on 2B2S.
 
 use relsim::experiments::fig6_comparisons;
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
-    let comparisons = fig6_comparisons(&ctx);
+    let comparisons = fig6_comparisons(&ctx, &mut obs);
     let mut chip = [Vec::new(), Vec::new(), Vec::new()];
     let mut system = [Vec::new(), Vec::new(), Vec::new()];
     for c in &comparisons {
@@ -37,4 +38,5 @@ fn main() {
         pct(-sys_red)
     );
     save_json("fig12_power", &rows);
+    obs_finish(&obs_args, &mut obs);
 }

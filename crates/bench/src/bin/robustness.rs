@@ -6,11 +6,12 @@
 use relsim::experiments::{compare_schedulers, hcmp_config, summarize, Scale};
 use relsim::mixes::generate_mixes;
 use relsim::SamplingParams;
-use relsim_bench::{context, pct, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let mut scale = scale_from_args();
     // Robustness sweeps multiply runtime by the seed count; shrink the
     // per-seed workload set accordingly.
@@ -34,7 +35,8 @@ fn main() {
     for seed in seeds {
         let mixes = generate_mixes(&ctx.class, 4, 1, seed);
         let cfg = hcmp_config(&ctx, 2, 2);
-        let comparisons = compare_schedulers(&ctx, &cfg, &mixes, SamplingParams::default());
+        let comparisons =
+            compare_schedulers(&ctx, &cfg, &mixes, SamplingParams::default(), &mut obs);
         let s = summarize(&comparisons);
         println!(
             "{seed:>6} {:>16} {:>16} {:>14}",
@@ -60,4 +62,5 @@ fn main() {
         pct(std(&stp_loss)),
     );
     println!("# The reliability win must hold across seeds (mean > 0 with modest σ).");
+    obs_finish(&obs_args, &mut obs);
 }

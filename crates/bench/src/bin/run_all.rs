@@ -7,16 +7,20 @@
 //! ```
 
 use relsim::experiments::*;
-use relsim_bench::{context, pct, save_json, scale_from_args};
+use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 use std::time::Instant;
 
 fn main() {
-    relsim_bench::obs_init();
+    let obs_args = relsim_bench::obs_init();
+    let mut obs = run_obs(&obs_args);
     let t0 = Instant::now();
     let scale = scale_from_args();
     let ctx = context(scale);
-    relsim_obs::info!("=== relsim: full evaluation at {scale:?}");
+    relsim_obs::info!(
+        "=== relsim: full evaluation at {scale:?} with {} worker(s)",
+        relsim::pool::default_jobs()
+    );
 
     // Figures 1/2/5 ------------------------------------------------------
     let rows = isolated_characterization(&ctx);
@@ -57,7 +61,7 @@ fn main() {
     save_json("fig03_oracle", &oracle);
 
     // Figure 6/7/12 ------------------------------------------------------
-    let comparisons = fig6_comparisons(&ctx);
+    let comparisons = fig6_comparisons(&ctx, &mut obs);
     let s = summarize(&comparisons);
     println!(
         "[Fig 6] rel vs random SSER {} max {} (paper 32%/55.6%); rel vs perf {} max {} (paper 25.4%/60.2%)",
@@ -123,7 +127,7 @@ fn main() {
     save_json("fig04_abc_timeline", &tl);
 
     // Figure 8 -----------------------------------------------------------
-    for (label, comp) in fig8_asymmetric(&ctx) {
+    for (label, comp) in fig8_asymmetric(&ctx, &mut obs) {
         let s = summarize(&comp);
         println!(
             "[Fig 8] {label}: rel vs random SSER {} (paper: 1B3S 27.5% / 2B2S 32% / 3B1S 7.8%)",
@@ -133,7 +137,7 @@ fn main() {
     }
 
     // Figure 9 -----------------------------------------------------------
-    let half = summarize(&fig9_low_frequency(&ctx));
+    let half = summarize(&fig9_low_frequency(&ctx, &mut obs));
     println!(
         "[Fig 9] small @1.33GHz: rel vs random {} (paper 29.8%), perf vs random {} (paper 13%)",
         pct(half.rel_vs_random_sser),
@@ -142,7 +146,7 @@ fn main() {
     save_json("fig09_frequency", &half);
 
     // Figure 10 ----------------------------------------------------------
-    for (label, core_abc, rob_abc) in fig10_core_count(&ctx) {
+    for (label, core_abc, rob_abc) in fig10_core_count(&ctx, &mut obs) {
         let c = summarize(&core_abc);
         let r = summarize(&rob_abc);
         println!(
@@ -163,7 +167,7 @@ fn main() {
         (100, 0.1),
     ];
     let mut fig11 = Vec::new();
-    for ((r, s_), comp) in fig11_sampling_sweep(&ctx, &settings) {
+    for ((r, s_), comp) in fig11_sampling_sweep(&ctx, &settings, &mut obs) {
         let s = summarize(&comp);
         println!(
             "[Fig 11] (r={r:>3}, s={s_:.2}): rel vs random SSER {} STP {}",
@@ -174,5 +178,6 @@ fn main() {
     }
     save_json("fig11_sampling", &fig11);
 
+    obs_finish(&obs_args, &mut obs);
     relsim_obs::info!("=== done in {:.1}s", t0.elapsed().as_secs_f64());
 }

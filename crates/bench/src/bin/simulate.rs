@@ -22,8 +22,8 @@
 use relsim::evaluate::{evaluate, DEFAULT_IFR};
 use relsim::experiments::{Context, Scale};
 use relsim::{
-    AppSpec, CounterKind, Objective, RandomScheduler, RunObs, SamplingParams, SamplingScheduler,
-    Scheduler, StaticScheduler, System, SystemConfig,
+    AppSpec, CounterKind, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
+    StaticScheduler, System, SystemConfig,
 };
 use relsim_bench::MODEL_VERSION;
 use relsim_obs::{info, manifest_path, write_manifest, Phase, RunManifest, OBS_HELP};
@@ -76,13 +76,7 @@ fn main() {
     let quantum: u64 = arg_value("--quantum").map_or(20_000, |v| v.parse().expect("--quantum"));
     let sched_name = arg_value("--scheduler").unwrap_or_else(|| "reliability".to_owned());
 
-    let mut obs = match obs_args.sink() {
-        Ok(sink) => RunObs::with_sink(sink),
-        Err(e) => {
-            relsim_obs::error!("could not open --trace-out: {e}");
-            std::process::exit(1);
-        }
-    };
+    let mut obs = relsim_bench::run_obs(&obs_args);
 
     // Reference table for the metrics (cached across invocations).
     let mut scale = Scale::default_scale();
@@ -191,13 +185,9 @@ fn main() {
         outputs.push(path.display().to_string());
         info!("wrote event trace {path:?}");
     }
-    match obs_args.write_metrics(&obs.recorder.snapshot()) {
-        Ok(Some(path)) => {
-            outputs.push(path.display().to_string());
-            info!("wrote metrics snapshot {path:?}");
-        }
-        Ok(None) => {}
-        Err(e) => relsim_obs::warn!("could not write --metrics-out: {e}"),
+    if let Some(path) = obs_args.write_metrics_or_exit(&obs.recorder.snapshot()) {
+        outputs.push(path.display().to_string());
+        info!("wrote metrics snapshot {path:?}");
     }
     if let Some(anchor) = obs_args
         .metrics_out

@@ -4,50 +4,67 @@
 //!
 //! With `--trace-out campaign.jsonl` every injected fault is streamed as
 //! a `FaultInjected` event (strike tick plus `ace_hit`/`masked` outcome).
+//!
+//! The 12 campaigns (6 benchmarks × 2 core types) are independent, so
+//! they shard across the worker pool (`--jobs N`). Each job buffers its
+//! fault events privately; the pool replays them in grid order at the
+//! barrier, so the event log is byte-identical at any `-j`.
 
 use relsim_ace::fault_injection::validate_counters_traced;
+use relsim_bench::{obs_finish, run_obs};
 use relsim_cpu::CoreConfig;
 
 fn main() {
     let obs_args = relsim_bench::obs_init();
-    let mut sink = match obs_args.sink() {
-        Ok(sink) => sink,
-        Err(e) => {
-            relsim_obs::error!("could not open --trace-out: {e}");
-            std::process::exit(1);
-        }
-    };
+    let mut obs = run_obs(&obs_args);
     let quick = std::env::args().any(|a| a == "--quick");
     let (ticks, injections) = if quick {
         (60_000, 50_000)
     } else {
         (300_000, 400_000)
     };
+    let grid: Vec<(&str, CoreConfig)> = ["milc", "hmmer", "gobmk", "mcf", "povray", "lbm"]
+        .into_iter()
+        .flat_map(|name| [(name, CoreConfig::big()), (name, CoreConfig::small())])
+        .collect();
+    let rows = relsim::pool::scatter_map_into(
+        "validate-ace",
+        grid,
+        &mut obs,
+        |_, (name, cfg), job_obs| {
+            let profile = relsim_trace::spec_profile(name).expect("catalog benchmark");
+            let kind = cfg.kind;
+            let (campaign, counter_avf) = validate_counters_traced(
+                &cfg,
+                &profile,
+                ticks,
+                injections,
+                7,
+                job_obs.sink.as_mut(),
+            );
+            (name, kind, campaign, counter_avf)
+        },
+    );
     println!("# ACE analysis vs Monte Carlo fault injection");
     println!(
         "{:<12} {:>6} {:>12} {:>18} {:>10}",
         "benchmark", "core", "counter AVF", "fault-injection", "agree?"
     );
-    for name in ["milc", "hmmer", "gobmk", "mcf", "povray", "lbm"] {
-        let profile = relsim_trace::spec_profile(name).expect("catalog benchmark");
-        for cfg in [CoreConfig::big(), CoreConfig::small()] {
-            let kind = cfg.kind;
-            let (campaign, counter_avf) =
-                validate_counters_traced(&cfg, &profile, ticks, injections, 7, sink.as_mut());
-            println!(
-                "{:<12} {:>6} {:>12.4} {:>12.4} ±{:.4} {:>6}",
-                name,
-                kind.to_string(),
-                counter_avf,
-                campaign.avf_estimate,
-                campaign.confidence_95,
-                if campaign.consistent_with(counter_avf, 0.01) {
-                    "yes"
-                } else {
-                    "NO"
-                }
-            );
-        }
+    for (name, kind, campaign, counter_avf) in rows.into_iter().flatten() {
+        println!(
+            "{:<12} {:>6} {:>12.4} {:>12.4} ±{:.4} {:>6}",
+            name,
+            kind.to_string(),
+            counter_avf,
+            campaign.avf_estimate,
+            campaign.confidence_95,
+            if campaign.consistent_with(counter_avf, 0.01) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
     }
     println!("# The counters and {injections}-fault campaigns must agree within the 95% CI.");
+    obs_finish(&obs_args, &mut obs);
 }

@@ -20,7 +20,7 @@ pub mod chart;
 pub mod svg;
 
 use relsim::experiments::{Context, Scale};
-use relsim_obs::info;
+use relsim_obs::{info, RunObs};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -30,11 +30,98 @@ pub use relsim_obs::ObsArgs;
 pub const MODEL_VERSION: u32 = 3;
 
 /// Parse the shared observability flags from the process arguments and
-/// apply the requested log level. Call once at the top of every binary's
-/// `main`; progress output below the chosen level (everything under
-/// `--quiet`) is silenced while stdout data stays untouched.
+/// apply the requested log level, then configure the job pool from
+/// `--jobs`. Call once at the top of every binary's `main`; progress
+/// output below the chosen level (everything under `--quiet`) is silenced
+/// while stdout data stays untouched.
 pub fn obs_init() -> ObsArgs {
+    relsim::pool::set_default_jobs(jobs_from_args());
     ObsArgs::from_env()
+}
+
+/// Parse the worker count from the process arguments: `--jobs N`,
+/// `--jobs=N`, `-j N`, or `-jN`. `0` (or no flag) means "use the
+/// machine's available parallelism". Output is independent of the worker
+/// count by construction, so this only changes wall time.
+pub fn jobs_from_args() -> usize {
+    parse_jobs(std::env::args().skip(1)).unwrap_or(0)
+}
+
+/// Testable `--jobs` parser; `None` means the flag was absent/invalid.
+pub fn parse_jobs<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else if arg == "--jobs" || arg == "-j" {
+            iter.next()
+        } else if let Some(v) = arg.strip_prefix("-j") {
+            // `-j4` — but don't swallow unrelated flags like `-json`.
+            if v.chars().all(|c| c.is_ascii_digit()) {
+                Some(v.to_string())
+            } else {
+                continue;
+            }
+        } else {
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) => return Some(n),
+            _ => {
+                relsim_obs::warn!(
+                    "--jobs expects a number, got {:?}; using available parallelism",
+                    value.as_deref().unwrap_or("")
+                );
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Help text fragment for the `--jobs` flag, for `--help` output.
+pub const JOBS_HELP: &str = "  --jobs N, -j N        worker threads for the experiment grid \
+                             (default: available parallelism; output is byte-identical at any N)";
+
+/// Open the run-level observer for a binary: events stream to
+/// `--trace-out` (exiting cleanly if the path is unwritable), metrics and
+/// phase timers accumulate for [`obs_finish`].
+pub fn run_obs(args: &ObsArgs) -> RunObs {
+    RunObs::with_sink(args.sink_or_exit())
+}
+
+/// Finish a binary's observed run: flush the event sink, write
+/// `--metrics-out` (exiting cleanly on I/O failure), log the merged host
+/// profile, and report any job failures the pool caught — exiting
+/// nonzero if there were any, after all successful results were written.
+pub fn obs_finish(args: &ObsArgs, obs: &mut RunObs) {
+    obs.sink.flush();
+    args.write_metrics_or_exit(&obs.recorder.snapshot());
+    let profile = obs.timers.profile();
+    if profile.attributed_seconds > 0.0 {
+        let breakdown: Vec<String> = profile
+            .phases
+            .iter()
+            .filter(|(_, s)| *s > 0.0)
+            .map(|(n, s)| format!("{n} {s:.2}s"))
+            .collect();
+        info!(
+            "host profile: {:.2}s attributed across workers ({})",
+            profile.attributed_seconds,
+            breakdown.join(", ")
+        );
+    }
+    let failures = relsim::pool::take_failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            relsim_obs::error!("job failed: {}: {}", f.label, f.message);
+        }
+        relsim_obs::error!(
+            "{} of the experiment jobs failed; results above exclude them",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Parse the experiment scale from CLI arguments (`--quick` shrinks it).
@@ -87,4 +174,26 @@ pub fn save_json<T: Serialize>(name: &str, data: &T) {
 /// Format a fraction as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_jobs;
+
+    fn parse(args: &[&str]) -> Option<usize> {
+        parse_jobs(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn jobs_flag_forms() {
+        assert_eq!(parse(&["--jobs", "4"]), Some(4));
+        assert_eq!(parse(&["--jobs=8"]), Some(8));
+        assert_eq!(parse(&["-j", "2"]), Some(2));
+        assert_eq!(parse(&["-j16"]), Some(16));
+        assert_eq!(parse(&["--jobs", "0"]), Some(0));
+        assert_eq!(parse(&["--quick"]), None);
+        // `-json` must not be mistaken for `-j son`.
+        assert_eq!(parse(&["-json"]), None);
+        assert_eq!(parse(&["--jobs", "lots"]), None);
+    }
 }

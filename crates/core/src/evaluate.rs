@@ -53,6 +53,14 @@ pub fn evaluate(result: &RunResult, refs: &ReferenceTable, ifr: f64) -> Evaluati
     for a in &result.apps {
         let ref_ips = refs.ref_ips(&a.name);
         let time_ref = a.instructions as f64 / ref_ips;
+        if time_ref <= 0.0 || time_ref.is_nan() {
+            relsim_obs::warn!(
+                "{}: non-positive reference time {time_ref} ({} instructions at ref IPS {ref_ips}); \
+                 reliability metrics for this run will be NaN",
+                a.name,
+                a.instructions
+            );
+        }
         let outcome = AppOutcome {
             abc: a.abc,
             time: result.duration as f64,

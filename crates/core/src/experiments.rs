@@ -14,6 +14,7 @@ use crate::system::{AppSpec, RunResult, System, SystemConfig};
 use relsim_ace::CounterKind;
 use relsim_cpu::{CoreConfig, CoreKind};
 use relsim_metrics::arithmetic_mean;
+use relsim_obs::{Phase, RunObs};
 use relsim_power::{PowerModel, PowerReport, SharedActivity};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -177,6 +178,20 @@ pub fn run_mix(
     sched: SchedKind,
     params: SamplingParams,
 ) -> (Evaluation, RunResult) {
+    run_mix_traced(ctx, sys_cfg, mix, sched, params, &mut RunObs::disabled())
+}
+
+/// [`run_mix`] with observability: events stream to `obs.sink`, metrics
+/// accumulate in `obs.recorder`, and host time lands in `obs.timers`.
+/// This is the per-job body the parallel drivers hand to the pool.
+pub fn run_mix_traced(
+    ctx: &Context,
+    sys_cfg: &SystemConfig,
+    mix: &Mix,
+    sched: SchedKind,
+    params: SamplingParams,
+    obs: &mut RunObs,
+) -> (Evaluation, RunResult) {
     let specs: Vec<AppSpec> = mix
         .benchmarks
         .iter()
@@ -190,8 +205,10 @@ pub fn run_mix(
         ctx.scale.seed,
     );
     let mut system = System::new(sys_cfg.clone(), &specs);
-    let result = system.run(scheduler.as_mut(), ctx.scale.run_ticks);
-    let eval = evaluate(&result, &ctx.refs, DEFAULT_IFR);
+    let result = system.run_traced(scheduler.as_mut(), ctx.scale.run_ticks, obs);
+    let eval = obs
+        .timers
+        .time(Phase::Metrics, || evaluate(&result, &ctx.refs, DEFAULT_IFR));
     (eval, result)
 }
 
@@ -274,14 +291,14 @@ fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 // ===================================================================
 
 /// Figure 3: oracle SER gain and STP loss per 4-program workload on 2B2S.
+/// Workloads are sharded across the job pool; a panicking workload is
+/// dropped from the result (and reported via the pool's failure channel).
 pub fn oracle_study(ctx: &Context) -> Vec<(Mix, OracleOutcome)> {
-    ctx.four_program_mixes()
-        .into_iter()
-        .map(|m| {
-            let o = oracle_schedules(&ctx.refs, &m.benchmarks, 2);
-            (m, o)
-        })
-        .collect()
+    let outcomes = crate::pool::scatter_map("oracle", ctx.four_program_mixes(), |_, m| {
+        let o = oracle_schedules(&ctx.refs, &m.benchmarks, 2);
+        (m, o)
+    });
+    outcomes.into_iter().flatten().collect()
 }
 
 // ===================================================================
@@ -323,42 +340,72 @@ fn sched_index(s: SchedKind) -> usize {
 
 /// Run a workload set on one system configuration under all three
 /// schedulers (the engine behind Figures 6-10 and 12).
+///
+/// The `mix × scheduler` grid is sharded across the job pool; each run
+/// observes through its own buffered sink/recorder, merged into `obs` in
+/// grid order (mix-major, [`SchedKind::ALL`] order within a mix), so the
+/// output stream is identical at any worker count. A mix with a failed
+/// run is dropped from the result with a warning; the failure itself is
+/// reported through the pool's failure channel.
 pub fn compare_schedulers(
     ctx: &Context,
     sys_cfg: &SystemConfig,
     mixes: &[Mix],
     params: SamplingParams,
+    obs: &mut RunObs,
 ) -> Vec<MixComparison> {
     let model = PowerModel::default();
-    mixes
-        .iter()
-        .map(|mix| {
-            let mut sser = [0.0; 3];
-            let mut stp = [0.0; 3];
-            let mut power = [PowerReport {
-                chip_watts: 0.0,
-                dram_watts: 0.0,
-            }; 3];
-            for sched in SchedKind::ALL {
-                let (eval, result) = run_mix(ctx, sys_cfg, mix, sched, params);
-                let i = sched_index(sched);
-                sser[i] = eval.sser;
-                stp[i] = eval.stp;
-                let activities: Vec<_> = result.cores.iter().map(|c| c.to_activity()).collect();
-                let shared = SharedActivity {
-                    l3_accesses: result.shared.l3_accesses,
-                    mem_requests: result.shared.mem_requests,
-                };
-                power[i] = model.report(&activities, &shared, result.duration);
+    let grid: Vec<(usize, SchedKind)> = (0..mixes.len())
+        .flat_map(|mi| SchedKind::ALL.map(|s| (mi, s)))
+        .collect();
+    let runs = crate::pool::scatter_map_into("compare", grid, obs, |_, (mi, sched), job_obs| {
+        let (eval, result) = run_mix_traced(ctx, sys_cfg, &mixes[mi], sched, params, job_obs);
+        let activities: Vec<_> = result.cores.iter().map(|c| c.to_activity()).collect();
+        let shared = SharedActivity {
+            l3_accesses: result.shared.l3_accesses,
+            mem_requests: result.shared.mem_requests,
+        };
+        let power = job_obs.timers.time(Phase::Metrics, || {
+            model.report(&activities, &shared, result.duration)
+        });
+        (eval.sser, eval.stp, power)
+    });
+    let mut out = Vec::with_capacity(mixes.len());
+    for (mi, mix) in mixes.iter().enumerate() {
+        let mut sser = [0.0; 3];
+        let mut stp = [0.0; 3];
+        let mut power = [PowerReport {
+            chip_watts: 0.0,
+            dram_watts: 0.0,
+        }; 3];
+        let mut complete = true;
+        for sched in SchedKind::ALL {
+            let i = sched_index(sched);
+            match &runs[mi * SchedKind::ALL.len() + i] {
+                Some((s, t, p)) => {
+                    sser[i] = *s;
+                    stp[i] = *t;
+                    power[i] = *p;
+                }
+                None => complete = false,
             }
-            MixComparison {
+        }
+        if complete {
+            out.push(MixComparison {
                 mix: mix.clone(),
                 sser,
                 stp,
                 power,
-            }
-        })
-        .collect()
+            });
+        } else {
+            relsim_obs::warn!(
+                "dropping mix {} ({:?}): a scheduler run failed",
+                mix.category,
+                mix.benchmarks
+            );
+        }
+    }
+    out
 }
 
 /// Aggregate summary of a scheduler comparison (the headline numbers).
@@ -396,11 +443,23 @@ pub fn summarize(comparisons: &[MixComparison]) -> ComparisonSummary {
         .iter()
         .map(|c| c.stp[2] / c.stp[0] - 1.0)
         .collect();
+    // f64::max silently drops NaN operands; an invalid run (NaN SSER from
+    // a broken reference) must poison the maximum the same way it poisons
+    // the means.
+    let nan_max = |xs: &[f64]| {
+        xs.iter().copied().fold(f64::MIN, |a, b| {
+            if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else {
+                a.max(b)
+            }
+        })
+    };
     ComparisonSummary {
         rel_vs_random_sser: arithmetic_mean(&rel_rand),
-        rel_vs_random_sser_max: rel_rand.iter().copied().fold(f64::MIN, f64::max),
+        rel_vs_random_sser_max: nan_max(&rel_rand),
         rel_vs_perf_sser: arithmetic_mean(&rel_perf),
-        rel_vs_perf_sser_max: rel_perf.iter().copied().fold(f64::MIN, f64::max),
+        rel_vs_perf_sser_max: nan_max(&rel_perf),
         rel_vs_perf_stp_loss: arithmetic_mean(&stp_loss),
         perf_vs_random_sser: arithmetic_mean(&perf_rand),
         rel_vs_random_stp: arithmetic_mean(&stp_gain),
@@ -533,17 +592,18 @@ pub fn abc_timeline(ctx: &Context, bench_a: &str, bench_b: &str) -> AbcTimeline 
 // ===================================================================
 
 /// Figure 6/7/12 engine: the 4-program workloads on 2B2S.
-pub fn fig6_comparisons(ctx: &Context) -> Vec<MixComparison> {
+pub fn fig6_comparisons(ctx: &Context, obs: &mut RunObs) -> Vec<MixComparison> {
     compare_schedulers(
         ctx,
         &hcmp_config(ctx, 2, 2),
         &ctx.four_program_mixes(),
         SamplingParams::default(),
+        obs,
     )
 }
 
 /// Figure 8: asymmetric HCMPs (returns label + comparisons per config).
-pub fn fig8_asymmetric(ctx: &Context) -> Vec<(String, Vec<MixComparison>)> {
+pub fn fig8_asymmetric(ctx: &Context, obs: &mut RunObs) -> Vec<(String, Vec<MixComparison>)> {
     let mixes = ctx.four_program_mixes();
     [(1usize, 3usize), (2, 2), (3, 1)]
         .into_iter()
@@ -552,14 +612,14 @@ pub fn fig8_asymmetric(ctx: &Context) -> Vec<(String, Vec<MixComparison>)> {
             let label = format!("{b}B{s}S");
             (
                 label,
-                compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default()),
+                compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default(), obs),
             )
         })
         .collect()
 }
 
 /// Figure 9: 2B2S with the small cores at half frequency.
-pub fn fig9_low_frequency(ctx: &Context) -> Vec<MixComparison> {
+pub fn fig9_low_frequency(ctx: &Context, obs: &mut RunObs) -> Vec<MixComparison> {
     let mut cfg = SystemConfig::hcmp_slow_small(2, 2);
     cfg.quantum_ticks = ctx.scale.quantum_ticks;
     cfg.migration_ticks = (ctx.scale.quantum_ticks / 50).max(1);
@@ -568,12 +628,16 @@ pub fn fig9_low_frequency(ctx: &Context) -> Vec<MixComparison> {
         &cfg,
         &ctx.four_program_mixes(),
         SamplingParams::default(),
+        obs,
     )
 }
 
 /// Figure 10: core-count scaling (1B1S/2B2S/4B4S) and the ROB-only
 /// counter variant on each.
-pub fn fig10_core_count(ctx: &Context) -> Vec<(String, Vec<MixComparison>, Vec<MixComparison>)> {
+pub fn fig10_core_count(
+    ctx: &Context,
+    obs: &mut RunObs,
+) -> Vec<(String, Vec<MixComparison>, Vec<MixComparison>)> {
     let configs = [
         ("1B1S".to_string(), 1usize, 1usize, ctx.two_program_mixes()),
         ("2B2S".to_string(), 2, 2, ctx.four_program_mixes()),
@@ -583,10 +647,10 @@ pub fn fig10_core_count(ctx: &Context) -> Vec<(String, Vec<MixComparison>, Vec<M
         .into_iter()
         .map(|(label, b, s, mixes)| {
             let cfg = hcmp_config(ctx, b, s);
-            let core_abc = compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default());
+            let core_abc = compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default(), obs);
             let mut rob_cfg = cfg.clone();
             rob_cfg.counter_kind = CounterKind::HwRobOnly;
-            let rob_abc = compare_schedulers(ctx, &rob_cfg, &mixes, SamplingParams::default());
+            let rob_abc = compare_schedulers(ctx, &rob_cfg, &mixes, SamplingParams::default(), obs);
             (label, core_abc, rob_abc)
         })
         .collect()
@@ -596,6 +660,7 @@ pub fn fig10_core_count(ctx: &Context) -> Vec<(String, Vec<MixComparison>, Vec<M
 pub fn fig11_sampling_sweep(
     ctx: &Context,
     settings: &[(u32, f64)],
+    obs: &mut RunObs,
 ) -> Vec<((u32, f64), Vec<MixComparison>)> {
     let cfg = hcmp_config(ctx, 2, 2);
     let mixes = ctx.four_program_mixes();
@@ -609,7 +674,7 @@ pub fn fig11_sampling_sweep(
             };
             (
                 (period, fraction),
-                compare_schedulers(ctx, &cfg, &mixes, params),
+                compare_schedulers(ctx, &cfg, &mixes, params, obs),
             )
         })
         .collect()
@@ -665,6 +730,7 @@ mod tests {
             &hcmp_config(&ctx, 2, 2),
             &ctx.four_program_mixes()[..2],
             SamplingParams::default(),
+            &mut RunObs::disabled(),
         );
         assert_eq!(comparisons.len(), 2);
         for c in &comparisons {

@@ -125,19 +125,32 @@ impl From<ReferenceTable> for Vec<IsolatedResult> {
 impl ReferenceTable {
     /// Build the table for `profiles`, running each for `duration` ticks
     /// per core type. `big`/`small` give the core configurations (allowing
-    /// e.g. the half-frequency small core of Section 6.4).
+    /// e.g. the half-frequency small core of Section 6.4). The
+    /// `profiles × {big, small}` grid is sharded across the job pool;
+    /// each run is seeded identically to the serial implementation, so
+    /// the table is the same at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any isolated run panics — the table is the foundation of
+    /// every downstream metric, so a partial table is never useful.
     pub fn build(
         profiles: &[BenchmarkProfile],
         big: &CoreConfig,
         small: &CoreConfig,
         duration: u64,
     ) -> Self {
+        let grid: Vec<(&BenchmarkProfile, &CoreConfig)> = profiles
+            .iter()
+            .flat_map(|p| [(p, big), (p, small)])
+            .collect();
+        let results = crate::pool::scatter_map("isolated", grid, |_, (p, cfg)| {
+            (p.name.clone(), cfg.kind, run_isolated(p, cfg, duration, 1))
+        });
         let mut entries = HashMap::new();
-        for p in profiles {
-            for cfg in [big, small] {
-                let r = run_isolated(p, cfg, duration, 1);
-                entries.insert((p.name.clone(), cfg.kind), r);
-            }
+        for slot in results {
+            let (name, kind, r) = slot.expect("isolated characterization run panicked");
+            entries.insert((name, kind), r);
         }
         ReferenceTable { entries }
     }

@@ -47,6 +47,7 @@ pub mod experiments;
 pub mod isolated;
 pub mod mixes;
 pub mod oracle;
+pub mod pool;
 mod sched;
 mod sched_pie;
 mod system;

@@ -1,9 +1,11 @@
 //! Aggregation helpers for experiment reporting.
 
-/// Arithmetic mean; 0 for an empty slice.
+/// Arithmetic mean; `NaN` for an empty slice — a mean over nothing has no
+/// value, and 0 would read as a legitimate (even favorable) result in
+/// reliability summaries.
 pub fn arithmetic_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
-        0.0
+        f64::NAN
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
     }
@@ -63,7 +65,7 @@ mod tests {
 
     #[test]
     fn empty_slices() {
-        assert_eq!(arithmetic_mean(&[]), 0.0);
+        assert!(arithmetic_mean(&[]).is_nan());
         assert_eq!(geometric_mean(&[]), 0.0);
         assert_eq!(harmonic_mean(&[]), 0.0);
     }

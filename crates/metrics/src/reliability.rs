@@ -31,6 +31,10 @@ impl AppOutcome {
 /// execution time, and `ifr` the intrinsic fault rate (errors per bit per
 /// time unit).
 ///
+/// A non-positive `time` means the run never executed; the result is
+/// `NaN` so a broken reference run surfaces as invalid instead of
+/// masquerading as SER 0 ("perfectly reliable").
+///
 /// # Examples
 ///
 /// ```
@@ -40,15 +44,16 @@ impl AppOutcome {
 /// ```
 pub fn ser(abc: f64, time: f64, ifr: f64) -> f64 {
     if time <= 0.0 {
-        return 0.0;
+        return f64::NAN;
     }
     abc / time * ifr
 }
 
-/// Application slowdown: `T / T_ref`.
+/// Application slowdown: `T / T_ref`. `NaN` when `time_ref` is not
+/// positive (no valid reference run).
 pub fn slowdown(time: f64, time_ref: f64) -> f64 {
     if time_ref <= 0.0 {
-        return 0.0;
+        return f64::NAN;
     }
     time / time_ref
 }
@@ -59,15 +64,21 @@ pub fn slowdown(time: f64, time_ref: f64) -> f64 {
 /// execution time drops out, leaving only the reference time. An
 /// application that runs longer (is slowed down more) accumulates more ABC
 /// for the same work and therefore a higher wSER.
+///
+/// `NaN` when `time_ref` is not positive: wSER 0 would claim the best
+/// possible reliability for an application whose reference run is broken.
 pub fn wser(abc: f64, time_ref: f64, ifr: f64) -> f64 {
     if time_ref <= 0.0 {
-        return 0.0;
+        return f64::NAN;
     }
     abc / time_ref * ifr
 }
 
 /// System Soft Error Rate (Equation 3): the sum of per-application
-/// weighted SERs. Lower is better.
+/// weighted SERs. Lower is better. If any application's wSER is `NaN`
+/// (broken reference run), the sum is `NaN` — IEEE addition propagates
+/// it, so a single invalid app poisons the system metric instead of
+/// being summed away.
 ///
 /// # Examples
 ///
@@ -92,7 +103,34 @@ mod tests {
     #[test]
     fn ser_definition() {
         assert_eq!(ser(100.0, 10.0, 1.0), 10.0);
-        assert_eq!(ser(100.0, 0.0, 1.0), 0.0, "degenerate time");
+        assert!(ser(100.0, 0.0, 1.0).is_nan(), "degenerate time is invalid");
+        assert!(ser(100.0, -1.0, 1.0).is_nan());
+    }
+
+    #[test]
+    fn degenerate_reference_is_nan_not_zero() {
+        // A broken reference run (time_ref <= 0) must not read as
+        // "perfectly reliable" (wSER 0 / slowdown 0).
+        assert!(slowdown(1.0, 0.0).is_nan());
+        assert!(wser(100.0, 0.0, 1.0).is_nan());
+        assert!(wser(100.0, -2.0, 1.0).is_nan());
+    }
+
+    #[test]
+    fn sser_propagates_nan() {
+        let apps = [
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 1.0,
+            },
+            AppOutcome {
+                abc: 1.0,
+                time: 1.0,
+                time_ref: 0.0, // broken reference run
+            },
+        ];
+        assert!(sser(&apps, 1.0).is_nan(), "invalid app must poison SSER");
     }
 
     #[test]

@@ -96,6 +96,24 @@ impl ObsArgs {
         }
     }
 
+    /// Like [`ObsArgs::sink`], but on failure (e.g. `--trace-out` points
+    /// at an unwritable path) prints a one-line error to stderr and exits
+    /// nonzero instead of handing the caller a raw `io::Error` to unwrap.
+    pub fn sink_or_exit(&self) -> Box<dyn EventSink> {
+        match self.sink() {
+            Ok(sink) => sink,
+            Err(e) => {
+                let path = self
+                    .trace_out
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default();
+                crate::error!("cannot open --trace-out {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     /// Write the metrics snapshot if `--metrics-out` was given. Returns
     /// the path written, if any.
     pub fn write_metrics(&self, snapshot: &MetricsSnapshot) -> io::Result<Option<PathBuf>> {
@@ -106,6 +124,23 @@ impl ObsArgs {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         write_atomic(path, &bytes)?;
         Ok(Some(path.clone()))
+    }
+
+    /// Like [`ObsArgs::write_metrics`], but on failure prints a one-line
+    /// error to stderr and exits nonzero.
+    pub fn write_metrics_or_exit(&self, snapshot: &MetricsSnapshot) -> Option<PathBuf> {
+        match self.write_metrics(snapshot) {
+            Ok(path) => path,
+            Err(e) => {
+                let path = self
+                    .metrics_out
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default();
+                crate::error!("cannot write --metrics-out {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

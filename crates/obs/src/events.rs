@@ -65,6 +65,15 @@ pub enum Event {
         structure: String,
         outcome: String,
     },
+    /// A parallel experiment job panicked. The pool catches the panic,
+    /// records this event at the job's grid position, and lets the
+    /// remaining jobs finish.
+    JobFailed {
+        tick: u64,
+        job: u64,
+        label: String,
+        error: String,
+    },
     /// A traced run finished.
     RunEnd {
         tick: u64,
@@ -84,6 +93,7 @@ impl Event {
             | Event::Migration { tick, .. }
             | Event::SampleTaken { tick, .. }
             | Event::FaultInjected { tick, .. }
+            | Event::JobFailed { tick, .. }
             | Event::RunEnd { tick, .. } => *tick,
         }
     }
@@ -97,6 +107,7 @@ impl Event {
             Event::Migration { .. } => "Migration",
             Event::SampleTaken { .. } => "SampleTaken",
             Event::FaultInjected { .. } => "FaultInjected",
+            Event::JobFailed { .. } => "JobFailed",
             Event::RunEnd { .. } => "RunEnd",
         }
     }
@@ -113,6 +124,19 @@ pub trait EventSink {
 
     /// Flush any buffered output. Sinks without buffers ignore this.
     fn flush(&mut self) {}
+
+    /// Whether emitted events are discarded. Lets producers (e.g. the job
+    /// pool) skip buffering when nobody will read the stream.
+    fn is_null(&self) -> bool {
+        false
+    }
+
+    /// Hand back the buffered events, if this sink buffers them
+    /// ([`MemorySink`] does). Used to replay per-job streams into a shared
+    /// sink in deterministic grid order.
+    fn take_events(&mut self) -> Option<Vec<Event>> {
+        None
+    }
 }
 
 /// Discards everything. The default for untraced runs.
@@ -121,9 +145,14 @@ pub struct NullSink;
 impl EventSink for NullSink {
     #[inline]
     fn emit(&mut self, _event: &Event) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
 }
 
-/// Keeps events in memory, preserving emission order. For tests.
+/// Keeps events in memory, preserving emission order. For tests and for
+/// per-job buffering in the parallel experiment pool.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     pub events: Vec<Event>,
@@ -138,6 +167,10 @@ impl MemorySink {
 impl EventSink for MemorySink {
     fn emit(&mut self, event: &Event) {
         self.events.push(event.clone());
+    }
+
+    fn take_events(&mut self) -> Option<Vec<Event>> {
+        Some(std::mem::take(&mut self.events))
     }
 }
 

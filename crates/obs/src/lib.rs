@@ -70,6 +70,14 @@ impl RunObs {
         }
     }
 
+    /// An observer that buffers events in memory (a [`MemorySink`]) so
+    /// they can be taken back with `sink.take_events()` and replayed into
+    /// another sink later. Used for per-job observation in the parallel
+    /// experiment pool.
+    pub fn buffered() -> Self {
+        Self::with_sink(Box::new(MemorySink::new()))
+    }
+
     /// Emit one event to the sink.
     #[inline]
     pub fn emit(&mut self, event: Event) {

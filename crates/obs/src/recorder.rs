@@ -90,6 +90,27 @@ impl Recorder {
         &self.histograms[id.0].1
     }
 
+    /// Fold another recorder into this one, matching metrics by name:
+    /// counters add, gauges take the incoming value (last writer wins, as
+    /// if the runs had happened sequentially), histograms merge
+    /// bucket-wise. Names unknown to `self` are registered in the order
+    /// `other` declared them, so merging per-job recorders in grid order
+    /// yields the same registry as a serial run.
+    pub fn merge(&mut self, other: &Recorder) {
+        for (name, value) in &other.counters {
+            let id = self.counter(name);
+            self.counters[id.0].1 += value;
+        }
+        for (name, value) in &other.gauges {
+            let id = self.gauge(name);
+            self.gauges[id.0].1 = *value;
+        }
+        for (name, h) in &other.histograms {
+            let id = self.histogram(name);
+            self.histograms[id.0].1.merge(h);
+        }
+    }
+
     /// Freeze the current state into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -172,6 +193,21 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one: bucket counts add, and the
+    /// summary statistics combine as if every observation had been made
+    /// on `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -335,6 +371,58 @@ mod tests {
         r.inc(a);
         r.add(b, 2);
         assert_eq!(r.counter_value(a), 3);
+    }
+
+    #[test]
+    fn histogram_merge_equals_serial_observation() {
+        let mut serial = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0, 1, 7, 64] {
+            serial.observe(v);
+            a.observe(v);
+        }
+        for v in [3, 200, 1000, u64::MAX] {
+            serial.observe(v);
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot("h"), serial.snapshot("h"));
+        // Merging an empty histogram changes nothing (min stays valid).
+        let before = a.snapshot("h");
+        a.merge(&Histogram::new());
+        assert_eq!(a.snapshot("h"), before);
+    }
+
+    #[test]
+    fn recorder_merge_matches_serial_run() {
+        // Two per-job recorders merged in order must equal one recorder
+        // that saw both jobs' updates sequentially.
+        let mut serial = Recorder::new();
+        let mut job_a = Recorder::new();
+        let mut job_b = Recorder::new();
+        for r in [&mut serial, &mut job_a] {
+            let c = r.counter("sim.quanta");
+            r.add(c, 5);
+            let g = r.gauge("sched.objective");
+            r.set(g, 1.5);
+            let h = r.histogram("mem.latency");
+            r.observe(h, 10);
+        }
+        for r in [&mut serial, &mut job_b] {
+            let c = r.counter("sim.quanta");
+            r.add(c, 7);
+            let c2 = r.counter("sim.migrations");
+            r.inc(c2);
+            let g = r.gauge("sched.objective");
+            r.set(g, -0.5);
+            let h = r.histogram("mem.latency");
+            r.observe(h, 99);
+        }
+        let mut merged = Recorder::new();
+        merged.merge(&job_a);
+        merged.merge(&job_b);
+        assert_eq!(merged.snapshot(), serial.snapshot());
     }
 
     #[test]

@@ -98,6 +98,16 @@ impl PhaseTimers {
         self.acc[phase.index()] += d;
     }
 
+    /// Fold another timer set's attributed time into this one, phase by
+    /// phase. Used to roll per-worker timers into the host profile; with
+    /// parallel workers the attributed total can exceed wall time (it is
+    /// CPU time across threads, not elapsed time).
+    pub fn absorb(&mut self, other: &PhaseTimers) {
+        for (acc, o) in self.acc.iter_mut().zip(other.acc.iter()) {
+            *acc += *o;
+        }
+    }
+
     /// Accumulated time for one phase.
     pub fn phase_time(&self, phase: Phase) -> Duration {
         self.acc[phase.index()]
@@ -155,6 +165,19 @@ mod tests {
         assert_eq!(v, 42);
         assert!(t.phase_time(Phase::Scheduler) >= Duration::from_millis(4));
         assert_eq!(t.phase_time(Phase::CoreTick), Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_sums_per_phase() {
+        let mut a = PhaseTimers::new();
+        a.add(Phase::CoreTick, Duration::from_millis(10));
+        let mut b = PhaseTimers::new();
+        b.add(Phase::CoreTick, Duration::from_millis(5));
+        b.add(Phase::Io, Duration::from_millis(2));
+        a.absorb(&b);
+        assert_eq!(a.phase_time(Phase::CoreTick), Duration::from_millis(15));
+        assert_eq!(a.phase_time(Phase::Io), Duration::from_millis(2));
+        assert_eq!(a.phase_time(Phase::Setup), Duration::ZERO);
     }
 
     #[test]
