@@ -4,6 +4,24 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# `./ci.sh bless` regenerates the golden snapshots under tests/golden/
+# from a fresh release `run_all --quick` run. Review the resulting diff
+# like any other code change before committing it.
+if [[ "${1:-}" == "bless" ]]; then
+  echo "==> bless: regenerating tests/golden/ from run_all --quick"
+  cargo build --release -p relsim-bench --bin run_all
+  out=target/golden-bless
+  rm -rf "$out"
+  mkdir -p "$out"
+  RELSIM_OUT="$out" target/release/run_all --quick >/dev/null
+  mkdir -p tests/golden
+  rm -f tests/golden/fig*.json
+  cp "$out"/fig*.json tests/golden/
+  ls tests/golden
+  echo "==> bless: done — review 'git diff tests/golden' before committing"
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -15,6 +33,16 @@ cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> sampled-accuracy gate: sampling_accuracy in release"
+# The interval-sampling engine's acceptance bound (sampled SSER/STP
+# within 3% geomean of full runs at >=5x fewer detailed cycles) plus
+# sampled -j1/-j4 byte-identity. Debug builds ignore the heavy test, so
+# this runs the release binary where it takes a few seconds.
+cargo test --release -q -p relsim-integration-tests --test sampling_accuracy
+
+echo "==> golden snapshots: run_all --quick vs tests/golden/"
+cargo test --release -q -p relsim-bench --test golden
 
 echo "==> parallel determinism: run_all --quick at -j1 vs -j2"
 # Same grid, different worker counts: every artifact (result JSON, the

@@ -1,12 +1,17 @@
-//! Perfect (oracle) ACE-bit counters.
+//! ACE-bit counters and AVF computation.
 //!
-//! These counters observe retirement events and accumulate exact ACE
-//! bit-time per microarchitectural structure, following the paper's
-//! accounting (Section 4.2): an instruction's ACE contribution to a
-//! structure is its residency in that structure times the structure's bits
-//! per entry. NOPs and wrong-path instructions contribute nothing (wrong-
-//! path instructions never retire; NOP events are skipped here).
+//! [`PerfectAceCounters`] observes retirement events and accumulates
+//! exact ACE bit-time per microarchitectural structure, following the
+//! paper's accounting (Section 4.2): an instruction's ACE contribution to
+//! a structure is its residency in that structure times the structure's
+//! bits per entry. NOPs and wrong-path instructions contribute nothing
+//! (wrong-path instructions never retire; NOP events are skipped here).
+//!
+//! [`AceCounter`] is the unified front: either the perfect counters or
+//! the emulated hardware counter architecture
+//! ([`crate::HwAceCounters`]), selected by [`CounterKind`].
 
+use crate::hardware::{CounterKind, HwAceCounters};
 use relsim_cpu::{BitWidths, CoreConfig, CoreKind, RetireEvent, RetireObserver};
 use relsim_trace::OpClass;
 use serde::{Deserialize, Serialize};
@@ -197,6 +202,99 @@ impl RetireObserver for PerfectAceCounters {
     }
 }
 
+/// Either a perfect or a hardware ACE counter, selected by
+/// [`CounterKind`].
+///
+/// # Examples
+///
+/// ```
+/// use relsim_ace::{AceCounter, CounterKind};
+/// use relsim_cpu::CoreConfig;
+///
+/// let perfect = AceCounter::new(&CoreConfig::big(), CounterKind::Perfect);
+/// let hw = AceCounter::new(&CoreConfig::big(), CounterKind::HwRobOnly);
+/// assert_eq!(perfect.abc(0), 0.0);
+/// assert_eq!(hw.abc(0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub enum AceCounter {
+    /// Exact accounting.
+    Perfect(PerfectAceCounters),
+    /// Quantized hardware counter architecture.
+    Hw(HwAceCounters),
+}
+
+impl AceCounter {
+    /// Build the counter variant selected by `kind` for the given core.
+    pub fn new(cfg: &CoreConfig, kind: CounterKind) -> Self {
+        match kind {
+            CounterKind::Perfect => AceCounter::Perfect(PerfectAceCounters::new(cfg)),
+            k => AceCounter::Hw(HwAceCounters::new(cfg, k)),
+        }
+    }
+
+    /// Total ACE bit-time over a window of `elapsed` ticks.
+    pub fn abc(&self, elapsed: u64) -> f64 {
+        match self {
+            AceCounter::Perfect(c) => c.abc(elapsed),
+            AceCounter::Hw(c) => c.abc(elapsed),
+        }
+    }
+
+    /// Per-structure ABC breakdown.
+    pub fn stack(&self, elapsed: u64) -> AbcStack {
+        match self {
+            AceCounter::Perfect(c) => c.stack(elapsed),
+            AceCounter::Hw(c) => c.stack(elapsed),
+        }
+    }
+
+    /// Retired (non-NOP) instructions observed.
+    pub fn retired(&self) -> u64 {
+        match self {
+            AceCounter::Perfect(c) => c.retired(),
+            AceCounter::Hw(c) => c.retired(),
+        }
+    }
+
+    /// Reset the accumulators.
+    pub fn reset(&mut self) {
+        match self {
+            AceCounter::Perfect(c) => c.reset(),
+            AceCounter::Hw(c) => c.reset(),
+        }
+    }
+}
+
+impl RetireObserver for AceCounter {
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        match self {
+            AceCounter::Perfect(c) => c.on_retire(ev),
+            AceCounter::Hw(c) => c.on_retire(ev),
+        }
+    }
+}
+
+/// Architectural vulnerability factor: the fraction of the core's bits
+/// that held ACE state, averaged over a window.
+///
+/// `abc` is ACE bit-time (bit-ticks), `total_bits` the core's vulnerable
+/// bit count ([`CoreConfig::total_bits`]), `elapsed` the window in ticks.
+///
+/// # Examples
+///
+/// ```
+/// // Half the bits ACE for the whole window -> AVF 0.5.
+/// let avf = relsim_ace::avf(50.0, 10, 10);
+/// assert!((avf - 0.5).abs() < 1e-12);
+/// ```
+pub fn avf(abc: f64, total_bits: u64, elapsed: u64) -> f64 {
+    if total_bits == 0 || elapsed == 0 {
+        return 0.0;
+    }
+    abc / (total_bits as f64 * elapsed as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +393,108 @@ mod tests {
         let n = c.stack(10).normalized();
         let sum: f64 = n.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unified_counter_dispatches() {
+        let cfg = CoreConfig::big();
+        let e = ev(OpClass::IntAlu, 0, 2, 3, 10);
+        for kind in [
+            CounterKind::Perfect,
+            CounterKind::HwBaseline,
+            CounterKind::HwRobOnly,
+        ] {
+            let mut c = AceCounter::new(&cfg, kind);
+            c.on_retire(&e);
+            assert!(c.abc(10) > 0.0, "{kind:?}");
+            assert_eq!(c.retired(), 1);
+            c.reset();
+            assert_eq!(c.retired(), 0);
+        }
+    }
+
+    #[test]
+    fn unified_counter_is_transparent_over_perfect() {
+        // The enum front must not change any number: drive the unified
+        // counter and a bare PerfectAceCounters with the same stream and
+        // compare the full stack.
+        let cfg = CoreConfig::big();
+        let mut unified = AceCounter::new(&cfg, CounterKind::Perfect);
+        let mut bare = PerfectAceCounters::new(&cfg);
+        for i in 0..500u64 {
+            let t = i * 3;
+            let e = ev(
+                if i % 3 == 0 {
+                    OpClass::Load
+                } else {
+                    OpClass::IntAlu
+                },
+                t,
+                t + 1 + i % 4,
+                t + 2 + i % 4,
+                t + 8 + i % 20,
+            );
+            unified.on_retire(&e);
+            bare.on_retire(&e);
+        }
+        assert_eq!(unified.stack(1500), bare.stack(1500));
+        assert_eq!(unified.retired(), bare.retired());
+        assert_eq!(unified.abc(1500), bare.abc(1500));
+    }
+
+    #[test]
+    fn unified_counter_is_transparent_over_hw() {
+        let cfg = CoreConfig::big();
+        let mut unified = AceCounter::new(&cfg, CounterKind::HwBaseline);
+        let mut bare = HwAceCounters::new(&cfg, CounterKind::HwBaseline);
+        for i in 0..200u64 {
+            let t = i * 5;
+            let e = ev(OpClass::Store, t, t + 2, t + 3, t + 9);
+            unified.on_retire(&e);
+            bare.on_retire(&e);
+        }
+        assert_eq!(unified.stack(1000), bare.stack(1000));
+        assert_eq!(unified.retired(), bare.retired());
+    }
+
+    #[test]
+    fn avf_bounds() {
+        assert_eq!(avf(0.0, 100, 100), 0.0);
+        assert_eq!(avf(100.0, 0, 100), 0.0);
+        assert_eq!(avf(100.0, 100, 0), 0.0, "empty window is AVF 0, not NaN");
+        let full = avf(100.0 * 100.0, 100, 100);
+        assert!((full - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hw_baseline_approximates_perfect_within_tolerance() {
+        // Drive both counters with a realistic event stream and compare.
+        let cfg = CoreConfig::big();
+        let mut perfect = AceCounter::new(&cfg, CounterKind::Perfect);
+        let mut hw = AceCounter::new(&cfg, CounterKind::HwBaseline);
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            let (d, iss, fin, com) = (t, t + 2 + i % 5, t + 4 + i % 5, t + 12 + i % 40);
+            let e = RetireEvent {
+                op: if i % 4 == 0 {
+                    OpClass::Load
+                } else {
+                    OpClass::IntAlu
+                },
+                dispatch: d,
+                issue: iss,
+                finish: fin,
+                commit: com,
+                exec_latency: 1,
+                has_output: true,
+            };
+            perfect.on_retire(&e);
+            hw.on_retire(&e);
+            t += 3;
+        }
+        let p = perfect.abc(t);
+        let h = hw.abc(t);
+        let rel = (p - h).abs() / p;
+        assert!(rel < 0.05, "perfect {p} vs hw {h} (rel {rel})");
     }
 }

@@ -12,7 +12,7 @@
 //! structure entry that was holding correct-path, non-NOP instruction
 //! state at the strike tick — exactly the paper's ACE definition.
 
-use crate::counter::avf;
+use crate::counters::avf;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use relsim_cpu::{CoreConfig, CoreKind, RetireEvent};

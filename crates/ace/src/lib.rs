@@ -44,14 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod counter;
 mod counters;
 pub mod fault_injection;
 mod hardware;
 pub mod hw_cost;
 mod tracker;
 
-pub use counter::{avf, AceCounter};
-pub use counters::{AbcStack, PerfectAceCounters, ABC_STACK_NAMES};
+pub use counters::{avf, AbcStack, AceCounter, PerfectAceCounters, ABC_STACK_NAMES};
 pub use hardware::{CounterKind, HwAceCounters};
 pub use tracker::{AvfTracker, AvfWindow};

@@ -6,7 +6,7 @@
 //! monitoring beyond scheduling (e.g. deciding when to enable an error-
 //! mitigation mechanism, cf. Section 7.1 of the paper).
 
-use crate::counter::{avf, AceCounter};
+use crate::counters::{avf, AceCounter};
 use crate::hardware::CounterKind;
 use relsim_cpu::{CoreConfig, RetireEvent, RetireObserver};
 use serde::{Deserialize, Serialize};

@@ -1,13 +1,45 @@
-//! Figure 11: SSER and STP while varying the sampling parameters (r, s):
-//! resample every r quanta, for a sampling quantum of fraction s.
+//! Figure 11 and the interval-sampling engine study.
+//!
+//! Part 1 validates the fast simulation engine (`relsim::sampling`): the
+//! full 2B2S `mix × scheduler` grid runs fully detailed and then under a
+//! few `--sample` configurations, reporting metric error against the
+//! detailed-cycle reduction.
+//!
+//! Part 2 reproduces the paper's Figure 11: SSER and STP while varying
+//! the *scheduler's* sampling parameters (r, s) — resample every r
+//! quanta, for a sampling quantum of fraction s.
 
-use relsim::experiments::{fig11_sampling_sweep, summarize};
+use relsim::experiments::{fig11_sampling_sweep, sampling_accuracy_study, summarize};
+use relsim::SamplingConfig;
 use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 
 fn main() {
     let obs_args = relsim_bench::obs_init();
     let mut obs = run_obs(&obs_args);
     let ctx = context(scale_from_args());
+
+    let configs: Vec<SamplingConfig> = ["1000:4000:1", "2000:8000:1", "1500:15000:1"]
+        .iter()
+        .map(|s| SamplingConfig::parse(s).expect("valid config"))
+        .collect();
+    let rows = sampling_accuracy_study(&ctx, &configs, &mut obs);
+    println!("# Interval-sampled engine: sampled vs fully detailed (2B2S grid)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>9}",
+        "--sample", "detailed%", "reduction", "SSER err", "STP err"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}x {:>8.2}% {:>8.2}%",
+            r.config,
+            r.detailed_fraction * 100.0,
+            r.detailed_cycle_reduction(),
+            r.sser_err * 100.0,
+            r.stp_err * 100.0
+        );
+    }
+    save_json("fig11_engine_sampling", &rows);
+
     let settings = [
         (5u32, 0.1f64),
         (10, 0.05),

@@ -7,6 +7,7 @@
 //! ```
 
 use relsim::experiments::*;
+use relsim::SamplingConfig;
 use relsim_bench::{context, obs_finish, pct, run_obs, save_json, scale_from_args};
 use relsim_metrics::arithmetic_mean;
 use std::time::Instant;
@@ -177,6 +178,20 @@ fn main() {
         fig11.push(((r, s_), s));
     }
     save_json("fig11_sampling", &fig11);
+
+    // Interval-sampled engine accuracy -----------------------------------
+    let engine_cfgs = [SamplingConfig::parse("1500:15000:1").expect("valid config")];
+    let engine = sampling_accuracy_study(&ctx, &engine_cfgs, &mut obs);
+    for r in &engine {
+        println!(
+            "[Sampling] --sample {}: {:.1}x fewer detailed cycles, SSER err {:.2}%, STP err {:.2}%",
+            r.config,
+            r.detailed_cycle_reduction(),
+            r.sser_err * 100.0,
+            r.stp_err * 100.0
+        );
+    }
+    save_json("fig11_engine_sampling", &engine);
 
     obs_finish(&obs_args, &mut obs);
     relsim_obs::info!("=== done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -53,7 +53,9 @@ fn main() {
         println!(
             "usage: simulate --benchmarks a,b,c,d [--big N] [--small N] \
              [--scheduler random|performance|reliability|static] \
-             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}"
+             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}\n{}\n{}",
+            relsim_bench::JOBS_HELP,
+            relsim_bench::SAMPLE_HELP
         );
         return;
     }

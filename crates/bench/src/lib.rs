@@ -36,6 +36,7 @@ pub const MODEL_VERSION: u32 = 3;
 /// while stdout data stays untouched.
 pub fn obs_init() -> ObsArgs {
     relsim::pool::set_default_jobs(jobs_from_args());
+    relsim::sampling::set_default(sampling_from_args());
     ObsArgs::from_env()
 }
 
@@ -82,6 +83,50 @@ pub fn parse_jobs<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
 /// Help text fragment for the `--jobs` flag, for `--help` output.
 pub const JOBS_HELP: &str = "  --jobs N, -j N        worker threads for the experiment grid \
                              (default: available parallelism; output is byte-identical at any N)";
+
+/// Parse the interval-sampling configuration from the process arguments:
+/// `--sample DETAILED:FF[:SEED]` or `--sample=...`. `None` means the flag
+/// was absent and runs stay fully detailed. An invalid value warns and is
+/// ignored rather than silently producing approximate results under a
+/// different configuration than the user asked for.
+pub fn sampling_from_args() -> Option<relsim::SamplingConfig> {
+    parse_sample(std::env::args().skip(1))
+}
+
+/// Testable `--sample` parser; `None` means absent or invalid.
+pub fn parse_sample<I: IntoIterator<Item = String>>(args: I) -> Option<relsim::SamplingConfig> {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if let Some(v) = arg.strip_prefix("--sample=") {
+            Some(v.to_string())
+        } else if arg == "--sample" {
+            iter.next()
+        } else {
+            continue;
+        };
+        return match value.as_deref().map(relsim::SamplingConfig::parse) {
+            Some(Ok(cfg)) => Some(cfg),
+            other => {
+                relsim_obs::warn!(
+                    "--sample expects DETAILED:FF[:SEED], got {:?}; running fully detailed{}",
+                    value.as_deref().unwrap_or(""),
+                    match other {
+                        Some(Err(e)) => format!(" ({e})"),
+                        _ => String::new(),
+                    }
+                );
+                None
+            }
+        };
+    }
+    None
+}
+
+/// Help text fragment for the `--sample` flag, for `--help` output.
+pub const SAMPLE_HELP: &str =
+    "  --sample D:F[:S]      interval sampling: alternate D detailed ticks \
+                               with ~F fast-forwarded ticks (seed S jitters window lengths; \
+                               0 disables the jitter)";
 
 /// Open the run-level observer for a binary: events stream to
 /// `--trace-out` (exiting cleanly if the path is unwritable), metrics and
@@ -178,10 +223,15 @@ pub fn pct(x: f64) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_jobs;
+    use super::{parse_jobs, parse_sample};
+    use relsim::SamplingConfig;
 
     fn parse(args: &[&str]) -> Option<usize> {
         parse_jobs(args.iter().map(|s| s.to_string()))
+    }
+
+    fn sample(args: &[&str]) -> Option<SamplingConfig> {
+        parse_sample(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -195,5 +245,19 @@ mod tests {
         // `-json` must not be mistaken for `-j son`.
         assert_eq!(parse(&["-json"]), None);
         assert_eq!(parse(&["--jobs", "lots"]), None);
+    }
+
+    #[test]
+    fn sample_flag_forms() {
+        let cfg = SamplingConfig::parse("2000:8000").unwrap();
+        assert_eq!(sample(&["--sample", "2000:8000"]), Some(cfg));
+        assert_eq!(
+            sample(&["--quick", "--sample=1000:4000:7"]),
+            Some(SamplingConfig::parse("1000:4000:7").unwrap())
+        );
+        assert_eq!(sample(&["--quick"]), None);
+        assert_eq!(sample(&["--sample", "nonsense"]), None);
+        assert_eq!(sample(&["--sample"]), None);
+        assert_eq!(sample(&["--sample", "0:4000"]), None);
     }
 }

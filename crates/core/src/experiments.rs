@@ -680,6 +680,148 @@ pub fn fig11_sampling_sweep(
         .collect()
 }
 
+// ===================================================================
+// Interval-sampling engine: sampled-vs-full accuracy study
+// ===================================================================
+
+/// One `mix × scheduler` cell of the sampled-vs-full differential study:
+/// the evaluated metrics of the interval-sampled run as ratios over the
+/// fully detailed run of the same workload and scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingAccuracyCell {
+    /// Workload, as `category:bench+bench+...`.
+    pub workload: String,
+    /// Scheduler name ([`SchedKind::name`]).
+    pub scheduler: String,
+    /// Sampled SSER / full SSER.
+    pub sser_ratio: f64,
+    /// Sampled STP / full STP.
+    pub stp_ratio: f64,
+}
+
+/// Aggregate accuracy and speedup of one engine configuration over a
+/// `mix × scheduler` grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingAccuracyRow {
+    /// The engine configuration, in `--sample` flag form.
+    pub config: String,
+    /// Fraction of simulated ticks that ran cycle-detailed.
+    pub detailed_fraction: f64,
+    /// Geometric-mean absolute relative SSER error across the grid.
+    pub sser_err: f64,
+    /// Geometric-mean absolute relative STP error across the grid.
+    pub stp_err: f64,
+    /// Per-cell ratios behind the aggregates.
+    pub cells: Vec<SamplingAccuracyCell>,
+}
+
+impl SamplingAccuracyRow {
+    /// How many times fewer cycles were simulated in detail.
+    pub fn detailed_cycle_reduction(&self) -> f64 {
+        1.0 / self.detailed_fraction
+    }
+}
+
+/// Geometric mean of absolute relative errors: `exp(mean |ln r|) - 1`.
+/// NaN (never silently dropped) if any ratio is non-finite or
+/// non-positive, or if the set is empty.
+pub fn geomean_abs_err<I: IntoIterator<Item = f64>>(ratios: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for r in ratios {
+        if !(r.is_finite() && r > 0.0) {
+            return f64::NAN;
+        }
+        sum += r.ln().abs();
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).exp() - 1.0
+    }
+}
+
+/// Differential accuracy study of the interval-sampling engine
+/// ([`crate::sampling`]): run the 2B2S four-program grid under all three
+/// schedulers fully detailed, then once per `configs` entry with the
+/// engine enabled, and report per-config metric error and detailed-cycle
+/// reduction.
+///
+/// Temporarily overrides the process-wide sampling default (restored on
+/// return), so callers must not race it against other experiment drivers
+/// in the same process. Grid cells whose full or sampled run failed are
+/// dropped from the aggregates via the pool's failure channel.
+pub fn sampling_accuracy_study(
+    ctx: &Context,
+    configs: &[crate::SamplingConfig],
+    obs: &mut RunObs,
+) -> Vec<SamplingAccuracyRow> {
+    let cfg = hcmp_config(ctx, 2, 2);
+    let mixes = ctx.four_program_mixes();
+    let grid: Vec<(usize, SchedKind)> = (0..mixes.len())
+        .flat_map(|mi| SchedKind::ALL.map(|s| (mi, s)))
+        .collect();
+    let run_grid = |sampling: Option<crate::SamplingConfig>,
+                    obs: &mut RunObs|
+     -> Vec<Option<(f64, f64, u64, u64)>> {
+        crate::sampling::set_default(sampling);
+        crate::pool::scatter_map_into(
+            "sampling-accuracy",
+            grid.clone(),
+            obs,
+            |_, (mi, sched), job_obs| {
+                let (eval, result) = run_mix_traced(
+                    ctx,
+                    &cfg,
+                    &mixes[mi],
+                    sched,
+                    SamplingParams::default(),
+                    job_obs,
+                );
+                let (detailed, ff) = result
+                    .sampling
+                    .map_or((result.duration, 0), |r| (r.detailed_ticks, r.ff_ticks));
+                (eval.sser, eval.stp, detailed, detailed + ff)
+            },
+        )
+    };
+    let saved = crate::sampling::default_config();
+    let full = run_grid(None, obs);
+    let mut rows = Vec::with_capacity(configs.len());
+    for sc in configs {
+        let sampled = run_grid(Some(*sc), obs);
+        let mut cells = Vec::new();
+        let mut detailed = 0u64;
+        let mut total = 0u64;
+        for (gi, (mi, sched)) in grid.iter().enumerate() {
+            if let (Some(f), Some(s)) = (&full[gi], &sampled[gi]) {
+                cells.push(SamplingAccuracyCell {
+                    workload: format!(
+                        "{}:{}",
+                        mixes[*mi].category,
+                        mixes[*mi].benchmarks.join("+")
+                    ),
+                    scheduler: sched.name().to_string(),
+                    sser_ratio: s.0 / f.0,
+                    stp_ratio: s.1 / f.1,
+                });
+                detailed += s.2;
+                total += s.3;
+            }
+        }
+        rows.push(SamplingAccuracyRow {
+            config: sc.to_flag(),
+            detailed_fraction: detailed as f64 / total.max(1) as f64,
+            sser_err: geomean_abs_err(cells.iter().map(|c| c.sser_ratio)),
+            stp_err: geomean_abs_err(cells.iter().map(|c| c.stp_ratio)),
+            cells,
+        });
+    }
+    crate::sampling::set_default(saved);
+    rows
+}
+
 /// Run one isolated benchmark on a custom core config (used by ablation
 /// benches).
 pub fn isolated_on(ctx: &Context, name: &str, cfg: &CoreConfig) -> IsolatedResult {
@@ -742,6 +884,20 @@ mod tests {
         }
         let s = summarize(&comparisons);
         assert!(s.rel_vs_random_sser.is_finite());
+    }
+
+    #[test]
+    fn geomean_error_definition() {
+        assert!(geomean_abs_err([].into_iter()).is_nan());
+        assert!(geomean_abs_err([1.0, f64::NAN].into_iter()).is_nan());
+        assert!(geomean_abs_err([1.0, 0.0].into_iter()).is_nan());
+        assert!(geomean_abs_err([1.0, 1.0].into_iter()).abs() < 1e-12);
+        // Symmetric in over/under-estimation: 1.1 and 1/1.1 are the same
+        // error.
+        let over = geomean_abs_err([1.1]);
+        let under = geomean_abs_err([1.0 / 1.1]);
+        assert!((over - under).abs() < 1e-12);
+        assert!((over - 0.1).abs() < 1e-12);
     }
 
     #[test]

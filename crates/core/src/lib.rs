@@ -48,12 +48,14 @@ pub mod isolated;
 pub mod mixes;
 pub mod oracle;
 pub mod pool;
+pub mod sampling;
 mod sched;
 mod sched_pie;
 mod system;
 
 pub use relsim_ace::CounterKind;
 pub use relsim_obs::RunObs;
+pub use sampling::{SamplingConfig, SamplingReport};
 pub use sched::{
     DecisionInfo, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
     Segment, SegmentObservation, StaticScheduler,

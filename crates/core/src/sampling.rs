@@ -1,0 +1,422 @@
+//! Interval-sampling execution engine configuration and error model.
+//!
+//! Full cycle-level simulation of every (mix, scheduler, configuration)
+//! cell caps how large an experiment grid can get. Interval sampling
+//! (SMARTS/Pac-Sim lineage, see PAPERS.md) recovers most of the speed:
+//! each scheduler segment alternates **detailed** windows — the ordinary
+//! per-tick pipeline simulation — with **fast-forward** windows in which
+//! instructions are functionally played through the cache hierarchy (so
+//! cache, prefetcher and DRAM state stay warm and the trace position
+//! advances exactly as far as it would have) but not cycle-timed. Cycles,
+//! CPI-stack components and ACE bit-time for the skipped windows are
+//! extrapolated from the adjacent detailed windows.
+//!
+//! This module holds the engine's configuration ([`SamplingConfig`],
+//! parsed from `--sample detailed:ff[:seed]`), the process-wide default
+//! installed by `obs_init` (mirroring `pool::set_default_jobs`), the
+//! per-run error model ([`ErrorEstimator`], [`SamplingReport`]), and the
+//! ACE extrapolation helper. The engine itself lives in
+//! [`System::run_traced`](crate::System::run_traced).
+
+use relsim_ace::AceCounter;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of the interval-sampling engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Length of each detailed (cycle-timed) window, in ticks.
+    pub detailed_ticks: u64,
+    /// Nominal length of each fast-forward window, in ticks.
+    pub ff_ticks: u64,
+    /// Jitter seed. `0` means strictly periodic windows; any other value
+    /// deterministically varies fast-forward window lengths in
+    /// `[ff/2, 3*ff/2)` to break phase alignment with periodic program
+    /// behavior (systematic-sampling bias).
+    pub seed: u64,
+}
+
+impl SamplingConfig {
+    /// Parse the `--sample` flag value: `detailed:ff` or
+    /// `detailed:ff:seed`, all ticks, e.g. `2000:8000` or `2000:8000:7`.
+    pub fn parse(value: &str) -> Result<SamplingConfig, String> {
+        let parts: Vec<&str> = value.split(':').collect();
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(format!(
+                "--sample expects detailed:ff[:seed], got {value:?}"
+            ));
+        }
+        let num = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|_| format!("--sample: invalid {what} {s:?} in {value:?}"))
+        };
+        let detailed_ticks = num(parts[0], "detailed window")?;
+        let ff_ticks = num(parts[1], "fast-forward window")?;
+        let seed = match parts.get(2) {
+            Some(s) => num(s, "seed")?,
+            None => 0,
+        };
+        if detailed_ticks == 0 || ff_ticks == 0 {
+            return Err(format!(
+                "--sample: window lengths must be positive, got {value:?}"
+            ));
+        }
+        Ok(SamplingConfig {
+            detailed_ticks,
+            ff_ticks,
+            seed,
+        })
+    }
+
+    /// Length of the `index`-th fast-forward window. Strictly periodic for
+    /// seed 0; otherwise deterministically jittered in `[ff/2, 3*ff/2)`.
+    pub fn ff_len(&self, index: u64) -> u64 {
+        if self.seed == 0 {
+            return self.ff_ticks;
+        }
+        let r = splitmix64(self.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.ff_ticks / 2 + r % self.ff_ticks.max(1)
+    }
+
+    /// Detailed-warmup prefix of each detailed window: the first quarter
+    /// runs cycle-accurate but unmeasured, so the post-splice transient
+    /// (imperfectly warmed MSHRs, DRAM row buffers, shared-cache mix)
+    /// decays before the ticks that seed the fast-forward extrapolation
+    /// and the error estimators.
+    pub fn warmup_ticks(&self) -> u64 {
+        self.detailed_ticks / 4
+    }
+
+    /// Measured suffix of each detailed window.
+    pub fn measured_ticks(&self) -> u64 {
+        self.detailed_ticks - self.warmup_ticks()
+    }
+
+    /// Render as the `--sample` flag value that parses back to `self`.
+    pub fn to_flag(&self) -> String {
+        if self.seed == 0 {
+            format!("{}:{}", self.detailed_ticks, self.ff_ticks)
+        } else {
+            format!("{}:{}:{}", self.detailed_ticks, self.ff_ticks, self.seed)
+        }
+    }
+}
+
+impl std::fmt::Display for SamplingConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_flag())
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed deterministic hash, used only for
+/// window-length jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Process-wide default sampling configuration, consulted by
+/// [`System::new`](crate::System::new). Stored as three atomics (a zero
+/// `detailed` slot means "disabled") so reads are lock-free; the value is
+/// set once at startup by `obs_init` before any parallel work begins,
+/// mirroring [`pool::set_default_jobs`](crate::pool::set_default_jobs).
+static DEFAULT_DETAILED: AtomicU64 = AtomicU64::new(0);
+static DEFAULT_FF: AtomicU64 = AtomicU64::new(0);
+static DEFAULT_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Install (or clear, with `None`) the process-wide default sampling
+/// configuration. Call before spawning experiment-pool workers.
+pub fn set_default(cfg: Option<SamplingConfig>) {
+    match cfg {
+        Some(c) => {
+            DEFAULT_SEED.store(c.seed, Ordering::SeqCst);
+            DEFAULT_FF.store(c.ff_ticks, Ordering::SeqCst);
+            DEFAULT_DETAILED.store(c.detailed_ticks.max(1), Ordering::SeqCst);
+        }
+        None => {
+            DEFAULT_DETAILED.store(0, Ordering::SeqCst);
+            DEFAULT_FF.store(0, Ordering::SeqCst);
+            DEFAULT_SEED.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The process-wide default sampling configuration, if one is installed.
+pub fn default_config() -> Option<SamplingConfig> {
+    let detailed_ticks = DEFAULT_DETAILED.load(Ordering::SeqCst);
+    if detailed_ticks == 0 {
+        return None;
+    }
+    Some(SamplingConfig {
+        detailed_ticks,
+        ff_ticks: DEFAULT_FF.load(Ordering::SeqCst),
+        seed: DEFAULT_SEED.load(Ordering::SeqCst),
+    })
+}
+
+/// Streaming mean/variance (Welford) over per-window rates, used to
+/// attach a confidence estimate to each extrapolated metric.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorEstimator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl ErrorEstimator {
+    /// Record one detailed-window observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Relative standard error of the mean: `(s/√n)/|mean|`. NaN when
+    /// fewer than two windows were observed or the mean is zero — the
+    /// degenerate cases where extrapolation has no error model — so
+    /// downstream consumers see an explicit not-a-number rather than a
+    /// silently confident zero.
+    pub fn rel_stderr(&self) -> f64 {
+        if self.n < 2 || self.mean == 0.0 {
+            return f64::NAN;
+        }
+        let var = self.m2 / (self.n - 1) as f64;
+        (var.sqrt() / (self.n as f64).sqrt()) / self.mean.abs()
+    }
+}
+
+/// Per-run summary of what the sampling engine did, attached to
+/// [`RunResult`](crate::RunResult) and emitted as a `SamplingSummary`
+/// event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingReport {
+    /// Ticks simulated cycle-by-cycle (including sampling quanta and
+    /// segments too short to split).
+    pub detailed_ticks: u64,
+    /// Ticks covered by fast-forward windows.
+    pub ff_ticks: u64,
+    /// Number of detailed windows observed.
+    pub windows: u64,
+    /// Relative standard error of the per-window IPC estimate.
+    pub ipc_rel_stderr: f64,
+    /// Relative standard error of the per-window ABC-rate estimate.
+    pub abc_rel_stderr: f64,
+}
+
+impl SamplingReport {
+    /// Fraction of simulated ticks that ran in detail.
+    pub fn detailed_fraction(&self) -> f64 {
+        let total = self.detailed_ticks + self.ff_ticks;
+        if total == 0 {
+            return 1.0;
+        }
+        self.detailed_ticks as f64 / total as f64
+    }
+}
+
+/// Extrapolate an ACE counter that only observed `detailed` of `elapsed`
+/// ticks to the full window. `abc(elapsed)` is affine in `elapsed` for
+/// every counter variant — an event-driven part (`abc(0)`) accumulated
+/// from retirements, plus a term linear in elapsed time (the
+/// architectural-register contribution) — so the event part scales by the
+/// tick ratio and the linear part is evaluated at the full window
+/// directly.
+pub fn extrapolate_abc(counter: &AceCounter, elapsed: u64, detailed: u64) -> f64 {
+    let event_part = counter.abc(0);
+    let reg_part = counter.abc(elapsed) - event_part;
+    if detailed == 0 || detailed >= elapsed {
+        return counter.abc(elapsed);
+    }
+    event_part * (elapsed as f64 / detailed as f64) + reg_part
+}
+
+/// Like [`extrapolate_abc`], but scale from the event part observed over
+/// the *measured* (post-warmup) portions of the detailed windows instead
+/// of the counter's whole accumulation. The warmup prefix of each window
+/// runs at a depressed rate while the post-splice transient decays;
+/// extrapolating the whole-window rate would carry that depression into
+/// the full-window estimate (and, since `wSER = ABC / T_ref`, into SSER).
+pub fn extrapolate_abc_measured(
+    counter: &AceCounter,
+    elapsed: u64,
+    measured_event: f64,
+    measured: u64,
+    detailed: u64,
+) -> f64 {
+    if detailed == 0 || detailed >= elapsed {
+        return counter.abc(elapsed);
+    }
+    if measured == 0 {
+        return extrapolate_abc(counter, elapsed, detailed);
+    }
+    let reg_part = counter.abc(elapsed) - counter.abc(0);
+    measured_event * (elapsed as f64 / measured as f64) + reg_part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_two_and_three_part_forms() {
+        assert_eq!(
+            SamplingConfig::parse("2000:8000").unwrap(),
+            SamplingConfig {
+                detailed_ticks: 2000,
+                ff_ticks: 8000,
+                seed: 0
+            }
+        );
+        assert_eq!(
+            SamplingConfig::parse("1500:6000:7").unwrap(),
+            SamplingConfig {
+                detailed_ticks: 1500,
+                ff_ticks: 6000,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_values() {
+        for bad in ["", "2000", "a:b", "2000:", "0:100", "100:0", "1:2:3:4"] {
+            assert!(SamplingConfig::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn flag_round_trips() {
+        for s in ["2000:8000", "1500:6000:7"] {
+            let cfg = SamplingConfig::parse(s).unwrap();
+            assert_eq!(cfg.to_flag(), s);
+            assert_eq!(SamplingConfig::parse(&cfg.to_flag()).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn ff_len_periodic_without_seed_jittered_with_seed() {
+        let plain = SamplingConfig::parse("1000:4000").unwrap();
+        assert!(
+            (0..10).all(|i| plain.ff_len(i) == 4000),
+            "seed 0 is strictly periodic"
+        );
+        let jit = SamplingConfig::parse("1000:4000:3").unwrap();
+        let lens: Vec<u64> = (0..10).map(|i| jit.ff_len(i)).collect();
+        assert!(lens.iter().all(|&l| (2000..6000).contains(&l)), "{lens:?}");
+        assert!(
+            lens.windows(2).any(|w| w[0] != w[1]),
+            "jitter varies: {lens:?}"
+        );
+        // Deterministic: same config, same lengths.
+        let again: Vec<u64> = (0..10).map(|i| jit.ff_len(i)).collect();
+        assert_eq!(lens, again);
+    }
+
+    #[test]
+    fn error_estimator_matches_hand_computation() {
+        let mut e = ErrorEstimator::default();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            e.push(x);
+        }
+        assert_eq!(e.n(), 8);
+        assert!((e.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this set is 32/7; stderr = sqrt(32/7)/sqrt(8).
+        let expected = ((32.0f64 / 7.0).sqrt() / 8.0f64.sqrt()) / 5.0;
+        assert!((e.rel_stderr() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_estimator_degenerate_cases_are_nan() {
+        let e = ErrorEstimator::default();
+        assert!(e.mean().is_nan());
+        assert!(e.rel_stderr().is_nan());
+        let mut one = ErrorEstimator::default();
+        one.push(3.0);
+        assert!(one.rel_stderr().is_nan(), "one window has no error model");
+        let mut zeros = ErrorEstimator::default();
+        zeros.push(0.0);
+        zeros.push(0.0);
+        assert!(
+            zeros.rel_stderr().is_nan(),
+            "zero mean has no relative error"
+        );
+    }
+
+    #[test]
+    fn report_detailed_fraction() {
+        let r = SamplingReport {
+            detailed_ticks: 2_000,
+            ff_ticks: 8_000,
+            windows: 4,
+            ipc_rel_stderr: 0.01,
+            abc_rel_stderr: 0.02,
+        };
+        assert!((r.detailed_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_is_exact_for_affine_counters() {
+        use relsim_ace::CounterKind;
+        use relsim_cpu::{CoreConfig, RetireEvent, RetireObserver};
+        use relsim_trace::OpClass;
+
+        let cfg = CoreConfig::big();
+        for kind in [
+            CounterKind::Perfect,
+            CounterKind::HwBaseline,
+            CounterKind::HwRobOnly,
+        ] {
+            let mut c = AceCounter::new(&cfg, kind);
+            c.on_retire(&RetireEvent {
+                op: OpClass::IntAlu,
+                dispatch: 0,
+                issue: 2,
+                finish: 3,
+                commit: 10,
+                exec_latency: 1,
+                has_output: true,
+            });
+            // Counter saw all 100 ticks: extrapolation is the identity.
+            assert_eq!(extrapolate_abc(&c, 100, 100), c.abc(100));
+            // Counter saw half the window: the event part doubles, the
+            // time-linear part does not.
+            let event = c.abc(0);
+            let reg = c.abc(100) - event;
+            let ex = extrapolate_abc(&c, 100, 50);
+            assert!((ex - (2.0 * event + reg)).abs() < 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn default_round_trips_through_atomics() {
+        // Runs in the same process as other tests, so restore on exit.
+        let prev = default_config();
+        let cfg = SamplingConfig {
+            detailed_ticks: 123,
+            ff_ticks: 456,
+            seed: 9,
+        };
+        set_default(Some(cfg));
+        assert_eq!(default_config(), Some(cfg));
+        set_default(None);
+        assert_eq!(default_config(), None);
+        set_default(prev);
+    }
+}

@@ -6,6 +6,7 @@
 //! attributes per-segment statistics to applications, and produces a
 //! [`RunResult`] from which SSER, STP and power are computed.
 
+use crate::sampling::{self, ErrorEstimator, SamplingConfig, SamplingReport};
 use crate::sched::{Scheduler, SegmentObservation};
 use relsim_ace::{AceCounter, CounterKind};
 use relsim_cpu::{Core, CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
@@ -205,6 +206,10 @@ pub struct RunResult {
     pub timeline: Vec<SegmentRecord>,
     /// Total migrations across all applications.
     pub migrations: u64,
+    /// Interval-sampling summary (present only when the run used the
+    /// sampling engine).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sampling: Option<SamplingReport>,
 }
 
 /// Feeds one core's retirement events to both counter sets.
@@ -238,6 +243,8 @@ pub struct System {
     /// Per-core tick at which the current segment's measurement starts
     /// (counters reset and baselines snapshot there).
     measure_start: Vec<u64>,
+    /// Interval-sampling configuration; `None` runs fully detailed.
+    sampling: Option<SamplingConfig>,
     now: u64,
 }
 
@@ -299,6 +306,7 @@ impl System {
             mapping: (0..n).collect(),
             stall_until: vec![0; n],
             measure_start: vec![0; n],
+            sampling: sampling::default_config(),
             cfg,
             now: 0,
         }
@@ -307,6 +315,20 @@ impl System {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Override the interval-sampling configuration for this system
+    /// (`None` restores full detailed simulation). Systems pick up the
+    /// process-wide default ([`sampling::default_config`]) at
+    /// construction; this setter exists for tests and differential
+    /// harnesses that need both modes in one process.
+    pub fn set_sampling(&mut self, cfg: Option<SamplingConfig>) {
+        self.sampling = cfg;
+    }
+
+    /// The active interval-sampling configuration, if any.
+    pub fn sampling(&self) -> Option<SamplingConfig> {
+        self.sampling
     }
 
     /// Run under `scheduler` for `duration` ticks and report the outcome.
@@ -352,6 +374,23 @@ impl System {
             quantum_ticks: self.cfg.quantum_ticks,
             duration_ticks: duration,
         });
+        if let Some(sc) = self.sampling {
+            sink.emit(&Event::SamplingPlan {
+                tick: self.now,
+                detailed_ticks: sc.detailed_ticks,
+                ff_ticks: sc.ff_ticks,
+                seed: sc.seed,
+            });
+        }
+        // Run-level sampling bookkeeping: tick totals, the global
+        // fast-forward window index (drives deterministic length jitter),
+        // and the per-window rate estimators behind the error model.
+        let mut detailed_total = 0u64;
+        let mut ff_total = 0u64;
+        let mut window_total = 0u64;
+        let mut ff_window_index = 0u64;
+        let mut est_ipc = ErrorEstimator::default();
+        let mut est_abc = ErrorEstimator::default();
         // Metric handles are registered once; the per-segment hot path is
         // index arithmetic only.
         let m_quanta = recorder.counter("sim.quanta");
@@ -359,6 +398,8 @@ impl System {
         let m_migrations = recorder.counter("sim.migrations");
         let m_instructions = recorder.counter("sim.instructions");
         let m_ticks = recorder.counter("sim.ticks");
+        let m_detailed = recorder.counter("sim.detailed_ticks");
+        let m_ff = recorder.counter("sim.ff_ticks");
         let h_seg_instr = recorder.histogram("sim.segment_instructions");
         let h_seg_migr = recorder.histogram("sim.segment_migrations");
         // Baselines for per-core deltas: one at segment start (full
@@ -440,39 +481,184 @@ impl System {
                 c.reset();
             }
 
-            // Execute.
+            // Execute: fully detailed, or — when the interval-sampling
+            // engine is active — alternating detailed and fast-forward
+            // windows. Sampling quanta (the scheduler's own measurement
+            // segments) and segments too short to split always run fully
+            // detailed.
+            let seg_start = self.now;
             let seg_end = self.now + ticks;
+            let n_cores = self.cores.len();
+            let mut seg_detailed = 0u64;
+            // Detailed ticks at/after each core's measurement start, for
+            // scheduler-counter extrapolation over the active window.
+            let mut active_detailed = vec![0u64; n_cores];
+            // Event-part ABC accumulated over the measured (post-warmup)
+            // portions of the detailed windows, and the ticks they cover:
+            // the unbiased rate behind the eval-counter extrapolation.
+            let mut meas_abc = vec![0.0f64; n_cores];
+            let mut meas_detailed = 0u64;
+            let plan = match self.sampling {
+                Some(sc) if !seg.is_sampling && ticks > 2 * sc.detailed_ticks => Some(sc),
+                _ => None,
+            };
             timers.time(Phase::CoreTick, || {
-                while self.now < seg_end {
-                    let t = self.now;
-                    #[allow(clippy::needless_range_loop)] // parallel arrays
-                    for core_idx in 0..self.cores.len() {
-                        if t == self.measure_start[core_idx] && t > seg_end - ticks {
-                            // Start of the (post-warmup) measurement window:
-                            // snapshot progress and restart the scheduler's
-                            // counter. Evaluation counters keep the full
-                            // segment (ground truth must not lose ABC).
-                            measure_base[core_idx] = self.cores[core_idx].committed();
-                            self.sched_counters[core_idx].reset();
+                let mut cur = seg_start;
+                loop {
+                    // Detailed window [cur, win_end). The segment's first
+                    // window is stretched to cover migration stalls and
+                    // measurement-warmup trigger ticks, so those always run
+                    // in detail.
+                    let win_end = match plan {
+                        None => seg_end,
+                        Some(sc) => {
+                            let mut b = cur + sc.detailed_ticks;
+                            if cur == seg_start {
+                                for i in 0..n_cores {
+                                    b = b.max(self.stall_until[i]).max(self.measure_start[i] + 1);
+                                }
+                            }
+                            b.min(seg_end)
                         }
-                        if t < self.stall_until[core_idx] {
-                            continue;
+                    };
+                    // Each detailed window keeps its leading quarter as
+                    // unmeasured warmup (the post-splice transient decays
+                    // there) and measures the tail; for stretched windows
+                    // the tail still has the full measured length.
+                    let measure_from = match plan {
+                        Some(sc) => win_end - (win_end - cur).min(sc.measured_ticks()),
+                        None => cur,
+                    };
+                    // Measurement-point snapshots: they seed the
+                    // fast-forward extrapolation and the per-window rate
+                    // estimators. Re-taken mid-window when warmup applies.
+                    let mut snap_committed: Vec<u64> =
+                        self.cores.iter().map(Core::committed).collect();
+                    let mut snap_cpi: Vec<CpiStack> =
+                        self.cores.iter().map(|c| *c.cpi_stack()).collect();
+                    let mut snap_abc: Vec<f64> =
+                        self.eval_counters.iter().map(|c| c.abc(0)).collect();
+                    while self.now < win_end {
+                        let t = self.now;
+                        if t == measure_from && t > cur {
+                            snap_committed = self.cores.iter().map(Core::committed).collect();
+                            snap_cpi = self.cores.iter().map(|c| *c.cpi_stack()).collect();
+                            snap_abc = self.eval_counters.iter().map(|c| c.abc(0)).collect();
                         }
-                        let app_idx = self.mapping[core_idx];
-                        let mut tee = TeeObserver {
-                            eval: &mut self.eval_counters[core_idx],
-                            sched: &mut self.sched_counters[core_idx],
-                        };
-                        self.cores[core_idx].tick(
-                            t,
-                            &mut self.apps[app_idx].gen,
-                            &mut self.shared,
-                            &mut tee,
-                        );
+                        #[allow(clippy::needless_range_loop)] // parallel arrays
+                        for core_idx in 0..n_cores {
+                            if t == self.measure_start[core_idx] && t > seg_start {
+                                // Start of the (post-warmup) measurement
+                                // window: snapshot progress and restart the
+                                // scheduler's counter. Evaluation counters
+                                // keep the full segment (ground truth must
+                                // not lose ABC).
+                                measure_base[core_idx] = self.cores[core_idx].committed();
+                                self.sched_counters[core_idx].reset();
+                            }
+                            if t < self.stall_until[core_idx] {
+                                continue;
+                            }
+                            let app_idx = self.mapping[core_idx];
+                            let mut tee = TeeObserver {
+                                eval: &mut self.eval_counters[core_idx],
+                                sched: &mut self.sched_counters[core_idx],
+                            };
+                            self.cores[core_idx].tick(
+                                t,
+                                &mut self.apps[app_idx].gen,
+                                &mut self.shared,
+                                &mut tee,
+                            );
+                        }
+                        self.now += 1;
                     }
-                    self.now += 1;
+                    let win_ticks = win_end - cur;
+                    let meas_ticks = win_end - measure_from;
+                    seg_detailed += win_ticks;
+                    #[allow(clippy::needless_range_loop)] // parallel arrays
+                    for i in 0..n_cores {
+                        let m = self.measure_start[i];
+                        if win_end > m {
+                            active_detailed[i] += win_end - cur.max(m);
+                        }
+                    }
+                    if plan.is_some() && meas_ticks > 0 {
+                        let committed: u64 = self
+                            .cores
+                            .iter()
+                            .zip(&snap_committed)
+                            .map(|(c, &b)| c.committed() - b)
+                            .sum();
+                        let mut abc = 0.0;
+                        #[allow(clippy::needless_range_loop)] // parallel arrays
+                        for i in 0..n_cores {
+                            let d = self.eval_counters[i].abc(0) - snap_abc[i];
+                            meas_abc[i] += d;
+                            abc += d;
+                        }
+                        meas_detailed += meas_ticks;
+                        est_ipc.push(committed as f64 / meas_ticks as f64);
+                        est_abc.push(abc / meas_ticks as f64);
+                        window_total += 1;
+                    }
+                    if self.now >= seg_end {
+                        break;
+                    }
+                    // Fast-forward window: functionally warm each core's
+                    // instruction stream through the caches, extrapolating
+                    // instruction count and CPI stack from the detailed
+                    // window just observed. The window is chunked and the
+                    // cores round-robined through it so their warming
+                    // accesses interleave in the shared L3/DRAM roughly as
+                    // detailed execution would — one core warming a whole
+                    // window at once evicts the others' shared state
+                    // wholesale and poisons the next detailed interval.
+                    let sc = plan.expect("fast-forward requires a sampling plan");
+                    let ff_ticks = sc.ff_len(ff_window_index).min(seg_end - self.now);
+                    ff_window_index += 1;
+                    let ff_instr: Vec<u64> = (0..n_cores)
+                        .map(|i| {
+                            let d_committed = self.cores[i].committed() - snap_committed[i];
+                            ((d_committed as u128 * ff_ticks as u128 + (meas_ticks / 2) as u128)
+                                / meas_ticks.max(1) as u128) as u64
+                        })
+                        .collect();
+                    let d_cpi: Vec<CpiStack> = (0..n_cores)
+                        .map(|i| self.cores[i].cpi_stack().since(&snap_cpi[i]))
+                        .collect();
+                    const FF_CHUNK_TICKS: u64 = 256;
+                    let mut warmed = vec![0u64; n_cores];
+                    let mut chunk_start = self.now;
+                    while chunk_start < self.now + ff_ticks {
+                        let chunk = FF_CHUNK_TICKS.min(self.now + ff_ticks - chunk_start);
+                        let covered = chunk_start + chunk - self.now;
+                        #[allow(clippy::needless_range_loop)] // parallel arrays
+                        for core_idx in 0..n_cores {
+                            let target = ((ff_instr[core_idx] as u128 * covered as u128)
+                                / ff_ticks as u128) as u64;
+                            let app_idx = self.mapping[core_idx];
+                            self.cores[core_idx].fast_forward(
+                                chunk_start,
+                                chunk,
+                                target - warmed[core_idx],
+                                &d_cpi[core_idx],
+                                &mut self.apps[app_idx].gen,
+                                &mut self.shared,
+                            );
+                            warmed[core_idx] = target;
+                        }
+                        chunk_start += chunk;
+                    }
+                    self.now += ff_ticks;
+                    if self.now >= seg_end {
+                        break;
+                    }
+                    cur = self.now;
                 }
             });
+            detailed_total += seg_detailed;
+            ff_total += ticks - seg_detailed;
 
             // Collect observations.
             let mut obs = Vec::with_capacity(self.cores.len());
@@ -480,7 +666,6 @@ impl System {
             let mut app_instr = vec![0u64; self.apps.len()];
             for (core_idx, core) in self.cores.iter().enumerate() {
                 let app_idx = self.mapping[core_idx];
-                let seg_start = seg_end - ticks;
                 let measured_from = self.measure_start[core_idx].clamp(seg_start, seg_end);
                 let active_ticks = seg_end - measured_from;
                 // Full-segment instructions for attribution; post-warmup
@@ -490,11 +675,25 @@ impl System {
                     core.committed() - measure_base[core_idx].max(core_committed_base[core_idx]);
                 core_committed_base[core_idx] = core.committed();
                 measure_base[core_idx] = core.committed();
-                let eval_abc = self.eval_counters[core_idx].abc(ticks);
+                // Event-driven ABC (ROB/LSQ/issue occupancy) is only
+                // accumulated during detailed ticks; extrapolate it to the
+                // full window from the measured (post-warmup) rate.
+                // Identity when the whole window ran detailed.
+                let eval_abc = sampling::extrapolate_abc_measured(
+                    &self.eval_counters[core_idx],
+                    ticks,
+                    meas_abc[core_idx],
+                    meas_detailed,
+                    seg_detailed,
+                );
                 // The scheduler sees the configured (possibly quantized)
                 // counter over the measurement window; evaluation always
                 // uses perfect accounting over the full segment.
-                let sched_abc = self.sched_counters[core_idx].abc(active_ticks);
+                let sched_abc = sampling::extrapolate_abc(
+                    &self.sched_counters[core_idx],
+                    active_ticks,
+                    active_detailed[core_idx],
+                );
                 let cpi = core.cpi_stack().since(&cpi_base[core_idx]);
                 cpi_base[core_idx] = *core.cpi_stack();
                 let kind = core.kind();
@@ -546,6 +745,8 @@ impl System {
             }
             recorder.add(m_migrations, seg_migrations);
             recorder.add(m_ticks, ticks);
+            recorder.add(m_detailed, seg_detailed);
+            recorder.add(m_ff, ticks - seg_detailed);
             let seg_instr: u64 = app_instr.iter().sum();
             recorder.add(m_instructions, seg_instr);
             recorder.observe(h_seg_instr, seg_instr);
@@ -560,6 +761,13 @@ impl System {
             });
         }
 
+        let sampling_report = self.sampling.map(|_| SamplingReport {
+            detailed_ticks: detailed_total,
+            ff_ticks: ff_total,
+            windows: window_total,
+            ipc_rel_stderr: est_ipc.rel_stderr(),
+            abc_rel_stderr: est_abc.rel_stderr(),
+        });
         let result = timers.time(Phase::Metrics, || {
             let apps: Vec<AppRunStats> = self
                 .apps
@@ -598,6 +806,7 @@ impl System {
                 },
                 timeline,
                 migrations: migrations_total,
+                sampling: sampling_report.clone(),
             }
         });
         // Cumulative-totals counters (core cycles/instructions, cache and
@@ -612,6 +821,16 @@ impl System {
             core.caches_mut().record_metrics(recorder);
         }
         self.shared.record_metrics(recorder);
+        if let Some(r) = &sampling_report {
+            sink.emit(&Event::SamplingSummary {
+                tick: self.now,
+                detailed_ticks: r.detailed_ticks,
+                ff_ticks: r.ff_ticks,
+                windows: r.windows,
+                ipc_rel_stderr: r.ipc_rel_stderr,
+                abc_rel_stderr: r.abc_rel_stderr,
+            });
+        }
         sink.emit(&Event::RunEnd {
             tick: self.now,
             quanta: quantum_index,
@@ -920,6 +1139,99 @@ mod tests {
             assert!(a2.instructions >= a1.instructions);
             assert!(a2.abc >= a1.abc);
         }
+    }
+
+    #[test]
+    fn sampled_traced_runs_are_byte_identical_and_report() {
+        use relsim_obs::{Event, JsonlSink, RunObs};
+
+        let trace = || {
+            let cfg = SystemConfig::hcmp(2, 2);
+            let kinds = cfg.core_kinds();
+            let q = cfg.quantum_ticks;
+            let mut sys = System::new(cfg, &four_apps());
+            sys.set_sampling(Some(SamplingConfig::parse("2000:8000:1").unwrap()));
+            let mut sched =
+                SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
+            let buf = SharedBuf::default();
+            let mut obs = RunObs::with_sink(Box::new(JsonlSink::new(buf.clone())));
+            let r = sys.run_traced(&mut sched, 300_000, &mut obs);
+            let bytes = buf.0.borrow().clone();
+            (bytes, r, obs.recorder.snapshot())
+        };
+        let (a, r, snap) = trace();
+        let (b, _, _) = trace();
+        assert_eq!(a, b, "same-seed sampled event logs must be byte-identical");
+
+        let report = r.sampling.expect("sampled run carries a report");
+        assert_eq!(report.detailed_ticks + report.ff_ticks, 300_000);
+        assert!(report.ff_ticks > 0, "fast-forward actually happened");
+        assert!(report.windows >= 2, "enough windows for an error estimate");
+        assert!(report.ipc_rel_stderr.is_finite());
+        assert!(report.detailed_fraction() < 1.0);
+        assert_eq!(
+            snap.counter("sim.detailed_ticks"),
+            Some(report.detailed_ticks)
+        );
+        assert_eq!(snap.counter("sim.ff_ticks"), Some(report.ff_ticks));
+
+        let text = String::from_utf8(a).unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid event JSON"))
+            .collect();
+        assert!(matches!(events.get(1), Some(Event::SamplingPlan { .. })));
+        let summary = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SamplingSummary {
+                    detailed_ticks,
+                    ff_ticks,
+                    windows,
+                    ..
+                } => Some((*detailed_ticks, *ff_ticks, *windows)),
+                _ => None,
+            })
+            .expect("sampled run emits a summary");
+        assert_eq!(
+            summary,
+            (report.detailed_ticks, report.ff_ticks, report.windows)
+        );
+    }
+
+    #[test]
+    fn sampled_run_tracks_full_run_coarsely() {
+        // The sampled engine is an approximation; this guards against gross
+        // divergence (the tight accuracy bound lives in the differential
+        // harness under tests/).
+        let run = |sampling: Option<SamplingConfig>| {
+            let cfg = SystemConfig::hcmp(2, 2);
+            let kinds = cfg.core_kinds();
+            let q = cfg.quantum_ticks;
+            let mut sys = System::new(cfg, &four_apps());
+            sys.set_sampling(sampling);
+            let mut sched =
+                SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
+            sys.run(&mut sched, 300_000)
+        };
+        let full = run(None);
+        assert!(full.sampling.is_none(), "full runs carry no report");
+        let sampled = run(Some(SamplingConfig::parse("2000:8000:1").unwrap()));
+        let instr = |r: &RunResult| r.apps.iter().map(|a| a.instructions).sum::<u64>() as f64;
+        let abc = |r: &RunResult| r.apps.iter().map(|a| a.abc).sum::<f64>();
+        let rel = |s: f64, f: f64| (s - f).abs() / f;
+        assert!(
+            rel(instr(&sampled), instr(&full)) < 0.15,
+            "instructions: sampled {} vs full {}",
+            instr(&sampled),
+            instr(&full)
+        );
+        assert!(
+            rel(abc(&sampled), abc(&full)) < 0.25,
+            "ABC: sampled {} vs full {}",
+            abc(&sampled),
+            abc(&full)
+        );
     }
 
     #[test]

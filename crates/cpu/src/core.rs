@@ -100,6 +100,23 @@ impl Core {
         }
     }
 
+    /// Fast-forward across a tick window without cycle timing; see
+    /// [`OooCore::fast_forward`].
+    pub fn fast_forward(
+        &mut self,
+        start: u64,
+        ticks: u64,
+        instructions: u64,
+        template: &CpiStack,
+        src: &mut dyn InstrSource,
+        shared: &mut SharedMem,
+    ) {
+        match self {
+            Core::Big(c) => c.fast_forward(start, ticks, instructions, template, src, shared),
+            Core::Small(c) => c.fast_forward(start, ticks, instructions, template, src, shared),
+        }
+    }
+
     /// Squash in-flight state on application migration.
     pub fn reset_pipeline(&mut self) {
         match self {
@@ -149,6 +166,45 @@ mod tests {
             assert!(core.cycles() > 0);
             assert_eq!(core.cpi_stack().total(), core.cycles());
             core.reset_pipeline();
+        }
+    }
+
+    #[test]
+    fn fast_forward_preserves_counter_invariants() {
+        let mut shared = SharedMem::new(SharedMemConfig::default());
+        let mut obs = NullObserver;
+        for cfg in [CoreConfig::big(), CoreConfig::small()] {
+            let mut core = Core::new(cfg, PrivateCacheConfig::default());
+            let p = relsim_trace::spec_profile("milc").unwrap();
+            let mut src = TraceGenerator::new(p, 7, 0);
+            // Detailed interval first, so there is a CPI template.
+            for t in 0..4000 {
+                core.tick(t, &mut src, &mut shared, &mut obs);
+            }
+            let cycles_before = core.cycles();
+            let committed_before = core.committed();
+            let generated_before = src.generated();
+            let template = *core.cpi_stack();
+            core.fast_forward(4000, 16_000, 9_000, &template, &mut src, &mut shared);
+            assert_eq!(core.cycles(), cycles_before + 16_000);
+            assert_eq!(core.committed(), committed_before + 9_000);
+            assert_eq!(
+                core.cpi_stack().total(),
+                core.cycles(),
+                "CPI total must stay equal to cycles through a fast-forward"
+            );
+            let total: u64 = core.class_counts().iter().sum();
+            assert_eq!(total, core.committed());
+            assert!(
+                src.generated() >= generated_before + 9_000,
+                "trace position must advance through the window"
+            );
+            // Detailed simulation resumes cleanly after the window.
+            for t in 20_000..24_000 {
+                core.tick(t, &mut src, &mut shared, &mut obs);
+            }
+            assert_eq!(core.cpi_stack().total(), core.cycles());
+            assert!(core.committed() > committed_before + 9_000);
         }
     }
 

@@ -104,6 +104,60 @@ impl CpiStack {
         }
     }
 
+    /// Distribute `cycles` across the six components in proportion to
+    /// this stack's composition, returning a stack whose `total()` is
+    /// exactly `cycles`.
+    ///
+    /// Used by the fast-forward mode of the interval-sampling engine: the
+    /// CPI stack observed over a detailed interval is scaled to cover the
+    /// skipped cycles while preserving the `cpi_stack().total() ==
+    /// cycles()` invariant bit-exactly. Rounding is deterministic
+    /// largest-remainder (ties broken by component order), so sampled runs
+    /// stay byte-identical across hosts and worker counts. If this stack
+    /// is empty the whole budget lands on `base`.
+    pub fn scaled_to(&self, cycles: u64) -> CpiStack {
+        let total = self.total();
+        if total == 0 || cycles == 0 {
+            return CpiStack {
+                base: cycles,
+                ..CpiStack::default()
+            };
+        }
+        let parts = [
+            self.base,
+            self.branch,
+            self.icache,
+            self.resource,
+            self.llc,
+            self.memory,
+        ];
+        // Integer largest-remainder: floor each share, then grant the
+        // leftover cycles (at most 5) one each to the components with the
+        // biggest remainders. u128 cross-multiplication avoids both
+        // overflow and floating point; ties break on component index.
+        let mut out = [0u64; 6];
+        let mut rems = [(0u128, 0usize); 6];
+        let mut assigned = 0u64;
+        for (i, &p) in parts.iter().enumerate() {
+            out[i] = ((p as u128 * cycles as u128) / total as u128) as u64;
+            assigned += out[i];
+            rems[i] = ((p as u128 * cycles as u128) % total as u128, i);
+        }
+        rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let leftover = (cycles - assigned) as usize;
+        for &(_, i) in rems.iter().take(leftover) {
+            out[i] += 1;
+        }
+        CpiStack {
+            base: out[0],
+            branch: out[1],
+            icache: out[2],
+            resource: out[3],
+            llc: out[4],
+            memory: out[5],
+        }
+    }
+
     /// Component-wise sum.
     pub fn merged(&self, other: &CpiStack) -> CpiStack {
         CpiStack {
@@ -184,6 +238,52 @@ mod tests {
         assert_eq!(d.base, 1);
         assert_eq!(d.memory, 1);
         assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn scaled_to_preserves_exact_total() {
+        let mut s = CpiStack::default();
+        for _ in 0..7 {
+            s.commit_cycle();
+        }
+        s.stall_cycle(StallCause::Branch);
+        s.stall_cycle(StallCause::Memory);
+        s.stall_cycle(StallCause::Memory);
+        for cycles in [0u64, 1, 3, 9, 10, 11, 997, 1_000_000_007] {
+            let scaled = s.scaled_to(cycles);
+            assert_eq!(scaled.total(), cycles, "total must be exact at {cycles}");
+        }
+        // Exact multiples scale every component exactly.
+        let tripled = s.scaled_to(30);
+        assert_eq!(tripled.base, 21);
+        assert_eq!(tripled.branch, 3);
+        assert_eq!(tripled.memory, 6);
+    }
+
+    #[test]
+    fn scaled_to_empty_stack_is_all_base() {
+        let s = CpiStack::default();
+        let scaled = s.scaled_to(42);
+        assert_eq!(scaled.base, 42);
+        assert_eq!(scaled.total(), 42);
+    }
+
+    #[test]
+    fn scaled_to_keeps_proportions() {
+        let s = CpiStack {
+            base: 500,
+            branch: 250,
+            icache: 0,
+            resource: 125,
+            llc: 0,
+            memory: 125,
+        };
+        let scaled = s.scaled_to(8_000);
+        assert_eq!(scaled.base, 4_000);
+        assert_eq!(scaled.branch, 2_000);
+        assert_eq!(scaled.resource, 1_000);
+        assert_eq!(scaled.memory, 1_000);
+        assert_eq!(scaled.icache, 0);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Functional fast-forward: the non-cycle-timed half of the interval
+//! sampling engine (Pac-Sim-style, see PAPERS.md).
+//!
+//! During a fast-forward window the core does not simulate the pipeline.
+//! Instead it drains an estimated number of instructions from the trace
+//! generator — keeping the application's program position exactly where
+//! detailed simulation would have left it — and plays their memory
+//! references through the cache hierarchy so that cache, prefetcher, and
+//! DRAM-controller state stay warm for the next detailed interval.
+//! Cycle-level effects (stalls, wrong-path fetch, finite queues) are not
+//! modeled; the caller extrapolates cycles and CPI-stack components from
+//! the preceding detailed interval instead.
+
+use relsim_mem::{MemLevel, PrivateCaches, SharedMem};
+use relsim_trace::{InstrSource, OpClass};
+
+/// Number of core cycle boundaries (multiples of `ticks_per_cycle`)
+/// inside the half-open tick window `[start, start + ticks)`. Matches
+/// exactly what the detailed per-tick loop would have counted, so
+/// fast-forwarded runs keep `cycles` consistent with frequency scaling.
+pub(crate) fn cycles_in_window(start: u64, ticks: u64, ticks_per_cycle: u64) -> u64 {
+    (start + ticks).div_ceil(ticks_per_cycle) - start.div_ceil(ticks_per_cycle)
+}
+
+/// Mutable views of the per-core commit counters updated during
+/// functional warming.
+pub(crate) struct FfCounters<'a> {
+    pub committed: &'a mut u64,
+    pub branch_mispredicts: &'a mut u64,
+    pub icache_misses: &'a mut u64,
+    pub class_counts: &'a mut [u64; 10],
+    pub loads_by_level: &'a mut [u64; 4],
+}
+
+/// Functionally execute `instructions` instructions from `src` across the
+/// tick window `[start, start + ticks)`, warming `caches` (and through
+/// them the shared memory system) without cycle timing. Access timestamps
+/// are spread evenly across the window so time-dependent memory state
+/// (MSHR windows, DRAM controller queues, prefetch streams) advances
+/// plausibly and deterministically.
+pub(crate) fn functional_warm(
+    caches: &mut PrivateCaches,
+    src: &mut dyn InstrSource,
+    shared: &mut SharedMem,
+    start: u64,
+    ticks: u64,
+    instructions: u64,
+    c: FfCounters<'_>,
+) {
+    for i in 0..instructions {
+        let now = start + ((i as u128 * ticks as u128) / instructions.max(1) as u128) as u64;
+        let instr = src.next_instr();
+        if instr.icache_miss {
+            *c.icache_misses += 1;
+        }
+        *c.committed += 1;
+        c.class_counts[instr.op.index()] += 1;
+        match instr.op {
+            OpClass::Load => {
+                let o = caches.access_data(instr.addr, false, now, shared);
+                let li = match o.level {
+                    MemLevel::L1 => 0,
+                    MemLevel::L2 => 1,
+                    MemLevel::L3 => 2,
+                    MemLevel::Memory => 3,
+                };
+                c.loads_by_level[li] += 1;
+            }
+            OpClass::Store => {
+                let _ = caches.access_data(instr.addr, true, now, shared);
+            }
+            OpClass::Branch if instr.mispredict => {
+                *c.branch_mispredicts += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_window_counts_cycle_boundaries() {
+        // Full-rate core: one cycle per tick.
+        assert_eq!(cycles_in_window(0, 100, 1), 100);
+        assert_eq!(cycles_in_window(37, 100, 1), 100);
+        // Half-rate core: cycle boundaries at even ticks.
+        assert_eq!(cycles_in_window(0, 100, 2), 50);
+        assert_eq!(cycles_in_window(1, 100, 2), 50);
+        assert_eq!(cycles_in_window(0, 101, 2), 51);
+        assert_eq!(cycles_in_window(2, 3, 2), 2); // ticks 2,3,4 → 2 and 4
+        assert_eq!(cycles_in_window(3, 1, 2), 0);
+    }
+
+    #[test]
+    fn window_counts_match_tick_loop() {
+        for tpc in [1u64, 2, 3, 5] {
+            for start in 0..12u64 {
+                for ticks in 0..40u64 {
+                    let expected = (start..start + ticks).filter(|t| t % tpc == 0).count() as u64;
+                    assert_eq!(
+                        cycles_in_window(start, ticks, tpc),
+                        expected,
+                        "start {start} ticks {ticks} tpc {tpc}"
+                    );
+                }
+            }
+        }
+    }
+}

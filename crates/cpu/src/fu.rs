@@ -38,6 +38,18 @@ impl FuPool {
         self.issued_now = [0; 4];
     }
 
+    /// Shift pending unit-busy deadlines forward by `delta` ticks (the
+    /// fast-forward time splice); deadlines at or before `start` are
+    /// already inert and stay put.
+    pub fn shift_time(&mut self, start: u64, delta: u64) {
+        if self.int_div_busy_until > start {
+            self.int_div_busy_until += delta;
+        }
+        if self.fp_div_busy_until > start {
+            self.fp_div_busy_until += delta;
+        }
+    }
+
     /// Make all units idle again (pipeline squash).
     pub fn reset(&mut self) {
         self.issued_now = [0; 4];

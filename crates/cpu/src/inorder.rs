@@ -495,6 +495,61 @@ impl InorderCore {
         self.account_cpi(commits, now);
     }
 
+    /// Shift every in-flight absolute timestamp forward by `delta` ticks;
+    /// see [`OooCore`](crate::OooCore)'s `shift_time` for the rationale.
+    fn shift_time(&mut self, start: u64, delta: u64) {
+        for e in &mut self.pipe {
+            e.fetch += delta;
+            e.issue_at += delta;
+            if e.finish_at != u64::MAX {
+                e.finish_at += delta;
+            }
+            if e.avail > start {
+                e.avail += delta;
+            }
+        }
+        if self.fetch_stall_until > start {
+            self.fetch_stall_until += delta;
+        }
+        if self.branch_refill_until > start {
+            self.branch_refill_until += delta;
+        }
+        self.fu.shift_time(start, delta);
+    }
+
+    /// Fast-forward across the tick window `[start, start + ticks)`
+    /// without cycle timing; see
+    /// [`OooCore::fast_forward`](crate::OooCore::fast_forward).
+    pub fn fast_forward(
+        &mut self,
+        start: u64,
+        ticks: u64,
+        instructions: u64,
+        template: &CpiStack,
+        src: &mut dyn InstrSource,
+        shared: &mut SharedMem,
+    ) {
+        let cycles = crate::ff::cycles_in_window(start, ticks, self.cfg.ticks_per_cycle);
+        self.cycles += cycles;
+        self.cpi = self.cpi.merged(&template.scaled_to(cycles));
+        self.shift_time(start, ticks);
+        crate::ff::functional_warm(
+            &mut self.caches,
+            src,
+            shared,
+            start,
+            ticks,
+            instructions,
+            crate::ff::FfCounters {
+                committed: &mut self.committed,
+                branch_mispredicts: &mut self.branch_mispredicts,
+                icache_misses: &mut self.icache_misses,
+                class_counts: &mut self.class_counts,
+                loads_by_level: &mut self.loads_by_level,
+            },
+        );
+    }
+
     /// Current pipeline occupancy.
     pub fn pipe_occupancy(&self) -> usize {
         self.pipe.len()

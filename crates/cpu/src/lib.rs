@@ -39,6 +39,7 @@ mod config;
 mod core;
 mod cpi;
 mod events;
+mod ff;
 mod fu;
 mod inorder;
 mod ooo;

@@ -725,6 +725,80 @@ impl OooCore {
         self.account_cpi(commits, now);
     }
 
+    /// Shift every in-flight absolute timestamp forward by `delta` ticks,
+    /// as if the fast-forward window had been spliced in before the
+    /// in-flight instructions' lifetimes. Detailed intervals then behave
+    /// like one concatenated simulation: outstanding memory-level
+    /// parallelism survives the window instead of completing instantly,
+    /// and residencies observed at retire (ACE accounting) do not absorb
+    /// fast-forwarded time. Historical timestamps (dispatch/issue/finish)
+    /// shift unconditionally so retire-time spans stay delta-free; gating
+    /// deadlines already in the past stay inert.
+    fn shift_time(&mut self, start: u64, delta: u64) {
+        for e in &mut self.rob {
+            e.dispatch += delta;
+            e.issue_at += delta;
+            if e.finish_at != u64::MAX {
+                e.finish_at += delta;
+            }
+        }
+        let events = std::mem::take(&mut self.finish_events);
+        self.finish_events = events
+            .into_iter()
+            .map(|Reverse((t, seq, epoch))| Reverse((t + delta, seq, epoch)))
+            .collect();
+        for f in &mut self.fetch_queue {
+            if f.avail > start {
+                f.avail += delta;
+            }
+        }
+        if self.fetch_stall_until > start {
+            self.fetch_stall_until += delta;
+        }
+        if self.branch_refill_until > start {
+            self.branch_refill_until += delta;
+        }
+        self.fu.shift_time(start, delta);
+    }
+
+    /// Fast-forward across the tick window `[start, start + ticks)`
+    /// without cycle timing: charge the window's cycles with a
+    /// `template`-proportioned CPI stack (normally the stack delta observed
+    /// over the preceding detailed interval, preserving
+    /// `cpi_stack().total() == cycles()` exactly), shift in-flight pipeline
+    /// state past the window via [`Self::shift_time`], and functionally
+    /// execute `instructions` instructions from `src` — warming the caches
+    /// and advancing the trace position.
+    pub fn fast_forward(
+        &mut self,
+        start: u64,
+        ticks: u64,
+        instructions: u64,
+        template: &CpiStack,
+        src: &mut dyn InstrSource,
+        shared: &mut SharedMem,
+    ) {
+        let cycles = crate::ff::cycles_in_window(start, ticks, self.cfg.ticks_per_cycle);
+        self.cycles += cycles;
+        self.cpi = self.cpi.merged(&template.scaled_to(cycles));
+        self.shift_time(start, ticks);
+        crate::ff::functional_warm(
+            &mut self.caches,
+            src,
+            shared,
+            start,
+            ticks,
+            instructions,
+            crate::ff::FfCounters {
+                committed: &mut self.committed,
+                branch_mispredicts: &mut self.branch_mispredicts,
+                icache_misses: &mut self.icache_misses,
+                class_counts: &mut self.class_counts,
+                loads_by_level: &mut self.loads_by_level,
+            },
+        );
+    }
+
     /// Current ROB occupancy (for tests and occupancy diagnostics).
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()

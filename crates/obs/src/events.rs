@@ -58,6 +58,29 @@ pub enum Event {
         abc_rate: f64,
         instructions: u64,
     },
+    /// The interval-sampling engine is active for this run: scheduler
+    /// segments alternate `detailed_ticks` of cycle-level simulation with
+    /// (nominally) `ff_ticks` of functional fast-forward. Emitted once,
+    /// right after `RunStart`.
+    SamplingPlan {
+        tick: u64,
+        detailed_ticks: u64,
+        ff_ticks: u64,
+        seed: u64,
+    },
+    /// Per-run summary of the interval-sampling engine: how many ticks ran
+    /// in detail vs. fast-forward, and the relative standard error of the
+    /// per-window IPC and ABC-rate estimates the extrapolation rests on
+    /// (NaN when fewer than two windows were observed). Emitted right
+    /// before `RunEnd`.
+    SamplingSummary {
+        tick: u64,
+        detailed_ticks: u64,
+        ff_ticks: u64,
+        windows: u64,
+        ipc_rel_stderr: f64,
+        abc_rel_stderr: f64,
+    },
     /// A fault-injection campaign injected one fault.
     FaultInjected {
         tick: u64,
@@ -92,6 +115,8 @@ impl Event {
             | Event::SchedulerDecision { tick, .. }
             | Event::Migration { tick, .. }
             | Event::SampleTaken { tick, .. }
+            | Event::SamplingPlan { tick, .. }
+            | Event::SamplingSummary { tick, .. }
             | Event::FaultInjected { tick, .. }
             | Event::JobFailed { tick, .. }
             | Event::RunEnd { tick, .. } => *tick,
@@ -106,6 +131,8 @@ impl Event {
             Event::SchedulerDecision { .. } => "SchedulerDecision",
             Event::Migration { .. } => "Migration",
             Event::SampleTaken { .. } => "SampleTaken",
+            Event::SamplingPlan { .. } => "SamplingPlan",
+            Event::SamplingSummary { .. } => "SamplingSummary",
             Event::FaultInjected { .. } => "FaultInjected",
             Event::JobFailed { .. } => "JobFailed",
             Event::RunEnd { .. } => "RunEnd",
@@ -233,6 +260,12 @@ mod tests {
                 mapping: vec![0, 1, 2, 3],
                 is_sampling: true,
             },
+            Event::SamplingPlan {
+                tick: 0,
+                detailed_ticks: 2_000,
+                ff_ticks: 8_000,
+                seed: 0,
+            },
             Event::SampleTaken {
                 tick: 20_000,
                 app: 1,
@@ -253,6 +286,14 @@ mod tests {
                 app: 0,
                 from_core: 0,
                 to_core: 1,
+            },
+            Event::SamplingSummary {
+                tick: 100_000,
+                detailed_ticks: 24_000,
+                ff_ticks: 76_000,
+                windows: 12,
+                ipc_rel_stderr: 0.013,
+                abc_rel_stderr: 0.021,
             },
             Event::RunEnd {
                 tick: 100_000,

@@ -68,6 +68,28 @@ proptest! {
         prop_assert!(s <= apps.len() as f64 + 1e-12);
     }
 
+    /// A single degenerate application (non-positive reference time, the
+    /// shape a broken extrapolation would produce) poisons SSER to NaN
+    /// regardless of how many healthy applications surround it.
+    #[test]
+    fn sser_nan_poisons_from_any_position(
+        abcs in prop::collection::vec(1.0f64..1e9, 1..8),
+        idx in 0usize..8,
+        bad_ref in -1e6f64..0.0,
+        exactly_zero in prop::bool::ANY,
+    ) {
+        let mut apps: Vec<AppOutcome> = abcs.iter()
+            .map(|&abc| AppOutcome { abc, time: 10.0, time_ref: 5.0 })
+            .collect();
+        prop_assert!(sser(&apps, 1e-9).is_finite());
+        let i = idx % apps.len();
+        apps[i].time_ref = if exactly_zero { 0.0 } else { bad_ref };
+        prop_assert!(
+            sser(&apps, 1e-9).is_nan(),
+            "degenerate app at {i} must poison SSER, not be summed away"
+        );
+    }
+
     /// Permuting applications changes neither SSER nor STP.
     #[test]
     fn metrics_are_permutation_invariant(
@@ -135,6 +157,55 @@ mod counters {
             prop_assert!((p.iq - h.iq).abs() < 1e-6);
         }
 
+        /// AVF stays in [0, 1] for any physically realizable retire
+        /// stream (never more instructions in flight than the ROB holds,
+        /// which the generator enforces by construction): the sampler's
+        /// ACE extrapolation starts from a counter whose per-window AVF
+        /// is a genuine fraction.
+        #[test]
+        fn avf_is_a_fraction_for_bounded_occupancy(
+            epochs in prop::collection::vec(
+                prop::collection::vec((0u64..100, 1u64..50, 1u64..200, 1u64..3600), 1..64),
+                1..12,
+            ),
+        ) {
+            const EPOCH: u64 = 5_000;
+            let cfg = CoreConfig::big();
+            let mut perfect = AceCounter::new(&cfg, CounterKind::Perfect);
+            let mut hw = AceCounter::new(&cfg, CounterKind::HwBaseline);
+            let n_epochs = epochs.len() as u64;
+            for (e, instrs) in epochs.into_iter().enumerate() {
+                let start = e as u64 * EPOCH;
+                for (d_disp, d_issue, d_finish, d_commit) in instrs {
+                    let dispatch = start + d_disp;
+                    let issue = dispatch + d_issue;
+                    let finish = issue + d_finish;
+                    // In-order epochs: every instruction retires before
+                    // the epoch ends, so at most 63 are ever in flight.
+                    let commit = (finish + d_commit).min(start + EPOCH - 1);
+                    let ev = RetireEvent {
+                        op: OpClass::Load,
+                        dispatch,
+                        issue,
+                        finish: finish.min(commit),
+                        commit,
+                        exec_latency: 1,
+                        has_output: true,
+                    };
+                    if !ev.is_well_formed() {
+                        continue;
+                    }
+                    perfect.on_retire(&ev);
+                    hw.on_retire(&ev);
+                }
+            }
+            let elapsed = n_epochs * EPOCH;
+            for (name, c) in [("perfect", &perfect), ("hw", &hw)] {
+                let avf = relsim_ace::avf(c.abc(elapsed), cfg.total_bits(), elapsed);
+                prop_assert!((0.0..=1.0).contains(&avf), "{} AVF {} out of [0,1]", name, avf);
+            }
+        }
+
         /// The ROB-only counter is always a lower bound on perfect core ABC
         /// (it observes a subset of the structures).
         #[test]
@@ -164,6 +235,124 @@ mod counters {
                 rob.on_retire(&ev);
             }
             prop_assert!(rob.abc(1000) <= perfect.abc(1000) + 1e-6);
+        }
+    }
+}
+
+/// Properties of the interval-sampling engine's estimators.
+mod sampling_props {
+    use proptest::prelude::*;
+    use relsim::experiments::geomean_abs_err;
+    use relsim::sampling::{extrapolate_abc, ErrorEstimator};
+    use relsim::SamplingConfig;
+    use relsim_ace::{AceCounter, CounterKind};
+    use relsim_cpu::{CoreConfig, RetireEvent, RetireObserver};
+    use relsim_trace::OpClass;
+
+    fn driven_counter(n: u64) -> AceCounter {
+        let mut c = AceCounter::new(&CoreConfig::big(), CounterKind::Perfect);
+        let mut t = 0;
+        for i in 0..n {
+            c.on_retire(&RetireEvent {
+                op: OpClass::IntAlu,
+                dispatch: t,
+                issue: t + 1,
+                finish: t + 2,
+                commit: t + 4 + i % 7,
+                exec_latency: 1,
+                has_output: true,
+            });
+            t += 3;
+        }
+        c
+    }
+
+    proptest! {
+        /// Fast-forward window lengths are deterministic, and jittered
+        /// lengths stay within the documented [ff/2, 3ff/2) band.
+        #[test]
+        fn ff_len_bounded_and_deterministic(
+            ff in 1u64..1_000_000,
+            seed in 0u64..1_000,
+            index in 0u64..10_000,
+        ) {
+            let cfg = SamplingConfig { detailed_ticks: 1, ff_ticks: ff, seed };
+            let len = cfg.ff_len(index);
+            prop_assert_eq!(len, cfg.ff_len(index), "jitter must be deterministic");
+            if seed == 0 {
+                prop_assert_eq!(len, ff);
+            } else {
+                prop_assert!(len >= ff / 2 && len < ff / 2 + ff);
+            }
+        }
+
+        /// The warmup/measured split always partitions the detailed
+        /// window, and the measured part is never empty.
+        #[test]
+        fn warmup_partitions_detailed_window(detailed in 1u64..1_000_000, ff in 1u64..100) {
+            let cfg = SamplingConfig { detailed_ticks: detailed, ff_ticks: ff, seed: 0 };
+            prop_assert_eq!(cfg.warmup_ticks() + cfg.measured_ticks(), detailed);
+            prop_assert!(cfg.measured_ticks() > 0);
+        }
+
+        /// Extrapolation degenerates safely: identity when every tick ran
+        /// detailed (or nothing did), finite and monotone in coverage
+        /// otherwise — a sampled ABC can only shrink as more of the
+        /// window runs in detail (the event part stops being scaled up).
+        #[test]
+        fn extrapolation_is_identity_and_monotone(
+            n in 1u64..300,
+            elapsed in 1u64..100_000,
+            detailed in 1u64..100_000,
+        ) {
+            let c = driven_counter(n);
+            let exact = c.abc(elapsed);
+            prop_assert!(exact.is_finite());
+            prop_assert_eq!(extrapolate_abc(&c, elapsed, elapsed), exact);
+            prop_assert_eq!(extrapolate_abc(&c, elapsed, 0), exact);
+            let est = extrapolate_abc(&c, elapsed, detailed);
+            prop_assert!(est.is_finite() && est >= 0.0);
+            if detailed < elapsed {
+                prop_assert!(est >= exact, "scaling up the event part cannot shrink ABC");
+                let more = extrapolate_abc(&c, elapsed, detailed + (elapsed - detailed) / 2);
+                prop_assert!(more <= est + 1e-9, "more detail must not raise the estimate");
+            }
+        }
+
+        /// The geomean error metric is poisoned by degenerate ratios
+        /// (non-finite or non-positive, the shape a broken extrapolation
+        /// produces) instead of silently dropping them.
+        #[test]
+        fn geomean_error_poisons_on_degenerate_ratios(
+            good in prop::collection::vec(0.5f64..2.0, 0..8),
+            bad in prop::sample::select(vec![0.0f64, -1.0, f64::NAN, f64::INFINITY]),
+            idx in 0usize..9,
+        ) {
+            let finite = geomean_abs_err(good.iter().copied());
+            if good.is_empty() {
+                prop_assert!(finite.is_nan());
+            } else {
+                prop_assert!(finite.is_finite() && finite >= 0.0);
+            }
+            let mut poisoned = good.clone();
+            poisoned.insert(idx % (good.len() + 1), bad);
+            prop_assert!(geomean_abs_err(poisoned).is_nan());
+        }
+
+        /// The error model refuses to extrapolate confidence from fewer
+        /// than two windows (NaN, not a spuriously tight estimate), and a
+        /// constant-rate signal has zero relative standard error.
+        #[test]
+        fn rel_stderr_degenerate_cases(x in 0.1f64..1e6, n in 2usize..50) {
+            let mut one = ErrorEstimator::default();
+            one.push(x);
+            prop_assert!(one.rel_stderr().is_nan(), "one window is not a confidence");
+            let mut many = ErrorEstimator::default();
+            for _ in 0..n {
+                many.push(x);
+            }
+            let se = many.rel_stderr();
+            prop_assert!(se.abs() < 1e-9, "constant signal must have ~0 stderr, got {}", se);
         }
     }
 }

@@ -1,0 +1,156 @@
+//! Differential harness for the interval-sampling engine: sampled runs
+//! must reproduce full-run SSER and STP within a stated bound at a
+//! stated detailed-cycle reduction, and sampled output must stay
+//! byte-identical at every `--jobs` value.
+//!
+//! Both tests mutate process-wide defaults (the sampling configuration
+//! and the pool's worker count), so they serialize on a mutex.
+
+use relsim::experiments::{
+    compare_schedulers, hcmp_config, sampling_accuracy_study, Context, Scale,
+};
+use relsim::mixes::Mix;
+use relsim::{pool, sampling, SamplingConfig, SamplingParams};
+use relsim_obs::{EventSink, JsonlSink, RunObs};
+use std::sync::Mutex;
+
+/// The engine configuration the repo's accuracy claim is stated for:
+/// 1.5k-tick detailed windows, ~15k-tick fast-forward windows, jitter
+/// seed 1. See DESIGN.md §10 and EXPERIMENTS.md.
+const CLAIMED_CONFIG: &str = "1500:15000:1";
+/// Geomean relative error bound on SSER and STP (3%).
+const ERROR_BOUND: f64 = 0.03;
+/// Minimum detailed-cycle reduction (5x).
+const MIN_REDUCTION: f64 = 5.0;
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+/// The headline acceptance gate: over the full quick-scale
+/// `mix × scheduler` grid (the same grid `run_all --quick` evaluates),
+/// the sampled engine reproduces full-run SSER and STP within
+/// [`ERROR_BOUND`] geomean error while simulating at least
+/// [`MIN_REDUCTION`]x fewer cycles in detail.
+///
+/// Runs the grid 2x at quick scale, so it is ignored in debug builds;
+/// `ci.sh` runs it in release, where it takes a few seconds.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "quick-scale differential grid; run in release (ci.sh test)"
+)]
+fn sampled_quick_grid_matches_full_within_bound() {
+    let _lock = GLOBALS.lock().unwrap();
+    let ctx = Context::build(Scale::quick());
+    let cfg = SamplingConfig::parse(CLAIMED_CONFIG).unwrap();
+    let mut obs = RunObs::buffered();
+    let rows = sampling_accuracy_study(&ctx, &[cfg], &mut obs);
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert!(
+        !row.cells.is_empty(),
+        "differential grid produced no comparable cells"
+    );
+    assert!(
+        row.sser_err.is_finite() && row.sser_err <= ERROR_BOUND,
+        "SSER geomean error {:.4} exceeds {ERROR_BOUND} for --sample {}",
+        row.sser_err,
+        row.config
+    );
+    assert!(
+        row.stp_err.is_finite() && row.stp_err <= ERROR_BOUND,
+        "STP geomean error {:.4} exceeds {ERROR_BOUND} for --sample {}",
+        row.stp_err,
+        row.config
+    );
+    assert!(
+        row.detailed_cycle_reduction() >= MIN_REDUCTION,
+        "detailed-cycle reduction {:.2}x below {MIN_REDUCTION}x (detailed fraction {:.3})",
+        row.detailed_cycle_reduction(),
+        row.detailed_fraction
+    );
+}
+
+fn scale() -> Scale {
+    Scale {
+        isolation_ticks: 60_000,
+        run_ticks: 100_000,
+        quantum_ticks: 8_000,
+        per_category: 1,
+        seed: 9,
+    }
+}
+
+fn mixes() -> Vec<Mix> {
+    vec![
+        Mix {
+            category: "samp-a".into(),
+            benchmarks: vec![
+                "hmmer".into(),
+                "milc".into(),
+                "gobmk".into(),
+                "povray".into(),
+            ],
+        },
+        Mix {
+            category: "samp-b".into(),
+            benchmarks: vec!["lbm".into(), "mcf".into(), "hmmer".into(), "milc".into()],
+        },
+    ]
+}
+
+/// Serialize a buffered event stream to the JSONL bytes a `--trace-out`
+/// file would contain.
+fn jsonl_bytes(obs: &mut RunObs) -> Vec<u8> {
+    let mut log = JsonlSink::new(Vec::new());
+    for e in obs.sink.take_events().expect("buffered sink") {
+        log.emit(&e);
+    }
+    log.into_inner()
+}
+
+/// Scheduler comparison with the sampling engine enabled, at a given
+/// worker count. The context is built fully detailed first (as `obs_init`
+/// would: the isolated reference table is not sampled here), then the
+/// grid runs with the engine on.
+fn sampled_run_at(jobs: usize) -> (Vec<u8>, Vec<u8>) {
+    pool::set_default_jobs(jobs);
+    sampling::set_default(None);
+    let ctx = Context::build(scale());
+    sampling::set_default(Some(SamplingConfig::parse(CLAIMED_CONFIG).unwrap()));
+    let mut obs = RunObs::buffered();
+    let comparisons = compare_schedulers(
+        &ctx,
+        &hcmp_config(&ctx, 2, 2),
+        &mixes(),
+        SamplingParams::default(),
+        &mut obs,
+    );
+    sampling::set_default(None);
+    pool::set_default_jobs(0);
+    (
+        serde_json::to_vec(&comparisons).expect("serialize comparisons"),
+        jsonl_bytes(&mut obs),
+    )
+}
+
+/// `--sample` composes with `--jobs`: sampled results and event logs are
+/// byte-identical at `-j1` and `-j4`, and the log carries the sampling
+/// plan/summary events so sampled runs stay traceable.
+#[test]
+fn sampled_grid_output_is_byte_identical_across_job_counts() {
+    let _lock = GLOBALS.lock().unwrap();
+    let (results1, log1) = sampled_run_at(1);
+    let (results4, log4) = sampled_run_at(4);
+    assert!(!results1.is_empty() && !log1.is_empty());
+    assert_eq!(results1, results4, "sampled results depend on -j");
+    assert_eq!(log1, log4, "sampled event log depends on -j");
+    let text = String::from_utf8(log1).unwrap();
+    assert!(
+        text.contains("SamplingPlan"),
+        "sampled log missing SamplingPlan events"
+    );
+    assert!(
+        text.contains("SamplingSummary"),
+        "sampled log missing SamplingSummary events"
+    );
+}
