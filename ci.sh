@@ -22,6 +22,19 @@ if [[ "${1:-}" == "bless" ]]; then
   exit 0
 fi
 
+# `./ci.sh bench` refreshes the perf trajectory: it times the canonical
+# workload (skip vs --no-skip, detailed and sampled) and rewrites
+# BENCH_perf.json at the repo root, printing the delta against the
+# committed snapshot. Non-gating — regressions are reviewed, not
+# rejected; commit the refreshed JSON alongside perf-relevant changes.
+if [[ "${1:-}" == "bench" ]]; then
+  echo "==> bench: timing the canonical workload (BENCH_perf.json)"
+  cargo build --release -p relsim-bench --bin bench_perf
+  target/release/bench_perf
+  echo "==> bench: done — review 'git diff BENCH_perf.json'"
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -40,6 +53,14 @@ echo "==> sampled-accuracy gate: sampling_accuracy in release"
 # sampled -j1/-j4 byte-identity. Debug builds ignore the heavy test, so
 # this runs the release binary where it takes a few seconds.
 cargo test --release -q -p relsim-integration-tests --test sampling_accuracy
+
+echo "==> horizon-equivalence gate: horizon_equivalence in release"
+# Event-horizon cycle skipping must be byte-identical to the plain tick
+# loop: same results and event streams across schedulers, job counts and
+# sampling configurations, plus core-level horizon/skip proptests. The
+# quick-scale differential grid is ignored in debug builds, so this runs
+# the release binary.
+cargo test --release -q -p relsim-integration-tests --test horizon_equivalence
 
 echo "==> golden snapshots: run_all --quick vs tests/golden/"
 cargo test --release -q -p relsim-bench --test golden

@@ -1,0 +1,271 @@
+//! Perf-trajectory benchmark: a fixed canonical workload timed with the
+//! event-horizon skip engine on and off, written to `BENCH_perf.json` at
+//! the repo root so throughput is machine-readable across PRs.
+//!
+//! The canonical workload is the 4B4S eight-program mix at quick scale
+//! under the reliability scheduler (fixed seed), run in both engines
+//! (fully detailed and `--sample 1500:15000:1`), plus the quick-scale
+//! scheduler-comparison grid that dominates `run_all --quick`. Results
+//! are byte-identical between modes (the horizon-equivalence suite is
+//! the referee), so the JSON records pure wall-clock trajectory.
+//!
+//! Non-gating: `./ci.sh bench` runs this and prints the delta against
+//! the committed JSON; regressions are reviewed, not rejected.
+
+use relsim::experiments::{
+    compare_schedulers, hcmp_config, run_mix_traced, Context, Scale, SchedKind,
+};
+use relsim::mixes::Mix;
+use relsim::{sampling, skip, SamplingConfig, SamplingParams};
+use relsim_obs::{info, RunObs};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Repetitions per timed row; the fastest repeat is reported.
+const BENCH_REPEATS: usize = 3;
+
+/// Tick count for the timed single-mix rows. Longer than `Scale::quick`
+/// runs so per-row wall times sit well clear of timer and scheduler
+/// noise; the quick-grid timing below keeps the exact `run_all --quick`
+/// duration.
+const BENCH_RUN_TICKS: u64 = 1_000_000;
+
+/// One timed configuration of the canonical workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PerfRow {
+    /// `<workload>-<engine>-<skip|noskip>`.
+    name: String,
+    /// Wall-clock milliseconds for the run (excludes context build).
+    wall_ms: f64,
+    /// Global ticks simulated.
+    ticks: u64,
+    /// Global ticks per wall-clock second.
+    ticks_per_sec: f64,
+    /// Detailed per-core ticks the horizon engine skipped.
+    skipped_ticks: u64,
+    /// Skipped fraction of all detailed per-core ticks.
+    skipped_fraction: f64,
+}
+
+/// Wall time of the quick-scale scheduler-comparison grid (the bulk of
+/// `run_all --quick`), skip vs no-skip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuickGridTiming {
+    skip_wall_ms: f64,
+    noskip_wall_ms: f64,
+    speedup: f64,
+}
+
+/// The machine-readable perf trajectory, one snapshot per PR.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PerfReport {
+    model_version: u32,
+    rows: Vec<PerfRow>,
+    quick_grid: QuickGridTiming,
+    /// `noskip / skip` wall-time ratio, fully detailed canonical run.
+    detailed_speedup: f64,
+    /// Same ratio with the interval-sampling engine active.
+    sampled_speedup: f64,
+    /// Same ratio on the stall-heavy memory-bound companion workload.
+    membound_speedup: f64,
+}
+
+/// The fixed stall-heavy companion workload: eight memory-dominated
+/// programs, where skipped ROB-head fills and inorder stalls carry the
+/// bulk of the ticks. This is where the horizon engine pays most.
+fn memory_bound_mix() -> Mix {
+    Mix {
+        category: "8MEM".to_string(),
+        benchmarks: [
+            "milc",
+            "lbm",
+            "libquantum",
+            "soplex",
+            "mcf",
+            "GemsFDTD",
+            "omnetpp",
+            "astar",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    }
+}
+
+/// Time one canonical 4B4S run and collect its skip statistics. The run
+/// is repeated and the fastest wall time kept — the run itself is
+/// deterministic, so the minimum is the least-noisy estimate of its cost.
+fn timed_run(ctx: &Context, name: &str, mix: &Mix, sampled: bool, skip_on: bool) -> PerfRow {
+    sampling::set_default(if sampled {
+        Some(SamplingConfig::parse("1500:15000:1").expect("claimed config"))
+    } else {
+        None
+    });
+    skip::set_default_enabled(skip_on);
+    let cfg = hcmp_config(ctx, 4, 4);
+    let mut best_ms = f64::INFINITY;
+    let mut obs = RunObs::disabled();
+    let mut duration = 0;
+    let mut n_cores = 0;
+    for _ in 0..BENCH_REPEATS {
+        obs = RunObs::disabled();
+        let t0 = Instant::now();
+        let (_eval, result) = run_mix_traced(
+            ctx,
+            &cfg,
+            mix,
+            SchedKind::RelOpt,
+            SamplingParams::default(),
+            &mut obs,
+        );
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        duration = result.duration;
+        n_cores = result.cores.len() as u64;
+    }
+    sampling::set_default(None);
+    skip::set_default_enabled(true);
+    let snap = obs.recorder.snapshot();
+    let skipped = snap.counter("sim.skipped_ticks").unwrap_or(0);
+    let detailed = snap.counter("sim.detailed_ticks").unwrap_or(0);
+    let detailed_core_ticks = detailed * n_cores;
+    PerfRow {
+        name: name.to_string(),
+        wall_ms: best_ms,
+        ticks: duration,
+        ticks_per_sec: duration as f64 / (best_ms / 1e3),
+        skipped_ticks: skipped,
+        skipped_fraction: if detailed_core_ticks > 0 {
+            skipped as f64 / detailed_core_ticks as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Time the quick-scale `compare_schedulers` grid (fully detailed).
+fn timed_grid(ctx: &Context, skip_on: bool) -> f64 {
+    sampling::set_default(None);
+    skip::set_default_enabled(skip_on);
+    let cfg = hcmp_config(ctx, 2, 2);
+    let mixes = ctx.four_program_mixes();
+    let mut obs = RunObs::disabled();
+    let t0 = Instant::now();
+    let comparisons = compare_schedulers(ctx, &cfg, &mixes, SamplingParams::default(), &mut obs);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    skip::set_default_enabled(true);
+    assert!(!comparisons.is_empty(), "grid produced no results");
+    wall_ms
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn main() {
+    let obs_args = relsim_bench::obs_init();
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: bench_perf [--jobs N]\n\
+             Times the canonical 4B4S workload (both engines, skip on/off) and the\n\
+             quick-scale scheduler grid, then writes BENCH_perf.json at the repo root.\n{}",
+            relsim_bench::JOBS_HELP
+        );
+        return;
+    }
+    let mut obs = relsim_bench::run_obs(&obs_args);
+    // The context is the shared, cached setup step; it is deliberately
+    // outside every timed region.
+    let ctx = relsim_bench::context(Scale::quick());
+
+    info!("bench_perf: canonical 4B4S runs (detailed/sampled x skip/noskip)");
+    let canonical = ctx.eight_program_mixes().remove(0);
+    let memory = memory_bound_mix();
+    // The single-mix rows run longer than quick scale for stable timing.
+    let mut row_ctx = ctx.clone();
+    row_ctx.scale.run_ticks = BENCH_RUN_TICKS;
+    let rows = vec![
+        timed_run(&row_ctx, "4B4S-detailed-skip", &canonical, false, true),
+        timed_run(&row_ctx, "4B4S-detailed-noskip", &canonical, false, false),
+        timed_run(&row_ctx, "4B4S-sampled-skip", &canonical, true, true),
+        timed_run(&row_ctx, "4B4S-sampled-noskip", &canonical, true, false),
+        timed_run(&row_ctx, "4B4S-membound-skip", &memory, false, true),
+        timed_run(&row_ctx, "4B4S-membound-noskip", &memory, false, false),
+    ];
+    info!("bench_perf: quick-scale scheduler grid (skip vs noskip)");
+    let grid_skip = timed_grid(&ctx, true);
+    let grid_noskip = timed_grid(&ctx, false);
+
+    let report = PerfReport {
+        model_version: relsim_bench::MODEL_VERSION,
+        detailed_speedup: rows[1].wall_ms / rows[0].wall_ms,
+        sampled_speedup: rows[3].wall_ms / rows[2].wall_ms,
+        membound_speedup: rows[5].wall_ms / rows[4].wall_ms,
+        quick_grid: QuickGridTiming {
+            skip_wall_ms: grid_skip,
+            noskip_wall_ms: grid_noskip,
+            speedup: grid_noskip / grid_skip,
+        },
+        rows,
+    };
+
+    for r in &report.rows {
+        println!(
+            "{:24} {:>9.1} ms  {:>12.0} ticks/s  skipped {:>5.1}%",
+            r.name,
+            r.wall_ms,
+            r.ticks_per_sec,
+            r.skipped_fraction * 100.0
+        );
+    }
+    println!(
+        "quick grid: skip {:.1} ms vs noskip {:.1} ms -> {:.2}x",
+        report.quick_grid.skip_wall_ms, report.quick_grid.noskip_wall_ms, report.quick_grid.speedup
+    );
+    println!(
+        "speedup: detailed {:.2}x, sampled {:.2}x, membound {:.2}x",
+        report.detailed_speedup, report.sampled_speedup, report.membound_speedup
+    );
+
+    // Perf trajectory: print the delta against the committed snapshot,
+    // then overwrite it.
+    let path = repo_root().join("BENCH_perf.json");
+    if let Ok(bytes) = std::fs::read(&path) {
+        match serde_json::from_slice::<PerfReport>(&bytes) {
+            Ok(prev) => {
+                for r in &report.rows {
+                    if let Some(p) = prev.rows.iter().find(|p| p.name == r.name) {
+                        println!(
+                            "delta {:24} {:+.1}% wall vs committed ({:.1} ms -> {:.1} ms)",
+                            r.name,
+                            (r.wall_ms / p.wall_ms - 1.0) * 100.0,
+                            p.wall_ms,
+                            r.wall_ms
+                        );
+                    }
+                }
+                println!(
+                    "delta quick grid: {:+.1}% wall vs committed",
+                    (report.quick_grid.skip_wall_ms / prev.quick_grid.skip_wall_ms - 1.0) * 100.0
+                );
+            }
+            Err(e) => info!("committed BENCH_perf.json unreadable ({e}); rewriting"),
+        }
+    } else {
+        info!("no committed BENCH_perf.json; writing the first snapshot");
+    }
+    let bytes = serde_json::to_vec_pretty(&report).expect("serialize perf report");
+    match relsim_obs::write_atomic(&path, &bytes) {
+        Ok(()) => info!("wrote {path:?}"),
+        Err(e) => {
+            relsim_obs::error!("cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+    }
+    relsim_bench::obs_finish(&obs_args, &mut obs);
+}

@@ -53,9 +53,10 @@ fn main() {
         println!(
             "usage: simulate --benchmarks a,b,c,d [--big N] [--small N] \
              [--scheduler random|performance|reliability|static] \
-             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}\n{}\n{}",
+             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}\n{}\n{}\n{}",
             relsim_bench::JOBS_HELP,
-            relsim_bench::SAMPLE_HELP
+            relsim_bench::SAMPLE_HELP,
+            relsim_bench::NO_SKIP_HELP
         );
         return;
     }

@@ -37,6 +37,7 @@ pub const MODEL_VERSION: u32 = 3;
 pub fn obs_init() -> ObsArgs {
     relsim::pool::set_default_jobs(jobs_from_args());
     relsim::sampling::set_default(sampling_from_args());
+    relsim::skip::set_default_enabled(!no_skip_from_args());
     ObsArgs::from_env()
 }
 
@@ -121,6 +122,24 @@ pub fn parse_sample<I: IntoIterator<Item = String>>(args: I) -> Option<relsim::S
     }
     None
 }
+
+/// Whether `--no-skip` was passed: disables event-horizon cycle skipping
+/// in detailed windows (DESIGN.md §11). Skipping is byte-identical to the
+/// plain tick loop, so the flag only trades speed for a reference timing
+/// baseline (`bench_perf`) or for bisecting a suspected equivalence bug.
+pub fn no_skip_from_args() -> bool {
+    parse_no_skip(std::env::args().skip(1))
+}
+
+/// Testable `--no-skip` parser.
+pub fn parse_no_skip<I: IntoIterator<Item = String>>(args: I) -> bool {
+    args.into_iter().any(|a| a == "--no-skip")
+}
+
+/// Help text fragment for the `--no-skip` flag, for `--help` output.
+pub const NO_SKIP_HELP: &str =
+    "  --no-skip             disable event-horizon cycle skipping (same results, \
+                               slower; for timing baselines and equivalence bisection)";
 
 /// Help text fragment for the `--sample` flag, for `--help` output.
 pub const SAMPLE_HELP: &str =
@@ -245,6 +264,16 @@ mod tests {
         // `-json` must not be mistaken for `-j son`.
         assert_eq!(parse(&["-json"]), None);
         assert_eq!(parse(&["--jobs", "lots"]), None);
+    }
+
+    #[test]
+    fn no_skip_flag_forms() {
+        use super::parse_no_skip;
+        let parse = |args: &[&str]| parse_no_skip(args.iter().map(|s| s.to_string()));
+        assert!(parse(&["--no-skip"]));
+        assert!(parse(&["--quick", "--no-skip", "-j2"]));
+        assert!(!parse(&["--quick"]));
+        assert!(!parse(&["--no-skip=1"]), "flag takes no value");
     }
 
     #[test]

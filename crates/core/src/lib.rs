@@ -51,6 +51,7 @@ pub mod pool;
 pub mod sampling;
 mod sched;
 mod sched_pie;
+pub mod skip;
 mod system;
 
 pub use relsim_ace::CounterKind;

@@ -385,7 +385,7 @@ mod tests {
                 job_obs.emit(Event::Migration {
                     tick: x,
                     app: i,
-                    from_core: 0,
+                    from_core: Some(0),
                     to_core: 1,
                 });
             });

@@ -8,6 +8,7 @@
 
 use crate::sampling::{self, ErrorEstimator, SamplingConfig, SamplingReport};
 use crate::sched::{Scheduler, SegmentObservation};
+use crate::skip;
 use relsim_ace::{AceCounter, CounterKind};
 use relsim_cpu::{Core, CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
 use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
@@ -245,6 +246,9 @@ pub struct System {
     measure_start: Vec<u64>,
     /// Interval-sampling configuration; `None` runs fully detailed.
     sampling: Option<SamplingConfig>,
+    /// Event-horizon cycle skipping in detailed windows (DESIGN.md §11).
+    /// Byte-identical to the plain tick loop, so on by default.
+    skip: bool,
     now: u64,
 }
 
@@ -307,6 +311,7 @@ impl System {
             stall_until: vec![0; n],
             measure_start: vec![0; n],
             sampling: sampling::default_config(),
+            skip: skip::default_enabled(),
             cfg,
             now: 0,
         }
@@ -329,6 +334,20 @@ impl System {
     /// The active interval-sampling configuration, if any.
     pub fn sampling(&self) -> Option<SamplingConfig> {
         self.sampling
+    }
+
+    /// Enable or disable event-horizon cycle skipping for this system.
+    /// Systems pick up the process-wide default
+    /// ([`skip::default_enabled`]) at construction; this setter exists for
+    /// tests and differential harnesses that need both modes in one
+    /// process.
+    pub fn set_skip(&mut self, enabled: bool) {
+        self.skip = enabled;
+    }
+
+    /// Whether event-horizon cycle skipping is enabled.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip
     }
 
     /// Run under `scheduler` for `duration` ticks and report the outcome.
@@ -400,6 +419,7 @@ impl System {
         let m_ticks = recorder.counter("sim.ticks");
         let m_detailed = recorder.counter("sim.detailed_ticks");
         let m_ff = recorder.counter("sim.ff_ticks");
+        let m_skipped = recorder.counter("sim.skipped_ticks");
         let h_seg_instr = recorder.histogram("sim.segment_instructions");
         let h_seg_migr = recorder.histogram("sim.segment_migrations");
         // Baselines for per-core deltas: one at segment start (full
@@ -409,6 +429,17 @@ impl System {
         let mut cpi_base: Vec<relsim_cpu::CpiStack> =
             self.cores.iter().map(|c| *c.cpi_stack()).collect();
         let mut quantum_index = 0u64;
+        let n_cores = self.cores.len();
+        let do_skip = self.skip;
+        // Per-core event horizon: ticks before `skip_until[i]` are dead
+        // for core `i` and already charged by `skip_to`. Targets never
+        // cross a detailed-window end, so stale entries from earlier
+        // windows or segments are inert (`self.now` only grows).
+        let mut skip_until = vec![0u64; n_cores];
+        // Measurement-point snapshot buffers, reused across windows.
+        let mut snap_committed: Vec<u64> = Vec::with_capacity(n_cores);
+        let mut snap_cpi: Vec<CpiStack> = Vec::with_capacity(n_cores);
+        let mut snap_abc: Vec<f64> = Vec::with_capacity(n_cores);
 
         while self.now < end {
             let seg = timers.time(Phase::Scheduler, || scheduler.next_segment());
@@ -442,7 +473,9 @@ impl System {
                         sink.emit(&Event::Migration {
                             tick: self.now,
                             app,
-                            from_core: self.mapping.iter().position(|&a| a == app).unwrap_or(core),
+                            // `None` when the app enters from the
+                            // unscheduled pool rather than another core.
+                            from_core: self.mapping.iter().position(|&a| a == app),
                             to_core: core,
                         });
                         self.cores[core].reset_pipeline();
@@ -471,7 +504,7 @@ impl System {
                     }
                 }
             });
-            self.mapping = seg.mapping.clone();
+            self.mapping = seg.mapping;
 
             // Reset counters for this segment.
             for c in &mut self.eval_counters {
@@ -488,8 +521,8 @@ impl System {
             // detailed.
             let seg_start = self.now;
             let seg_end = self.now + ticks;
-            let n_cores = self.cores.len();
             let mut seg_detailed = 0u64;
+            let mut seg_skipped = 0u64;
             // Detailed ticks at/after each core's measurement start, for
             // scheduler-counter extrapolation over the active window.
             let mut active_detailed = vec![0u64; n_cores];
@@ -532,19 +565,23 @@ impl System {
                     // Measurement-point snapshots: they seed the
                     // fast-forward extrapolation and the per-window rate
                     // estimators. Re-taken mid-window when warmup applies.
-                    let mut snap_committed: Vec<u64> =
-                        self.cores.iter().map(Core::committed).collect();
-                    let mut snap_cpi: Vec<CpiStack> =
-                        self.cores.iter().map(|c| *c.cpi_stack()).collect();
-                    let mut snap_abc: Vec<f64> =
-                        self.eval_counters.iter().map(|c| c.abc(0)).collect();
+                    snap_committed.clear();
+                    snap_committed.extend(self.cores.iter().map(Core::committed));
+                    snap_cpi.clear();
+                    snap_cpi.extend(self.cores.iter().map(|c| *c.cpi_stack()));
+                    snap_abc.clear();
+                    snap_abc.extend(self.eval_counters.iter().map(|c| c.abc(0)));
                     while self.now < win_end {
                         let t = self.now;
                         if t == measure_from && t > cur {
-                            snap_committed = self.cores.iter().map(Core::committed).collect();
-                            snap_cpi = self.cores.iter().map(|c| *c.cpi_stack()).collect();
-                            snap_abc = self.eval_counters.iter().map(|c| c.abc(0)).collect();
+                            snap_committed.clear();
+                            snap_committed.extend(self.cores.iter().map(Core::committed));
+                            snap_cpi.clear();
+                            snap_cpi.extend(self.cores.iter().map(|c| *c.cpi_stack()));
+                            snap_abc.clear();
+                            snap_abc.extend(self.eval_counters.iter().map(|c| c.abc(0)));
                         }
+                        let mut ticked_any = false;
                         #[allow(clippy::needless_range_loop)] // parallel arrays
                         for core_idx in 0..n_cores {
                             if t == self.measure_start[core_idx] && t > seg_start {
@@ -552,11 +589,16 @@ impl System {
                                 // window: snapshot progress and restart the
                                 // scheduler's counter. Evaluation counters
                                 // keep the full segment (ground truth must
-                                // not lose ABC).
+                                // not lose ABC). This trigger reads only
+                                // committed counts (never pre-charged by
+                                // `skip_to`), so it may fire mid-skip.
                                 measure_base[core_idx] = self.cores[core_idx].committed();
                                 self.sched_counters[core_idx].reset();
                             }
                             if t < self.stall_until[core_idx] {
+                                continue;
+                            }
+                            if t < skip_until[core_idx] {
                                 continue;
                             }
                             let app_idx = self.mapping[core_idx];
@@ -570,8 +612,56 @@ impl System {
                                 &mut self.shared,
                                 &mut tee,
                             );
+                            ticked_any = true;
+                            if do_skip {
+                                // Event horizon: ticks in (t, target) are
+                                // provably dead for this core. Charge them
+                                // in closed form and stop ticking it until
+                                // `target`. Clamped at the window end and
+                                // the mid-window re-snapshot point, whose
+                                // reads need fully settled CPI stacks.
+                                let mut target = self.cores[core_idx].next_event(t).min(win_end);
+                                if measure_from > t {
+                                    target = target.min(measure_from);
+                                }
+                                if target > t + 1 {
+                                    self.cores[core_idx].skip_to(t + 1, target);
+                                    skip_until[core_idx] = target;
+                                    seg_skipped += target - t - 1;
+                                }
+                            }
                         }
                         self.now += 1;
+                        if do_skip && !ticked_any && self.now < win_end {
+                            // Every core is stalled or mid-skip: jump the
+                            // global clock to the next point of interest —
+                            // the earliest core wake-up, clamped at the
+                            // re-snapshot point and any pending per-core
+                            // measurement-start trigger.
+                            // The `>=` below matters: the iteration for
+                            // `self.now` itself has not run yet, so a
+                            // trigger scheduled exactly at `self.now` must
+                            // pin the clock (jump == now means "no jump"),
+                            // or its `t ==` check would never execute.
+                            let mut jump = win_end;
+                            if measure_from >= self.now {
+                                jump = jump.min(measure_from);
+                            }
+                            for (i, &asleep) in skip_until.iter().enumerate() {
+                                jump = jump.min(self.stall_until[i].max(asleep));
+                                if self.measure_start[i] >= self.now {
+                                    jump = jump.min(self.measure_start[i]);
+                                }
+                            }
+                            // Core-ticks in the jumped range are either
+                            // migration stalls (not simulated by the plain
+                            // loop either) or already counted when their
+                            // skip was issued, so `seg_skipped` is
+                            // untouched here.
+                            if jump > self.now {
+                                self.now = jump;
+                            }
+                        }
                     }
                     let win_ticks = win_end - cur;
                     let meas_ticks = win_end - measure_from;
@@ -747,6 +837,7 @@ impl System {
             recorder.add(m_ticks, ticks);
             recorder.add(m_detailed, seg_detailed);
             recorder.add(m_ff, ticks - seg_detailed);
+            recorder.add(m_skipped, seg_skipped);
             let seg_instr: u64 = app_instr.iter().sum();
             recorder.add(m_instructions, seg_instr);
             recorder.observe(h_seg_instr, seg_instr);
@@ -1197,6 +1288,48 @@ mod tests {
             summary,
             (report.detailed_ticks, report.ff_ticks, report.windows)
         );
+    }
+
+    #[test]
+    fn cycle_skipping_is_byte_identical_to_tick_loop() {
+        use relsim_obs::{JsonlSink, RunObs};
+
+        // The cheap in-crate equivalence check; the full grid-level
+        // differential lives in tests/horizon_equivalence.rs.
+        let trace = |skip: bool, sampling: Option<&str>| {
+            let cfg = SystemConfig::hcmp(2, 2);
+            let kinds = cfg.core_kinds();
+            let q = cfg.quantum_ticks;
+            let mut sys = System::new(cfg, &four_apps());
+            sys.set_skip(skip);
+            sys.set_sampling(sampling.map(|s| SamplingConfig::parse(s).unwrap()));
+            let mut sched =
+                SamplingScheduler::new(Objective::Sser, kinds, q, SamplingParams::default());
+            let buf = SharedBuf::default();
+            let mut obs = RunObs::with_sink(Box::new(JsonlSink::new(buf.clone())));
+            let r = sys.run_traced(&mut sched, 300_000, &mut obs);
+            let bytes = buf.0.borrow().clone();
+            let skipped = obs
+                .recorder
+                .snapshot()
+                .counter("sim.skipped_ticks")
+                .unwrap_or(0);
+            (serde_json::to_vec(&r).unwrap(), bytes, skipped)
+        };
+        for sampling in [None, Some("2000:8000:1")] {
+            let (res_skip, log_skip, skipped) = trace(true, sampling);
+            let (res_tick, log_tick, none_skipped) = trace(false, sampling);
+            assert_eq!(
+                res_skip, res_tick,
+                "RunResult differs under skip (sampling {sampling:?})"
+            );
+            assert_eq!(
+                log_skip, log_tick,
+                "event log differs under skip (sampling {sampling:?})"
+            );
+            assert!(skipped > 0, "horizon never skipped (sampling {sampling:?})");
+            assert_eq!(none_skipped, 0, "tick loop must not skip");
+        }
     }
 
     #[test]

@@ -60,6 +60,26 @@ impl Core {
         }
     }
 
+    /// Conservative event horizon: the earliest tick strictly after `now`
+    /// at which this core's architectural state can change; see
+    /// [`OooCore::next_event`]. Always returns a value `> now`.
+    pub fn next_event(&self, now: u64) -> u64 {
+        match self {
+            Core::Big(c) => c.next_event(now),
+            Core::Small(c) => c.next_event(now),
+        }
+    }
+
+    /// Charge the dead ticks `[from, to)` in closed form; sound only when
+    /// `to` does not exceed the horizon reported by [`Self::next_event`].
+    /// See [`OooCore::skip_to`].
+    pub fn skip_to(&mut self, from: u64, to: u64) {
+        match self {
+            Core::Big(c) => c.skip_to(from, to),
+            Core::Small(c) => c.skip_to(from, to),
+        }
+    }
+
     /// Correct-path instructions committed so far.
     pub fn committed(&self) -> u64 {
         match self {

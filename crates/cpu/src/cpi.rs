@@ -51,12 +51,21 @@ impl CpiStack {
 
     /// Record a zero-commit cycle with the given cause.
     pub fn stall_cycle(&mut self, cause: StallCause) {
+        self.stall_cycles(cause, 1);
+    }
+
+    /// Record `n` zero-commit cycles with the given cause in one step.
+    ///
+    /// Used by the event-horizon skip path: a run of dead cycles whose
+    /// stall cause is provably constant is charged in closed form instead
+    /// of one `stall_cycle` call per cycle.
+    pub fn stall_cycles(&mut self, cause: StallCause, n: u64) {
         match cause {
-            StallCause::Branch => self.branch += 1,
-            StallCause::ICache => self.icache += 1,
-            StallCause::Resource => self.resource += 1,
-            StallCause::Llc => self.llc += 1,
-            StallCause::Memory => self.memory += 1,
+            StallCause::Branch => self.branch += n,
+            StallCause::ICache => self.icache += n,
+            StallCause::Resource => self.resource += n,
+            StallCause::Llc => self.llc += n,
+            StallCause::Memory => self.memory += n,
         }
     }
 
@@ -191,6 +200,23 @@ mod tests {
         assert_eq!(s.branch, 1);
         assert_eq!(s.memory, 2);
         assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn bulk_stall_cycles_matches_repeated_single_calls() {
+        let mut bulk = CpiStack::default();
+        let mut single = CpiStack::default();
+        for (cause, n) in [
+            (StallCause::Branch, 3),
+            (StallCause::ICache, 0),
+            (StallCause::Memory, 117),
+        ] {
+            bulk.stall_cycles(cause, n);
+            for _ in 0..n {
+                single.stall_cycle(cause);
+            }
+        }
+        assert_eq!(bulk, single);
     }
 
     #[test]

@@ -57,6 +57,18 @@ impl FuPool {
         self.fp_div_busy_until = 0;
     }
 
+    /// Tick until which the (unpipelined) integer divider stays busy.
+    /// Used by the event-horizon next-event computation: a divider op at
+    /// the head of an in-order pipeline cannot issue before this tick.
+    pub fn int_div_busy_at(&self) -> u64 {
+        self.int_div_busy_until
+    }
+
+    /// Tick until which the (unpipelined) FP divider stays busy.
+    pub fn fp_div_busy_at(&self) -> u64 {
+        self.fp_div_busy_until
+    }
+
     /// Try to claim a unit for `op` at tick `now`; returns whether issue
     /// may proceed. `ticks_per_cycle` converts divider latencies to ticks.
     pub fn try_issue(&mut self, op: OpClass, now: u64, ticks_per_cycle: u64) -> bool {
@@ -164,6 +176,18 @@ mod tests {
         assert!(fu.try_issue(OpClass::FpDiv, 0, 2));
         assert!(!fu.try_issue(OpClass::FpDiv, 11, 2), "6 cycles x 2 ticks");
         assert!(fu.try_issue(OpClass::FpDiv, 12, 2));
+    }
+
+    #[test]
+    fn busy_at_getters_track_divider_occupancy() {
+        let mut fu = FuPool::new(FuConfig::big());
+        assert_eq!(fu.int_div_busy_at(), 0);
+        assert_eq!(fu.fp_div_busy_at(), 0);
+        fu.new_cycle();
+        assert!(fu.try_issue(OpClass::IntDiv, 5, 1));
+        assert!(fu.try_issue(OpClass::FpDiv, 5, 2));
+        assert_eq!(fu.int_div_busy_at(), 5 + 18);
+        assert_eq!(fu.fp_div_busy_at(), 5 + 12);
     }
 
     #[test]

@@ -476,6 +476,131 @@ impl InorderCore {
         self.cpi.stall_cycle(cause);
     }
 
+    /// Conservative event horizon: the earliest tick strictly after `now`
+    /// at which this core's architectural state can change; see
+    /// [`OooCore::next_event`](crate::OooCore::next_event) for the
+    /// contract. For the in-order pipe the horizon is the min over the
+    /// head's writeback time, the issue time of the oldest unissued entry
+    /// (front-end `avail`, producer results, unpipelined-divider busy
+    /// time), and the end of a fetch stall when the pipe has room.
+    pub fn next_event(&self, now: u64) -> u64 {
+        let tpc = self.cfg.ticks_per_cycle;
+        let nb = (now / tpc + 1) * tpc;
+        // Fetch can make progress at the next boundary.
+        if self.pipe.len() < self.pipe_capacity && nb >= self.fetch_stall_until {
+            return nb;
+        }
+        let mut h = u64::MAX;
+        if let Some(head) = self.pipe.front() {
+            if head.issued {
+                h = h.min(head.finish_at);
+            }
+        }
+        // Issue is strictly in-order, so only the oldest unissued entry
+        // can change state (issued entries form a prefix of the pipe).
+        if let Some(i) = self.pipe.iter().position(|e| !e.issued) {
+            let e = &self.pipe[i];
+            // A store blocked on a full SQ can only be unblocked by a
+            // store writeback at the pipe head; `sq_used > 0` implies the
+            // head is issued, so `head.finish_at` above already bounds it.
+            let sq_blocked = e.instr.op == OpClass::Store && self.sq_used >= self.cfg.sq_size;
+            if !sq_blocked {
+                let mut bound = e.avail;
+                let mut unknown = false;
+                for dep in e.deps.iter().flatten() {
+                    match self.operand_ready_at(*dep) {
+                        Some(r) => bound = bound.max(r),
+                        // Producer not issued: cannot happen for the
+                        // oldest unissued entry, but stay conservative.
+                        None => unknown = true,
+                    }
+                }
+                match e.instr.op {
+                    OpClass::IntDiv => bound = bound.max(self.fu.int_div_busy_at()),
+                    OpClass::FpDiv => bound = bound.max(self.fu.fp_div_busy_at()),
+                    _ => {}
+                }
+                if unknown {
+                    return nb;
+                }
+                h = h.min(bound);
+            }
+        }
+        if self.pipe.len() < self.pipe_capacity {
+            h = h.min(self.fetch_stall_until);
+        }
+        if h == u64::MAX {
+            return nb; // nothing in flight at all: never skip blind
+        }
+        h.max(nb)
+    }
+
+    /// Charge the dead ticks `[from, to)` in closed form; see
+    /// [`OooCore::skip_to`](crate::OooCore::skip_to) for the contract.
+    /// Replays the per-cycle stall classification of `account_cpi` as
+    /// range arithmetic over the skipped cycle boundaries.
+    pub fn skip_to(&mut self, from: u64, to: u64) {
+        let tpc = self.cfg.ticks_per_cycle;
+        // Cycle boundaries t = k*tpc in [from, to): k in [a, b).
+        let a = from.div_ceil(tpc);
+        let b = to.div_ceil(tpc);
+        if b <= a {
+            return;
+        }
+        let n = b - a;
+        self.cycles += n;
+        if let Some(head) = self.pipe.front() {
+            if head.issued {
+                if head.instr.op == OpClass::Load {
+                    // The skip ends no later than head.finish_at, so the
+                    // load is outstanding on every skipped cycle.
+                    let cause = match head.mem_level {
+                        Some(MemLevel::Memory) => StallCause::Memory,
+                        Some(MemLevel::L3) => StallCause::Llc,
+                        _ => StallCause::Resource,
+                    };
+                    self.cpi.stall_cycles(cause, n);
+                } else {
+                    // Issued non-load head: branch debt first, then
+                    // stall-on-use resource cycles.
+                    let n_debt = n.min(self.branch_debt);
+                    self.branch_debt -= n_debt;
+                    self.cpi.stall_cycles(StallCause::Branch, n_debt);
+                    self.cpi.stall_cycles(StallCause::Resource, n - n_debt);
+                }
+            } else {
+                // Unissued head: cycles before min(avail, refill deadline)
+                // are misprediction refill, the rest consume branch debt
+                // and then count as resource stalls.
+                let t_lim = head.avail.min(self.branch_refill_until);
+                let k_b = t_lim.div_ceil(tpc).clamp(a, b);
+                let n_refill = k_b - a;
+                let rest = n - n_refill;
+                let n_debt = rest.min(self.branch_debt);
+                self.branch_debt -= n_debt;
+                self.cpi.stall_cycles(StallCause::Branch, n_refill + n_debt);
+                self.cpi.stall_cycles(StallCause::Resource, rest - n_debt);
+            }
+        } else {
+            // Empty pipe: an I-cache stall window charges ICache, then the
+            // wrong-path/refill window charges Branch, then Resource (the
+            // empty-pipe path consumes no branch debt).
+            let k_fsu = if self.fetch_stall_icache {
+                self.fetch_stall_until.div_ceil(tpc).clamp(a, b)
+            } else {
+                a
+            };
+            self.cpi.stall_cycles(StallCause::ICache, k_fsu - a);
+            if self.in_wrong_path {
+                self.cpi.stall_cycles(StallCause::Branch, b - k_fsu);
+            } else {
+                let k_bru = self.branch_refill_until.div_ceil(tpc).clamp(k_fsu, b);
+                self.cpi.stall_cycles(StallCause::Branch, k_bru - k_fsu);
+                self.cpi.stall_cycles(StallCause::Resource, b - k_bru);
+            }
+        }
+    }
+
     /// Advance the core by one global tick (no-op between cycle
     /// boundaries; see [`OooCore::tick`](crate::OooCore::tick)).
     pub fn tick(

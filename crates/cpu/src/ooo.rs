@@ -701,6 +701,151 @@ impl OooCore {
         self.cpi.stall_cycle(cause);
     }
 
+    /// Would the dispatch stage accept `instr` right now, resource-wise?
+    /// Mirrors the gate order of [`Self::dispatch`] exactly (ROB, issue
+    /// queue, LQ/SQ, rename registers), minus the `avail` time gate.
+    fn can_dispatch(&self, instr: &Instr) -> bool {
+        if self.rob.len() >= self.cfg.rob_size as usize {
+            return false;
+        }
+        let is_nop = instr.op == OpClass::Nop;
+        if !is_nop && self.iq_used >= self.cfg.iq_size {
+            return false;
+        }
+        match instr.op {
+            OpClass::Load if self.lq_used >= self.cfg.lq_size => return false,
+            OpClass::Store if self.sq_used >= self.cfg.sq_size => return false,
+            _ => {}
+        }
+        if instr.has_output() {
+            if instr.op.is_fp() {
+                if self.fp_regs_used >= self.cfg.rename_fp_regs() {
+                    return false;
+                }
+            } else if self.int_regs_used >= self.cfg.rename_int_regs() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Conservative event horizon: the earliest tick strictly after `now`
+    /// at which this core's architectural state can change. Every tick in
+    /// `(now, next_event(now))` is *dead* — [`Self::tick`] there would only
+    /// bump the cycle counter and charge one CPI-stack stall — so the
+    /// caller may replace those ticks with one [`Self::skip_to`] call and
+    /// get bit-identical results.
+    ///
+    /// The horizon is the min over: the next finish event (covers commit,
+    /// wakeups, flushes and every resource release), the front of the
+    /// fetch queue clearing the front-end (when dispatch resources are
+    /// free), and the end of a fetch stall (when the fetch queue has
+    /// room). When work is possible at the very next cycle boundary —
+    /// fetch can run, the ROB head is committable, or ready instructions
+    /// await issue — the boundary itself is returned and nothing is
+    /// skipped. Returns are conservative (never later than the true next
+    /// state change) and always `> now`.
+    pub fn next_event(&self, now: u64) -> u64 {
+        let tpc = self.cfg.ticks_per_cycle;
+        let nb = (now / tpc + 1) * tpc;
+        // Fetch can make progress at the next boundary.
+        if self.fetch_queue.len() < self.fq_capacity && nb >= self.fetch_stall_until {
+            return nb;
+        }
+        // Commit pending (done implies finish_at <= now, so the head
+        // retires at the next boundary).
+        if let Some(head) = self.rob.front() {
+            if head.done {
+                return nb;
+            }
+        }
+        // Issue may proceed (conservatively: a busy divider could still
+        // block, but a no-skip answer is always sound).
+        if !self.ready.is_empty() {
+            return nb;
+        }
+        let mut h = u64::MAX;
+        if let Some(&Reverse((tick, _, _))) = self.finish_events.peek() {
+            h = h.min(tick);
+        }
+        if let Some(f) = self.fetch_queue.front() {
+            // Dispatch is gated on `avail` before resources, so when the
+            // resources are free the front clears at `avail`; when they are
+            // not, only a commit or flush (both finish-event-driven, so
+            // already bounded above) can unblock it.
+            if self.can_dispatch(&f.instr) {
+                h = h.min(f.avail);
+            }
+        }
+        if self.fetch_queue.len() < self.fq_capacity {
+            h = h.min(self.fetch_stall_until);
+        }
+        if h == u64::MAX {
+            return nb; // nothing in flight at all: never skip blind
+        }
+        h.max(nb)
+    }
+
+    /// Charge the dead ticks `[from, to)` in closed form: advance the
+    /// cycle counter and CPI stack exactly as per-tick simulation would
+    /// have, without simulating the ticks. Sound only when every tick in
+    /// the range is dead, i.e. `to <= next_event(from - 1)` (see
+    /// [`Self::next_event`]); the stall cause per skipped cycle is then a
+    /// pure function of current state plus the cycle's position relative
+    /// to the `branch_refill_until`/`fetch_stall_until` deadlines, which
+    /// is what the arithmetic below replicates.
+    pub fn skip_to(&mut self, from: u64, to: u64) {
+        let tpc = self.cfg.ticks_per_cycle;
+        // Cycle boundaries t = k*tpc in [from, to): k in [a, b).
+        let a = from.div_ceil(tpc);
+        let b = to.div_ceil(tpc);
+        if b <= a {
+            return;
+        }
+        let n = b - a;
+        self.cycles += n;
+        if let Some(head) = self.rob.front() {
+            if head.issued && !head.done && head.instr.op == OpClass::Load {
+                // Memory-blocked ROB head dominates every skipped cycle.
+                let cause = match head.mem_level {
+                    Some(MemLevel::Memory) => StallCause::Memory,
+                    Some(MemLevel::L3) => StallCause::Llc,
+                    _ => StallCause::Resource,
+                };
+                self.cpi.stall_cycles(cause, n);
+            } else if self.in_wrong_path {
+                self.cpi.stall_cycles(StallCause::Branch, n);
+            } else {
+                // Boundaries before branch_refill_until charge Branch;
+                // the rest consume branch debt first, then Resource.
+                let k_bru = self.branch_refill_until.div_ceil(tpc).clamp(a, b);
+                let n_refill = k_bru - a;
+                let rest = n - n_refill;
+                let n_debt = rest.min(self.branch_debt);
+                self.branch_debt -= n_debt;
+                self.cpi.stall_cycles(StallCause::Branch, n_refill + n_debt);
+                self.cpi.stall_cycles(StallCause::Resource, rest - n_debt);
+            }
+        } else {
+            // Empty ROB: an I-cache stall window charges ICache, then the
+            // wrong-path/refill window charges Branch, then Resource (the
+            // per-tick empty path consumes no branch debt).
+            let k_fsu = if self.fetch_stall_icache {
+                self.fetch_stall_until.div_ceil(tpc).clamp(a, b)
+            } else {
+                a
+            };
+            self.cpi.stall_cycles(StallCause::ICache, k_fsu - a);
+            if self.in_wrong_path {
+                self.cpi.stall_cycles(StallCause::Branch, b - k_fsu);
+            } else {
+                let k_bru = self.branch_refill_until.div_ceil(tpc).clamp(k_fsu, b);
+                self.cpi.stall_cycles(StallCause::Branch, k_bru - k_fsu);
+                self.cpi.stall_cycles(StallCause::Resource, b - k_bru);
+            }
+        }
+    }
+
     /// Advance the core by one global tick.
     ///
     /// The core only performs work on its own cycle boundaries (every

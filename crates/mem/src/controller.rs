@@ -92,6 +92,17 @@ impl MemController {
         start + self.cfg.latency_ticks + self.cfg.transfer_ticks
     }
 
+    /// Tick at which the memory bus becomes free for a new transfer.
+    ///
+    /// The controller is *eager*: [`Self::request`] computes and returns
+    /// the fill time immediately, so every in-flight fill is already fully
+    /// resolved into some core's finish event. A core's event horizon
+    /// therefore never needs to poll this value for correctness; it exists
+    /// so callers can observe (and assert on) earliest-completion state.
+    pub fn bus_free_at(&self) -> u64 {
+        self.next_free
+    }
+
     /// Average queueing delay per request in ticks.
     pub fn avg_queue_delay(&self) -> f64 {
         if self.stats.requests == 0 {
@@ -124,6 +135,16 @@ mod tests {
         assert_eq!(b, 7 + 127);
         assert_eq!(d, 14 + 127);
         assert_eq!(c.stats().queue_ticks, 7 + 14);
+    }
+
+    #[test]
+    fn bus_free_at_tracks_transfer_occupancy() {
+        let mut c = MemController::new(MemControllerConfig::default());
+        assert_eq!(c.bus_free_at(), 0);
+        c.request(1000);
+        assert_eq!(c.bus_free_at(), 1000 + 7);
+        c.request(1000);
+        assert_eq!(c.bus_free_at(), 1000 + 14, "queued behind the first");
     }
 
     #[test]

@@ -129,6 +129,15 @@ impl SharedMem {
         }
     }
 
+    /// Tick at which the memory bus becomes free for a new transfer; see
+    /// [`MemController::bus_free_at`]. Because every shared-level access
+    /// resolves eagerly at request time, this is the only
+    /// earliest-completion state the backend holds — there are no pending
+    /// callbacks a cycle-skipping core could miss.
+    pub fn bus_free_at(&self) -> u64 {
+        self.controller.bus_free_at()
+    }
+
     /// L3 statistics.
     pub fn l3_stats(&self) -> CacheStats {
         self.l3.stats()

@@ -43,10 +43,12 @@ pub enum Event {
         reason: String,
     },
     /// An application moved between cores at a quantum boundary.
+    /// `from_core` is `None` when the application enters from the
+    /// unscheduled pool rather than from another core.
     Migration {
         tick: u64,
         app: usize,
-        from_core: usize,
+        from_core: Option<usize>,
         to_core: usize,
     },
     /// A sampling quantum produced fresh per-app measurements.
@@ -284,7 +286,7 @@ mod tests {
             Event::Migration {
                 tick: 20_000,
                 app: 0,
-                from_core: 0,
+                from_core: Some(0),
                 to_core: 1,
             },
             Event::SamplingSummary {
