@@ -81,4 +81,36 @@ diff -r target/ci-determinism/j1 target/ci-determinism/j2
 diff target/ci-determinism/stdout-j1.txt target/ci-determinism/stdout-j2.txt
 echo "    -j1 and -j2 outputs are byte-identical"
 
+echo "==> warm-cache gate: run_all --quick cold vs warm vs --no-cache"
+# The content-addressed result cache must be invisible in the output and
+# pay for itself: a warm rerun against the same cache directory must be
+# strictly faster than the cold run, and every fig*.json must be
+# byte-identical across cold, warm, and --no-cache runs.
+out=target/ci-cache
+rm -rf "$out"
+mkdir -p "$out/out" "$out/figs-cold"
+t0=$(date +%s%N)
+RELSIM_OUT="$out/out" target/release/run_all --quick >"$out/stdout-cold.txt"
+t1=$(date +%s%N)
+cp "$out/out"/fig*.json "$out/figs-cold/"
+t2=$(date +%s%N)
+RELSIM_OUT="$out/out" target/release/run_all --quick >"$out/stdout-warm.txt"
+t3=$(date +%s%N)
+for f in "$out/figs-cold"/fig*.json; do
+  diff "$f" "$out/out/$(basename "$f")"
+done
+diff "$out/stdout-cold.txt" "$out/stdout-warm.txt"
+RELSIM_OUT="$out/out" target/release/run_all --quick --no-cache >"$out/stdout-nocache.txt"
+for f in "$out/figs-cold"/fig*.json; do
+  diff "$f" "$out/out/$(basename "$f")"
+done
+diff "$out/stdout-cold.txt" "$out/stdout-nocache.txt"
+cold_ms=$(( (t1 - t0) / 1000000 ))
+warm_ms=$(( (t3 - t2) / 1000000 ))
+if (( warm_ms >= cold_ms )); then
+  echo "    warm run (${warm_ms}ms) is not faster than cold (${cold_ms}ms)"
+  exit 1
+fi
+echo "    cold ${cold_ms}ms -> warm ${warm_ms}ms; fig*.json byte-identical (warm and --no-cache)"
+
 echo "==> ci.sh: all checks passed"

@@ -20,6 +20,7 @@ use relsim::{sampling, skip, SamplingConfig, SamplingParams};
 use relsim_obs::{info, RunObs};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
 /// Repetitions per timed row; the fastest repeat is reported.
@@ -57,12 +58,28 @@ struct QuickGridTiming {
     speedup: f64,
 }
 
+/// Wall time of a full `run_all --quick` invocation with a cold result
+/// cache vs an immediate warm repeat against the same cache directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheTiming {
+    cold_wall_ms: f64,
+    warm_wall_ms: f64,
+    /// `cold / warm` wall-time ratio.
+    speedup: f64,
+    /// Fraction of the warm run's cache lookups served from the cache.
+    warm_hit_rate: f64,
+}
+
 /// The machine-readable perf trajectory, one snapshot per PR.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct PerfReport {
     model_version: u32,
     rows: Vec<PerfRow>,
     quick_grid: QuickGridTiming,
+    /// Cold vs warm result-cache wall time of `run_all --quick`; `None`
+    /// when the sibling `run_all` binary was not built alongside this one
+    /// (older committed snapshots also deserialize to `None`).
+    cache: Option<CacheTiming>,
     /// `noskip / skip` wall-time ratio, fully detailed canonical run.
     detailed_speedup: f64,
     /// Same ratio with the interval-sampling engine active.
@@ -158,6 +175,77 @@ fn timed_grid(ctx: &Context, skip_on: bool) -> f64 {
     wall_ms
 }
 
+/// Time one `run_all --quick` child against the given scratch output and
+/// cache directories, returning its wall time in milliseconds.
+fn timed_run_all(run_all: &Path, scratch: &Path, metrics_name: &str) -> Option<f64> {
+    let t0 = Instant::now();
+    let status = Command::new(run_all)
+        .args(["--quick", "--quiet", "--metrics-out"])
+        .arg(scratch.join(metrics_name))
+        .env("RELSIM_OUT", scratch.join("out"))
+        .env("RELSIM_CACHE_DIR", scratch.join("cache"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => Some(t0.elapsed().as_secs_f64() * 1e3),
+        Ok(s) => {
+            relsim_obs::warn!("run_all --quick exited with {s}; skipping cache timing");
+            None
+        }
+        Err(e) => {
+            relsim_obs::warn!("could not spawn {run_all:?}: {e}; skipping cache timing");
+            None
+        }
+    }
+}
+
+/// Time a full `run_all --quick` twice against a fresh cache directory —
+/// once cold, once warm — in an isolated scratch output directory, and
+/// read the warm run's hit rate from its metrics snapshot. Returns `None`
+/// (with a warning) when the sibling `run_all` binary is missing, e.g.
+/// under `cargo run --bin bench_perf` without a prior workspace build.
+fn timed_cache_runs() -> Option<CacheTiming> {
+    let run_all = std::env::current_exe()
+        .ok()?
+        .parent()?
+        .join(format!("run_all{}", std::env::consts::EXE_SUFFIX));
+    if !run_all.exists() {
+        relsim_obs::warn!("{run_all:?} not built; skipping the cold/warm cache timing");
+        return None;
+    }
+    let scratch = std::env::temp_dir().join(format!("relsim-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        relsim_obs::warn!("cannot create scratch dir {scratch:?}: {e}; skipping cache timing");
+        return None;
+    }
+    let timing = (|| {
+        let cold_wall_ms = timed_run_all(&run_all, &scratch, "metrics-cold.json")?;
+        let warm_wall_ms = timed_run_all(&run_all, &scratch, "metrics-warm.json")?;
+        let warm_hit_rate = std::fs::read(scratch.join("metrics-warm.json"))
+            .ok()
+            .and_then(|b| serde_json::from_slice::<relsim_obs::MetricsSnapshot>(&b).ok())
+            .map_or(0.0, |snap| {
+                let hits = snap.counter("cache.hits").unwrap_or(0);
+                let misses = snap.counter("cache.misses").unwrap_or(0);
+                if hits + misses == 0 {
+                    0.0
+                } else {
+                    hits as f64 / (hits + misses) as f64
+                }
+            });
+        Some(CacheTiming {
+            cold_wall_ms,
+            warm_wall_ms,
+            speedup: cold_wall_ms / warm_wall_ms,
+            warm_hit_rate,
+        })
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    timing
+}
+
 fn repo_root() -> PathBuf {
     // crates/bench -> crates -> repo root.
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -169,11 +257,17 @@ fn repo_root() -> PathBuf {
 
 fn main() {
     let obs_args = relsim_bench::obs_init();
+    // The timed rows measure the *engine*: result caching in this process
+    // would turn every repeat into a memory-tier hit. The cold/warm cache
+    // rows time child `run_all --quick` processes against their own
+    // scratch cache directory instead.
+    relsim_cache::configure(None);
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: bench_perf [--jobs N]\n\
-             Times the canonical 4B4S workload (both engines, skip on/off) and the\n\
-             quick-scale scheduler grid, then writes BENCH_perf.json at the repo root.\n{}",
+             Times the canonical 4B4S workload (both engines, skip on/off), the\n\
+             quick-scale scheduler grid, and a cold-vs-warm result-cache pass of\n\
+             run_all --quick, then writes BENCH_perf.json at the repo root.\n{}",
             relsim_bench::JOBS_HELP
         );
         return;
@@ -200,6 +294,8 @@ fn main() {
     info!("bench_perf: quick-scale scheduler grid (skip vs noskip)");
     let grid_skip = timed_grid(&ctx, true);
     let grid_noskip = timed_grid(&ctx, false);
+    info!("bench_perf: run_all --quick, cold vs warm result cache");
+    let cache = timed_cache_runs();
 
     let report = PerfReport {
         model_version: relsim_bench::MODEL_VERSION,
@@ -211,6 +307,7 @@ fn main() {
             noskip_wall_ms: grid_noskip,
             speedup: grid_noskip / grid_skip,
         },
+        cache,
         rows,
     };
 
@@ -227,6 +324,16 @@ fn main() {
         "quick grid: skip {:.1} ms vs noskip {:.1} ms -> {:.2}x",
         report.quick_grid.skip_wall_ms, report.quick_grid.noskip_wall_ms, report.quick_grid.speedup
     );
+    match &report.cache {
+        Some(c) => println!(
+            "run_all --quick: cold {:.0} ms vs warm {:.0} ms -> {:.2}x (warm hit rate {:.0}%)",
+            c.cold_wall_ms,
+            c.warm_wall_ms,
+            c.speedup,
+            c.warm_hit_rate * 100.0
+        ),
+        None => println!("run_all --quick: cache timing skipped (run_all binary unavailable)"),
+    }
     println!(
         "speedup: detailed {:.2}x, sampled {:.2}x, membound {:.2}x",
         report.detailed_speedup, report.sampled_speedup, report.membound_speedup

@@ -53,10 +53,11 @@ fn main() {
         println!(
             "usage: simulate --benchmarks a,b,c,d [--big N] [--small N] \
              [--scheduler random|performance|reliability|static] \
-             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}\n{}\n{}\n{}",
+             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}\n{}\n{}\n{}\n{}",
             relsim_bench::JOBS_HELP,
             relsim_bench::SAMPLE_HELP,
-            relsim_bench::NO_SKIP_HELP
+            relsim_bench::NO_SKIP_HELP,
+            relsim_bench::CACHE_HELP
         );
         return;
     }
@@ -205,6 +206,7 @@ fn main() {
         manifest.elapsed_seconds = obs.timers.elapsed().as_secs_f64();
         manifest.host_profile = obs.timers.profile();
         manifest.outputs = outputs;
+        manifest.cache = relsim_bench::cache_manifest_value();
         match write_manifest(anchor, &manifest) {
             Ok(path) => info!("wrote run manifest {path:?}"),
             Err(e) => relsim_obs::warn!(

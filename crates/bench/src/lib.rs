@@ -26,18 +26,22 @@ use std::path::PathBuf;
 
 pub use relsim_obs::ObsArgs;
 
-/// Bump when simulator/model changes invalidate cached reference tables.
-pub const MODEL_VERSION: u32 = 3;
+/// Bump when simulator/model changes invalidate cached reference tables
+/// and content-addressed result-cache entries (re-exported from
+/// `relsim::cache`, where it is hashed into every cache key).
+pub use relsim::cache::MODEL_VERSION;
 
 /// Parse the shared observability flags from the process arguments and
 /// apply the requested log level, then configure the job pool from
-/// `--jobs`. Call once at the top of every binary's `main`; progress
+/// `--jobs` and the result cache from `--cache`/`--no-cache`/
+/// `--cache-dir`. Call once at the top of every binary's `main`; progress
 /// output below the chosen level (everything under `--quiet`) is silenced
 /// while stdout data stays untouched.
 pub fn obs_init() -> ObsArgs {
     relsim::pool::set_default_jobs(jobs_from_args());
     relsim::sampling::set_default(sampling_from_args());
     relsim::skip::set_default_enabled(!no_skip_from_args());
+    relsim_cache::configure(cache_from_args());
     ObsArgs::from_env()
 }
 
@@ -147,6 +151,76 @@ pub const SAMPLE_HELP: &str =
                                with ~F fast-forwarded ticks (seed S jitters window lengths; \
                                0 disables the jitter)";
 
+/// What the cache flags asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheChoice {
+    /// No flag (or an explicit `--cache`): cache on, default directory.
+    Enabled,
+    /// `--cache-dir PATH`: cache on, persistent tier at `PATH`.
+    Dir(PathBuf),
+    /// `--no-cache`: no result caching at all.
+    Disabled,
+}
+
+/// Parse the result-cache flags from the process arguments and translate
+/// them into a store configuration: `None` disables caching, otherwise
+/// the persistent tier lives at `--cache-dir`, `$RELSIM_CACHE_DIR`, or
+/// `.relsim-cache/` under [`out_dir`], in that order of preference.
+pub fn cache_from_args() -> Option<relsim_cache::CacheConfig> {
+    let dir = match parse_cache(std::env::args().skip(1)) {
+        CacheChoice::Disabled => return None,
+        CacheChoice::Dir(d) => d,
+        CacheChoice::Enabled => match std::env::var("RELSIM_CACHE_DIR") {
+            Ok(d) if !d.is_empty() => PathBuf::from(d),
+            _ => out_dir().join(".relsim-cache"),
+        },
+    };
+    Some(relsim_cache::CacheConfig { dir: Some(dir) })
+}
+
+/// Testable cache-flag parser. `--no-cache` wins over any enabling flag
+/// regardless of order; `--cache-dir PATH` / `--cache-dir=PATH` picks the
+/// persistent-tier directory; a bare `--cache-dir` warns and falls back
+/// to the default directory.
+pub fn parse_cache<I: IntoIterator<Item = String>>(args: I) -> CacheChoice {
+    let mut choice = CacheChoice::Enabled;
+    let mut disabled = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--no-cache" {
+            disabled = true;
+        } else if arg == "--cache" {
+            // Explicit opt-in; same as the default.
+        } else if let Some(v) = arg.strip_prefix("--cache-dir=") {
+            choice = CacheChoice::Dir(PathBuf::from(v));
+        } else if arg == "--cache-dir" {
+            match iter.next() {
+                Some(v) => choice = CacheChoice::Dir(PathBuf::from(v)),
+                None => {
+                    relsim_obs::warn!("--cache-dir expects a path; using the default directory");
+                }
+            }
+        }
+    }
+    if disabled {
+        CacheChoice::Disabled
+    } else {
+        choice
+    }
+}
+
+/// Help text fragment for the cache flags, for `--help` output.
+pub const CACHE_HELP: &str = "  --cache               content-addressed result cache (default: on)\n  \
+                              --no-cache            recompute everything; identical output, slower\n  \
+                              --cache-dir PATH      persistent cache tier location \
+                              (default: $RELSIM_CACHE_DIR or <out>/.relsim-cache)";
+
+/// The result-cache traffic of this run as a generic JSON value for the
+/// run manifest, or `None` when caching is disabled.
+pub fn cache_manifest_value() -> Option<serde::Value> {
+    relsim_cache::global_stats().map(|s| s.to_value())
+}
+
 /// Open the run-level observer for a binary: events stream to
 /// `--trace-out` (exiting cleanly if the path is unwritable), metrics and
 /// phase timers accumulate for [`obs_finish`].
@@ -174,6 +248,23 @@ pub fn obs_finish(args: &ObsArgs, obs: &mut RunObs) {
             profile.attributed_seconds,
             breakdown.join(", ")
         );
+    }
+    if let Some(stats) = relsim_cache::global_stats() {
+        if stats.lookups() > 0 {
+            info!(
+                "cache: {}/{} hits ({:.0}%; memory {}, disk {}), {} stores, \
+                 {} invalidations, {} B read, {} B written",
+                stats.hits,
+                stats.lookups(),
+                stats.hit_rate() * 100.0,
+                stats.memory_hits,
+                stats.disk_hits,
+                stats.stores,
+                stats.invalidations,
+                stats.bytes_read,
+                stats.bytes_written
+            );
+        }
     }
     let failures = relsim::pool::take_failures();
     if !failures.is_empty() {
@@ -242,8 +333,9 @@ pub fn pct(x: f64) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_jobs, parse_sample};
+    use super::{parse_cache, parse_jobs, parse_sample, CacheChoice};
     use relsim::SamplingConfig;
+    use std::path::PathBuf;
 
     fn parse(args: &[&str]) -> Option<usize> {
         parse_jobs(args.iter().map(|s| s.to_string()))
@@ -274,6 +366,33 @@ mod tests {
         assert!(parse(&["--quick", "--no-skip", "-j2"]));
         assert!(!parse(&["--quick"]));
         assert!(!parse(&["--no-skip=1"]), "flag takes no value");
+    }
+
+    #[test]
+    fn cache_flag_forms() {
+        let parse = |args: &[&str]| parse_cache(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]), CacheChoice::Enabled);
+        assert_eq!(parse(&["--quick", "--cache"]), CacheChoice::Enabled);
+        assert_eq!(parse(&["--no-cache"]), CacheChoice::Disabled);
+        // `--no-cache` wins regardless of flag order.
+        assert_eq!(
+            parse(&["--no-cache", "--cache-dir", "/tmp/c"]),
+            CacheChoice::Disabled
+        );
+        assert_eq!(
+            parse(&["--cache-dir", "/tmp/c", "--no-cache"]),
+            CacheChoice::Disabled
+        );
+        assert_eq!(
+            parse(&["--cache-dir", "/tmp/c"]),
+            CacheChoice::Dir(PathBuf::from("/tmp/c"))
+        );
+        assert_eq!(
+            parse(&["--cache-dir=/tmp/d"]),
+            CacheChoice::Dir(PathBuf::from("/tmp/d"))
+        );
+        // Bare `--cache-dir` warns and keeps the default directory.
+        assert_eq!(parse(&["--cache-dir"]), CacheChoice::Enabled);
     }
 
     #[test]

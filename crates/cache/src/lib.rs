@@ -1,0 +1,41 @@
+//! relsim-cache: a content-addressed store for whole simulation-run
+//! results.
+//!
+//! Every figure in the evaluation re-runs overlapping `mix × scheduler ×
+//! config` grid points, and every re-invocation of the harness starts
+//! cold. This crate removes that redundancy without touching fidelity:
+//!
+//! * results are addressed by a stable 128-bit [`Key`] — the hash of a
+//!   canonical JSON serialization of *every input that determines the
+//!   output* (system config, workload profiles and seeds, scheduler,
+//!   sampling parameters, engine flags, and a model-version guard).
+//!   Perturbing any single input field changes the key; two runs with the
+//!   same key are the same deterministic computation;
+//! * a [`Store`] holds entries in two tiers: an in-memory map for repeats
+//!   within one process, and a persistent directory (`.relsim-cache/`)
+//!   written atomically (temp file + rename) for repeats across
+//!   invocations. Disk entries carry a checksummed header, so a
+//!   truncated or corrupted file is a logged miss that recomputes and
+//!   overwrites — never an error;
+//! * concurrent lookups of the same key are collapsed by a single-flight
+//!   registry ([`Store::lookup_or_lead`]): one caller computes, the
+//!   waiters block on a condvar and re-probe when the leader finishes
+//!   (or fails, in which case a waiter inherits the lease).
+//!
+//! The crate is deliberately value-agnostic: entries are opaque byte
+//! payloads. The simulation layer (`relsim::cache`) defines what goes in
+//! a payload and derives the keys; binaries opt in through
+//! `relsim_bench::obs_init` (`--cache` / `--no-cache` / `--cache-dir`).
+//! The process-wide store defaults to disabled, so library users and
+//! tests see no caching unless they ask for it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod store;
+
+pub use hash::{murmur3_x64_128, Key};
+pub use store::{
+    configure, enabled, global, global_stats, CacheConfig, CacheStats, Lease, Lookup, Store, Tier,
+};

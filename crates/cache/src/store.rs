@@ -1,0 +1,587 @@
+//! The two-tier entry store, its single-flight registry, and the
+//! process-wide instance.
+
+use crate::hash::Key;
+use relsim_obs::warn;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Magic prefix of every persisted entry (8 bytes).
+const MAGIC: [u8; 8] = *b"RELSIMC\0";
+/// Bump when the on-disk entry framing changes; readers treat any other
+/// version as a miss. (Payload *content* invalidation is the key's job,
+/// via the model-version guard hashed into it.)
+const FORMAT_VERSION: u32 = 1;
+/// magic + version + payload_len + payload checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 16;
+
+/// How a [`Store`] is set up.
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Persistent-tier directory; `None` keeps the store memory-only.
+    pub dir: Option<PathBuf>,
+}
+
+/// Monotonic counters describing one store's traffic, snapshotted for
+/// manifests and end-of-run logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache (memory, disk, or after waiting out
+    /// another caller's in-flight computation).
+    pub hits: u64,
+    /// Hits served from the in-memory tier.
+    pub memory_hits: u64,
+    /// Hits served from the persistent tier (then promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing and handed the caller a compute lease.
+    pub misses: u64,
+    /// Entries written (memory, plus disk when configured).
+    pub stores: u64,
+    /// Entries dropped: corrupt/truncated/version-mismatched disk files
+    /// and explicit invalidations after an undecodable payload.
+    pub invalidations: u64,
+    /// Payload bytes read from the persistent tier.
+    pub bytes_read: u64,
+    /// Payload bytes written to the persistent tier.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// Total lookups resolved (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    invalidations: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// One in-flight computation; waiters block on the condvar until the
+/// leader's lease is dropped.
+struct FlightSlot {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Which tier served a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The in-process map.
+    Memory,
+    /// The persistent directory.
+    Disk,
+}
+
+impl Tier {
+    /// Lowercase name for events and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Memory => "memory",
+            Tier::Disk => "disk",
+        }
+    }
+}
+
+/// Outcome of [`Store::lookup_or_lead`].
+pub enum Lookup<'a> {
+    /// The payload was already cached (or another caller just finished
+    /// computing it).
+    Hit(Arc<Vec<u8>>, Tier),
+    /// Nothing cached and nobody else is computing it: the caller holds
+    /// the compute lease and must [`Store::put`] (or just drop the lease
+    /// on failure, waking any waiters to try for themselves).
+    Lead(Lease<'a>),
+}
+
+/// The single-flight compute lease for one key. Dropping it — with or
+/// without a preceding [`Store::put`] — releases the key and wakes every
+/// waiter.
+pub struct Lease<'a> {
+    store: &'a Store,
+    key: Key,
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        let slot = self
+            .store
+            .inflight
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(&self.key.0);
+        if let Some(slot) = slot {
+            *slot.done.lock().expect("flight slot poisoned") = true;
+            slot.cv.notify_all();
+        }
+    }
+}
+
+/// A content-addressed payload store: in-memory tier, optional
+/// persistent tier, and a single-flight registry for concurrent lookups.
+pub struct Store {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<u128, Arc<Vec<u8>>>>,
+    inflight: Mutex<HashMap<u128, Arc<FlightSlot>>>,
+    stats: StatCells,
+    disk_write_failed: AtomicBool,
+}
+
+impl Store {
+    /// Open a store. The persistent directory is created lazily on first
+    /// write; an unusable directory degrades to memory-only with a
+    /// warning, never an error.
+    pub fn new(config: CacheConfig) -> Self {
+        Store {
+            dir: config.dir,
+            mem: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            stats: StatCells::default(),
+            disk_write_failed: AtomicBool::new(false),
+        }
+    }
+
+    /// The persistent-tier directory, if configured.
+    pub fn dir(&self) -> Option<&PathBuf> {
+        self.dir.as_ref()
+    }
+
+    fn entry_path(&self, key: Key) -> Option<PathBuf> {
+        let hex = key.hex();
+        // Two-level fan-out keeps directories small at full-grid scale.
+        self.dir
+            .as_ref()
+            .map(|d| d.join(&hex[..2]).join(format!("{hex}.rsc")))
+    }
+
+    /// Probe both tiers without taking a lease. Corrupt disk entries are
+    /// dropped (warned, counted) and read as a miss.
+    fn probe(&self, key: Key) -> Option<(Arc<Vec<u8>>, Tier)> {
+        if let Some(p) = self
+            .mem
+            .lock()
+            .expect("memory tier poisoned")
+            .get(&key.0)
+            .cloned()
+        {
+            return Some((p, Tier::Memory));
+        }
+        let path = self.entry_path(key)?;
+        let raw = std::fs::read(&path).ok()?;
+        match decode_entry(&raw) {
+            Ok(payload) => {
+                self.stats
+                    .bytes_read
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                let arc = Arc::new(payload);
+                self.mem
+                    .lock()
+                    .expect("memory tier poisoned")
+                    .insert(key.0, arc.clone());
+                Some((arc, Tier::Disk))
+            }
+            Err(reason) => {
+                warn!("cache: dropping corrupt entry {path:?} ({reason}); recomputing");
+                let _ = std::fs::remove_file(&path);
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Look up `key`; on a miss, either become the single in-flight
+    /// computer (receiving a [`Lease`]) or wait for the current one and
+    /// re-probe. Each call resolves exactly one hit or one miss in
+    /// [`CacheStats`].
+    pub fn lookup_or_lead(&self, key: Key) -> Lookup<'_> {
+        loop {
+            if let Some((payload, tier)) = self.probe(key) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                match tier {
+                    Tier::Memory => self.stats.memory_hits.fetch_add(1, Ordering::Relaxed),
+                    Tier::Disk => self.stats.disk_hits.fetch_add(1, Ordering::Relaxed),
+                };
+                return Lookup::Hit(payload, tier);
+            }
+            let waiting = {
+                let mut inflight = self.inflight.lock().expect("inflight registry poisoned");
+                match inflight.entry(key.0) {
+                    Entry::Vacant(v) => {
+                        v.insert(Arc::new(FlightSlot {
+                            done: Mutex::new(false),
+                            cv: Condvar::new(),
+                        }));
+                        None
+                    }
+                    Entry::Occupied(o) => Some(o.get().clone()),
+                }
+            };
+            match waiting {
+                None => {
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Lead(Lease { store: self, key });
+                }
+                Some(slot) => {
+                    let mut done = slot.done.lock().expect("flight slot poisoned");
+                    while !*done {
+                        done = slot.cv.wait(done).expect("flight slot poisoned");
+                    }
+                    // Leader finished (or failed): re-probe. If it failed,
+                    // the next iteration takes the lease.
+                }
+            }
+        }
+    }
+
+    /// Insert a payload under `key`: memory tier always, persistent tier
+    /// when configured (atomic temp-file + rename). Callers holding a
+    /// [`Lease`] must put *before* dropping it so waiters find the entry.
+    pub fn put(&self, key: Key, payload: Vec<u8>) {
+        let arc = Arc::new(payload);
+        self.mem
+            .lock()
+            .expect("memory tier poisoned")
+            .insert(key.0, arc.clone());
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(path) = self.entry_path(key) {
+            let entry = encode_entry(&arc);
+            match relsim_obs::write_atomic(&path, &entry) {
+                Ok(()) => {
+                    self.stats
+                        .bytes_written
+                        .fetch_add(arc.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // Warn once; a read-only or full disk degrades the
+                    // store to memory-only rather than spamming stderr.
+                    if !self.disk_write_failed.swap(true, Ordering::Relaxed) {
+                        warn!("cache: cannot persist entries under {:?} ({e}); continuing memory-only", self.dir);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop `key` from both tiers (e.g. after its payload failed to
+    /// decode at a higher layer).
+    pub fn invalidate(&self, key: Key) {
+        self.mem
+            .lock()
+            .expect("memory tier poisoned")
+            .remove(&key.0);
+        if let Some(path) = self.entry_path(key) {
+            let _ = std::fs::remove_file(&path);
+        }
+        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            memory_hits: self.stats.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            stores: self.stats.stores.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frame a payload for disk: magic, format version, length, checksum,
+/// bytes. Every field is validated on the way back in.
+fn encode_entry(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&Key::of_bytes(payload).0.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse and validate a framed entry; any inconsistency is an `Err`
+/// naming the first check that failed.
+fn decode_entry(bytes: &[u8]) -> Result<Vec<u8>, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err(format!("truncated header: {} bytes", bytes.len()));
+    }
+    if bytes[..8] != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "format version {version}, expected {FORMAT_VERSION}"
+        ));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let body = &bytes[HEADER_LEN..];
+    if body.len() != len {
+        return Err(format!(
+            "payload is {} bytes, header says {len}",
+            body.len()
+        ));
+    }
+    let checksum = u128::from_le_bytes(bytes[20..36].try_into().expect("16 bytes"));
+    if Key::of_bytes(body).0 != checksum {
+        return Err("payload checksum mismatch".to_string());
+    }
+    Ok(body.to_vec())
+}
+
+/// The process-wide store. `None` (the default) disables caching
+/// everywhere; binaries install a store via [`configure`] from their CLI
+/// flags, while library users and tests run uncached unless they opt in.
+static GLOBAL: Mutex<Option<Arc<Store>>> = Mutex::new(None);
+
+/// Install (or, with `None`, remove) the process-wide store.
+pub fn configure(config: Option<CacheConfig>) {
+    *GLOBAL.lock().expect("global cache poisoned") = config.map(|c| Arc::new(Store::new(c)));
+}
+
+/// The process-wide store, if one is configured.
+pub fn global() -> Option<Arc<Store>> {
+    GLOBAL.lock().expect("global cache poisoned").clone()
+}
+
+/// Whether a process-wide store is configured. Callers use this to skip
+/// key derivation entirely when caching is off.
+pub fn enabled() -> bool {
+    GLOBAL.lock().expect("global cache poisoned").is_some()
+}
+
+/// Traffic counters of the process-wide store, if one is configured.
+pub fn global_stats() -> Option<CacheStats> {
+    global().map(|s| s.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("relsim-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn lead<'a>(store: &'a Store, key: Key) -> Lease<'a> {
+        match store.lookup_or_lead(key) {
+            Lookup::Lead(lease) => lease,
+            Lookup::Hit(..) => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn memory_round_trip_and_stats() {
+        let store = Store::new(CacheConfig::default());
+        let key = Key::of(&"memory-round-trip");
+        let lease = lead(&store, key);
+        store.put(key, b"payload".to_vec());
+        drop(lease);
+        match store.lookup_or_lead(key) {
+            Lookup::Hit(p, Tier::Memory) => assert_eq!(p.as_slice(), b"payload"),
+            _ => panic!("expected a memory hit"),
+        }
+        let s = store.stats();
+        assert_eq!((s.misses, s.hits, s.memory_hits, s.stores), (1, 1, 1, 1));
+        assert_eq!(s.bytes_written, 0, "no disk tier configured");
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_round_trip_across_store_instances() {
+        let dir = temp_dir("disk");
+        let key = Key::of(&("disk", 1u64));
+        {
+            let store = Store::new(CacheConfig {
+                dir: Some(dir.clone()),
+            });
+            let lease = lead(&store, key);
+            store.put(key, vec![42u8; 1000]);
+            drop(lease);
+            assert_eq!(store.stats().bytes_written, 1000);
+        }
+        // A fresh store (fresh process, conceptually) reads it back.
+        let store = Store::new(CacheConfig {
+            dir: Some(dir.clone()),
+        });
+        match store.lookup_or_lead(key) {
+            Lookup::Hit(p, Tier::Disk) => assert_eq!(p.as_slice(), &[42u8; 1000][..]),
+            _ => panic!("expected a disk hit"),
+        }
+        // The disk hit promoted the entry to memory.
+        match store.lookup_or_lead(key) {
+            Lookup::Hit(_, Tier::Memory) => {}
+            _ => panic!("expected a memory hit after promotion"),
+        }
+        let s = store.stats();
+        assert_eq!((s.disk_hits, s.memory_hits, s.bytes_read), (1, 1, 1000));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_a_logged_miss_not_an_error() {
+        let dir = temp_dir("poison");
+        let key = Key::of(&"poisoned");
+        let store = Store::new(CacheConfig {
+            dir: Some(dir.clone()),
+        });
+        let lease = lead(&store, key);
+        store.put(key, b"good payload".to_vec());
+        drop(lease);
+
+        let path = store.entry_path(key).unwrap();
+        let poison = |bytes: Vec<u8>| {
+            std::fs::write(&path, bytes).unwrap();
+        };
+        let full = std::fs::read(&path).unwrap();
+
+        // Each corruption mode must surface as a miss (lease) in a fresh
+        // store, and must delete the bad file.
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("truncated header", full[..10].to_vec()),
+            ("truncated payload", full[..full.len() - 3].to_vec()),
+            ("bad magic", {
+                let mut b = full.clone();
+                b[0] ^= 0xff;
+                b
+            }),
+            ("bad version", {
+                let mut b = full.clone();
+                b[8] = 0xee;
+                b
+            }),
+            ("flipped payload byte", {
+                let mut b = full.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0x01;
+                b
+            }),
+        ];
+        for (what, bytes) in cases {
+            poison(bytes);
+            let fresh = Store::new(CacheConfig {
+                dir: Some(dir.clone()),
+            });
+            match fresh.lookup_or_lead(key) {
+                Lookup::Lead(lease) => {
+                    // Recompute + overwrite heals the entry.
+                    fresh.put(key, b"good payload".to_vec());
+                    drop(lease);
+                }
+                Lookup::Hit(..) => panic!("{what}: corrupt entry served as a hit"),
+            }
+            assert_eq!(fresh.stats().invalidations, 1, "{what}");
+            let healed = Store::new(CacheConfig {
+                dir: Some(dir.clone()),
+            });
+            match healed.lookup_or_lead(key) {
+                Lookup::Hit(p, _) => assert_eq!(p.as_slice(), b"good payload", "{what}"),
+                Lookup::Lead(_) => panic!("{what}: healed entry missing"),
+            };
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_flight_runs_one_computation() {
+        let store = Arc::new(Store::new(CacheConfig::default()));
+        let key = Key::of(&"single-flight");
+        let computed = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let computed = computed.clone();
+                s.spawn(move || match store.lookup_or_lead(key) {
+                    Lookup::Lead(lease) => {
+                        // Simulate work so the other threads queue up.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        store.put(key, b"flight".to_vec());
+                        drop(lease);
+                    }
+                    Lookup::Hit(p, _) => assert_eq!(p.as_slice(), b"flight"),
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one leader");
+        let s = store.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn failed_leader_hands_the_lease_to_a_waiter() {
+        let store = Arc::new(Store::new(CacheConfig::default()));
+        let key = Key::of(&"failed-leader");
+        let lease = lead(&store, key);
+        let follower = {
+            let store = store.clone();
+            std::thread::spawn(move || match store.lookup_or_lead(key) {
+                Lookup::Lead(lease) => {
+                    store.put(key, b"rescued".to_vec());
+                    drop(lease);
+                    true
+                }
+                Lookup::Hit(..) => false,
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(lease); // leader "fails": no put
+        assert!(follower.join().unwrap(), "waiter inherits the lease");
+        match store.lookup_or_lead(key) {
+            Lookup::Hit(p, _) => assert_eq!(p.as_slice(), b"rescued"),
+            Lookup::Lead(_) => panic!("entry missing after rescue"),
+        };
+    }
+
+    #[test]
+    fn global_store_defaults_to_disabled() {
+        // Serialize against other tests that might configure the global.
+        assert!(global().is_none() || global().is_some());
+        configure(None);
+        assert!(!enabled());
+        assert!(global_stats().is_none());
+        configure(Some(CacheConfig::default()));
+        assert!(enabled());
+        assert_eq!(global_stats().unwrap().lookups(), 0);
+        configure(None);
+    }
+
+    #[test]
+    fn entry_framing_rejects_length_lies() {
+        let mut e = encode_entry(b"abc");
+        // Claim one byte more than is present.
+        e[12] = 4;
+        assert!(decode_entry(&e).is_err());
+        let good = encode_entry(b"abc");
+        assert_eq!(decode_entry(&good).unwrap(), b"abc");
+    }
+}

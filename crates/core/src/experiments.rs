@@ -12,6 +12,7 @@ use crate::oracle::{oracle_schedules, OracleOutcome};
 use crate::sched::{Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler};
 use crate::system::{AppSpec, RunResult, System, SystemConfig};
 use relsim_ace::CounterKind;
+use relsim_cache::Key;
 use relsim_cpu::{CoreConfig, CoreKind};
 use relsim_metrics::arithmetic_mean;
 use relsim_obs::{Phase, RunObs};
@@ -85,24 +86,45 @@ impl Context {
         Context { scale, refs, class }
     }
 
-    /// Load a cached context from `path` if it matches `scale`, else build
-    /// and cache it. I/O errors fall back to building without caching.
+    /// The content key a context built at `scale` must carry: the hash
+    /// of the scale *and* (via [`crate::cache::MODEL_VERSION`] inside
+    /// [`crate::cache::key`]) the simulation model itself. A cached
+    /// context whose recorded key differs is stale — even if its `Scale`
+    /// field looks right — and is rebuilt.
+    pub fn content_key(scale: Scale) -> String {
+        crate::cache::key("context/v1", &scale).hex()
+    }
+
+    /// Load a cached context from `path` if its content key matches
+    /// `scale` under the current model version, else build and cache it.
+    /// I/O errors fall back to building without caching.
     pub fn load_or_build(scale: Scale, path: &Path) -> Self {
+        let want = Self::content_key(scale);
         if let Ok(bytes) = std::fs::read(path) {
-            if let Ok(ctx) = serde_json::from_slice::<Context>(&bytes) {
-                if ctx.scale == scale {
-                    return ctx;
+            if let Ok(cached) = serde_json::from_slice::<CachedContext>(&bytes) {
+                if cached.key == want {
+                    return cached.context;
                 }
             }
         }
         let ctx = Self::build(scale);
+        ctx.store(path);
+        ctx
+    }
+
+    /// Atomically persist the context (wrapped with its content key) at
+    /// `path`. I/O failures are ignored: the file is an optimization.
+    pub fn store(&self, path: &Path) {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        if let Ok(bytes) = serde_json::to_vec(&ctx) {
-            let _ = std::fs::write(path, bytes);
+        let wrapped = CachedContext {
+            key: Self::content_key(self.scale),
+            context: self.clone(),
+        };
+        if let Ok(bytes) = serde_json::to_vec(&wrapped) {
+            let _ = relsim_obs::write_atomic(path, &bytes);
         }
-        ctx
     }
 
     /// The paper's 4-program workload set (36 mixes at paper scale).
@@ -119,6 +141,14 @@ impl Context {
     pub fn eight_program_mixes(&self) -> Vec<Mix> {
         generate_mixes(&self.class, 8, self.scale.per_category, self.scale.seed + 2)
     }
+}
+
+/// On-disk wrapper of a cached [`Context`]: the context plus the
+/// content key ([`Context::content_key`]) it was built under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CachedContext {
+    key: String,
+    context: Context,
 }
 
 /// Which scheduler to run.
@@ -192,12 +222,7 @@ pub fn run_mix_traced(
     params: SamplingParams,
     obs: &mut RunObs,
 ) -> (Evaluation, RunResult) {
-    let specs: Vec<AppSpec> = mix
-        .benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, n)| AppSpec::spec(n, ctx.scale.seed ^ (i as u64 + 1)))
-        .collect();
+    let specs = mix_specs(ctx, mix);
     let mut scheduler = sched.build(
         sys_cfg.core_kinds(),
         sys_cfg.quantum_ticks,
@@ -210,6 +235,18 @@ pub fn run_mix_traced(
         .timers
         .time(Phase::Metrics, || evaluate(&result, &ctx.refs, DEFAULT_IFR));
     (eval, result)
+}
+
+/// The per-app specs a mix expands to: benchmark profiles plus the
+/// deterministic per-app trace seeds derived from the scale's master
+/// seed. This exact expansion is hashed into cache keys, so it is the
+/// single source of truth for what a mix *runs*.
+fn mix_specs(ctx: &Context, mix: &Mix) -> Vec<AppSpec> {
+    mix.benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, ctx.scale.seed ^ (i as u64 + 1)))
+        .collect()
 }
 
 /// System configuration helper honoring the context's quantum.
@@ -293,12 +330,30 @@ fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// Figure 3: oracle SER gain and STP loss per 4-program workload on 2B2S.
 /// Workloads are sharded across the job pool; a panicking workload is
 /// dropped from the result (and reported via the pool's failure channel).
+/// Each outcome is content-addressed by the reference-table fingerprint
+/// and the benchmark set, so repeat runs are cache hits.
 pub fn oracle_study(ctx: &Context) -> Vec<(Mix, OracleOutcome)> {
-    let outcomes = crate::pool::scatter_map("oracle", ctx.four_program_mixes(), |_, m| {
-        let o = oracle_schedules(&ctx.refs, &m.benchmarks, 2);
-        (m, o)
+    const N_BIG: usize = 2;
+    let fingerprint = refs_fingerprint(ctx);
+    let mixes = ctx.four_program_mixes();
+    let items: Vec<(Option<Key>, Vec<String>)> = mixes
+        .iter()
+        .map(|m| {
+            let key = crate::cache::key_if_enabled(
+                "oracle/v1",
+                &(&fingerprint, &m.benchmarks, N_BIG as u64),
+            );
+            (key, m.benchmarks.clone())
+        })
+        .collect();
+    let outcomes = crate::pool::scatter_map_cached("oracle", items, |_, benches| {
+        oracle_schedules(&ctx.refs, &benches, N_BIG)
     });
-    outcomes.into_iter().flatten().collect()
+    mixes
+        .into_iter()
+        .zip(outcomes)
+        .filter_map(|(m, o)| o.map(|o| (m, o)))
+        .collect()
 }
 
 // ===================================================================
@@ -338,6 +393,101 @@ fn sched_index(s: SchedKind) -> usize {
     }
 }
 
+/// Everything any figure driver needs from one `mix × scheduler` run.
+/// All grid drivers share this one cell shape — and therefore one cache
+/// site — so a cell computed for one figure is a cache hit for every
+/// other figure that replays the same grid point (Figure 10's 2B2S
+/// column and Figure 11's default setting both replay Figure 6's grid).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixCell {
+    /// System soft-error rate (the paper's reliability metric).
+    pub sser: f64,
+    /// System throughput.
+    pub stp: f64,
+    /// Chip/DRAM power.
+    pub power: PowerReport,
+    /// Ticks simulated cycle-detailed (equals `total_ticks` when the
+    /// interval-sampling engine is off).
+    pub detailed_ticks: u64,
+    /// Total simulated ticks.
+    pub total_ticks: u64,
+}
+
+/// Compute one grid cell: run the mix under one scheduler, evaluate,
+/// and report power and engine coverage.
+pub fn run_mix_cell(
+    ctx: &Context,
+    sys_cfg: &SystemConfig,
+    mix: &Mix,
+    sched: SchedKind,
+    params: SamplingParams,
+    obs: &mut RunObs,
+) -> MixCell {
+    let (eval, result) = run_mix_traced(ctx, sys_cfg, mix, sched, params, obs);
+    let activities: Vec<_> = result.cores.iter().map(|c| c.to_activity()).collect();
+    let shared = SharedActivity {
+        l3_accesses: result.shared.l3_accesses,
+        mem_requests: result.shared.mem_requests,
+    };
+    let power = obs.timers.time(Phase::Metrics, || {
+        PowerModel::default().report(&activities, &shared, result.duration)
+    });
+    let (detailed, ff) = result
+        .sampling
+        .map_or((result.duration, 0), |r| (r.detailed_ticks, r.ff_ticks));
+    MixCell {
+        sser: eval.sser,
+        stp: eval.stp,
+        power,
+        detailed_ticks: detailed,
+        total_ticks: detailed + ff,
+    }
+}
+
+/// The reference-table fingerprint when caching is on (it is hashed
+/// into every cell key), or the empty string — unused — when off.
+fn refs_fingerprint(ctx: &Context) -> String {
+    if relsim_cache::enabled() {
+        ctx.refs.fingerprint()
+    } else {
+        String::new()
+    }
+}
+
+/// The cache key of one [`MixCell`], or `None` when caching is off.
+/// The input covers every run determinant: the reference table (via its
+/// fingerprint), the system config (incl. quantum, migration cost, and
+/// counter kind), the expanded app specs (profiles + trace seeds), the
+/// scheduler kind/params/seed, the run length, and the process-wide
+/// engine switches (interval sampling, event-horizon skip).
+fn cell_key(
+    ctx: &Context,
+    fingerprint: &str,
+    sys_cfg: &SystemConfig,
+    mix: &Mix,
+    sched: SchedKind,
+    params: &SamplingParams,
+) -> Option<Key> {
+    if !relsim_cache::enabled() {
+        return None;
+    }
+    Some(crate::cache::key(
+        "mix-cell/v1",
+        &(
+            fingerprint,
+            sys_cfg,
+            mix_specs(ctx, mix),
+            sched,
+            params,
+            (ctx.scale.run_ticks, ctx.scale.seed),
+            (
+                crate::sampling::default_config(),
+                crate::skip::default_enabled(),
+            ),
+        ),
+    ))
+}
+
 /// Run a workload set on one system configuration under all three
 /// schedulers (the engine behind Figures 6-10 and 12).
 ///
@@ -347,6 +497,12 @@ fn sched_index(s: SchedKind) -> usize {
 /// output stream is identical at any worker count. A mix with a failed
 /// run is dropped from the result with a warning; the failure itself is
 /// reported through the pool's failure channel.
+///
+/// When the process-wide result cache is enabled, each cell is
+/// content-addressed ([`cell_key`]) and served through
+/// [`crate::pool::scatter_map_cached_into`]: previously computed cells
+/// replay their stored results, events, and metrics instead of
+/// re-simulating.
 pub fn compare_schedulers(
     ctx: &Context,
     sys_cfg: &SystemConfig,
@@ -354,22 +510,18 @@ pub fn compare_schedulers(
     params: SamplingParams,
     obs: &mut RunObs,
 ) -> Vec<MixComparison> {
-    let model = PowerModel::default();
-    let grid: Vec<(usize, SchedKind)> = (0..mixes.len())
+    let fingerprint = refs_fingerprint(ctx);
+    let grid: Vec<(Option<Key>, (usize, SchedKind))> = (0..mixes.len())
         .flat_map(|mi| SchedKind::ALL.map(|s| (mi, s)))
+        .map(|(mi, s)| {
+            let key = cell_key(ctx, &fingerprint, sys_cfg, &mixes[mi], s, &params);
+            (key, (mi, s))
+        })
         .collect();
-    let runs = crate::pool::scatter_map_into("compare", grid, obs, |_, (mi, sched), job_obs| {
-        let (eval, result) = run_mix_traced(ctx, sys_cfg, &mixes[mi], sched, params, job_obs);
-        let activities: Vec<_> = result.cores.iter().map(|c| c.to_activity()).collect();
-        let shared = SharedActivity {
-            l3_accesses: result.shared.l3_accesses,
-            mem_requests: result.shared.mem_requests,
-        };
-        let power = job_obs.timers.time(Phase::Metrics, || {
-            model.report(&activities, &shared, result.duration)
+    let runs =
+        crate::pool::scatter_map_cached_into("compare", grid, obs, |_, (mi, sched), job_obs| {
+            run_mix_cell(ctx, sys_cfg, &mixes[mi], sched, params, job_obs)
         });
-        (eval.sser, eval.stp, power)
-    });
     let mut out = Vec::with_capacity(mixes.len());
     for (mi, mix) in mixes.iter().enumerate() {
         let mut sser = [0.0; 3];
@@ -382,10 +534,10 @@ pub fn compare_schedulers(
         for sched in SchedKind::ALL {
             let i = sched_index(sched);
             match &runs[mi * SchedKind::ALL.len() + i] {
-                Some((s, t, p)) => {
-                    sser[i] = *s;
-                    stp[i] = *t;
-                    power[i] = *p;
+                Some(cell) => {
+                    sser[i] = cell.sser;
+                    stp[i] = cell.stp;
+                    power[i] = cell.power;
                 }
                 None => complete = false,
             }
@@ -513,8 +665,25 @@ pub struct AbcTimeline {
 }
 
 /// Produce the Figure 4 timeline for two benchmarks (the paper uses
-/// calculix and povray).
+/// calculix and povray). The whole timeline — which does not depend on
+/// the reference table — is cached as one unit when the result cache is
+/// enabled.
 pub fn abc_timeline(ctx: &Context, bench_a: &str, bench_b: &str) -> AbcTimeline {
+    let input = (
+        bench_a,
+        bench_b,
+        ctx.scale,
+        (
+            crate::sampling::default_config(),
+            crate::skip::default_enabled(),
+        ),
+    );
+    crate::cache::cached("abc-timeline/v1", &input, &mut RunObs::disabled(), |_| {
+        abc_timeline_uncached(ctx, bench_a, bench_b)
+    })
+}
+
+fn abc_timeline_uncached(ctx: &Context, bench_a: &str, bench_b: &str) -> AbcTimeline {
     let q = ctx.scale.quantum_ticks;
     // Isolated series: run on a big core, bucket ABC per quantum.
     let mut isolated = Vec::new();
@@ -762,30 +931,43 @@ pub fn sampling_accuracy_study(
     let grid: Vec<(usize, SchedKind)> = (0..mixes.len())
         .flat_map(|mi| SchedKind::ALL.map(|s| (mi, s)))
         .collect();
-    let run_grid = |sampling: Option<crate::SamplingConfig>,
-                    obs: &mut RunObs|
-     -> Vec<Option<(f64, f64, u64, u64)>> {
-        crate::sampling::set_default(sampling);
-        crate::pool::scatter_map_into(
-            "sampling-accuracy",
-            grid.clone(),
-            obs,
-            |_, (mi, sched), job_obs| {
-                let (eval, result) = run_mix_traced(
-                    ctx,
-                    &cfg,
-                    &mixes[mi],
-                    sched,
-                    SamplingParams::default(),
-                    job_obs,
-                );
-                let (detailed, ff) = result
-                    .sampling
-                    .map_or((result.duration, 0), |r| (r.detailed_ticks, r.ff_ticks));
-                (eval.sser, eval.stp, detailed, detailed + ff)
-            },
-        )
-    };
+    // Cell keys are derived *after* set_default so the engine override
+    // is hashed in; the fully detailed grid shares its keys (and so its
+    // cache entries) with Figure 6's grid.
+    let fingerprint = refs_fingerprint(ctx);
+    let run_grid =
+        |sampling: Option<crate::SamplingConfig>, obs: &mut RunObs| -> Vec<Option<MixCell>> {
+            crate::sampling::set_default(sampling);
+            let items: Vec<(Option<Key>, (usize, SchedKind))> = grid
+                .iter()
+                .map(|&(mi, s)| {
+                    let key = cell_key(
+                        ctx,
+                        &fingerprint,
+                        &cfg,
+                        &mixes[mi],
+                        s,
+                        &SamplingParams::default(),
+                    );
+                    (key, (mi, s))
+                })
+                .collect();
+            crate::pool::scatter_map_cached_into(
+                "sampling-accuracy",
+                items,
+                obs,
+                |_, (mi, sched), job_obs| {
+                    run_mix_cell(
+                        ctx,
+                        &cfg,
+                        &mixes[mi],
+                        sched,
+                        SamplingParams::default(),
+                        job_obs,
+                    )
+                },
+            )
+        };
     let saved = crate::sampling::default_config();
     let full = run_grid(None, obs);
     let mut rows = Vec::with_capacity(configs.len());
@@ -803,11 +985,11 @@ pub fn sampling_accuracy_study(
                         mixes[*mi].benchmarks.join("+")
                     ),
                     scheduler: sched.name().to_string(),
-                    sser_ratio: s.0 / f.0,
-                    stp_ratio: s.1 / f.1,
+                    sser_ratio: s.sser / f.sser,
+                    stp_ratio: s.stp / f.stp,
                 });
-                detailed += s.2;
-                total += s.3;
+                detailed += s.detailed_ticks;
+                total += s.total_ticks;
             }
         }
         rows.push(SamplingAccuracyRow {
@@ -916,12 +1098,31 @@ mod tests {
         let dir = std::env::temp_dir().join("relsim-test-cache");
         let path = dir.join("ctx.json");
         let _ = std::fs::remove_file(&path);
-        if let Some(d) = path.parent() {
-            let _ = std::fs::create_dir_all(d);
-        }
-        std::fs::write(&path, serde_json::to_vec(&ctx).unwrap()).unwrap();
+        ctx.store(&path);
         let loaded = Context::load_or_build(ctx.scale, &path);
         assert_eq!(loaded.refs.names(), ctx.refs.names());
+        assert_eq!(loaded.scale, ctx.scale);
+
+        // A stored context is only trusted when its content key matches:
+        // a legacy file (raw `Context`, no key) must be rebuilt, not
+        // loaded — its scale field alone proves nothing about the model
+        // it was built under.
+        std::fs::write(&path, serde_json::to_vec(&ctx).unwrap()).unwrap();
+        let rebuilt = Context::load_or_build(ctx.scale, &path);
+        assert_eq!(rebuilt.refs.names(), ctx.refs.names());
+        // ... and rebuilding rewrote the file in keyed form.
+        let bytes = std::fs::read(&path).unwrap();
+        let reread: serde::Value = serde_json::from_slice(&bytes).unwrap();
+        match &reread {
+            serde::Value::Object(fields) => {
+                assert_eq!(fields[0].0, "key");
+                assert_eq!(
+                    fields[0].1,
+                    serde::Value::String(Context::content_key(ctx.scale))
+                );
+            }
+            other => panic!("expected keyed wrapper, got {other:?}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -134,25 +134,42 @@ impl ReferenceTable {
     ///
     /// Panics if any isolated run panics — the table is the foundation of
     /// every downstream metric, so a partial table is never useful.
+    ///
+    /// Each isolated run is individually content-addressed (profile,
+    /// core config, duration, seed), so rebuilding a table — including
+    /// ablation variants that perturb one core parameter — recomputes
+    /// only the runs whose inputs actually changed.
     pub fn build(
         profiles: &[BenchmarkProfile],
         big: &CoreConfig,
         small: &CoreConfig,
         duration: u64,
     ) -> Self {
-        let grid: Vec<(&BenchmarkProfile, &CoreConfig)> = profiles
+        const SEED: u64 = 1;
+        let grid: Vec<(Option<relsim_cache::Key>, (&BenchmarkProfile, &CoreConfig))> = profiles
             .iter()
             .flat_map(|p| [(p, big), (p, small)])
+            .map(|(p, cfg)| {
+                let key = crate::cache::key_if_enabled("isolated/v1", &(p, cfg, duration, SEED));
+                (key, (p, cfg))
+            })
             .collect();
-        let results = crate::pool::scatter_map("isolated", grid, |_, (p, cfg)| {
-            (p.name.clone(), cfg.kind, run_isolated(p, cfg, duration, 1))
+        let results = crate::pool::scatter_map_cached("isolated", grid, |_, (p, cfg)| {
+            run_isolated(p, cfg, duration, SEED)
         });
         let mut entries = HashMap::new();
         for slot in results {
-            let (name, kind, r) = slot.expect("isolated characterization run panicked");
-            entries.insert((name, kind), r);
+            let r = slot.expect("isolated characterization run panicked");
+            entries.insert((r.name.clone(), r.kind), r);
         }
         ReferenceTable { entries }
+    }
+
+    /// A stable hex digest of the table's full contents, for embedding
+    /// in downstream cache keys: any change to any isolated result
+    /// changes every key derived from the table.
+    pub fn fingerprint(&self) -> String {
+        relsim_cache::Key::of(self).hex()
     }
 
     /// Look up one isolated result.

@@ -25,7 +25,9 @@
 //! whole grid is enqueued before the workers start and jobs never spawn
 //! jobs, an empty sweep over every queue means the grid is drained.
 
+use relsim_cache::Key;
 use relsim_obs::{Event, RunObs};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -192,35 +194,42 @@ where
             .into_inner()
             .expect("slot poisoned")
             .expect("every job runs exactly once");
-        for e in &done.events {
-            obs.sink.emit(e);
-        }
-        obs.recorder.merge(&done.obs);
-        obs.timers.absorb(&done.timers);
-        match done.result {
-            Ok(t) => out.push(Some(t)),
-            Err(message) => {
-                let job_label = format!("{label}[{i}]");
-                relsim_obs::warn!("job {job_label} panicked: {message}");
-                obs.emit(Event::JobFailed {
-                    tick: 0,
-                    job: i as u64,
-                    label: job_label.clone(),
-                    error: message.clone(),
-                });
-                FAILURES
-                    .lock()
-                    .expect("failure registry poisoned")
-                    .push(JobFailure {
-                        index: i,
-                        label: job_label,
-                        message,
-                    });
-                out.push(None);
-            }
-        }
+        out.push(merge_done(label, i, done, obs));
     }
     out
+}
+
+/// Merge one finished job into the caller's observer (events in order,
+/// counters added, timers absorbed) and convert its outcome: `Some` on
+/// success, `None` for a panic (warned, evented, registered).
+fn merge_done<T>(label: &str, i: usize, done: Done<T>, obs: &mut RunObs) -> Option<T> {
+    for e in &done.events {
+        obs.sink.emit(e);
+    }
+    obs.recorder.merge(&done.obs);
+    obs.timers.absorb(&done.timers);
+    match done.result {
+        Ok(t) => Some(t),
+        Err(message) => {
+            let job_label = format!("{label}[{i}]");
+            relsim_obs::warn!("job {job_label} panicked: {message}");
+            obs.emit(Event::JobFailed {
+                tick: 0,
+                job: i as u64,
+                label: job_label.clone(),
+                error: message.clone(),
+            });
+            FAILURES
+                .lock()
+                .expect("failure registry poisoned")
+                .push(JobFailure {
+                    index: i,
+                    label: job_label,
+                    message,
+                });
+            None
+        }
+    }
 }
 
 /// [`scatter_map_into_with_jobs`] at the process default worker count.
@@ -248,6 +257,104 @@ where
 {
     let mut obs = RunObs::disabled();
     scatter_map_into(label, items, &mut obs, |i, item, _| f(i, item))
+}
+
+/// [`scatter_map_into_with_jobs`] routed through the content-addressed
+/// result cache. Each item carries an optional [`Key`]; keyed items are
+/// served via [`crate::cache::run_keyed`] (hit → replay the stored
+/// bundle, miss → compute under the single-flight lease and store),
+/// unkeyed items always compute. With the process-wide cache disabled
+/// this is exactly the plain scatter.
+///
+/// Determinism across worker counts is preserved by construction:
+/// duplicate keys *within one scatter* never race for flight leadership.
+/// Only the first occurrence of each key enters the parallel phase; the
+/// duplicates are filled in sequentially after the barrier, in grid
+/// order, from the (by then warm) cache.
+pub fn scatter_map_cached_into_with_jobs<I, T, F>(
+    label: &str,
+    items: Vec<(Option<Key>, I)>,
+    obs: &mut RunObs,
+    jobs: usize,
+    f: F,
+) -> Vec<Option<T>>
+where
+    I: Send,
+    T: Send + Serialize + Deserialize,
+    F: Fn(usize, I, &mut RunObs) -> T + Sync,
+{
+    let Some(store) = relsim_cache::global() else {
+        let plain: Vec<I> = items.into_iter().map(|(_, item)| item).collect();
+        return scatter_map_into_with_jobs(label, plain, obs, jobs, f);
+    };
+
+    // Partition: first occurrence of each key (and every unkeyed item)
+    // runs in the parallel scatter; repeats wait for the barrier.
+    let n = items.len();
+    let mut seen: std::collections::HashSet<u128> = std::collections::HashSet::new();
+    let mut scatter_items: Vec<(usize, Option<Key>, I)> = Vec::new();
+    let mut dups: Vec<(usize, Key, I)> = Vec::new();
+    for (i, (key, item)) in items.into_iter().enumerate() {
+        match key {
+            Some(k) if !seen.insert(k.0) => dups.push((i, k, item)),
+            key => scatter_items.push((i, key, item)),
+        }
+    }
+
+    let runner =
+        |_: usize, (orig, key, item): (usize, Option<Key>, I), job_obs: &mut RunObs| match key {
+            Some(k) => crate::cache::run_keyed(&store, k, job_obs, |inner| f(orig, item, inner)),
+            None => f(orig, item, job_obs),
+        };
+
+    let origs: Vec<usize> = scatter_items.iter().map(|(orig, _, _)| *orig).collect();
+    let partial = scatter_map_into_with_jobs(label, scatter_items, obs, jobs, runner);
+
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (orig, result) in origs.into_iter().zip(partial) {
+        out[orig] = result;
+    }
+    // Fill the duplicates in grid order: each is a memory-tier hit on
+    // its primary's entry (or an inline recompute if the primary failed
+    // or its bundle was unstorable) — sequential, hence deterministic.
+    let buffer = !obs.sink.is_null();
+    for (orig, k, item) in dups {
+        let done = run_one(orig, (orig, Some(k), item), buffer, &runner);
+        out[orig] = merge_done(label, orig, done, obs);
+    }
+    out
+}
+
+/// [`scatter_map_cached_into_with_jobs`] at the process default worker
+/// count.
+pub fn scatter_map_cached_into<I, T, F>(
+    label: &str,
+    items: Vec<(Option<Key>, I)>,
+    obs: &mut RunObs,
+    f: F,
+) -> Vec<Option<T>>
+where
+    I: Send,
+    T: Send + Serialize + Deserialize,
+    F: Fn(usize, I, &mut RunObs) -> T + Sync,
+{
+    scatter_map_cached_into_with_jobs(label, items, obs, default_jobs(), f)
+}
+
+/// Cached scatter without caller-side observability (cache markers and
+/// replayed events are discarded; panics still caught/reported).
+pub fn scatter_map_cached<I, T, F>(
+    label: &str,
+    items: Vec<(Option<Key>, I)>,
+    f: F,
+) -> Vec<Option<T>>
+where
+    I: Send,
+    T: Send + Serialize + Deserialize,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let mut obs = RunObs::disabled();
+    scatter_map_cached_into(label, items, &mut obs, |i, item, _| f(i, item))
 }
 
 #[cfg(test)]
@@ -372,6 +479,88 @@ mod tests {
         assert_eq!(out1, out8);
         assert_eq!(snap1, snap4);
         assert_eq!(snap1, snap8);
+    }
+
+    #[test]
+    fn cached_scatter_dedups_and_returns_in_grid_order() {
+        let _guard = crate::cache::test_guard();
+        relsim_cache::configure(Some(relsim_cache::CacheConfig::default()));
+        let computed = std::sync::atomic::AtomicUsize::new(0);
+        // 12 items over 4 distinct keys, interleaved.
+        let items: Vec<(Option<Key>, u64)> = (0..12u64)
+            .map(|x| (Some(relsim_cache::Key::of(&("dedup", x % 4))), x % 4))
+            .collect();
+        let out = scatter_map_cached_into_with_jobs(
+            "cdedup",
+            items,
+            &mut RunObs::disabled(),
+            4,
+            |_, x, _| {
+                computed.fetch_add(1, Ordering::SeqCst);
+                x * 10
+            },
+        );
+        let expect: Vec<Option<u64>> = (0..12u64).map(|x| Some((x % 4) * 10)).collect();
+        assert_eq!(out, expect);
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            4,
+            "one computation per distinct key"
+        );
+        let stats = relsim_cache::global_stats().unwrap();
+        assert_eq!((stats.misses, stats.hits), (4, 8));
+        relsim_cache::configure(None);
+    }
+
+    #[test]
+    fn cached_scatter_replay_bytes_match_across_job_counts() {
+        let _guard = crate::cache::test_guard();
+        let replay = |jobs: usize| -> Vec<u8> {
+            // Fresh (cold) store per run so both job counts start equal.
+            relsim_cache::configure(Some(relsim_cache::CacheConfig::default()));
+            let mut obs = RunObs::buffered();
+            let items: Vec<(Option<Key>, u64)> = (0..10u64)
+                .map(|x| (Some(relsim_cache::Key::of(&("cbytes", x % 3))), x % 3))
+                .collect();
+            scatter_map_cached_into_with_jobs("cbytes", items, &mut obs, jobs, |_, x, job_obs| {
+                job_obs.emit(Event::Migration {
+                    tick: x,
+                    app: x as usize,
+                    from_core: Some(0),
+                    to_core: 1,
+                });
+                x
+            });
+            let mut out = JsonlSink::new(Vec::new());
+            for e in obs.sink.take_events().unwrap() {
+                out.emit(&e);
+            }
+            out.into_inner()
+        };
+        let a = replay(1);
+        let b = replay(4);
+        let c = replay(8);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        relsim_cache::configure(None);
+    }
+
+    #[test]
+    fn cached_scatter_without_store_is_plain_scatter() {
+        let _guard = crate::cache::test_guard();
+        relsim_cache::configure(None);
+        let items: Vec<(Option<Key>, u64)> = (0..8u64)
+            .map(|x| (Some(relsim_cache::Key::of(&x)), x))
+            .collect();
+        let out = scatter_map_cached_into_with_jobs(
+            "coff",
+            items,
+            &mut RunObs::disabled(),
+            2,
+            |_, x, _| x + 1,
+        );
+        assert_eq!(out, (0..8u64).map(|x| Some(x + 1)).collect::<Vec<_>>());
     }
 
     #[test]

@@ -99,6 +99,22 @@ pub enum Event {
         label: String,
         error: String,
     },
+    /// A grid job was served from the content-addressed result cache
+    /// instead of being recomputed. `tier` names where the payload came
+    /// from (`"memory"` or `"disk"`); the job's original event stream is
+    /// replayed right after this marker, so a warm trace carries the same
+    /// simulation events as a cold one.
+    CacheHit {
+        tick: u64,
+        key: String,
+        tier: String,
+        bytes: u64,
+    },
+    /// A grid job's key was not in the result cache; the job computed.
+    CacheMiss { tick: u64, key: String },
+    /// A freshly computed result was written to the result cache (emitted
+    /// after the job's own events).
+    CacheStore { tick: u64, key: String, bytes: u64 },
     /// A traced run finished.
     RunEnd {
         tick: u64,
@@ -121,6 +137,9 @@ impl Event {
             | Event::SamplingSummary { tick, .. }
             | Event::FaultInjected { tick, .. }
             | Event::JobFailed { tick, .. }
+            | Event::CacheHit { tick, .. }
+            | Event::CacheMiss { tick, .. }
+            | Event::CacheStore { tick, .. }
             | Event::RunEnd { tick, .. } => *tick,
         }
     }
@@ -137,6 +156,9 @@ impl Event {
             Event::SamplingSummary { .. } => "SamplingSummary",
             Event::FaultInjected { .. } => "FaultInjected",
             Event::JobFailed { .. } => "JobFailed",
+            Event::CacheHit { .. } => "CacheHit",
+            Event::CacheMiss { .. } => "CacheMiss",
+            Event::CacheStore { .. } => "CacheStore",
             Event::RunEnd { .. } => "RunEnd",
         }
     }
@@ -267,6 +289,21 @@ mod tests {
                 detailed_ticks: 2_000,
                 ff_ticks: 8_000,
                 seed: 0,
+            },
+            Event::CacheMiss {
+                tick: 0,
+                key: "000000000000000000000000deadbeef".into(),
+            },
+            Event::CacheStore {
+                tick: 0,
+                key: "000000000000000000000000deadbeef".into(),
+                bytes: 4096,
+            },
+            Event::CacheHit {
+                tick: 0,
+                key: "000000000000000000000000deadbeef".into(),
+                tier: "memory".into(),
+                bytes: 4096,
             },
             Event::SampleTaken {
                 tick: 20_000,

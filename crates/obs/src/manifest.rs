@@ -31,6 +31,10 @@ pub struct RunManifest {
     pub host_profile: HostProfile,
     /// Result/trace/metrics files this run produced.
     pub outputs: Vec<String>,
+    /// Result-cache traffic during the run (`relsim_cache::CacheStats` as
+    /// generic JSON), or `None` when caching was disabled. Manifests
+    /// written before the cache existed deserialize with `None`.
+    pub cache: Option<Value>,
 }
 
 impl RunManifest {
@@ -52,6 +56,7 @@ impl RunManifest {
                 elapsed_seconds: 0.0,
             },
             outputs: Vec::new(),
+            cache: None,
         }
     }
 }

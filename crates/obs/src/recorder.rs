@@ -111,6 +111,27 @@ impl Recorder {
         }
     }
 
+    /// Fold a frozen snapshot into this recorder with the same semantics
+    /// as [`Recorder::merge`] (counters add, gauges take the incoming
+    /// value, histograms merge bucket-wise). Snapshots are lossless for
+    /// this purpose — bucket lower bounds map back to bucket indices —
+    /// so replaying a cached job's `MetricsSnapshot` leaves the registry
+    /// exactly as recomputing the job would have.
+    pub fn merge_snapshot(&mut self, snap: &MetricsSnapshot) {
+        for (name, value) in &snap.counters {
+            let id = self.counter(name);
+            self.counters[id.0].1 += value;
+        }
+        for (name, value) in &snap.gauges {
+            let id = self.gauge(name);
+            self.gauges[id.0].1 = *value;
+        }
+        for h in &snap.histograms {
+            let id = self.histogram(&h.name);
+            self.histograms[id.0].1.merge(&Histogram::from_snapshot(h));
+        }
+    }
+
     /// Freeze the current state into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -234,6 +255,22 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Reconstruct the histogram a snapshot was taken from. Exact: each
+    /// listed lower bound is `bucket_low(i)` for a unique `i`, and count,
+    /// sum, min and max are carried verbatim (an empty snapshot's
+    /// placeholder `min: 0` maps back to the empty sentinel).
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Histogram {
+        let mut h = Histogram::new();
+        for &(low, count) in &snap.buckets {
+            h.buckets[bucket_index(low)] += count;
+        }
+        h.count = snap.count;
+        h.sum = snap.sum;
+        h.min = if snap.count == 0 { u64::MAX } else { snap.min };
+        h.max = snap.max;
+        h
     }
 
     /// Serializable view, with only non-empty buckets listed as
@@ -423,6 +460,49 @@ mod tests {
         merged.merge(&job_a);
         merged.merge(&job_b);
         assert_eq!(merged.snapshot(), serial.snapshot());
+    }
+
+    #[test]
+    fn merge_snapshot_equals_merge() {
+        // Merging a recorder and merging its snapshot must be
+        // indistinguishable — the cache replays snapshots where the pool
+        // would have merged live recorders.
+        let mut job = Recorder::new();
+        let c = job.counter("sim.quanta");
+        job.add(c, 11);
+        let g = job.gauge("sched.objective");
+        job.set(g, 2.25);
+        let h = job.histogram("mem.latency");
+        for v in [0, 1, 5, 300, 4096, u64::MAX] {
+            job.observe(h, v);
+        }
+        let mut via_merge = Recorder::new();
+        let c = via_merge.counter("sim.quanta");
+        via_merge.add(c, 3);
+        via_merge.merge(&job);
+        let mut via_snapshot = Recorder::new();
+        let c = via_snapshot.counter("sim.quanta");
+        via_snapshot.add(c, 3);
+        via_snapshot.merge_snapshot(&job.snapshot());
+        assert_eq!(via_snapshot.snapshot(), via_merge.snapshot());
+    }
+
+    #[test]
+    fn histogram_from_snapshot_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0, 0, 1, 2, 3, 9, 1023, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let snap = h.snapshot("round-trip");
+        let back = Histogram::from_snapshot(&snap);
+        assert_eq!(back.snapshot("round-trip"), snap);
+        // Empty histograms round-trip too (min sentinel restored).
+        let empty = Histogram::new();
+        let back = Histogram::from_snapshot(&empty.snapshot("empty"));
+        assert_eq!(back.snapshot("empty"), empty.snapshot("empty"));
+        let mut merged = Histogram::from_snapshot(&empty.snapshot("e"));
+        merged.observe(7);
+        assert_eq!(merged.snapshot("e").min, 7, "empty min must not stick at 0");
     }
 
     #[test]
