@@ -35,6 +35,19 @@ if [[ "${1:-}" == "bench" ]]; then
   exit 0
 fi
 
+# `./ci.sh bench-check` re-times the canonical workload and compares it
+# against the committed BENCH_perf.json with noise-aware thresholds
+# (max of a 10% floor and 4x the larger jitter). Non-gating by design:
+# a regression prints REGRESSED and exits 1 so CI can surface it as a
+# warning, but hardware variance means it should inform review, not
+# block merges. `./ci.sh bench` refreshes the snapshot.
+if [[ "${1:-}" == "bench-check" ]]; then
+  echo "==> bench-check: fresh timings vs committed BENCH_perf.json"
+  cargo build --release -p relsim-bench --bin bench_perf
+  target/release/bench_perf --check
+  exit $?
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -62,6 +75,15 @@ echo "==> horizon-equivalence gate: horizon_equivalence in release"
 # the release binary.
 cargo test --release -q -p relsim-integration-tests --test horizon_equivalence
 
+echo "==> span-tracing gate: span_tracing in release"
+# Hierarchical span tracing and the stage profiler: trace structure must
+# be byte-identical across job counts, the profiler must attribute the
+# detailed engine's wall time, Chrome-trace exports must be well-formed
+# and strictly nested, and the disabled path must cost <1% of a real
+# tick. The overhead-budget test is ignored in debug builds, so this
+# runs the release binary where the budget holds.
+cargo test --release -q -p relsim-integration-tests --test span_tracing
+
 echo "==> golden snapshots: run_all --quick vs tests/golden/"
 cargo test --release -q -p relsim-bench --test golden
 
@@ -80,6 +102,24 @@ done
 diff -r target/ci-determinism/j1 target/ci-determinism/j2
 diff target/ci-determinism/stdout-j1.txt target/ci-determinism/stdout-j2.txt
 echo "    -j1 and -j2 outputs are byte-identical"
+
+echo "==> span-export determinism: --trace-spans at -j1 vs -j2"
+# The Chrome-trace export must have identical structure (thread names,
+# span names, counts, ordering) at any worker count; only wall-clock
+# timestamps and durations may differ, so those are normalised away
+# before the diff. Cache hits replay no spans, hence --no-cache: every
+# job must actually execute for the traces to be comparable.
+for j in 1 2; do
+  out="target/ci-spans/j$j"
+  rm -rf "$out"
+  mkdir -p "$out"
+  RELSIM_OUT="$out" target/release/run_all --quick --no-cache --jobs "$j" \
+    --trace-spans "$out/spans.json" >/dev/null
+  sed -E 's/"(ts|dur)":[0-9]+(\.[0-9]+)?/"\1":0/g' "$out/spans.json" \
+    >"target/ci-spans/normalized-j$j.json"
+done
+diff target/ci-spans/normalized-j1.json target/ci-spans/normalized-j2.json
+echo "    -j1 and -j2 span traces are structurally identical"
 
 echo "==> warm-cache gate: run_all --quick cold vs warm vs --no-cache"
 # The content-addressed result cache must be invisible in the output and

@@ -7,6 +7,7 @@ use relsim::{
     AppSpec, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler, System,
     SystemConfig,
 };
+use relsim_obs::span;
 
 fn bench_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system_throughput");
@@ -47,5 +48,47 @@ fn bench_system(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_system);
+/// Stage-profiler cost on the same workload: `off` is the shipped
+/// default (instrumentation compiled in, global flag clear — the
+/// disabled path must stay within ~1% of an uninstrumented run), `on`
+/// pays for per-stage self-time accumulation and latency histograms.
+fn bench_profiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_profiled");
+    const TICKS: u64 = 60_000;
+    group.throughput(Throughput::Elements(TICKS));
+    group.sample_size(10);
+    for profiling in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if profiling { "on" } else { "off" }),
+            &profiling,
+            |b, &on| {
+                b.iter(|| {
+                    span::set_profiling(on);
+                    let cfg = SystemConfig::hcmp(2, 2);
+                    let kinds = cfg.core_kinds();
+                    let q = cfg.quantum_ticks;
+                    let specs: Vec<AppSpec> = ["milc", "gobmk", "hmmer", "povray"]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| AppSpec::spec(n, i as u64))
+                        .collect();
+                    let mut system = System::new(cfg, &specs);
+                    let mut sched: Box<dyn Scheduler> = Box::new(SamplingScheduler::new(
+                        Objective::Sser,
+                        kinds,
+                        q,
+                        SamplingParams::default(),
+                    ));
+                    let r = system.run(sched.as_mut(), TICKS);
+                    span::set_profiling(false);
+                    span::reset_thread();
+                    r.migrations
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_system, bench_profiled);
 criterion_main!(benches);

@@ -17,14 +17,17 @@ use relsim::experiments::{
 };
 use relsim::mixes::Mix;
 use relsim::{sampling, skip, SamplingConfig, SamplingParams};
+use relsim_bench::perf::{compare, RowStat};
 use relsim_obs::{info, RunObs};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::Instant;
 
-/// Repetitions per timed row; the fastest repeat is reported.
-const BENCH_REPEATS: usize = 3;
+/// Repetitions per timed row; the fastest repeat is reported. One
+/// additional unrecorded warm-up run precedes them so page-cache and
+/// allocator effects land outside the samples.
+const BENCH_REPEATS: usize = 5;
 
 /// Tick count for the timed single-mix rows. Longer than `Scale::quick`
 /// runs so per-row wall times sit well clear of timer and scheduler
@@ -37,8 +40,15 @@ const BENCH_RUN_TICKS: u64 = 1_000_000;
 struct PerfRow {
     /// `<workload>-<engine>-<skip|noskip>`.
     name: String,
-    /// Wall-clock milliseconds for the run (excludes context build).
+    /// Best wall-clock milliseconds across the repeats (excludes
+    /// context build).
     wall_ms: f64,
+    /// Every repeat's wall time in measurement order, milliseconds.
+    samples_ms: Vec<f64>,
+    /// Population standard deviation of the repeats, milliseconds.
+    stddev_ms: f64,
+    /// Relative spread of the repeats: `(max - min) / min`.
+    jitter: f64,
     /// Global ticks simulated.
     ticks: u64,
     /// Global ticks per wall-clock second.
@@ -48,6 +58,40 @@ struct PerfRow {
     /// Skipped fraction of all detailed per-core ticks.
     skipped_fraction: f64,
 }
+
+impl PerfRow {
+    /// The row's sample statistics, for the perf-trend comparison. Rows
+    /// from snapshots that predate per-sample recording degrade to a
+    /// single sample at the recorded best.
+    fn stat(&self) -> RowStat {
+        let samples = if self.samples_ms.is_empty() {
+            vec![self.wall_ms]
+        } else {
+            self.samples_ms.clone()
+        };
+        RowStat::from_samples(&self.name, samples)
+    }
+}
+
+/// One retired snapshot in the rolling perf history: enough to plot a
+/// trajectory (name, best wall, throughput per row) without keeping
+/// every full report forever.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HistoryEntry {
+    model_version: u32,
+    rows: Vec<HistoryRow>,
+}
+
+/// One row of a retired snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HistoryRow {
+    name: String,
+    wall_ms: f64,
+    ticks_per_sec: f64,
+}
+
+/// Retired snapshots kept in the rolling history.
+const HISTORY_CAP: usize = 20;
 
 /// Wall time of the quick-scale scheduler-comparison grid (the bulk of
 /// `run_all --quick`), skip vs no-skip.
@@ -86,6 +130,28 @@ struct PerfReport {
     sampled_speedup: f64,
     /// Same ratio on the stall-heavy memory-bound companion workload.
     membound_speedup: f64,
+    /// Rolling history of previously committed snapshots, oldest first,
+    /// capped at [`HISTORY_CAP`]; each refresh retires the snapshot it
+    /// replaces into this list.
+    history: Vec<HistoryEntry>,
+}
+
+impl PerfReport {
+    /// Compress this report into one history entry.
+    fn to_history(&self) -> HistoryEntry {
+        HistoryEntry {
+            model_version: self.model_version,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| HistoryRow {
+                    name: r.name.clone(),
+                    wall_ms: r.wall_ms,
+                    ticks_per_sec: r.ticks_per_sec,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The fixed stall-heavy companion workload: eight memory-dominated
@@ -121,11 +187,11 @@ fn timed_run(ctx: &Context, name: &str, mix: &Mix, sampled: bool, skip_on: bool)
     });
     skip::set_default_enabled(skip_on);
     let cfg = hcmp_config(ctx, 4, 4);
-    let mut best_ms = f64::INFINITY;
+    let mut samples_ms = Vec::with_capacity(BENCH_REPEATS);
     let mut obs = RunObs::disabled();
     let mut duration = 0;
     let mut n_cores = 0;
-    for _ in 0..BENCH_REPEATS {
+    for rep in 0..=BENCH_REPEATS {
         obs = RunObs::disabled();
         let t0 = Instant::now();
         let (_eval, result) = run_mix_traced(
@@ -136,7 +202,9 @@ fn timed_run(ctx: &Context, name: &str, mix: &Mix, sampled: bool, skip_on: bool)
             SamplingParams::default(),
             &mut obs,
         );
-        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        if rep > 0 {
+            samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
         duration = result.duration;
         n_cores = result.cores.len() as u64;
     }
@@ -146,17 +214,21 @@ fn timed_run(ctx: &Context, name: &str, mix: &Mix, sampled: bool, skip_on: bool)
     let skipped = snap.counter("sim.skipped_ticks").unwrap_or(0);
     let detailed = snap.counter("sim.detailed_ticks").unwrap_or(0);
     let detailed_core_ticks = detailed * n_cores;
+    let stat = RowStat::from_samples(name, samples_ms);
     PerfRow {
         name: name.to_string(),
-        wall_ms: best_ms,
+        wall_ms: stat.wall_ms,
         ticks: duration,
-        ticks_per_sec: duration as f64 / (best_ms / 1e3),
+        ticks_per_sec: duration as f64 / (stat.wall_ms / 1e3),
         skipped_ticks: skipped,
         skipped_fraction: if detailed_core_ticks > 0 {
             skipped as f64 / detailed_core_ticks as f64
         } else {
             0.0
         },
+        samples_ms: stat.samples_ms,
+        stddev_ms: stat.stddev_ms,
+        jitter: stat.jitter,
     }
 }
 
@@ -255,6 +327,115 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Time the six canonical single-mix rows at the bench tick count.
+fn measure_rows(ctx: &Context) -> Vec<PerfRow> {
+    let canonical = ctx.eight_program_mixes().remove(0);
+    let memory = memory_bound_mix();
+    let mut row_ctx = ctx.clone();
+    row_ctx.scale.run_ticks = BENCH_RUN_TICKS;
+    vec![
+        timed_run(&row_ctx, "4B4S-detailed-skip", &canonical, false, true),
+        timed_run(&row_ctx, "4B4S-detailed-noskip", &canonical, false, false),
+        timed_run(&row_ctx, "4B4S-sampled-skip", &canonical, true, true),
+        timed_run(&row_ctx, "4B4S-sampled-noskip", &canonical, true, false),
+        timed_run(&row_ctx, "4B4S-membound-skip", &memory, false, true),
+        timed_run(&row_ctx, "4B4S-membound-noskip", &memory, false, false),
+    ]
+}
+
+/// Parse `--check-inject F` / `--check-inject=F`: an artificial slowdown
+/// factor applied to the fresh measurements, for exercising the gate
+/// itself (`--check-inject 1.2` must fail an otherwise healthy tree).
+fn parse_check_inject<I: IntoIterator<Item = String>>(args: I) -> f64 {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if let Some(v) = arg.strip_prefix("--check-inject=") {
+            Some(v.to_string())
+        } else if arg == "--check-inject" {
+            iter.next()
+        } else {
+            continue;
+        };
+        match value.as_deref().map(str::parse::<f64>) {
+            Some(Ok(f)) if f > 0.0 => return f,
+            other => {
+                relsim_obs::warn!(
+                    "--check-inject expects a positive factor, got {:?}; ignoring",
+                    other.map(|_| value.as_deref().unwrap_or("").to_string())
+                );
+                return 1.0;
+            }
+        }
+    }
+    1.0
+}
+
+/// `bench_perf --check`: re-time only the canonical rows and diff them
+/// against the committed `BENCH_perf.json` with noise-aware thresholds.
+/// Exits 0 when every row is within tolerance, 1 on a regression, 2 when
+/// there is no comparable committed snapshot.
+fn run_check(inject: f64) -> ! {
+    let path = repo_root().join("BENCH_perf.json");
+    let prev: PerfReport = match std::fs::read(&path) {
+        Ok(bytes) => match serde_json::from_slice(&bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                relsim_obs::error!(
+                    "committed {path:?} does not parse ({e}); \
+                     refresh it with `bench_perf` before `--check`"
+                );
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            relsim_obs::error!("no committed {path:?} ({e}); nothing to check against");
+            std::process::exit(2);
+        }
+    };
+    let ctx = relsim_bench::context(Scale::quick());
+    info!("bench_perf --check: re-timing the canonical rows");
+    let rows = measure_rows(&ctx);
+    let committed: Vec<RowStat> = prev.rows.iter().map(PerfRow::stat).collect();
+    let fresh: Vec<RowStat> = rows
+        .iter()
+        .map(|r| {
+            let mut s = r.stat();
+            if inject != 1.0 {
+                for v in &mut s.samples_ms {
+                    *v *= inject;
+                }
+                s = RowStat::from_samples(&s.name, s.samples_ms);
+            }
+            s
+        })
+        .collect();
+    if inject != 1.0 {
+        println!("check: injecting an artificial {inject:.2}x slowdown into fresh timings");
+    }
+    let deltas = compare(&committed, &fresh);
+    if deltas.is_empty() {
+        relsim_obs::error!("no committed row matches a fresh row; snapshot too old to compare");
+        std::process::exit(2);
+    }
+    let mut regressed = false;
+    for d in &deltas {
+        println!(
+            "check {:24} {:+6.1}% wall (tolerance {:+.1}%)  {}",
+            d.name,
+            (d.ratio - 1.0) * 100.0,
+            d.threshold * 100.0,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+        regressed |= d.regressed;
+    }
+    if regressed {
+        println!("check: perf regression beyond noise tolerance; see rows above");
+        std::process::exit(1);
+    }
+    println!("check: all {} rows within tolerance", deltas.len());
+    std::process::exit(0);
+}
+
 fn main() {
     let obs_args = relsim_bench::obs_init();
     // The timed rows measure the *engine*: result caching in this process
@@ -264,13 +445,21 @@ fn main() {
     relsim_cache::configure(None);
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: bench_perf [--jobs N]\n\
+            "usage: bench_perf [--jobs N] [--check [--check-inject F]]\n\
              Times the canonical 4B4S workload (both engines, skip on/off), the\n\
              quick-scale scheduler grid, and a cold-vs-warm result-cache pass of\n\
-             run_all --quick, then writes BENCH_perf.json at the repo root.\n{}",
+             run_all --quick, then writes BENCH_perf.json at the repo root.\n\
+             --check               re-time only the canonical rows and diff them\n\
+             \x20                      against the committed BENCH_perf.json; exits 1\n\
+             \x20                      on a slowdown beyond the noise tolerance\n\
+             --check-inject F      multiply the fresh --check timings by F (gate\n\
+             \x20                      self-test; 1.2 must fail a healthy tree)\n{}",
             relsim_bench::JOBS_HELP
         );
         return;
+    }
+    if std::env::args().any(|a| a == "--check") {
+        run_check(parse_check_inject(std::env::args().skip(1)));
     }
     let mut obs = relsim_bench::run_obs(&obs_args);
     // The context is the shared, cached setup step; it is deliberately
@@ -278,26 +467,15 @@ fn main() {
     let ctx = relsim_bench::context(Scale::quick());
 
     info!("bench_perf: canonical 4B4S runs (detailed/sampled x skip/noskip)");
-    let canonical = ctx.eight_program_mixes().remove(0);
-    let memory = memory_bound_mix();
     // The single-mix rows run longer than quick scale for stable timing.
-    let mut row_ctx = ctx.clone();
-    row_ctx.scale.run_ticks = BENCH_RUN_TICKS;
-    let rows = vec![
-        timed_run(&row_ctx, "4B4S-detailed-skip", &canonical, false, true),
-        timed_run(&row_ctx, "4B4S-detailed-noskip", &canonical, false, false),
-        timed_run(&row_ctx, "4B4S-sampled-skip", &canonical, true, true),
-        timed_run(&row_ctx, "4B4S-sampled-noskip", &canonical, true, false),
-        timed_run(&row_ctx, "4B4S-membound-skip", &memory, false, true),
-        timed_run(&row_ctx, "4B4S-membound-noskip", &memory, false, false),
-    ];
+    let rows = measure_rows(&ctx);
     info!("bench_perf: quick-scale scheduler grid (skip vs noskip)");
     let grid_skip = timed_grid(&ctx, true);
     let grid_noskip = timed_grid(&ctx, false);
     info!("bench_perf: run_all --quick, cold vs warm result cache");
     let cache = timed_cache_runs();
 
-    let report = PerfReport {
+    let mut report = PerfReport {
         model_version: relsim_bench::MODEL_VERSION,
         detailed_speedup: rows[1].wall_ms / rows[0].wall_ms,
         sampled_speedup: rows[3].wall_ms / rows[2].wall_ms,
@@ -309,13 +487,15 @@ fn main() {
         },
         cache,
         rows,
+        history: Vec::new(),
     };
 
     for r in &report.rows {
         println!(
-            "{:24} {:>9.1} ms  {:>12.0} ticks/s  skipped {:>5.1}%",
+            "{:24} {:>9.1} ms (±{:>5.1})  {:>12.0} ticks/s  skipped {:>5.1}%",
             r.name,
             r.wall_ms,
+            r.stddev_ms,
             r.ticks_per_sec,
             r.skipped_fraction * 100.0
         );
@@ -340,7 +520,7 @@ fn main() {
     );
 
     // Perf trajectory: print the delta against the committed snapshot,
-    // then overwrite it.
+    // retire it into the rolling history, then overwrite it.
     let path = repo_root().join("BENCH_perf.json");
     if let Ok(bytes) = std::fs::read(&path) {
         match serde_json::from_slice::<PerfReport>(&bytes) {
@@ -360,6 +540,12 @@ fn main() {
                     "delta quick grid: {:+.1}% wall vs committed",
                     (report.quick_grid.skip_wall_ms / prev.quick_grid.skip_wall_ms - 1.0) * 100.0
                 );
+                report.history = prev.history.clone();
+                report.history.push(prev.to_history());
+                if report.history.len() > HISTORY_CAP {
+                    let drop = report.history.len() - HISTORY_CAP;
+                    report.history.drain(..drop);
+                }
             }
             Err(e) => info!("committed BENCH_perf.json unreadable ({e}); rewriting"),
         }

@@ -182,16 +182,58 @@ fn main() {
         result.migrations
     );
 
-    // Observability outputs: metrics snapshot, then the run manifest next
-    // to whichever result file anchors this run.
+    // Observability outputs: metrics snapshot (with the main thread's
+    // span state folded in first), span trace, then the run manifest
+    // next to whichever result file anchors this run.
+    obs.absorb_spans("main");
+    let snapshot = obs.recorder.snapshot();
+    if obs_args.profiling_enabled() {
+        match relsim_obs::StageProfile::from_snapshot(&snapshot) {
+            Some(stage) => {
+                println!(
+                    "\nstage profile: {:.3} s attributed to {} stages",
+                    stage.attributed_seconds,
+                    stage.stages.len()
+                );
+                println!(
+                    "{:<18} {:>9} {:>7} {:>12} {:>10} {:>10}",
+                    "stage", "self-s", "share", "calls", "p50-ns", "p99-ns"
+                );
+                for s in &stage.stages {
+                    println!(
+                        "{:<18} {:>9.3} {:>6.1}% {:>12} {:>10} {:>10}",
+                        s.stage,
+                        s.self_seconds,
+                        100.0 * s.self_seconds / stage.attributed_seconds.max(f64::MIN_POSITIVE),
+                        s.calls,
+                        s.p50_ns,
+                        s.p99_ns
+                    );
+                }
+            }
+            None => println!("\nstage profile: no samples recorded"),
+        }
+    }
     let mut outputs: Vec<String> = Vec::new();
     if let Some(path) = &obs_args.trace_out {
         outputs.push(path.display().to_string());
         info!("wrote event trace {path:?}");
     }
-    if let Some(path) = obs_args.write_metrics_or_exit(&obs.recorder.snapshot()) {
+    if let Some(path) = obs_args.write_metrics_or_exit(&snapshot) {
         outputs.push(path.display().to_string());
         info!("wrote metrics snapshot {path:?}");
+    }
+    if let Some(path) = &obs_args.trace_spans {
+        match relsim_obs::write_chrome_trace(path, &obs.spans) {
+            Ok(()) => {
+                outputs.push(path.display().to_string());
+                info!("wrote span trace {path:?}");
+            }
+            Err(e) => {
+                relsim_obs::error!("cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(anchor) = obs_args
         .metrics_out
@@ -207,6 +249,7 @@ fn main() {
         manifest.host_profile = obs.timers.profile();
         manifest.outputs = outputs;
         manifest.cache = relsim_bench::cache_manifest_value();
+        manifest.stage_profile = relsim_obs::StageProfile::from_snapshot(&snapshot);
         match write_manifest(anchor, &manifest) {
             Ok(path) => info!("wrote run manifest {path:?}"),
             Err(e) => relsim_obs::warn!(

@@ -42,7 +42,11 @@ pub fn obs_init() -> ObsArgs {
     relsim::sampling::set_default(sampling_from_args());
     relsim::skip::set_default_enabled(!no_skip_from_args());
     relsim_cache::configure(cache_from_args());
-    ObsArgs::from_env()
+    let args = ObsArgs::from_env();
+    // Resolve `--profile`/`--trace-spans`/`--no-profile` before any pool
+    // worker spawns, so every thread sees the same global flags.
+    args.apply_span_flags();
+    args
 }
 
 /// Parse the worker count from the process arguments: `--jobs N`,
@@ -233,8 +237,43 @@ pub fn run_obs(args: &ObsArgs) -> RunObs {
 /// profile, and report any job failures the pool caught — exiting
 /// nonzero if there were any, after all successful results were written.
 pub fn obs_finish(args: &ObsArgs, obs: &mut RunObs) {
+    // Fold the main thread's span state in before the snapshot below so
+    // `--metrics-out` carries the `prof.*` series; pool-worker spans were
+    // already merged at their scatter barriers.
+    obs.absorb_spans("main");
     obs.sink.flush();
-    args.write_metrics_or_exit(&obs.recorder.snapshot());
+    let snapshot = obs.recorder.snapshot();
+    args.write_metrics_or_exit(&snapshot);
+    if let Some(path) = &args.trace_spans {
+        match relsim_obs::write_chrome_trace(path, &obs.spans) {
+            Ok(()) => info!("wrote {path:?}"),
+            Err(e) => {
+                relsim_obs::error!("cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.profiling_enabled() {
+        if let Some(stage) = relsim_obs::StageProfile::from_snapshot(&snapshot) {
+            let breakdown: Vec<String> = stage
+                .stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{} {:.2}s ({:.1}%)",
+                        s.stage,
+                        s.self_seconds,
+                        100.0 * s.self_seconds / stage.attributed_seconds.max(f64::MIN_POSITIVE)
+                    )
+                })
+                .collect();
+            info!(
+                "stage profile: {:.2}s attributed ({})",
+                stage.attributed_seconds,
+                breakdown.join(", ")
+            );
+        }
+    }
     let profile = obs.timers.profile();
     if profile.attributed_seconds > 0.0 {
         let breakdown: Vec<String> = profile
@@ -331,6 +370,116 @@ pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
 }
 
+/// Perf-trend gate logic for `bench_perf --check`: pure comparison of a
+/// fresh measurement against the committed snapshot, kept in the library
+/// so the thresholds are unit-testable without timing anything.
+pub mod perf {
+    /// Sample statistics of one timed row: all repeats in measurement
+    /// order, the minimum (a deterministic workload's least-noisy cost
+    /// estimate), and the spread relative to that minimum.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RowStat {
+        /// Row name (`<workload>-<engine>-<skip|noskip>`).
+        pub name: String,
+        /// Best (minimum) wall time across the repeats, milliseconds.
+        pub wall_ms: f64,
+        /// Every repeat's wall time, in measurement order.
+        pub samples_ms: Vec<f64>,
+        /// Population standard deviation of the repeats, milliseconds.
+        pub stddev_ms: f64,
+        /// Relative spread of the *low half* of the repeats:
+        /// `(median - min) / min`. The point estimate is the minimum, so
+        /// the noise that matters is how far the floor wanders between
+        /// runs — the low-half spread estimates that, while the full
+        /// range `(max - min)` is dominated by one-off load spikes that
+        /// the min estimator already rejects.
+        pub jitter: f64,
+    }
+
+    impl RowStat {
+        /// Reduce raw repeat timings to row statistics.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `samples_ms` is empty.
+        pub fn from_samples(name: &str, samples_ms: Vec<f64>) -> RowStat {
+            assert!(!samples_ms.is_empty(), "row {name} measured no samples");
+            let best = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+            let var = samples_ms.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+                / samples_ms.len() as f64;
+            let mut sorted = samples_ms.clone();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            RowStat {
+                name: name.to_string(),
+                wall_ms: best,
+                samples_ms,
+                stddev_ms: var.sqrt(),
+                jitter: if best > 0.0 {
+                    (median - best) / best
+                } else {
+                    0.0
+                },
+            }
+        }
+    }
+
+    /// Verdict on one row of a perf-trend check.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RowDelta {
+        /// Row name.
+        pub name: String,
+        /// `fresh / committed` wall-time ratio (1.0 = unchanged).
+        pub ratio: f64,
+        /// Slowdown tolerance applied to this row (e.g. 0.10 = +10%).
+        pub threshold: f64,
+        /// Whether the row slowed down beyond the tolerance.
+        pub regressed: bool,
+    }
+
+    /// Minimum slowdown tolerated by [`compare`] regardless of how quiet
+    /// the samples were: machine load the repeats didn't witness can
+    /// still move best-of-N wall times by several percent.
+    pub const NOISE_FLOOR: f64 = 0.10;
+
+    /// How many measured jitters of headroom the gate grants on top of
+    /// the floor: a row whose best-of-N floor already wanders by x% may
+    /// honestly wander by a small multiple of that between runs.
+    pub const JITTER_MARGIN: f64 = 2.0;
+
+    /// Per-row slowdown tolerance: the noise floor or the jitter margin
+    /// times the worse of the two runs' observed jitter, whichever is
+    /// larger.
+    pub fn threshold(committed: &RowStat, fresh: &RowStat) -> f64 {
+        NOISE_FLOOR.max(JITTER_MARGIN * committed.jitter.max(fresh.jitter))
+    }
+
+    /// Diff fresh row measurements against the committed snapshot. Rows
+    /// present on only one side are ignored (renames are not
+    /// regressions). Speedups are never flagged.
+    pub fn compare(committed: &[RowStat], fresh: &[RowStat]) -> Vec<RowDelta> {
+        fresh
+            .iter()
+            .filter_map(|f| {
+                let c = committed.iter().find(|c| c.name == f.name)?;
+                let threshold = threshold(c, f);
+                let ratio = if c.wall_ms > 0.0 {
+                    f.wall_ms / c.wall_ms
+                } else {
+                    1.0
+                };
+                Some(RowDelta {
+                    name: f.name.clone(),
+                    ratio,
+                    threshold,
+                    regressed: ratio > 1.0 + threshold,
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{parse_cache, parse_jobs, parse_sample, CacheChoice};
@@ -393,6 +542,62 @@ mod tests {
         );
         // Bare `--cache-dir` warns and keeps the default directory.
         assert_eq!(parse(&["--cache-dir"]), CacheChoice::Enabled);
+    }
+
+    #[test]
+    fn row_stats_from_samples() {
+        use super::perf::RowStat;
+        let r = RowStat::from_samples("row", vec![120.0, 100.0, 110.0]);
+        assert_eq!(r.wall_ms, 100.0);
+        assert_eq!(r.samples_ms, vec![120.0, 100.0, 110.0]);
+        // Low-half spread: (median 110 - min 100) / min 100.
+        assert!((r.jitter - 0.1).abs() < 1e-12, "jitter {}", r.jitter);
+        // Population stddev of {120,100,110} = sqrt(200/3).
+        assert!((r.stddev_ms - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        let quiet = RowStat::from_samples("quiet", vec![50.0]);
+        assert_eq!(
+            (quiet.wall_ms, quiet.jitter, quiet.stddev_ms),
+            (50.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn perf_check_flags_real_regressions_only() {
+        use super::perf::{compare, RowStat, NOISE_FLOOR};
+        let committed = vec![
+            RowStat::from_samples("a", vec![100.0, 101.0, 100.5]),
+            RowStat::from_samples("b", vec![200.0, 201.0, 200.2]),
+            RowStat::from_samples("gone", vec![50.0]),
+        ];
+        let fresh = vec![
+            // +20% on quiet samples: beyond the 10% floor -> regression.
+            RowStat::from_samples("a", vec![120.0, 121.0, 120.4]),
+            // -30%: speedups never flag.
+            RowStat::from_samples("b", vec![140.0, 141.0, 140.2]),
+            // Unknown row: ignored, not a regression.
+            RowStat::from_samples("new", vec![10.0]),
+        ];
+        let deltas = compare(&committed, &fresh);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas[0].regressed, "{deltas:?}");
+        assert!((deltas[0].ratio - 1.2).abs() < 1e-9);
+        assert!((deltas[0].threshold - NOISE_FLOOR).abs() < 1e-12);
+        assert!(!deltas[1].regressed, "{deltas:?}");
+    }
+
+    #[test]
+    fn perf_check_widens_threshold_with_jitter() {
+        use super::perf::{compare, RowStat};
+        // Committed floor wanders by 8% (median 108 vs min 100) ->
+        // 2 x 8% = 16% tolerance; a 12% slowdown passes.
+        let committed = vec![RowStat::from_samples("noisy", vec![100.0, 115.0, 108.0])];
+        let fresh = vec![RowStat::from_samples("noisy", vec![112.0, 113.0, 112.4])];
+        let deltas = compare(&committed, &fresh);
+        assert!((deltas[0].threshold - 0.16).abs() < 1e-9, "{deltas:?}");
+        assert!(!deltas[0].regressed, "{deltas:?}");
+        // The same 8% committed jitter does not excuse a 25% slowdown.
+        let slow = vec![RowStat::from_samples("noisy", vec![125.0, 126.0, 125.5])];
+        assert!(compare(&committed, &slow)[0].regressed);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! byte-identical to cold output even for degenerate configurations.
 
 use relsim_cache::{Key, Lookup, Store};
+use relsim_obs::span::{self, Stage};
 use relsim_obs::{warn, Event, MetricsSnapshot, RunObs};
 use serde::{Deserialize, Serialize};
 
@@ -113,9 +114,10 @@ where
     // Resolve to either a compute lease, or `None` after giving up on a
     // repeatedly undecodable entry (compute without storing).
     let lease = loop {
-        match store.lookup_or_lead(key) {
+        match span::scope(Stage::CacheLookup, || store.lookup_or_lead(key)) {
             Lookup::Hit(payload, tier) => {
-                if let Some((value, events, metrics)) = decode_bundle::<T>(&payload) {
+                let decoded = span::scope(Stage::CacheLookup, || decode_bundle::<T>(&payload));
+                if let Some((value, events, metrics)) = decoded {
                     replay_hit(
                         obs,
                         key.hex(),
@@ -157,10 +159,15 @@ where
     obs.timers.absorb(&inner.timers);
 
     if lease.is_some() {
-        match encode_bundle(&value, &events, &metrics) {
-            Some(bytes) => {
+        let stored = span::scope(Stage::CacheStore, || {
+            encode_bundle(&value, &events, &metrics).map(|bytes| {
                 let n = bytes.len() as u64;
                 store.put(key, bytes);
+                n
+            })
+        });
+        match stored {
+            Some(n) => {
                 obs.emit(Event::CacheStore {
                     tick: 0,
                     key: key.hex(),

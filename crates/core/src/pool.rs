@@ -26,7 +26,8 @@
 //! jobs, an empty sweep over every queue means the grid is drained.
 
 use relsim_cache::Key;
-use relsim_obs::{Event, RunObs};
+use relsim_obs::span::{self, Stage};
+use relsim_obs::{Event, RunObs, SpanThread};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -81,6 +82,7 @@ struct Done<T> {
     events: Vec<Event>,
     obs: relsim_obs::Recorder,
     timers: relsim_obs::PhaseTimers,
+    spans: Vec<relsim_obs::SpanRecord>,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -104,14 +106,27 @@ fn run_one<I, T>(
     } else {
         RunObs::disabled()
     };
-    let result = catch_unwind(AssertUnwindSafe(|| f(index, item, &mut job_obs)))
-        .map_err(|e| panic_message(e.as_ref()));
+    // A previous job on this worker may have panicked mid-span; start
+    // from clean thread-local profiler state.
+    span::reset_thread();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        span::scope(Stage::PoolJob, || f(index, item, &mut job_obs))
+    }))
+    .map_err(|e| panic_message(e.as_ref()));
     let events = job_obs.sink.take_events().unwrap_or_default();
+    let mut spans = Vec::new();
+    if result.is_ok() {
+        span::drain_into(&mut job_obs.recorder, &mut spans);
+    } else {
+        // A panic unwound past open spans; their state is unusable.
+        span::reset_thread();
+    }
     Done {
         result,
         events,
         obs: job_obs.recorder,
         timers: job_obs.timers,
+        spans,
     }
 }
 
@@ -152,6 +167,13 @@ where
         return Vec::new();
     }
     let jobs = jobs.clamp(1, n);
+    // Flush the caller's own pending spans before any job runs: the
+    // jobs==1 path reuses this thread's span state (resetting it per
+    // job), so main-thread spans recorded since the last flush would
+    // otherwise be destroyed at -j1 but survive at -jN — absorbing
+    // them here, at the same program point for every worker count,
+    // keeps `--trace-spans` output identical at any `-jN`.
+    obs.absorb_spans("main");
     // Buffering events only pays off if someone will read them.
     let buffer = !obs.sink.is_null();
 
@@ -208,6 +230,14 @@ fn merge_done<T>(label: &str, i: usize, done: Done<T>, obs: &mut RunObs) -> Opti
     }
     obs.recorder.merge(&done.obs);
     obs.timers.absorb(&done.timers);
+    if !done.spans.is_empty() {
+        // Grid order, not worker order: the trace is a deterministic
+        // function of the inputs at any `-jN`.
+        obs.spans.push(SpanThread {
+            name: format!("job{i}"),
+            records: done.spans,
+        });
+    }
     match done.result {
         Ok(t) => Some(t),
         Err(message) => {

@@ -12,6 +12,7 @@ use crate::skip;
 use relsim_ace::{AceCounter, CounterKind};
 use relsim_cpu::{Core, CoreConfig, CoreKind, CpiStack, RetireEvent, RetireObserver};
 use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+use relsim_obs::span::{self, Stage};
 use relsim_obs::{Event, Phase, RunObs};
 use relsim_power::{CoreActivity, SharedActivity};
 use relsim_trace::{BenchmarkProfile, OpClass, TraceGenerator};
@@ -381,6 +382,7 @@ impl System {
             sink,
             recorder,
             timers,
+            ..
         } = obs;
         let mut timeline = Vec::new();
         let mut migrations_total = 0u64;
@@ -442,7 +444,10 @@ impl System {
         let mut snap_abc: Vec<f64> = Vec::with_capacity(n_cores);
 
         while self.now < end {
-            let seg = timers.time(Phase::Scheduler, || scheduler.next_segment());
+            span::enter(Stage::Segment);
+            let seg = timers.time(Phase::Scheduler, || {
+                span::scope(Stage::Scheduler, || scheduler.next_segment())
+            });
             assert_eq!(seg.mapping.len(), self.cores.len(), "mapping arity");
             let ticks = seg.ticks.min(end - self.now);
             if let Some(d) = scheduler.last_decision() {
@@ -468,41 +473,43 @@ impl System {
             // state rather than migration transients.
             let mut seg_migrations = 0u64;
             timers.time(Phase::Migration, || {
-                for (core, &app) in seg.mapping.iter().enumerate() {
-                    if self.mapping[core] != app {
-                        sink.emit(&Event::Migration {
-                            tick: self.now,
-                            app,
-                            // `None` when the app enters from the
-                            // unscheduled pool rather than another core.
-                            from_core: self.mapping.iter().position(|&a| a == app),
-                            to_core: core,
-                        });
-                        self.cores[core].reset_pipeline();
-                        self.stall_until[core] = self.now + self.cfg.migration_ticks;
-                        self.apps[app].migrations += 1;
-                        migrations_total += 1;
-                        seg_migrations += 1;
-                        self.measure_start[core] = (self.now
-                            + self.cfg.migration_ticks
-                            + self.cfg.measurement_warmup_ticks)
-                            .min(self.now + ticks.saturating_sub(1));
-                        if self.cfg.warm_caches {
-                            // Scale correction (DESIGN.md §1): at paper scale
-                            // (2.66M-cycle quanta) an L1/L2 refill after a
-                            // migration is <1% of a quantum; at this reduced
-                            // scale it would dominate, so the incoming
-                            // application's hot set is warmed during the
-                            // migration stall.
-                            let (hot_base, hot_len) = self.apps[app].gen.hot_span();
-                            self.cores[core]
-                                .caches_mut()
-                                .warm_region(hot_base, hot_len.min(64 << 10));
+                span::scope(Stage::Migration, || {
+                    for (core, &app) in seg.mapping.iter().enumerate() {
+                        if self.mapping[core] != app {
+                            sink.emit(&Event::Migration {
+                                tick: self.now,
+                                app,
+                                // `None` when the app enters from the
+                                // unscheduled pool rather than another core.
+                                from_core: self.mapping.iter().position(|&a| a == app),
+                                to_core: core,
+                            });
+                            self.cores[core].reset_pipeline();
+                            self.stall_until[core] = self.now + self.cfg.migration_ticks;
+                            self.apps[app].migrations += 1;
+                            migrations_total += 1;
+                            seg_migrations += 1;
+                            self.measure_start[core] = (self.now
+                                + self.cfg.migration_ticks
+                                + self.cfg.measurement_warmup_ticks)
+                                .min(self.now + ticks.saturating_sub(1));
+                            if self.cfg.warm_caches {
+                                // Scale correction (DESIGN.md §1): at paper scale
+                                // (2.66M-cycle quanta) an L1/L2 refill after a
+                                // migration is <1% of a quantum; at this reduced
+                                // scale it would dominate, so the incoming
+                                // application's hot set is warmed during the
+                                // migration stall.
+                                let (hot_base, hot_len) = self.apps[app].gen.hot_span();
+                                self.cores[core]
+                                    .caches_mut()
+                                    .warm_region(hot_base, hot_len.min(64 << 10));
+                            }
+                        } else {
+                            self.measure_start[core] = self.now;
                         }
-                    } else {
-                        self.measure_start[core] = self.now;
                     }
-                }
+                })
             });
             self.mapping = seg.mapping;
 
@@ -536,6 +543,9 @@ impl System {
                 _ => None,
             };
             timers.time(Phase::CoreTick, || {
+                // Read the profiler flag once per segment; per-tick span
+                // work below branches on this local bool.
+                let prof = span::enabled();
                 let mut cur = seg_start;
                 loop {
                     // Detailed window [cur, win_end). The segment's first
@@ -571,7 +581,13 @@ impl System {
                     snap_cpi.extend(self.cores.iter().map(|c| *c.cpi_stack()));
                     snap_abc.clear();
                     snap_abc.extend(self.eval_counters.iter().map(|c| c.abc(0)));
+                    if prof {
+                        span::enter_window(Stage::DetailedWindow);
+                    }
                     while self.now < win_end {
+                        if prof {
+                            span::enter(Stage::TickLoop);
+                        }
                         let t = self.now;
                         if t == measure_from && t > cur {
                             snap_committed.clear();
@@ -602,6 +618,9 @@ impl System {
                                 continue;
                             }
                             let app_idx = self.mapping[core_idx];
+                            if prof {
+                                span::set_core(Some(core_idx));
+                            }
                             let mut tee = TeeObserver {
                                 eval: &mut self.eval_counters[core_idx],
                                 sched: &mut self.sched_counters[core_idx],
@@ -620,16 +639,22 @@ impl System {
                                 // `target`. Clamped at the window end and
                                 // the mid-window re-snapshot point, whose
                                 // reads need fully settled CPI stacks.
-                                let mut target = self.cores[core_idx].next_event(t).min(win_end);
-                                if measure_from > t {
-                                    target = target.min(measure_from);
-                                }
-                                if target > t + 1 {
-                                    self.cores[core_idx].skip_to(t + 1, target);
-                                    skip_until[core_idx] = target;
-                                    seg_skipped += target - t - 1;
-                                }
+                                span::scoped(prof, Stage::SkipBookkeeping, || {
+                                    let mut target =
+                                        self.cores[core_idx].next_event(t).min(win_end);
+                                    if measure_from > t {
+                                        target = target.min(measure_from);
+                                    }
+                                    if target > t + 1 {
+                                        self.cores[core_idx].skip_to(t + 1, target);
+                                        skip_until[core_idx] = target;
+                                        seg_skipped += target - t - 1;
+                                    }
+                                });
                             }
+                        }
+                        if prof {
+                            span::set_core(None);
                         }
                         self.now += 1;
                         if do_skip && !ticked_any && self.now < win_end {
@@ -662,6 +687,12 @@ impl System {
                                 self.now = jump;
                             }
                         }
+                        if prof {
+                            span::exit(Stage::TickLoop);
+                        }
+                    }
+                    if prof {
+                        span::exit_with_rollup(Stage::DetailedWindow);
                     }
                     let win_ticks = win_end - cur;
                     let meas_ticks = win_end - measure_from;
@@ -704,6 +735,9 @@ impl System {
                     // detailed execution would — one core warming a whole
                     // window at once evicts the others' shared state
                     // wholesale and poisons the next detailed interval.
+                    if prof {
+                        span::enter_window(Stage::FfWindow);
+                    }
                     let sc = plan.expect("fast-forward requires a sampling plan");
                     let ff_ticks = sc.ff_len(ff_window_index).min(seg_end - self.now);
                     ff_window_index += 1;
@@ -725,6 +759,9 @@ impl System {
                         let covered = chunk_start + chunk - self.now;
                         #[allow(clippy::needless_range_loop)] // parallel arrays
                         for core_idx in 0..n_cores {
+                            if prof {
+                                span::set_core(Some(core_idx));
+                            }
                             let target = ((ff_instr[core_idx] as u128 * covered as u128)
                                 / ff_ticks as u128) as u64;
                             let app_idx = self.mapping[core_idx];
@@ -740,7 +777,13 @@ impl System {
                         }
                         chunk_start += chunk;
                     }
+                    if prof {
+                        span::set_core(None);
+                    }
                     self.now += ff_ticks;
+                    if prof {
+                        span::exit_with_rollup(Stage::FfWindow);
+                    }
                     if self.now >= seg_end {
                         break;
                     }
@@ -850,6 +893,7 @@ impl System {
                 app_abc,
                 app_instructions: app_instr,
             });
+            span::exit(Stage::Segment);
         }
 
         let sampling_report = self.sampling.map(|_| SamplingReport {

@@ -47,6 +47,20 @@ pub(crate) fn functional_warm(
     instructions: u64,
     c: FfCounters<'_>,
 ) {
+    relsim_obs::span::scope(relsim_obs::span::Stage::FfWarm, || {
+        functional_warm_inner(caches, src, shared, start, ticks, instructions, c)
+    })
+}
+
+fn functional_warm_inner(
+    caches: &mut PrivateCaches,
+    src: &mut dyn InstrSource,
+    shared: &mut SharedMem,
+    start: u64,
+    ticks: u64,
+    instructions: u64,
+    c: FfCounters<'_>,
+) {
     for i in 0..instructions {
         let now = start + ((i as u128 * ticks as u128) / instructions.max(1) as u128) as u64;
         let instr = src.next_instr();

@@ -10,6 +10,7 @@ use crate::cpi::{CpiStack, StallCause};
 use crate::events::{RetireEvent, RetireObserver};
 use crate::fu::FuPool;
 use relsim_mem::{MemLevel, PrivateCacheConfig, PrivateCaches, SharedMem};
+use relsim_obs::span::{self, Stage};
 use relsim_trace::{Instr, InstrSource, OpClass};
 use std::collections::VecDeque;
 
@@ -614,10 +615,12 @@ impl InorderCore {
             return;
         }
         self.cycles += 1;
-        let commits = self.writeback(now, shared, obs);
-        self.issue(now, shared);
-        self.fetch(now, src);
-        self.account_cpi(commits, now);
+        // One global-flag read per cycle (see OooCore::tick).
+        let prof = span::enabled();
+        let commits = span::scoped(prof, Stage::Commit, || self.writeback(now, shared, obs));
+        span::scoped(prof, Stage::SelectIssue, || self.issue(now, shared));
+        span::scoped(prof, Stage::Fetch, || self.fetch(now, src));
+        span::scoped(prof, Stage::CpiAccount, || self.account_cpi(commits, now));
     }
 
     /// Shift every in-flight absolute timestamp forward by `delta` ticks;

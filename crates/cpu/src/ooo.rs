@@ -24,6 +24,7 @@ use crate::cpi::{CpiStack, StallCause};
 use crate::events::{RetireEvent, RetireObserver};
 use crate::fu::FuPool;
 use relsim_mem::{MemLevel, PrivateCacheConfig, PrivateCaches, SharedMem};
+use relsim_obs::span::{self, Stage};
 use relsim_trace::{Instr, InstrSource, OpClass};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -333,7 +334,7 @@ impl OooCore {
         }
     }
 
-    fn process_finish_events(&mut self, now: u64) {
+    fn process_finish_events(&mut self, now: u64, prof: bool) {
         while let Some(&Reverse((tick, seq, epoch))) = self.finish_events.peek() {
             if tick > now {
                 break;
@@ -352,20 +353,22 @@ impl OooCore {
             waiters[..n].copy_from_slice(&e.waiters[..n]);
             e.n_waiters = 0;
             let was_mispredict = e.instr.mispredict && !e.wrong_path;
-            for &(w, we) in &waiters[..n] {
-                self.wake(w, we);
-            }
-            if !self.waiter_spill.is_empty() {
-                let mut i = 0;
-                while i < self.waiter_spill.len() {
-                    if self.waiter_spill[i].0 == seq {
-                        let (_, w, we) = self.waiter_spill.swap_remove(i);
-                        self.wake(w, we);
-                    } else {
-                        i += 1;
+            span::scoped(prof, Stage::Wakeup, || {
+                for &(w, we) in &waiters[..n] {
+                    self.wake(w, we);
+                }
+                if !self.waiter_spill.is_empty() {
+                    let mut i = 0;
+                    while i < self.waiter_spill.len() {
+                        if self.waiter_spill[i].0 == seq {
+                            let (_, w, we) = self.waiter_spill.swap_remove(i);
+                            self.wake(w, we);
+                        } else {
+                            i += 1;
+                        }
                     }
                 }
-            }
+            });
             if was_mispredict {
                 self.flush_after(seq, now);
             }
@@ -862,12 +865,17 @@ impl OooCore {
             return;
         }
         self.cycles += 1;
-        self.process_finish_events(now);
-        let commits = self.commit(now, shared, obs);
-        self.issue(now, shared);
-        self.dispatch(now);
-        self.fetch(now, src);
-        self.account_cpi(commits, now);
+        // One global-flag read per cycle; every stage span below branches
+        // on the local bool, keeping the disabled path near-free.
+        let prof = span::enabled();
+        span::scoped(prof, Stage::FuExecute, || {
+            self.process_finish_events(now, prof)
+        });
+        let commits = span::scoped(prof, Stage::Commit, || self.commit(now, shared, obs));
+        span::scoped(prof, Stage::SelectIssue, || self.issue(now, shared));
+        span::scoped(prof, Stage::RenameDispatch, || self.dispatch(now));
+        span::scoped(prof, Stage::Fetch, || self.fetch(now, src));
+        span::scoped(prof, Stage::CpiAccount, || self.account_cpi(commits, now));
     }
 
     /// Shift every in-flight absolute timestamp forward by `delta` ticks,

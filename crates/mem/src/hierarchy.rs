@@ -224,6 +224,18 @@ impl PrivateCaches {
         now: u64,
         shared: &mut SharedMem,
     ) -> AccessOutcome {
+        relsim_obs::span::scope(relsim_obs::span::Stage::MemWalk, || {
+            self.access_data_inner(addr, is_write, now, shared)
+        })
+    }
+
+    fn access_data_inner(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        now: u64,
+        shared: &mut SharedMem,
+    ) -> AccessOutcome {
         let l1_lat = self.l1d.config().latency * self.ticks_per_cycle;
         if self.l1d.access(addr, is_write) {
             return AccessOutcome {
@@ -259,6 +271,12 @@ impl PrivateCaches {
     /// working sets that spill past L2 are rare for SPEC-class workloads and
     /// are folded into the same path).
     pub fn access_instr(&mut self, addr: u64, now: u64, shared: &mut SharedMem) -> AccessOutcome {
+        relsim_obs::span::scope(relsim_obs::span::Stage::MemWalk, || {
+            self.access_instr_inner(addr, now, shared)
+        })
+    }
+
+    fn access_instr_inner(&mut self, addr: u64, now: u64, shared: &mut SharedMem) -> AccessOutcome {
         let l1_lat = self.l1i.config().latency * self.ticks_per_cycle;
         if self.l1i.access(addr, false) {
             return AccessOutcome {

@@ -1,0 +1,120 @@
+//! Chrome trace-event export for span records.
+//!
+//! Produces the JSON array format Perfetto and `about://tracing` load
+//! natively: one `"ph":"X"` (complete) event per span with `ts`/`dur` in
+//! fractional microseconds, plus one `"M"` metadata event naming each
+//! thread. Each [`SpanThread`] maps to its own `tid` in input order, and
+//! timestamps are re-based per thread (each thread starts at `ts: 0`), so
+//! the *structure* of the file — names, nesting, event order, tids — is a
+//! deterministic function of the records alone. Wall-clock `ts`/`dur`
+//! values naturally vary run to run; determinism gates normalize them
+//! before diffing.
+
+use crate::span::SpanThread;
+use crate::write_atomic;
+use std::io;
+use std::path::Path;
+
+/// Fractional microseconds with fixed three decimals, so identical
+/// nanosecond inputs always format to identical bytes.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render span threads as a Chrome trace-event JSON array (a `String` so
+/// tests can assert on bytes; see [`write_chrome_trace`] for the file
+/// form). Records keep their input order within each thread.
+pub fn to_chrome_json(threads: &[SpanThread]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (i, thread) in threads.iter().enumerate() {
+        let tid = i + 1;
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            thread.name
+        ));
+        let t0 = thread.records.iter().map(|r| r.start_ns).min().unwrap_or(0);
+        for r in &thread.records {
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{}\"}}",
+                micros(r.start_ns - t0),
+                micros(r.dur_ns),
+                r.stage.name()
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Atomically write the Chrome trace for `threads` to `path`.
+pub fn write_chrome_trace(path: &Path, threads: &[SpanThread]) -> io::Result<()> {
+    write_atomic(path, to_chrome_json(threads).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanRecord, Stage};
+
+    fn thread(name: &str, spans: &[(Stage, u64, u64)]) -> SpanThread {
+        SpanThread {
+            name: name.to_string(),
+            records: spans
+                .iter()
+                .map(|&(stage, start_ns, dur_ns)| SpanRecord {
+                    stage,
+                    start_ns,
+                    dur_ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_events() {
+        let threads = vec![
+            thread(
+                "main",
+                &[
+                    (Stage::Scheduler, 1_500, 250),
+                    (Stage::Segment, 1_000, 2_000),
+                ],
+            ),
+            thread("job0", &[(Stage::PoolJob, 9_000, 500)]),
+        ];
+        let json = to_chrome_json(&threads);
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let serde::Value::Array(events) = v else {
+            panic!("not an array")
+        };
+        // 2 metadata + 3 spans.
+        assert_eq!(events.len(), 5);
+        let json_str = json.as_str();
+        assert!(json_str.contains("\"name\":\"segment\""));
+        assert!(json_str.contains("\"args\":{\"name\":\"job0\"}"));
+        // Per-thread re-basing: earliest record in each thread is ts 0.
+        assert!(json_str.contains("\"ts\":0.000,\"dur\":2.000,\"name\":\"segment\""));
+        assert!(json_str.contains("\"ts\":0.000,\"dur\":0.500,\"name\":\"pool_job\""));
+        // And the scheduler span keeps its offset inside the segment.
+        assert!(json_str.contains("\"ts\":0.500,\"dur\":0.250,\"name\":\"scheduler\""));
+    }
+
+    #[test]
+    fn identical_inputs_export_identical_bytes() {
+        let t = vec![thread("main", &[(Stage::Segment, 42, 10)])];
+        assert_eq!(to_chrome_json(&t), to_chrome_json(&t.clone()));
+    }
+
+    #[test]
+    fn empty_export_is_an_empty_array() {
+        let v: serde::Value = serde_json::from_str(&to_chrome_json(&[])).unwrap();
+        assert_eq!(v, serde::Value::Array(Vec::new()));
+    }
+}

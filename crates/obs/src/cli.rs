@@ -11,12 +11,20 @@ use std::path::PathBuf;
 ///
 /// - `--trace-out <path>`: write the structured JSONL event log here
 /// - `--metrics-out <path>`: write the metrics snapshot JSON here
+/// - `--profile`: enable the stage-level self-profiler (`prof.*` metrics,
+///   `stage_profile` manifest block, stderr summary)
+/// - `--trace-spans <path>`: write a Chrome trace-event JSON of
+///   hierarchical spans here (implies `--profile`)
+/// - `--no-profile`: force spans/profiling off, overriding the other two
 /// - `--quiet`: silence progress logging (level `error`)
 /// - `--log-level <error|warn|info|debug>`: set verbosity explicitly
 #[derive(Debug, Clone, Default)]
 pub struct ObsArgs {
     pub trace_out: Option<PathBuf>,
     pub metrics_out: Option<PathBuf>,
+    pub trace_spans: Option<PathBuf>,
+    pub profile: bool,
+    pub no_profile: bool,
     pub quiet: bool,
     pub log_level: Option<LogLevel>,
 }
@@ -24,6 +32,9 @@ pub struct ObsArgs {
 /// Help text fragment describing the shared flags, for `--help` output.
 pub const OBS_HELP: &str = "  --trace-out <path>    write a structured JSONL event log\n  \
      --metrics-out <path>  write a metrics snapshot JSON\n  \
+     --profile             profile host time per engine stage (prof.* metrics)\n  \
+     --trace-spans <path>  write a Chrome/Perfetto trace of spans (implies --profile)\n  \
+     --no-profile          force the span profiler off\n  \
      --quiet               silence progress output (errors only)\n  \
      --log-level <level>   error|warn|info|debug (default info)";
 
@@ -60,6 +71,14 @@ impl ObsArgs {
                         crate::warn!("--metrics-out given without a path; ignoring");
                     }
                 }
+                "--trace-spans" => {
+                    out.trace_spans = inline.or_else(|| iter.next()).map(PathBuf::from);
+                    if out.trace_spans.is_none() {
+                        crate::warn!("--trace-spans given without a path; ignoring");
+                    }
+                }
+                "--profile" => out.profile = true,
+                "--no-profile" => out.no_profile = true,
                 "--quiet" | "-q" => out.quiet = true,
                 "--log-level" => {
                     let value = inline.or_else(|| iter.next());
@@ -75,6 +94,25 @@ impl ObsArgs {
             }
         }
         out
+    }
+
+    /// Whether the stage profiler should run: `--profile` or
+    /// `--trace-spans`, unless `--no-profile` vetoes both.
+    pub fn profiling_enabled(&self) -> bool {
+        (self.profile || self.trace_spans.is_some()) && !self.no_profile
+    }
+
+    /// Whether span trace records should be collected for
+    /// `--trace-spans` export.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_spans.is_some() && !self.no_profile
+    }
+
+    /// Apply `--profile` / `--trace-spans` / `--no-profile` to the
+    /// process-wide span profiler. Call before spawning pool workers.
+    pub fn apply_span_flags(&self) {
+        crate::span::set_tracing(self.tracing_enabled());
+        crate::span::set_profiling(self.profiling_enabled());
     }
 
     /// Apply `--quiet` / `--log-level` to the process-wide logger.
@@ -164,6 +202,22 @@ mod tests {
     fn ignores_unrelated_flags() {
         let a = parse(&["--benchmarks", "milc,lbm", "--ticks", "5000"]);
         assert!(a.trace_out.is_none() && a.metrics_out.is_none() && !a.quiet);
+    }
+
+    #[test]
+    fn parses_span_flags_and_resolves_precedence() {
+        let a = parse(&["--trace-spans", "spans.json"]);
+        assert_eq!(a.trace_spans, Some(PathBuf::from("spans.json")));
+        assert!(a.profiling_enabled() && a.tracing_enabled());
+
+        let a = parse(&["--profile"]);
+        assert!(a.profiling_enabled() && !a.tracing_enabled());
+
+        let a = parse(&["--profile", "--trace-spans=s.json", "--no-profile"]);
+        assert!(!a.profiling_enabled() && !a.tracing_enabled());
+
+        let a = parse(&[]);
+        assert!(!a.profiling_enabled() && !a.tracing_enabled());
     }
 
     #[test]

@@ -25,19 +25,23 @@
 //! [`warn!`], [`info!`], [`debug!`] logging macros, which write progress
 //! to stderr so stdout stays machine-parseable.
 
+pub mod chrome;
 pub mod cli;
 pub mod events;
 pub mod log;
 pub mod manifest;
 pub mod recorder;
+pub mod span;
 pub mod timers;
 
+pub use chrome::{to_chrome_json, write_chrome_trace};
 pub use cli::{ObsArgs, OBS_HELP};
 pub use events::{file_sink, Event, EventSink, JsonlSink, MemorySink, NullSink};
-pub use manifest::{manifest_path, write_manifest, RunManifest};
+pub use manifest::{manifest_path, write_manifest, RunManifest, StageProfile, StageStat};
 pub use recorder::{
     CounterId, GaugeId, Histogram, HistogramId, HistogramSnapshot, MetricsSnapshot, Recorder,
 };
+pub use span::{SpanRecord, SpanThread, Stage};
 pub use timers::{HostProfile, Phase, PhaseTimers};
 
 pub use log::{log_level, set_log_level, LogLevel};
@@ -46,12 +50,16 @@ use std::io;
 use std::path::Path;
 
 /// Everything a traced run carries: the event sink, the metrics
-/// recorder, and the host-time phase timers. `RunObs::disabled()` is the
-/// zero-overhead default used by untraced runs.
+/// recorder, the host-time phase timers, and any span threads drained
+/// from the profiler. `RunObs::disabled()` is the zero-overhead default
+/// used by untraced runs.
 pub struct RunObs {
     pub sink: Box<dyn EventSink>,
     pub recorder: Recorder,
     pub timers: PhaseTimers,
+    /// Completed span threads (see [`span`]): one per logical unit of
+    /// work, merged in deterministic grid order by the parallel pool.
+    pub spans: Vec<SpanThread>,
 }
 
 impl RunObs {
@@ -67,6 +75,7 @@ impl RunObs {
             sink,
             recorder: Recorder::new(),
             timers: PhaseTimers::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -82,6 +91,22 @@ impl RunObs {
     #[inline]
     pub fn emit(&mut self, event: Event) {
         self.sink.emit(&event);
+    }
+
+    /// Drain the calling thread's span-profiler state into this observer:
+    /// self-times and stage histograms fold into the recorder (as
+    /// `prof.*` metrics), and trace records become a [`SpanThread`] named
+    /// `thread_name` (only pushed when records were collected). Call once
+    /// per unit of work, on the thread that did the work.
+    pub fn absorb_spans(&mut self, thread_name: &str) {
+        let mut records = Vec::new();
+        span::drain_into(&mut self.recorder, &mut records);
+        if !records.is_empty() {
+            self.spans.push(SpanThread {
+                name: thread_name.to_string(),
+                records,
+            });
+        }
     }
 }
 

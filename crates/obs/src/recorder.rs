@@ -90,6 +90,14 @@ impl Recorder {
         &self.histograms[id.0].1
     }
 
+    /// Fold a whole histogram into a registered one (bucket-wise, same
+    /// semantics as [`Histogram::merge`]). Used by the span profiler to
+    /// land per-thread stage histograms in one call per drain instead of
+    /// replaying every observation.
+    pub fn fold_histogram(&mut self, id: HistogramId, h: &Histogram) {
+        self.histograms[id.0].1.merge(h);
+    }
+
     /// Fold another recorder into this one, matching metrics by name:
     /// counters add, gauges take the incoming value (last writer wins, as
     /// if the runs had happened sequentially), histograms merge
