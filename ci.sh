@@ -48,6 +48,50 @@ if [[ "${1:-}" == "bench-check" ]]; then
   exit $?
 fi
 
+# `./ci.sh serve` is the relsim-serve smoke gate: start the daemon at a
+# quick scale, prove wire-level byte-identity against the batch CLI
+# (simulate --result-out), drive a mixed hot/cold load profile with
+# loadgen (zero drops, >90% warm-hit rate on repeats, zero shed), and
+# drain cleanly via POST /shutdown.
+if [[ "${1:-}" == "serve" ]]; then
+  echo "==> serve gate: daemon + loadgen quick profile"
+  cargo build --release -p relsim-bench --bin serve --bin loadgen --bin simulate
+  out=target/ci-serve
+  rm -rf "$out"
+  mkdir -p "$out"
+  RELSIM_OUT="$out" RELSIM_CACHE_DIR="$out/cache" target/release/serve --quick \
+    --addr 127.0.0.1:0 --port-file "$out/port" &
+  serve_pid=$!
+  trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 150); do [[ -s "$out/port" ]] && break; sleep 0.2; done
+  [[ -s "$out/port" ]] || { echo "    serve never wrote its port file"; exit 1; }
+  addr=$(cat "$out/port")
+  echo "    daemon up at $addr"
+  # Byte-identity: the same request through the batch CLI and through
+  # the live daemon — cold, then warm — must produce identical bytes.
+  cat > "$out/req.json" <<'EOF'
+{"benchmarks":["milc","hmmer"],"big":1,"small":1,"scheduler":"reliability","ticks":60000,"quantum":10000,"half_freq_small":false,"rob_only":false}
+EOF
+  RELSIM_OUT="$out" RELSIM_CACHE_DIR="$out/cli-cache" target/release/simulate --quick \
+    --benchmarks milc,hmmer --big 1 --small 1 --scheduler reliability \
+    --ticks 60000 --quantum 10000 --result-out "$out/batch.json" >/dev/null
+  target/release/loadgen --addr "$addr" --one "$out/req.json" --out "$out/served-cold.json"
+  target/release/loadgen --addr "$addr" --one "$out/req.json" --out "$out/served-warm.json"
+  diff "$out/batch.json" "$out/served-cold.json"
+  diff "$out/batch.json" "$out/served-warm.json"
+  echo "    served responses byte-identical to the batch artifact"
+  # Mixed hot/cold load: >=1000 requests, zero dropped, repeats >90%
+  # warm, nothing shed at this depth, responses byte-identical per
+  # request (loadgen enforces all of this and exits nonzero otherwise).
+  target/release/loadgen --addr "$addr" --quick --requests 1000 --clients 8 \
+    --distinct 25 --min-warm-rate 0.9 --max-shed 0
+  target/release/loadgen --addr "$addr" --shutdown
+  wait "$serve_pid"
+  trap - EXIT
+  echo "==> serve gate: passed (byte-identity + load profile + clean shutdown)"
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -152,5 +196,8 @@ if (( warm_ms >= cold_ms )); then
   exit 1
 fi
 echo "    cold ${cold_ms}ms -> warm ${warm_ms}ms; fig*.json byte-identical (warm and --no-cache)"
+
+echo "==> serve smoke gate: daemon + loadgen + byte-identity"
+"$0" serve
 
 echo "==> ci.sh: all checks passed"

@@ -7,11 +7,19 @@
 //!     --big 2 --small 2 \
 //!     --scheduler reliability \
 //!     --ticks 1000000 [--quantum 20000] [--rob-only] [--half-freq-small] \
+//!     [--quick] [--result-out result.json] \
 //!     [--trace-out trace.jsonl] [--metrics-out metrics.json] [--quiet]
 //! ```
 //!
 //! Prints per-application placement, slowdown and wSER, plus system SSER,
 //! STP and power. `--list` prints the benchmark catalog.
+//!
+//! The run itself goes through [`relsim_serve::run_request`] — the same
+//! function the `serve` daemon executes — so `--result-out` writes an
+//! artifact byte-identical to what a live daemon returns for the same
+//! request (the determinism contract extends to the wire). `--quick`
+//! evaluates against the quick-scale reference table, matching
+//! `serve --quick`.
 //!
 //! With `--trace-out` the run streams a structured JSONL event log
 //! (scheduler decisions with predicted objectives, migrations, samples);
@@ -19,15 +27,10 @@
 //! DRAM counters) plus a run manifest (`*.manifest.json`) recording the
 //! full configuration, scheduler, seed and host-time profile.
 
-use relsim::evaluate::{evaluate, DEFAULT_IFR};
-use relsim::experiments::{Context, Scale};
-use relsim::{
-    AppSpec, CounterKind, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
-    StaticScheduler, System, SystemConfig,
-};
+use relsim::experiments::Context;
 use relsim_bench::MODEL_VERSION;
 use relsim_obs::{info, manifest_path, write_manifest, Phase, RunManifest, OBS_HELP};
-use relsim_power::{PowerModel, SharedActivity};
+use relsim_serve::{artifact_bytes, run_request, SimRequest};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -53,7 +56,8 @@ fn main() {
         println!(
             "usage: simulate --benchmarks a,b,c,d [--big N] [--small N] \
              [--scheduler random|performance|reliability|static] \
-             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] [--list]\n{OBS_HELP}\n{}\n{}\n{}\n{}",
+             [--ticks N] [--quantum N] [--rob-only] [--half-freq-small] \
+             [--quick] [--result-out FILE] [--list]\n{OBS_HELP}\n{}\n{}\n{}\n{}",
             relsim_bench::JOBS_HELP,
             relsim_bench::SAMPLE_HELP,
             relsim_bench::NO_SKIP_HELP,
@@ -67,24 +71,27 @@ fn main() {
         .split(',')
         .map(|s| s.trim().to_owned())
         .collect();
-    let n_big: usize = arg_value("--big").map_or(2, |v| v.parse().expect("--big"));
-    let n_small: usize = arg_value("--small").map_or(2, |v| v.parse().expect("--small"));
-    assert_eq!(
-        benchmarks.len(),
-        n_big + n_small,
-        "need exactly one benchmark per core ({} cores, {} benchmarks)",
-        n_big + n_small,
-        benchmarks.len()
-    );
-    let ticks: u64 = arg_value("--ticks").map_or(1_000_000, |v| v.parse().expect("--ticks"));
-    let quantum: u64 = arg_value("--quantum").map_or(20_000, |v| v.parse().expect("--quantum"));
-    let sched_name = arg_value("--scheduler").unwrap_or_else(|| "reliability".to_owned());
+    let req = SimRequest {
+        big: arg_value("--big").map_or(2, |v| v.parse().expect("--big")),
+        small: arg_value("--small").map_or(2, |v| v.parse().expect("--small")),
+        ticks: arg_value("--ticks").map_or(1_000_000, |v| v.parse().expect("--ticks")),
+        quantum: arg_value("--quantum").map_or(20_000, |v| v.parse().expect("--quantum")),
+        scheduler: arg_value("--scheduler").unwrap_or_else(|| "reliability".to_owned()),
+        half_freq_small: flag("--half-freq-small"),
+        rob_only: flag("--rob-only"),
+        benchmarks,
+    };
+    if let Err(msg) = req.validate() {
+        relsim_obs::error!("simulate: {msg}");
+        std::process::exit(1);
+    }
 
     let mut obs = relsim_bench::run_obs(&obs_args);
 
     // Reference table for the metrics (cached across invocations).
-    let mut scale = Scale::default_scale();
-    scale.quantum_ticks = quantum;
+    // `--quick` selects the quick-scale table, matching `serve --quick`.
+    let mut scale = relsim_bench::scale_from_args();
+    scale.quantum_ticks = req.quantum;
     let ctx = obs.timers.time(Phase::Setup, || {
         Context::load_or_build(
             scale,
@@ -95,91 +102,33 @@ fn main() {
         )
     });
 
-    let mut cfg = if flag("--half-freq-small") {
-        SystemConfig::hcmp_slow_small(n_big, n_small)
-    } else {
-        SystemConfig::hcmp(n_big, n_small)
-    };
-    cfg.quantum_ticks = quantum;
-    cfg.migration_ticks = (quantum / 50).max(1);
-    if flag("--rob-only") {
-        cfg.counter_kind = CounterKind::HwRobOnly;
-    }
-
-    let kinds = cfg.core_kinds();
-    let mut scheduler: Box<dyn Scheduler> = match sched_name.as_str() {
-        "random" => Box::new(RandomScheduler::new(kinds, quantum, 1)),
-        "performance" => Box::new(SamplingScheduler::new(
-            Objective::Stp,
-            kinds,
-            quantum,
-            SamplingParams::default(),
-        )),
-        "reliability" => Box::new(SamplingScheduler::new(
-            Objective::Sser,
-            kinds,
-            quantum,
-            SamplingParams::default(),
-        )),
-        "static" => Box::new(StaticScheduler::new(
-            (0..benchmarks.len()).collect(),
-            quantum,
-        )),
-        other => panic!("unknown scheduler {other:?}"),
-    };
-
-    let specs: Vec<AppSpec> = benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, n)| AppSpec::spec(n, i as u64 + 1))
-        .collect();
-    let mut system = obs
-        .timers
-        .time(Phase::Setup, || System::new(cfg.clone(), &specs));
     info!(
-        "running {} on {n_big}B{n_small}S under {} for {ticks} ticks...",
-        benchmarks.join("+"),
-        scheduler.name()
+        "running {} on {}B{}S under {} for {} ticks...",
+        req.benchmarks.join("+"),
+        req.big,
+        req.small,
+        req.scheduler,
+        req.ticks
     );
-    let result = system.run_traced(scheduler.as_mut(), ticks, &mut obs);
-    let eval = obs
-        .timers
-        .time(Phase::Metrics, || evaluate(&result, &ctx.refs, DEFAULT_IFR));
+    let artifact = run_request(&ctx.refs, &req, &mut obs);
 
     println!(
         "\n{:<14} {:>9} {:>10} {:>10} {:>10} {:>6}",
         "application", "big-frac", "instr", "wSER", "slowdown", "migr"
     );
-    for (a, e) in result.apps.iter().zip(&eval.apps) {
+    for a in &artifact.apps {
         println!(
             "{:<14} {:>9.2} {:>10} {:>10.3e} {:>10.2} {:>6}",
-            a.name,
-            a.ticks_on_big as f64 / result.duration as f64,
-            a.instructions,
-            e.wser,
-            e.slowdown,
-            a.migrations
+            a.name, a.big_frac, a.instructions, a.wser, a.slowdown, a.migrations
         );
     }
-    let power = PowerModel::default().report(
-        &result
-            .cores
-            .iter()
-            .map(|c| c.to_activity())
-            .collect::<Vec<_>>(),
-        &SharedActivity {
-            l3_accesses: result.shared.l3_accesses,
-            mem_requests: result.shared.mem_requests,
-        },
-        result.duration,
-    );
     println!(
         "\nSSER {:.4e}   STP {:.3}   chip {:.2} W   system {:.2} W   migrations {}",
-        eval.sser,
-        eval.stp,
-        power.chip_watts,
-        power.system_watts(),
-        result.migrations
+        artifact.sser,
+        artifact.stp,
+        artifact.chip_watts,
+        artifact.system_watts,
+        artifact.migrations
     );
 
     // Observability outputs: metrics snapshot (with the main thread's
@@ -215,6 +164,19 @@ fn main() {
         }
     }
     let mut outputs: Vec<String> = Vec::new();
+    if let Some(path) = arg_value("--result-out") {
+        let path = std::path::PathBuf::from(path);
+        match relsim_obs::write_atomic(&path, &artifact_bytes(&artifact)) {
+            Ok(()) => {
+                info!("wrote result artifact {path:?}");
+                outputs.push(path.display().to_string());
+            }
+            Err(e) => {
+                relsim_obs::error!("cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = &obs_args.trace_out {
         outputs.push(path.display().to_string());
         info!("wrote event trace {path:?}");
@@ -241,10 +203,10 @@ fn main() {
         .or(obs_args.trace_out.as_ref())
     {
         let mut manifest =
-            RunManifest::new("simulate", MODEL_VERSION, scheduler.name(), scale.seed);
-        manifest.duration_ticks = ticks;
+            RunManifest::new("simulate", MODEL_VERSION, &artifact.scheduler, scale.seed);
+        manifest.duration_ticks = req.ticks;
         manifest.scale = serde_json::to_value(&scale).unwrap_or(serde::Value::Null);
-        manifest.config = serde_json::to_value(&cfg).unwrap_or(serde::Value::Null);
+        manifest.config = serde_json::to_value(&req).unwrap_or(serde::Value::Null);
         manifest.elapsed_seconds = obs.timers.elapsed().as_secs_f64();
         manifest.host_profile = obs.timers.profile();
         manifest.outputs = outputs;

@@ -50,20 +50,33 @@ fn main() {
         "{:<12} {:>6} {:>12} {:>18} {:>10}",
         "benchmark", "core", "counter AVF", "fault-injection", "agree?"
     );
-    for (name, kind, campaign, counter_avf) in rows.into_iter().flatten() {
-        println!(
-            "{:<12} {:>6} {:>12.4} {:>12.4} ±{:.4} {:>6}",
-            name,
-            kind.to_string(),
-            counter_avf,
-            campaign.avf_estimate,
-            campaign.confidence_95,
-            if campaign.consistent_with(counter_avf, 0.01) {
-                "yes"
-            } else {
-                "NO"
-            }
-        );
+    for (i, slot) in rows.into_iter().enumerate() {
+        match slot {
+            Some((name, kind, campaign, counter_avf)) => println!(
+                "{:<12} {:>6} {:>12.4} {:>12.4} ±{:.4} {:>6}",
+                name,
+                kind.to_string(),
+                counter_avf,
+                campaign.avf_estimate,
+                campaign.confidence_95,
+                if campaign.consistent_with(counter_avf, 0.01) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            ),
+            // The pool records the panic; obs_finish reports it and exits
+            // nonzero. Keep the row visible instead of silently shrinking
+            // the table.
+            None => println!(
+                "{:<12} {:>6} {:>12} {:>18} {:>10}",
+                format!("cell[{i}]"),
+                "-",
+                "FAILED",
+                "job panicked",
+                "-"
+            ),
+        }
     }
     println!("# The counters and {injections}-fault campaigns must agree within the 95% CI.");
     obs_finish(&obs_args, &mut obs);

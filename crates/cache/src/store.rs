@@ -86,6 +86,18 @@ struct FlightSlot {
     cv: Condvar,
 }
 
+/// Acquire a mutex, recovering from poisoning instead of panicking.
+///
+/// A long-lived process (the `relsim-serve` daemon in particular) must
+/// survive a thread that panicked while holding a cache lock: every
+/// value these mutexes guard is valid at every instruction boundary
+/// (map inserts/removes and a `bool` flag — no multi-step invariants),
+/// so the poison flag carries no information here and propagating it
+/// would let one crashed request take down every unrelated cache user.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Which tier served a hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
@@ -116,9 +128,12 @@ pub enum Lookup<'a> {
     Lead(Lease<'a>),
 }
 
-/// The single-flight compute lease for one key. Dropping it — with or
-/// without a preceding [`Store::put`] — releases the key and wakes every
-/// waiter.
+/// The single-flight compute lease for one key. This is a drop guard:
+/// dropping it — with or without a preceding [`Store::put`], on the
+/// clean failure path *or while unwinding from a panic* — removes the
+/// key from the in-flight registry, marks the slot done, and wakes
+/// every waiter. A waiter that then re-probes and still misses takes
+/// over as the next leader, so a crashed leader never strands the key.
 pub struct Lease<'a> {
     store: &'a Store,
     key: Key,
@@ -126,14 +141,12 @@ pub struct Lease<'a> {
 
 impl Drop for Lease<'_> {
     fn drop(&mut self) {
-        let slot = self
-            .store
-            .inflight
-            .lock()
-            .expect("inflight registry poisoned")
-            .remove(&self.key.0);
+        // This runs during panic unwinding, so it must not be able to
+        // panic itself (a second panic aborts the process): every lock
+        // is acquired with poison recovery, never `expect`.
+        let slot = lock_recover(&self.store.inflight).remove(&self.key.0);
         if let Some(slot) = slot {
-            *slot.done.lock().expect("flight slot poisoned") = true;
+            *lock_recover(&slot.done) = true;
             slot.cv.notify_all();
         }
     }
@@ -179,13 +192,7 @@ impl Store {
     /// Probe both tiers without taking a lease. Corrupt disk entries are
     /// dropped (warned, counted) and read as a miss.
     fn probe(&self, key: Key) -> Option<(Arc<Vec<u8>>, Tier)> {
-        if let Some(p) = self
-            .mem
-            .lock()
-            .expect("memory tier poisoned")
-            .get(&key.0)
-            .cloned()
-        {
+        if let Some(p) = lock_recover(&self.mem).get(&key.0).cloned() {
             return Some((p, Tier::Memory));
         }
         let path = self.entry_path(key)?;
@@ -196,10 +203,7 @@ impl Store {
                     .bytes_read
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
                 let arc = Arc::new(payload);
-                self.mem
-                    .lock()
-                    .expect("memory tier poisoned")
-                    .insert(key.0, arc.clone());
+                lock_recover(&self.mem).insert(key.0, arc.clone());
                 Some((arc, Tier::Disk))
             }
             Err(reason) => {
@@ -211,22 +215,34 @@ impl Store {
         }
     }
 
+    /// Probe both tiers *without* taking a lease on a miss. A hit counts
+    /// in [`CacheStats`] exactly like a [`Store::lookup_or_lead`] hit; a
+    /// miss counts nothing — the caller is expected to come back through
+    /// [`Store::lookup_or_lead`] (which will record the miss) if it wants
+    /// the entry computed. This is the warm-path short-circuit for
+    /// callers that must not block or queue work on a cold key, e.g. the
+    /// `relsim-serve` admission check.
+    pub fn peek(&self, key: Key) -> Option<(Arc<Vec<u8>>, Tier)> {
+        let (payload, tier) = self.probe(key)?;
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        match tier {
+            Tier::Memory => self.stats.memory_hits.fetch_add(1, Ordering::Relaxed),
+            Tier::Disk => self.stats.disk_hits.fetch_add(1, Ordering::Relaxed),
+        };
+        Some((payload, tier))
+    }
+
     /// Look up `key`; on a miss, either become the single in-flight
     /// computer (receiving a [`Lease`]) or wait for the current one and
     /// re-probe. Each call resolves exactly one hit or one miss in
     /// [`CacheStats`].
     pub fn lookup_or_lead(&self, key: Key) -> Lookup<'_> {
         loop {
-            if let Some((payload, tier)) = self.probe(key) {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                match tier {
-                    Tier::Memory => self.stats.memory_hits.fetch_add(1, Ordering::Relaxed),
-                    Tier::Disk => self.stats.disk_hits.fetch_add(1, Ordering::Relaxed),
-                };
+            if let Some((payload, tier)) = self.peek(key) {
                 return Lookup::Hit(payload, tier);
             }
             let waiting = {
-                let mut inflight = self.inflight.lock().expect("inflight registry poisoned");
+                let mut inflight = lock_recover(&self.inflight);
                 match inflight.entry(key.0) {
                     Entry::Vacant(v) => {
                         v.insert(Arc::new(FlightSlot {
@@ -244,9 +260,9 @@ impl Store {
                     return Lookup::Lead(Lease { store: self, key });
                 }
                 Some(slot) => {
-                    let mut done = slot.done.lock().expect("flight slot poisoned");
+                    let mut done = lock_recover(&slot.done);
                     while !*done {
-                        done = slot.cv.wait(done).expect("flight slot poisoned");
+                        done = slot.cv.wait(done).unwrap_or_else(|e| e.into_inner());
                     }
                     // Leader finished (or failed): re-probe. If it failed,
                     // the next iteration takes the lease.
@@ -260,10 +276,7 @@ impl Store {
     /// [`Lease`] must put *before* dropping it so waiters find the entry.
     pub fn put(&self, key: Key, payload: Vec<u8>) {
         let arc = Arc::new(payload);
-        self.mem
-            .lock()
-            .expect("memory tier poisoned")
-            .insert(key.0, arc.clone());
+        lock_recover(&self.mem).insert(key.0, arc.clone());
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
         if let Some(path) = self.entry_path(key) {
             let entry = encode_entry(&arc);
@@ -287,10 +300,7 @@ impl Store {
     /// Drop `key` from both tiers (e.g. after its payload failed to
     /// decode at a higher layer).
     pub fn invalidate(&self, key: Key) {
-        self.mem
-            .lock()
-            .expect("memory tier poisoned")
-            .remove(&key.0);
+        lock_recover(&self.mem).remove(&key.0);
         if let Some(path) = self.entry_path(key) {
             let _ = std::fs::remove_file(&path);
         }
@@ -361,18 +371,18 @@ static GLOBAL: Mutex<Option<Arc<Store>>> = Mutex::new(None);
 
 /// Install (or, with `None`, remove) the process-wide store.
 pub fn configure(config: Option<CacheConfig>) {
-    *GLOBAL.lock().expect("global cache poisoned") = config.map(|c| Arc::new(Store::new(c)));
+    *lock_recover(&GLOBAL) = config.map(|c| Arc::new(Store::new(c)));
 }
 
 /// The process-wide store, if one is configured.
 pub fn global() -> Option<Arc<Store>> {
-    GLOBAL.lock().expect("global cache poisoned").clone()
+    lock_recover(&GLOBAL).clone()
 }
 
 /// Whether a process-wide store is configured. Callers use this to skip
 /// key derivation entirely when caching is off.
 pub fn enabled() -> bool {
-    GLOBAL.lock().expect("global cache poisoned").is_some()
+    lock_recover(&GLOBAL).is_some()
 }
 
 /// Traffic counters of the process-wide store, if one is configured.
@@ -535,6 +545,119 @@ mod tests {
         let s = store.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn panicking_leader_wakes_waiters_and_poisons_nothing() {
+        // Regression test for the daemon-killing failure mode: a leader
+        // that panics mid-computation used to poison the flight-slot and
+        // registry mutexes, turning every concurrent waiter's
+        // `.expect("… poisoned")` into a cascade of panics. With the
+        // drop-guard lease and poison recovery, waiters must make
+        // progress and the store must stay fully usable.
+        let store = Arc::new(Store::new(CacheConfig::default()));
+        let key = Key::of(&"panicking-leader");
+        let rescued = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            // Leader: takes the lease, then unwinds without putting.
+            let leader_store = store.clone();
+            s.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _lease = lead(&leader_store, key);
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    panic!("leader exploded mid-compute");
+                }));
+                assert!(result.is_err(), "leader must have panicked");
+            });
+            // Waiters: queue up behind the doomed leader.
+            for _ in 0..4 {
+                let store = store.clone();
+                let rescued = rescued.clone();
+                s.spawn(move || {
+                    // Give the leader time to take the lease first.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    match store.lookup_or_lead(key) {
+                        Lookup::Lead(lease) => {
+                            rescued.fetch_add(1, Ordering::SeqCst);
+                            store.put(key, b"recovered".to_vec());
+                            drop(lease);
+                        }
+                        Lookup::Hit(p, _) => assert_eq!(p.as_slice(), b"recovered"),
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            rescued.load(Ordering::SeqCst),
+            1,
+            "exactly one waiter inherits the lease after the panic"
+        );
+        // The store is still healthy for unrelated users.
+        match store.lookup_or_lead(key) {
+            Lookup::Hit(p, _) => assert_eq!(p.as_slice(), b"recovered"),
+            Lookup::Lead(_) => panic!("entry missing after recovery"),
+        };
+    }
+
+    #[test]
+    fn poisoned_mutexes_are_recovered_not_propagated() {
+        // Inject real poison: panic a thread while it holds each lock,
+        // then assert every public operation still works. This simulates
+        // a panic at the worst possible instant rather than relying on
+        // the drop-guard ordering above.
+        let store = Arc::new(Store::new(CacheConfig::default()));
+        let key = Key::of(&"poison-injection");
+        let lease = lead(&store, key);
+        store.put(key, b"before-poison".to_vec());
+        drop(lease);
+
+        let poison_mem = store.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poison_mem.mem.lock().unwrap();
+            panic!("poison the memory tier");
+        })
+        .join();
+        let poison_inflight = store.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poison_inflight.inflight.lock().unwrap();
+            panic!("poison the inflight registry");
+        })
+        .join();
+
+        // Reads, writes, invalidation, and fresh leases all survive.
+        match store.lookup_or_lead(key) {
+            Lookup::Hit(p, Tier::Memory) => assert_eq!(p.as_slice(), b"before-poison"),
+            _ => panic!("expected a memory hit through the poisoned lock"),
+        }
+        store.put(key, b"after-poison".to_vec());
+        assert_eq!(store.peek(key).unwrap().0.as_slice(), b"after-poison");
+        store.invalidate(key);
+        let lease = lead(&store, key);
+        store.put(key, b"healed".to_vec());
+        drop(lease);
+        assert_eq!(store.peek(key).unwrap().0.as_slice(), b"healed");
+    }
+
+    #[test]
+    fn peek_hits_count_and_misses_take_no_lease() {
+        let store = Store::new(CacheConfig::default());
+        let key = Key::of(&"peek");
+        assert!(store.peek(key).is_none());
+        // A peek miss records nothing and leaves the key leasable.
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        let lease = lead(&store, key);
+        store.put(key, b"peeked".to_vec());
+        drop(lease);
+        match store.peek(key) {
+            Some((p, Tier::Memory)) => assert_eq!(p.as_slice(), b"peeked"),
+            other => panic!(
+                "expected a memory peek hit, got {:?}",
+                other.map(|(_, t)| t)
+            ),
+        }
+        let s = store.stats();
+        assert_eq!((s.hits, s.memory_hits, s.misses), (1, 1, 1));
     }
 
     #[test]

@@ -352,7 +352,18 @@ pub fn oracle_study(ctx: &Context) -> Vec<(Mix, OracleOutcome)> {
     mixes
         .into_iter()
         .zip(outcomes)
-        .filter_map(|(m, o)| o.map(|o| (m, o)))
+        .filter_map(|(m, o)| {
+            if o.is_none() {
+                // The pool has already recorded the panic (take_failures);
+                // name the dropped mix so a shrunken study is explainable.
+                relsim_obs::warn!(
+                    "oracle study: dropping mix {:?} {:?} (job panicked)",
+                    m.category,
+                    m.benchmarks
+                );
+            }
+            o.map(|o| (m, o))
+        })
         .collect()
 }
 

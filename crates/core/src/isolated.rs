@@ -154,14 +154,28 @@ impl ReferenceTable {
                 (key, (p, cfg))
             })
             .collect();
+        let names: Vec<(String, CoreKind)> = profiles
+            .iter()
+            .flat_map(|p| [(p.name.clone(), big.kind), (p.name.clone(), small.kind)])
+            .collect();
         let results = crate::pool::scatter_map_cached("isolated", grid, |_, (p, cfg)| {
             run_isolated(p, cfg, duration, SEED)
         });
         let mut entries = HashMap::new();
-        for slot in results {
-            let r = slot.expect("isolated characterization run panicked");
-            entries.insert((r.name.clone(), r.kind), r);
+        let mut failed: Vec<String> = Vec::new();
+        for (slot, (name, kind)) in results.into_iter().zip(names) {
+            match slot {
+                Some(r) => {
+                    entries.insert((r.name.clone(), r.kind), r);
+                }
+                None => failed.push(format!("({name}, {kind})")),
+            }
         }
+        assert!(
+            failed.is_empty(),
+            "isolated characterization failed for {}",
+            failed.join(", ")
+        );
         ReferenceTable { entries }
     }
 

@@ -69,10 +69,20 @@ pub struct JobFailure {
 /// Failures accumulated across every scatter call in this process.
 static FAILURES: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
 
+/// Acquire a pool mutex, recovering from poisoning instead of
+/// panicking. Job panics are caught inside [`catch_unwind`] before any
+/// of these locks is held, so poison here means a panic at an unrelated
+/// point (e.g. an allocation failure); every guarded value is valid at
+/// each instruction boundary, and a long-lived host (`relsim-serve`)
+/// must keep scattering after one job thread dies.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Drain the failures recorded since the last call. Binaries report
 /// these at the end of the run and exit nonzero if any occurred.
 pub fn take_failures() -> Vec<JobFailure> {
-    std::mem::take(&mut FAILURES.lock().expect("failure registry poisoned"))
+    std::mem::take(&mut lock_recover(&FAILURES))
 }
 
 /// Outcome of one job, in a `Send`-safe deconstructed form (the job's
@@ -133,12 +143,12 @@ fn run_one<I, T>(
 /// Pop the next job for worker `w`: own queue first (front), then steal
 /// from the back of the other workers' queues.
 fn next_job<I>(queues: &[Mutex<VecDeque<(usize, I)>>], w: usize) -> Option<(usize, I)> {
-    if let Some(job) = queues[w].lock().expect("queue poisoned").pop_front() {
+    if let Some(job) = lock_recover(&queues[w]).pop_front() {
         return Some(job);
     }
     for k in 1..queues.len() {
         let victim = (w + k) % queues.len();
-        if let Some(job) = queues[victim].lock().expect("queue poisoned").pop_back() {
+        if let Some(job) = lock_recover(&queues[victim]).pop_back() {
             return Some(job);
         }
     }
@@ -180,10 +190,7 @@ where
     let queues: Vec<Mutex<VecDeque<(usize, I)>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, item) in items.into_iter().enumerate() {
-        queues[i % jobs]
-            .lock()
-            .expect("queue poisoned")
-            .push_back((i, item));
+        lock_recover(&queues[i % jobs]).push_back((i, item));
     }
     let slots: Vec<Mutex<Option<Done<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
@@ -191,7 +198,7 @@ where
         // Inline path: same per-job observation and panic isolation,
         // no threads.
         while let Some((i, item)) = next_job(&queues, 0) {
-            *slots[i].lock().expect("slot poisoned") = Some(run_one(i, item, buffer, &f));
+            *lock_recover(&slots[i]) = Some(run_one(i, item, buffer, &f));
         }
     } else {
         std::thread::scope(|s| {
@@ -201,8 +208,7 @@ where
                 let f = &f;
                 s.spawn(move || {
                     while let Some((i, item)) = next_job(queues, w) {
-                        *slots[i].lock().expect("slot poisoned") =
-                            Some(run_one(i, item, buffer, f));
+                        *lock_recover(&slots[i]) = Some(run_one(i, item, buffer, f));
                     }
                 });
             }
@@ -214,7 +220,7 @@ where
     for (i, slot) in slots.into_iter().enumerate() {
         let done = slot
             .into_inner()
-            .expect("slot poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .expect("every job runs exactly once");
         out.push(merge_done(label, i, done, obs));
     }
@@ -249,14 +255,11 @@ fn merge_done<T>(label: &str, i: usize, done: Done<T>, obs: &mut RunObs) -> Opti
                 label: job_label.clone(),
                 error: message.clone(),
             });
-            FAILURES
-                .lock()
-                .expect("failure registry poisoned")
-                .push(JobFailure {
-                    index: i,
-                    label: job_label,
-                    message,
-                });
+            lock_recover(&FAILURES).push(JobFailure {
+                index: i,
+                label: job_label,
+                message,
+            });
             None
         }
     }

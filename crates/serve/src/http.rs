@@ -1,0 +1,278 @@
+//! Just enough HTTP/1.1 for the daemon: blocking request reads with a
+//! hard size cap, and fixed-status responses with `Content-Length`.
+//! No external dependencies — the workspace is offline — and no
+//! chunked encoding, pipelining, or TLS; `loadgen` and `curl` both
+//! speak this subset. Connections are keep-alive until the client
+//! closes, errors, or idles past the socket read timeout.
+
+use std::io::{Read, Write};
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Request target, e.g. `/run`.
+    pub path: String,
+    /// Request body (empty when there was no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before any request byte — client is done.
+    Closed,
+    /// Body or header section exceeds the configured limit.
+    TooLarge,
+    /// Not parseable as HTTP/1.1.
+    Malformed(String),
+    /// Socket error or timeout.
+    Io(std::io::Error),
+}
+
+/// Response statuses the daemon emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — artifact follows.
+    Ok,
+    /// 400 — unparseable or invalid request.
+    BadRequest,
+    /// 404 — unknown path.
+    NotFound,
+    /// 413 — request body over the size limit.
+    PayloadTooLarge,
+    /// 429 — admission queue full; retry later.
+    TooManyRequests,
+    /// 500 — the simulation job panicked.
+    Internal,
+    /// 503 — draining for shutdown; no new work.
+    Unavailable,
+}
+
+impl Status {
+    /// The HTTP status line for this status.
+    pub fn line(self) -> &'static str {
+        match self {
+            Status::Ok => "200 OK",
+            Status::BadRequest => "400 Bad Request",
+            Status::NotFound => "404 Not Found",
+            Status::PayloadTooLarge => "413 Payload Too Large",
+            Status::TooManyRequests => "429 Too Many Requests",
+            Status::Internal => "500 Internal Server Error",
+            Status::Unavailable => "503 Service Unavailable",
+        }
+    }
+
+    /// Numeric code (for client-side counters).
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::PayloadTooLarge => 413,
+            Status::TooManyRequests => 429,
+            Status::Internal => 500,
+            Status::Unavailable => 503,
+        }
+    }
+}
+
+/// Header-section cap: requests are tiny JSON bodies, so 8 KiB of
+/// headers is already generous.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Read one request from `stream`. `max_body` caps the declared
+/// `Content-Length`; the cap is enforced *before* reading the body, so
+/// an oversized upload costs nothing. Respects whatever read timeout
+/// the caller set on the socket (a timeout surfaces as `Io`).
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, ReadError> {
+    // Read byte-wise until the blank line; requests are a few hundred
+    // bytes, so simplicity beats buffering here.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Malformed("eof inside header section".into()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line without target".into()))?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(ReadError::Io)?;
+    Ok(Request { method, path, body })
+}
+
+/// Write one JSON response. `cache` becomes an `X-Cache` header
+/// (`hit` / `miss`) so clients can measure warm-hit rates without a
+/// second round trip; `None` omits the header (errors, admin routes).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: Status,
+    cache: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status.line(),
+        body.len()
+    );
+    if let Some(c) = cache {
+        head.push_str(&format!("X-Cache: {c}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Client-side response reader (used by `loadgen` and the tests):
+/// parses the status code, the `X-Cache` header, and the
+/// `Content-Length`-framed body.
+pub fn read_response(stream: &mut impl Read) -> Result<(u16, Option<String>, Vec<u8>), ReadError> {
+    let req_like = read_response_head(stream)?;
+    Ok(req_like)
+}
+
+fn read_response_head(stream: &mut impl Read) -> Result<(u16, Option<String>, Vec<u8>), ReadError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Malformed("eof inside response head".into()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ReadError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    let mut cache = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad content-length".into()))?;
+            } else if name.eq_ignore_ascii_case("x-cache") {
+                cache = Some(value.trim().to_string());
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(ReadError::Io)?;
+    Ok((code, cache, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..], 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..], 1024).unwrap();
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("GET", "/healthz")
+        );
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let raw = b"POST /run HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 1024),
+            Err(ReadError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        let raw: &[u8] = b"";
+        assert!(matches!(
+            read_request(&mut &raw[..], 1024),
+            Err(ReadError::Closed)
+        ));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, Status::Ok, Some("hit"), b"{\"x\":1}").unwrap();
+        let (code, cache, body) = read_response(&mut &wire[..]).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(cache.as_deref(), Some("hit"));
+        assert_eq!(body, b"{\"x\":1}");
+        let mut wire = Vec::new();
+        write_response(&mut wire, Status::TooManyRequests, None, b"{}").unwrap();
+        let (code, cache, _) = read_response(&mut &wire[..]).unwrap();
+        assert_eq!((code, cache), (429, None));
+    }
+}

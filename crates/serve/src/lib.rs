@@ -1,0 +1,28 @@
+//! # relsim-serve
+//!
+//! The always-on simulation daemon (DESIGN.md §14): a std-only
+//! TCP/HTTP front end over the pieces the batch CLI already has —
+//! the work-stealing pool as execution engine, the content-addressed
+//! cache as shared result store, relsim-obs for counters, histograms
+//! and per-request manifests.
+//!
+//! The crate is a library; the `serve` and `loadgen` binaries in
+//! `relsim-bench` are thin CLI wrappers. Layout:
+//!
+//! * [`proto`] — wire types ([`SimRequest`], [`SimArtifact`]) and the
+//!   request runner shared with the batch CLI, which is what makes
+//!   served responses byte-identical to `simulate --result-out`;
+//! * [`http`] — a minimal HTTP/1.1 reader/writer with request-size
+//!   caps;
+//! * [`server`] — admission queue, warm-path short circuit, exec
+//!   workers, graceful drain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod proto;
+pub mod server;
+
+pub use proto::{artifact_bytes, request_key, run_request, AppRow, SimArtifact, SimRequest};
+pub use server::{Engine, Server, ServerConfig, SimEngine};

@@ -1,0 +1,208 @@
+//! Soak test for `relsim-serve`: many concurrent clients, a mixed
+//! hot/cold request grid, and the wire-level determinism contract —
+//! zero requests dropped on the floor, warm responses byte-identical
+//! to cold ones, and every response byte-identical to what the batch
+//! path (`run_request` + `artifact_bytes`, i.e. `simulate
+//! --result-out`) produces for the same request.
+
+use relsim::isolated::ReferenceTable;
+use relsim_cpu::CoreConfig;
+use relsim_obs::RunObs;
+use relsim_serve::http::read_response;
+use relsim_serve::{artifact_bytes, run_request, Server, ServerConfig, SimEngine, SimRequest};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tests here reconfigure the process-wide cache store; serialize them.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const BENCHMARKS: [&str; 4] = ["milc", "hmmer", "gobmk", "mcf"];
+
+fn build_refs() -> ReferenceTable {
+    let profiles: Vec<_> = BENCHMARKS
+        .iter()
+        .map(|n| relsim_trace::spec_profile(n).expect("catalog benchmark"))
+        .collect();
+    ReferenceTable::build(&profiles, &CoreConfig::big(), &CoreConfig::small(), 40_000)
+}
+
+/// A small deterministic request grid mixing benchmarks and schedulers.
+fn grid(n: usize) -> Vec<SimRequest> {
+    let scheds = ["reliability", "performance", "random", "static"];
+    (0..n)
+        .map(|i| SimRequest {
+            benchmarks: vec![
+                BENCHMARKS[i % BENCHMARKS.len()].to_string(),
+                BENCHMARKS[(i * 3 + 1) % BENCHMARKS.len()].to_string(),
+            ],
+            big: 1,
+            small: 1,
+            scheduler: scheds[i % scheds.len()].to_string(),
+            ticks: 20_000,
+            quantum: 5_000,
+            half_freq_small: false,
+            rob_only: false,
+        })
+        .collect()
+}
+
+fn post_run(addr: SocketAddr, body: &[u8]) -> (u16, Option<String>, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let head = format!(
+        "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    read_response(&mut s).expect("response")
+}
+
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("relsim-serve-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn soak_mixed_hot_cold_zero_drops_byte_identity() {
+    let _guard = lock();
+    let dir = temp_cache_dir("soak");
+    relsim_cache::configure(Some(relsim_cache::CacheConfig {
+        dir: Some(dir.clone()),
+    }));
+
+    let refs = build_refs();
+    // Batch-path reference bytes, computed before the server exists:
+    // exactly what `simulate --result-out` would write.
+    let requests = grid(6);
+    let batch: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|r| artifact_bytes(&run_request(&refs, r, &mut RunObs::disabled())))
+        .collect();
+    // The direct runs above were NOT cached (run_request is below the
+    // cache layer), so the server still computes every request cold
+    // once before repeats go warm.
+
+    let server = Server::start(
+        std::sync::Arc::new(SimEngine::new(refs)),
+        ServerConfig {
+            queue_depth: 64,
+            exec_workers: 2,
+            io_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let payloads: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|r| serde_json::to_vec(r).unwrap())
+        .collect();
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 24;
+    let results: Vec<(usize, u16, Option<String>, Vec<u8>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let payloads = &payloads;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for j in 0..PER_CLIENT {
+                        // Hash-scrambled schedule: hot repeats
+                        // interleave with cold first occurrences.
+                        let id = (((c * PER_CLIENT + j) as u64).wrapping_mul(2654435761) >> 7)
+                            as usize
+                            % payloads.len();
+                        let (code, cache, body) = post_run(addr, &payloads[id]);
+                        out.push((id, code, cache, body));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    // Zero dropped: every request came back, all of them 200.
+    assert_eq!(results.len(), CLIENTS * PER_CLIENT);
+    let mut warm = 0u64;
+    for (id, code, cache, body) in &results {
+        assert_eq!(
+            *code,
+            200,
+            "request {id} failed: {}",
+            String::from_utf8_lossy(body)
+        );
+        // Warm ≡ cold ≡ batch, byte for byte.
+        assert_eq!(
+            body, &batch[*id],
+            "response for request {id} differs from the batch artifact"
+        );
+        if cache.as_deref() == Some("hit") {
+            warm += 1;
+        }
+    }
+    // 6 distinct requests over 96 calls: the overwhelming majority
+    // must be warm (>90% of repeats; allow a little queue-duplication
+    // slack where concurrent duplicates compute under one lease).
+    let repeats = (CLIENTS * PER_CLIENT - requests.len()) as u64;
+    assert!(
+        warm * 10 >= repeats * 9,
+        "only {warm}/{repeats} repeat requests were warm"
+    );
+
+    let snap = server.shutdown();
+    assert_eq!(
+        snap.counter("serve.requests"),
+        Some((CLIENTS * PER_CLIENT) as u64)
+    );
+    assert_eq!(
+        snap.counter("serve.shed"),
+        None,
+        "queue of 64 never sheds here"
+    );
+
+    relsim_cache::configure(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncached_serving_still_matches_batch_bytes() {
+    let _guard = lock();
+    relsim_cache::configure(None);
+
+    let refs = build_refs();
+    let req = &grid(1)[0];
+    let expect = artifact_bytes(&run_request(&refs, req, &mut RunObs::disabled()));
+
+    let server = Server::start(
+        std::sync::Arc::new(SimEngine::new(refs)),
+        ServerConfig {
+            exec_workers: 1,
+            io_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let payload = serde_json::to_vec(req).unwrap();
+    let (code_a, cache_a, body_a) = post_run(server.addr(), &payload);
+    let (code_b, cache_b, body_b) = post_run(server.addr(), &payload);
+    assert_eq!((code_a, code_b), (200, 200));
+    // No cache: both are misses, both recomputed, bytes still equal.
+    assert_eq!(cache_a.as_deref(), Some("miss"));
+    assert_eq!(cache_b.as_deref(), Some("miss"));
+    assert_eq!(body_a, expect);
+    assert_eq!(body_b, expect);
+    let snap = server.shutdown();
+    assert_eq!(snap.counter("serve.cold_runs"), Some(2));
+}
