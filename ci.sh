@@ -92,6 +92,31 @@ EOF
   exit 0
 fi
 
+# `./ci.sh faults` is the reliability-mode gate: the fault-masking
+# recovery suite in release (zero SDCs across >=1000 faults under
+# checkpoint and DMR while the unprotected baseline leaks SDCs on the
+# same seeds, plus bit-identical rollback state on a live core), then a
+# quick fig13_modes determinism check — the Pareto artifact and stdout
+# must be byte-identical at -j1 (cold cache) vs -j4 (warm cache).
+if [[ "${1:-}" == "faults" ]]; then
+  echo "==> faults gate: fault_recovery suite in release"
+  cargo test --release -q -p relsim-integration-tests --test fault_recovery
+  echo "==> faults gate: fig13_modes -j1 cold vs -j4 warm"
+  cargo build --release -p relsim-bench --bin fig13_modes
+  out=target/ci-faults
+  rm -rf "$out"
+  mkdir -p "$out/j1" "$out/j4"
+  RELSIM_OUT="$out/j1" RELSIM_CACHE_DIR="$out/cache" \
+    target/release/fig13_modes --quick --jobs 1 >"$out/stdout-j1.txt"
+  RELSIM_OUT="$out/j4" RELSIM_CACHE_DIR="$out/cache" \
+    target/release/fig13_modes --quick --jobs 4 >"$out/stdout-j4.txt"
+  diff "$out/j1/fig13_modes.json" "$out/j4/fig13_modes.json"
+  diff "$out/stdout-j1.txt" "$out/stdout-j4.txt"
+  echo "    fig13_modes.json byte-identical at -j1 (cold) vs -j4 (warm cache)"
+  echo "==> faults gate: passed"
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -127,6 +152,9 @@ echo "==> span-tracing gate: span_tracing in release"
 # tick. The overhead-budget test is ignored in debug builds, so this
 # runs the release binary where the budget holds.
 cargo test --release -q -p relsim-integration-tests --test span_tracing
+
+echo "==> faults gate: recovery suite + fig13_modes determinism"
+"$0" faults
 
 echo "==> golden snapshots: run_all --quick vs tests/golden/"
 cargo test --release -q -p relsim-bench --test golden

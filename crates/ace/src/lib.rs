@@ -48,6 +48,7 @@ mod counters;
 pub mod fault_injection;
 mod hardware;
 pub mod hw_cost;
+pub mod live;
 mod tracker;
 
 pub use counters::{avf, AbcStack, AceCounter, PerfectAceCounters, ABC_STACK_NAMES};

@@ -193,6 +193,19 @@ fn main() {
     }
     save_json("fig11_engine_sampling", &engine);
 
+    // Figure 13 ----------------------------------------------------------
+    let modes = fig13_modes(&ctx, &mut obs);
+    for (mode, sser, stp, energy) in fig13_mode_means(&modes) {
+        println!(
+            "[Fig 13] {mode:<10}: effective SSER {sser:.3e}, effective STP {stp:.3}, energy {energy:.5} J"
+        );
+    }
+    println!(
+        "[Fig 13] Pareto-optimal modes: {}",
+        fig13_pareto(&modes).join(", ")
+    );
+    save_json("fig13_modes", &modes);
+
     obs_finish(&obs_args, &mut obs);
     relsim_obs::info!("=== done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -34,12 +34,16 @@ fn main() {
         |_, (name, cfg), job_obs| {
             let profile = relsim_trace::spec_profile(name).expect("catalog benchmark");
             let kind = cfg.kind;
+            // Per-cell seed derived from the cell's identity, not its grid
+            // position or scheduling order: the campaign stream is the same
+            // whichever worker runs the cell at any `-jN`.
+            let seed = relsim_ace::live::mix_seed(7, &format!("{name}/{kind}"));
             let (campaign, counter_avf) = validate_counters_traced(
                 &cfg,
                 &profile,
                 ticks,
                 injections,
-                7,
+                seed,
                 job_obs.sink.as_mut(),
             );
             (name, kind, campaign, counter_avf)

@@ -155,6 +155,107 @@ pub const SAMPLE_HELP: &str =
                                with ~F fast-forwarded ticks (seed S jitters window lengths; \
                                0 disables the jitter)";
 
+/// Parse the reliability-mode selection from the process arguments:
+/// `--mode NAME` / `--mode=NAME` with `off`, `checkpoint`, `dmr`,
+/// `backup`, or `all`. `None` (absent or invalid, with a warning) means
+/// "all modes" — the full Pareto study.
+pub fn modes_from_args() -> Option<Vec<relsim::ModeKind>> {
+    parse_mode(std::env::args().skip(1))
+}
+
+/// Testable `--mode` parser; `None` means absent or invalid.
+pub fn parse_mode<I: IntoIterator<Item = String>>(args: I) -> Option<Vec<relsim::ModeKind>> {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if let Some(v) = arg.strip_prefix("--mode=") {
+            Some(v.to_string())
+        } else if arg == "--mode" {
+            iter.next()
+        } else {
+            continue;
+        };
+        return match value.as_deref() {
+            Some("all") => Some(relsim::ModeKind::ALL.to_vec()),
+            Some(name) => match relsim::ModeKind::parse(name) {
+                Some(mode) => Some(vec![mode]),
+                None => {
+                    relsim_obs::warn!(
+                        "--mode expects off|checkpoint|dmr|backup|all, got {name:?}; \
+                         running all modes"
+                    );
+                    None
+                }
+            },
+            None => {
+                relsim_obs::warn!("--mode expects a value; running all modes");
+                None
+            }
+        };
+    }
+    None
+}
+
+/// Testable parser for a `u64`-valued flag (`--faults N`, `--faults=N`,
+/// `--ckpt-interval N`, ...); `None` means absent or invalid (with a
+/// warning naming the flag).
+pub fn parse_u64_flag<I: IntoIterator<Item = String>>(args: I, flag: &str) -> Option<u64> {
+    let prefix = format!("{flag}=");
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if let Some(v) = arg.strip_prefix(prefix.as_str()) {
+            Some(v.to_string())
+        } else if arg == flag {
+            iter.next()
+        } else {
+            continue;
+        };
+        return match value.as_deref().map(str::parse::<u64>) {
+            Some(Ok(n)) => Some(n),
+            _ => {
+                relsim_obs::warn!(
+                    "{flag} expects a number, got {:?}; using the default",
+                    value.as_deref().unwrap_or("")
+                );
+                None
+            }
+        };
+    }
+    None
+}
+
+/// Parse `--faults N` (fault strikes per run) from the process arguments.
+pub fn faults_from_args() -> Option<u64> {
+    parse_u64_flag(std::env::args().skip(1), "--faults")
+}
+
+/// Parse `--fault-seed N` (campaign seed) from the process arguments.
+pub fn fault_seed_from_args() -> Option<u64> {
+    parse_u64_flag(std::env::args().skip(1), "--fault-seed")
+}
+
+/// Parse `--ckpt-interval N` (checkpoint period in ticks) from the
+/// process arguments. Zero is rejected (warns and falls back to the
+/// default): a checkpoint every tick is a degenerate configuration the
+/// drivers clamp away anyway.
+pub fn ckpt_interval_from_args() -> Option<u64> {
+    match parse_u64_flag(std::env::args().skip(1), "--ckpt-interval") {
+        Some(0) => {
+            relsim_obs::warn!("--ckpt-interval must be positive; using the default");
+            None
+        }
+        other => other,
+    }
+}
+
+/// Help text fragment for the reliability-mode flags, for `--help`
+/// output.
+pub const MODE_HELP: &str = "  --mode M              reliability mode: off, checkpoint, dmr, backup, \
+                             or all (default: all)\n  \
+                             --faults N            fault strikes injected per run (default: 1000)\n  \
+                             --fault-seed N        fault-campaign seed (default: fixed)\n  \
+                             --ckpt-interval N     checkpoint period in ticks \
+                             (default: the scale's quantum)";
+
 /// What the cache flags asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CacheChoice {
@@ -598,6 +699,36 @@ mod tests {
         // The same 8% committed jitter does not excuse a 25% slowdown.
         let slow = vec![RowStat::from_samples("noisy", vec![125.0, 126.0, 125.5])];
         assert!(compare(&committed, &slow)[0].regressed);
+    }
+
+    #[test]
+    fn mode_flag_forms() {
+        use super::parse_mode;
+        use relsim::ModeKind;
+        let parse = |args: &[&str]| parse_mode(args.iter().map(|s| s.to_string()));
+        assert_eq!(
+            parse(&["--mode", "checkpoint"]),
+            Some(vec![ModeKind::Checkpoint])
+        );
+        assert_eq!(parse(&["--mode=dmr"]), Some(vec![ModeKind::Dmr]));
+        assert_eq!(parse(&["--mode", "all"]), Some(ModeKind::ALL.to_vec()));
+        assert_eq!(parse(&["--quick"]), None);
+        assert_eq!(parse(&["--mode", "bogus"]), None, "invalid warns -> all");
+        assert_eq!(parse(&["--mode"]), None, "bare flag warns -> all");
+    }
+
+    #[test]
+    fn u64_flag_forms() {
+        use super::parse_u64_flag;
+        let parse =
+            |args: &[&str], flag: &str| parse_u64_flag(args.iter().map(|s| s.to_string()), flag);
+        assert_eq!(parse(&["--faults", "500"], "--faults"), Some(500));
+        assert_eq!(parse(&["--faults=2000"], "--faults"), Some(2000));
+        assert_eq!(parse(&["--ckpt-interval", "9"], "--ckpt-interval"), Some(9));
+        assert_eq!(parse(&["--faults", "many"], "--faults"), None);
+        assert_eq!(parse(&["--quick"], "--faults"), None);
+        // A flag must not swallow another flag's value.
+        assert_eq!(parse(&["--fault-seed", "7"], "--faults"), None);
     }
 
     #[test]

@@ -9,7 +9,11 @@ use crate::evaluate::{evaluate, Evaluation, DEFAULT_IFR};
 use crate::isolated::{run_isolated, IsolatedResult, ReferenceTable};
 use crate::mixes::{generate_mixes, Classification, Mix};
 use crate::oracle::{oracle_schedules, OracleOutcome};
-use crate::sched::{Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler};
+use crate::reliability::{ModeKind, ReliabilityPlan, ReliabilityReport};
+use crate::sched::{
+    BackupScheduler, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
+    StaticScheduler,
+};
 use crate::system::{AppSpec, RunResult, System, SystemConfig};
 use relsim_ace::CounterKind;
 use relsim_cache::Key;
@@ -861,6 +865,345 @@ pub fn fig11_sampling_sweep(
 }
 
 // ===================================================================
+// Figure 13: reliability modes — SSER vs throughput vs energy Pareto
+// ===================================================================
+
+/// Fault strikes injected per Figure 13 run at the default scale.
+pub const FIG13_FAULTS: u64 = 1_000;
+
+/// One `mode × workload` point of the Figure 13 Pareto front
+/// (DESIGN.md §15): metrics of a run executed under one per-core
+/// reliability mode with an active fault campaign, before and after the
+/// mode's masking and overhead are charged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeCell {
+    /// Mode name ([`ModeKind::name`]).
+    pub mode: String,
+    /// Workload, as `category:bench+bench+...`.
+    pub workload: String,
+    /// SSER of the run ignoring fault handling (the raw exposure).
+    pub sser_raw: f64,
+    /// SSER scaled by the fraction of ACE hits that escaped as SDCs —
+    /// zero for a mode that recovered every hit.
+    pub sser_effective: f64,
+    /// STP before overhead accounting. Under DMR this is pair
+    /// throughput: each replica pair contributes its slower copy's
+    /// progress (compare-at-commit waits for both).
+    pub stp_raw: f64,
+    /// STP after dilation by checkpoint-capture and rollback
+    /// re-execution overhead.
+    pub stp_effective: f64,
+    /// Average system power over the dilated run (watts).
+    pub system_watts: f64,
+    /// Total energy (joules): run energy plus overhead-tick energy.
+    pub energy_joules: f64,
+    /// Fault-campaign outcome totals.
+    pub report: ReliabilityReport,
+    /// Fraction of wall time spent capturing checkpoints and
+    /// re-executing rolled-back work.
+    pub overhead_frac: f64,
+}
+
+/// DMR workload shape: pair big core `i` with small core `n_big + i`,
+/// both running `mix.benchmarks[i]` from the same trace seed (lockstep
+/// replicas). App `2i` is the pair's primary (big core), app `2i + 1`
+/// its replica (small core). Only the first `n_big` benchmarks of the
+/// mix run — the halved multiprogramming capacity is DMR's price.
+///
+/// # Panics
+///
+/// Panics unless the layout is a balanced big-then-small HCMP with at
+/// least one pair and the mix provides a benchmark per pair.
+fn dmr_pairing(ctx: &Context, kinds: &[CoreKind], mix: &Mix) -> (Vec<AppSpec>, Vec<usize>) {
+    let n_big = kinds.iter().filter(|k| **k == CoreKind::Big).count();
+    assert!(
+        n_big > 0 && 2 * n_big == kinds.len(),
+        "DMR pairing needs a balanced HCMP, got {kinds:?}"
+    );
+    assert!(
+        kinds[..n_big].iter().all(|k| *k == CoreKind::Big),
+        "DMR pairing expects big-then-small core order, got {kinds:?}"
+    );
+    assert!(
+        mix.benchmarks.len() >= n_big,
+        "mix of {} cannot fill {n_big} DMR pairs",
+        mix.benchmarks.len()
+    );
+    let mut specs = Vec::with_capacity(kinds.len());
+    let mut mapping = vec![0usize; kinds.len()];
+    for (i, name) in mix.benchmarks.iter().take(n_big).enumerate() {
+        let seed = ctx.scale.seed ^ (i as u64 + 1);
+        specs.push(AppSpec::spec(name, seed)); // primary
+        specs.push(AppSpec::spec(name, seed)); // replica, same stream
+        mapping[i] = 2 * i;
+        mapping[n_big + i] = 2 * i + 1;
+    }
+    (specs, mapping)
+}
+
+/// DMR throughput: a pair commits at its slower replica's rate, so each
+/// pair contributes the minimum of its two copies' normalized progress.
+fn dmr_pair_stp(result: &RunResult, refs: &ReferenceTable) -> f64 {
+    result
+        .apps
+        .chunks(2)
+        .map(|pair| {
+            pair.iter()
+                .map(|a| {
+                    relsim_metrics::AppProgress {
+                        work: a.instructions as f64,
+                        time: result.duration as f64,
+                        ref_rate: refs.ref_ips(&a.name),
+                    }
+                    .normalized_progress()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+/// Compute one Figure 13 grid cell: run the mix under `plan`'s mode with
+/// that mode's scheduler variant, classify the fault campaign, and
+/// charge the mode's overhead to throughput and energy.
+///
+/// Mode → scheduler/workload shape:
+/// * `off` / `checkpoint` — the mix under the reliability-optimized
+///   sampling scheduler; checkpoint mode additionally pays capture and
+///   rollback re-execution ticks;
+/// * `dmr` — [`dmr_pairing`] under a pinned static schedule;
+/// * `backup` — the mix under [`BackupScheduler`], which keeps
+///   fault-prone work where the plan's per-quantum `k`-fault budget can
+///   cover it.
+pub fn run_mode_cell(
+    ctx: &Context,
+    sys_cfg: &SystemConfig,
+    mix: &Mix,
+    plan: ReliabilityPlan,
+    obs: &mut RunObs,
+) -> ModeCell {
+    let kinds = sys_cfg.core_kinds();
+    let (specs, mut scheduler): (Vec<AppSpec>, Box<dyn Scheduler>) = match plan.mode {
+        ModeKind::Dmr => {
+            let (specs, mapping) = dmr_pairing(ctx, &kinds, mix);
+            (
+                specs,
+                Box::new(StaticScheduler::new(mapping, sys_cfg.quantum_ticks))
+                    as Box<dyn Scheduler>,
+            )
+        }
+        ModeKind::Backup => (
+            mix_specs(ctx, mix),
+            Box::new(BackupScheduler::new(kinds, sys_cfg.quantum_ticks, plan.k))
+                as Box<dyn Scheduler>,
+        ),
+        ModeKind::Off | ModeKind::Checkpoint => (
+            mix_specs(ctx, mix),
+            SchedKind::RelOpt.build(
+                kinds,
+                sys_cfg.quantum_ticks,
+                SamplingParams::default(),
+                ctx.scale.seed,
+            ),
+        ),
+    };
+    let mut system = System::new(sys_cfg.clone(), &specs);
+    system.set_reliability(Some(plan));
+    let result = system.run_traced(scheduler.as_mut(), ctx.scale.run_ticks, obs);
+    let eval = obs
+        .timers
+        .time(Phase::Metrics, || evaluate(&result, &ctx.refs, DEFAULT_IFR));
+    let report = result.reliability.clone().expect("plan was set");
+
+    let stp_raw = if plan.mode == ModeKind::Dmr {
+        dmr_pair_stp(&result, &ctx.refs)
+    } else {
+        eval.stp
+    };
+    let overhead = report.overhead_ticks();
+    let dilation = relsim_metrics::recovery_slowdown(result.duration, overhead);
+    let residual = relsim_metrics::residual_fraction(report.sdc, report.ace_hits());
+
+    let activities: Vec<_> = result.cores.iter().map(|c| c.to_activity()).collect();
+    let shared = SharedActivity {
+        l3_accesses: result.shared.l3_accesses,
+        mem_requests: result.shared.mem_requests,
+    };
+    let model = PowerModel::default();
+    let power = obs.timers.time(Phase::Metrics, || {
+        model.report(&activities, &shared, result.duration)
+    });
+    let run_seconds = result.duration as f64 * model.tick_seconds;
+    // Overhead ticks are charged at big-core rates: a checkpoint captures
+    // every core's state and a rollback replays on the faulted core, so
+    // the big core is the binding (and conservative) rate.
+    let energy =
+        power.system_watts() * run_seconds + model.overhead_energy(CoreKind::Big, overhead);
+    let total_seconds = run_seconds * dilation;
+
+    ModeCell {
+        mode: plan.mode.name().to_string(),
+        workload: format!("{}:{}", mix.category, mix.benchmarks.join("+")),
+        sser_raw: eval.sser,
+        sser_effective: eval.sser * residual,
+        stp_raw,
+        stp_effective: stp_raw / dilation,
+        system_watts: energy / total_seconds,
+        energy_joules: energy,
+        report,
+        overhead_frac: overhead as f64 / (result.duration + overhead).max(1) as f64,
+    }
+}
+
+/// The cache key of one [`ModeCell`], or `None` when caching is off: the
+/// `mix-cell/v1` determinants plus the full reliability plan (mode,
+/// fault count/seed, checkpoint knobs, `k`), which changes both the
+/// schedule and the classification. The mode together with the mix
+/// determines the DMR pairing, so hashing the plain mix expansion covers
+/// the paired workload too.
+fn mode_cell_key(
+    ctx: &Context,
+    fingerprint: &str,
+    sys_cfg: &SystemConfig,
+    mix: &Mix,
+    plan: &ReliabilityPlan,
+) -> Option<Key> {
+    if !relsim_cache::enabled() {
+        return None;
+    }
+    Some(crate::cache::key(
+        "mode-cell/v1",
+        &(
+            fingerprint,
+            sys_cfg,
+            mix_specs(ctx, mix),
+            plan,
+            (ctx.scale.run_ticks, ctx.scale.seed),
+            (
+                crate::sampling::default_config(),
+                crate::skip::default_enabled(),
+            ),
+        ),
+    ))
+}
+
+/// Figure 13: the reliability-mode Pareto study on 2B2S — every
+/// four-program workload under each mode of [`ModeKind::ALL`] with an
+/// active campaign of [`FIG13_FAULTS`] strikes per run.
+pub fn fig13_modes(ctx: &Context, obs: &mut RunObs) -> Vec<ModeCell> {
+    let plans = fig13_plans(
+        ctx,
+        &ModeKind::ALL,
+        FIG13_FAULTS,
+        ReliabilityPlan::default().fault_seed,
+        None,
+    );
+    fig13_modes_with(ctx, &plans, obs)
+}
+
+/// The per-mode plans of a Figure 13 study, from the CLI knobs
+/// (`--mode`, `--faults`, `--fault-seed`, `--ckpt-interval`). Unless
+/// overridden, the checkpoint interval is tied to the context's quantum
+/// so capture overheads stay proportionate at any scale.
+pub fn fig13_plans(
+    ctx: &Context,
+    modes: &[ModeKind],
+    faults: u64,
+    fault_seed: u64,
+    ckpt_interval: Option<u64>,
+) -> Vec<ReliabilityPlan> {
+    modes
+        .iter()
+        .map(|&mode| {
+            let mut p = ReliabilityPlan::new(mode, faults);
+            p.fault_seed = fault_seed;
+            p.ckpt_interval = ckpt_interval.unwrap_or(ctx.scale.quantum_ticks).max(1);
+            p
+        })
+        .collect()
+}
+
+/// [`fig13_modes`] over an explicit plan list. Cells are sharded across
+/// the job pool and content-addressed ([`mode_cell_key`]); a failed cell
+/// is dropped with a warning.
+pub fn fig13_modes_with(
+    ctx: &Context,
+    plans: &[ReliabilityPlan],
+    obs: &mut RunObs,
+) -> Vec<ModeCell> {
+    if plans.is_empty() {
+        return Vec::new();
+    }
+    let cfg = hcmp_config(ctx, 2, 2);
+    let mixes = ctx.four_program_mixes();
+    let fingerprint = refs_fingerprint(ctx);
+    let grid: Vec<(Option<Key>, (usize, ReliabilityPlan))> = (0..mixes.len())
+        .flat_map(|mi| plans.iter().map(move |p| (mi, *p)))
+        .map(|(mi, p)| {
+            let key = mode_cell_key(ctx, &fingerprint, &cfg, &mixes[mi], &p);
+            (key, (mi, p))
+        })
+        .collect();
+    let cells =
+        crate::pool::scatter_map_cached_into("fig13", grid, obs, |_, (mi, plan), job_obs| {
+            run_mode_cell(ctx, &cfg, &mixes[mi], plan, job_obs)
+        });
+    cells
+        .into_iter()
+        .enumerate()
+        .filter_map(|(gi, c)| {
+            if c.is_none() {
+                let mix = &mixes[gi / plans.len()];
+                relsim_obs::warn!(
+                    "fig13: dropping {} × mix {:?} (run failed)",
+                    plans[gi % plans.len()].mode.name(),
+                    mix.benchmarks
+                );
+            }
+            c
+        })
+        .collect()
+}
+
+/// Per-mode means over a [`fig13_modes`] cell set, in [`ModeKind::ALL`]
+/// order: `(mode, mean effective SSER, mean effective STP, mean energy)`.
+pub fn fig13_mode_means(cells: &[ModeCell]) -> Vec<(String, f64, f64, f64)> {
+    ModeKind::ALL
+        .into_iter()
+        .filter_map(|mode| {
+            let rows: Vec<&ModeCell> = cells.iter().filter(|c| c.mode == mode.name()).collect();
+            if rows.is_empty() {
+                return None;
+            }
+            let mean = |f: &dyn Fn(&ModeCell) -> f64| {
+                arithmetic_mean(&rows.iter().map(|c| f(c)).collect::<Vec<_>>())
+            };
+            Some((
+                mode.name().to_string(),
+                mean(&|c| c.sser_effective),
+                mean(&|c| c.stp_effective),
+                mean(&|c| c.energy_joules),
+            ))
+        })
+        .collect()
+}
+
+/// Modes on the Pareto front of (lower effective SSER, higher effective
+/// STP, lower energy), judged on [`fig13_mode_means`]. A mode is kept
+/// unless another mode is at least as good on all three axes and
+/// strictly better on one.
+pub fn fig13_pareto(cells: &[ModeCell]) -> Vec<String> {
+    let means = fig13_mode_means(cells);
+    let dominates = |a: &(String, f64, f64, f64), b: &(String, f64, f64, f64)| {
+        a.1 <= b.1 && a.2 >= b.2 && a.3 <= b.3 && (a.1 < b.1 || a.2 > b.2 || a.3 < b.3)
+    };
+    means
+        .iter()
+        .filter(|m| !means.iter().any(|other| dominates(other, m)))
+        .map(|m| m.0.clone())
+        .collect()
+}
+
+// ===================================================================
 // Interval-sampling engine: sampled-vs-full accuracy study
 // ===================================================================
 
@@ -1091,6 +1434,73 @@ mod tests {
         let under = geomean_abs_err([1.0 / 1.1]);
         assert!((over - under).abs() < 1e-12);
         assert!((over - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig13_mode_cells_account_masking_and_overheads() {
+        let ctx = tiny_ctx();
+        let cfg = hcmp_config(&ctx, 2, 2);
+        let mix = &ctx.four_program_mixes()[0];
+        let mut cells = Vec::new();
+        for mode in ModeKind::ALL {
+            let mut plan = ReliabilityPlan::new(mode, 200);
+            plan.ckpt_interval = ctx.scale.quantum_ticks;
+            let cell = run_mode_cell(&ctx, &cfg, mix, plan, &mut RunObs::disabled());
+            assert_eq!(cell.mode, mode.name());
+            assert!(cell.stp_raw > 0.0, "{mode:?} stp");
+            assert!(cell.energy_joules > 0.0, "{mode:?} energy");
+            assert_eq!(cell.report.faults, 200);
+            let r = &cell.report;
+            assert_eq!(
+                r.masked + r.recovered_rollback + r.recovered_replica + r.sdc,
+                r.faults,
+                "{mode:?} outcome totals"
+            );
+            match mode {
+                ModeKind::Off => {
+                    assert_eq!(r.recovered_rollback + r.recovered_replica, 0);
+                    assert_eq!(r.sdc, r.ace_hits(), "off masks nothing");
+                    assert_eq!(cell.stp_effective, cell.stp_raw, "no overhead");
+                }
+                ModeKind::Checkpoint => {
+                    assert_eq!(r.sdc, 0, "rollback recovers every hit");
+                    assert_eq!(cell.sser_effective, 0.0);
+                    assert!(r.checkpoints > 0);
+                    assert!(
+                        cell.stp_effective < cell.stp_raw,
+                        "capture overhead must cost throughput"
+                    );
+                }
+                ModeKind::Dmr => {
+                    assert_eq!(r.sdc, 0, "replica recovers every hit");
+                    assert_eq!(cell.sser_effective, 0.0);
+                    // Pair throughput over 2 pairs can never exceed 2.
+                    assert!(cell.stp_raw <= 2.05, "DMR stp {}", cell.stp_raw);
+                }
+                ModeKind::Backup => {
+                    assert!(r.sdc <= r.ace_hits(), "k-budget can only reduce exposure");
+                }
+            }
+            cells.push(cell);
+        }
+        let means = fig13_mode_means(&cells);
+        assert_eq!(means.len(), 4);
+        let pareto = fig13_pareto(&cells);
+        assert!(!pareto.is_empty(), "some mode must be non-dominated");
+    }
+
+    #[test]
+    fn dmr_pairing_replicates_in_lockstep() {
+        let ctx = tiny_ctx();
+        let kinds = hcmp_config(&ctx, 2, 2).core_kinds();
+        let mix = &ctx.four_program_mixes()[0];
+        let (specs, mapping) = dmr_pairing(&ctx, &kinds, mix);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(mapping, vec![0, 2, 1, 3]);
+        for pair in specs.chunks(2) {
+            assert_eq!(pair[0].profile.name, pair[1].profile.name);
+            assert_eq!(pair[0].seed, pair[1].seed, "replicas share the stream");
+        }
     }
 
     #[test]

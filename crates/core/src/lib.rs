@@ -49,18 +49,20 @@ pub mod isolated;
 pub mod mixes;
 pub mod oracle;
 pub mod pool;
+pub mod reliability;
 pub mod sampling;
 mod sched;
 mod sched_pie;
 pub mod skip;
 mod system;
 
+pub use reliability::{ModeKind, ReliabilityPlan, ReliabilityReport};
 pub use relsim_ace::CounterKind;
 pub use relsim_obs::RunObs;
 pub use sampling::{SamplingConfig, SamplingReport};
 pub use sched::{
-    DecisionInfo, Objective, RandomScheduler, SamplingParams, SamplingScheduler, Scheduler,
-    Segment, SegmentObservation, StaticScheduler,
+    BackupScheduler, DecisionInfo, Objective, RandomScheduler, SamplingParams, SamplingScheduler,
+    Scheduler, Segment, SegmentObservation, StaticScheduler,
 };
 pub use sched_pie::{PieModel, PredictiveScheduler};
 pub use system::{

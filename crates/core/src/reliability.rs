@@ -1,0 +1,421 @@
+//! Per-core reliability modes and active fault-outcome classification
+//! (DESIGN.md §15).
+//!
+//! The paper mitigates soft errors purely by *scheduling*; this module
+//! adds the orthogonal design axis explored by the
+//! checkpointing/replication literature (arXiv 1811.07612, 1405.2913):
+//! each run can execute under a [`ModeKind`] — checkpoint/rollback,
+//! dual-modular replication, or backup-aware scheduling with a k-fault
+//! guarantee — and an active fault campaign
+//! ([`relsim_ace::live::draw_campaign`]) is classified against the run's
+//! measured ACE occupancy into the four-way outcome taxonomy of
+//! [`FaultOutcome`].
+//!
+//! Classification is a pure post-run function of the (deterministic)
+//! timeline and the campaign seed: it never perturbs the tick loop, so
+//! every engine equivalence (event-horizon skip, interval sampling,
+//! `-jN`, result cache) carries over to reliability runs unchanged. The
+//! microarchitectural reality of rollback recovery — that restore plus
+//! re-execution commits bit-identical state — is proven separately, on a
+//! live core, by [`relsim_ace::live::run_checkpointed`] and the
+//! `fault_recovery` suite.
+
+use crate::system::SegmentRecord;
+use relsim_ace::live::{draw_campaign, FaultOutcome, RawFault};
+use serde::{Deserialize, Serialize};
+
+/// Which reliability mode a run executes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModeKind {
+    /// No redundancy: every ACE hit is an SDC (the paper's baseline).
+    Off,
+    /// Checkpoint/rollback: epochs of `ckpt_interval` ticks; a detected
+    /// fault rolls back to the last checkpoint and re-executes.
+    Checkpoint,
+    /// Dual-modular replication: a big/small pair runs the same work in
+    /// lockstep; compare-at-commit masks any single fault.
+    Dmr,
+    /// Backup-aware scheduling: protected placement plus spare capacity
+    /// recovering up to `k` faults per scheduling quantum.
+    Backup,
+}
+
+impl ModeKind {
+    /// All modes, in report order.
+    pub const ALL: [ModeKind; 4] = [
+        ModeKind::Off,
+        ModeKind::Checkpoint,
+        ModeKind::Dmr,
+        ModeKind::Backup,
+    ];
+
+    /// Stable lowercase name (flag value, event/counter field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModeKind::Off => "off",
+            ModeKind::Checkpoint => "checkpoint",
+            ModeKind::Dmr => "dmr",
+            ModeKind::Backup => "backup",
+        }
+    }
+
+    /// Parse a `--mode` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        ModeKind::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// Everything a reliability-mode run is parameterized by. Hashed into
+/// cache keys, so any change to the plan re-simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityPlan {
+    /// The active mode.
+    pub mode: ModeKind,
+    /// Checkpoint interval in ticks (checkpoint mode).
+    pub ckpt_interval: u64,
+    /// Ticks charged per checkpoint taken (capture overhead).
+    pub ckpt_overhead_ticks: u64,
+    /// Number of single-bit faults to inject over the run.
+    pub faults: u64,
+    /// Campaign RNG seed (one stream for the whole run).
+    pub fault_seed: u64,
+    /// Fault-guarantee budget per scheduling quantum (backup mode).
+    pub k: u32,
+}
+
+impl Default for ReliabilityPlan {
+    fn default() -> Self {
+        ReliabilityPlan {
+            mode: ModeKind::Off,
+            ckpt_interval: 50_000,
+            ckpt_overhead_ticks: 500,
+            faults: 0,
+            fault_seed: 0x5eed_fa57,
+            k: 1,
+        }
+    }
+}
+
+impl ReliabilityPlan {
+    /// A plan running `mode` with `faults` injections, other knobs at
+    /// their defaults.
+    pub fn new(mode: ModeKind, faults: u64) -> Self {
+        ReliabilityPlan {
+            mode,
+            faults,
+            ..ReliabilityPlan::default()
+        }
+    }
+}
+
+/// One classified fault of a run's campaign, in strike-tick order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassifiedFault {
+    /// The raw draw.
+    pub fault: RawFault,
+    /// Whether the strike hit ACE state (occupancy test).
+    pub ace_hit: bool,
+    /// How it ended under the active mode.
+    pub outcome: FaultOutcome,
+}
+
+/// Outcome totals of one run's fault campaign, attached to
+/// [`crate::RunResult`] and serialized into artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Active mode name ([`ModeKind::name`]).
+    pub mode: String,
+    /// Fault-guarantee budget (backup mode; echoed for all modes).
+    pub k: u32,
+    /// Faults injected.
+    pub faults: u64,
+    /// Strikes that hit non-ACE state.
+    pub masked: u64,
+    /// ACE hits recovered by checkpoint rollback.
+    pub recovered_rollback: u64,
+    /// ACE hits recovered by a replica or backup.
+    pub recovered_replica: u64,
+    /// ACE hits that reached committed state.
+    pub sdc: u64,
+    /// Checkpoints taken over the run (checkpoint mode).
+    pub checkpoints: u64,
+    /// Ticks spent capturing checkpoints (`checkpoints ×
+    /// ckpt_overhead_ticks`).
+    pub ckpt_overhead_ticks: u64,
+    /// Ticks re-executed recovering from rollbacks.
+    pub reexec_ticks: u64,
+}
+
+impl ReliabilityReport {
+    /// ACE hits (everything that needed handling).
+    pub fn ace_hits(&self) -> u64 {
+        self.recovered_rollback + self.recovered_replica + self.sdc
+    }
+
+    /// Total recovery/protection overhead in ticks, to be charged to
+    /// throughput and energy.
+    pub fn overhead_ticks(&self) -> u64 {
+        self.ckpt_overhead_ticks + self.reexec_ticks
+    }
+}
+
+/// Average ACE-bit occupancy (fraction of the core's bits holding ACE
+/// state) of `core` during the segment covering `tick`, from the run
+/// timeline. Segments are contiguous and sorted by start, so a binary
+/// search finds the covering segment.
+fn occupancy(timeline: &[SegmentRecord], core: usize, tick: u64, core_bits: u64) -> f64 {
+    if core_bits == 0 {
+        return 0.0;
+    }
+    let idx = match timeline.binary_search_by(|seg| seg.start.cmp(&tick)) {
+        Ok(i) => i,
+        Err(0) => return 0.0,
+        Err(i) => i - 1,
+    };
+    let seg = &timeline[idx];
+    if tick >= seg.start + seg.ticks || core >= seg.mapping.len() {
+        return 0.0;
+    }
+    let app = seg.mapping[core];
+    let abc = seg.app_abc.get(app).copied().unwrap_or(0.0);
+    (abc / (seg.ticks as f64 * core_bits as f64)).clamp(0.0, 1.0)
+}
+
+/// Classify a whole campaign against a finished run.
+///
+/// Faults are drawn from the plan's single seeded stream, then processed
+/// in strike-tick order (ties broken by injection index) — the order a
+/// hardware detector would see them, and the order the per-quantum
+/// `k`-budget of backup mode consumes them in. Pure function of its
+/// arguments; `core_bits[c]` is core `c`'s total bit count.
+pub fn classify(
+    plan: &ReliabilityPlan,
+    duration: u64,
+    quantum_ticks: u64,
+    timeline: &[SegmentRecord],
+    core_bits: &[u64],
+) -> (ReliabilityReport, Vec<ClassifiedFault>) {
+    let mut report = ReliabilityReport {
+        mode: plan.mode.name().to_string(),
+        k: plan.k,
+        faults: plan.faults,
+        masked: 0,
+        recovered_rollback: 0,
+        recovered_replica: 0,
+        sdc: 0,
+        checkpoints: 0,
+        ckpt_overhead_ticks: 0,
+        reexec_ticks: 0,
+    };
+    if plan.mode == ModeKind::Checkpoint && duration > 0 {
+        // One checkpoint at tick 0 plus one per full interval boundary
+        // inside the run.
+        report.checkpoints = 1 + (duration - 1) / plan.ckpt_interval.max(1);
+        report.ckpt_overhead_ticks = report.checkpoints * plan.ckpt_overhead_ticks;
+    }
+    if plan.faults == 0 || duration == 0 || core_bits.is_empty() {
+        return (report, Vec::new());
+    }
+
+    let mut faults = draw_campaign(duration, core_bits.len(), plan.faults, plan.fault_seed);
+    faults.sort_by_key(|f| (f.tick, f.injection));
+
+    let quantum = quantum_ticks.max(1);
+    let mut budget_quantum = u64::MAX;
+    let mut budget_left = 0u64;
+    let classified: Vec<ClassifiedFault> = faults
+        .into_iter()
+        .map(|fault| {
+            let occ = occupancy(timeline, fault.core, fault.tick, core_bits[fault.core]);
+            let ace_hit = fault.hit_draw < occ;
+            let outcome = if !ace_hit {
+                FaultOutcome::Masked
+            } else {
+                match plan.mode {
+                    ModeKind::Off => FaultOutcome::Sdc,
+                    ModeKind::Checkpoint => {
+                        report.reexec_ticks += fault.tick % plan.ckpt_interval.max(1);
+                        FaultOutcome::RecoveredByRollback
+                    }
+                    ModeKind::Dmr => FaultOutcome::RecoveredByReplica,
+                    ModeKind::Backup => {
+                        let q = fault.tick / quantum;
+                        if q != budget_quantum {
+                            budget_quantum = q;
+                            budget_left = u64::from(plan.k);
+                        }
+                        if budget_left > 0 {
+                            budget_left -= 1;
+                            FaultOutcome::RecoveredByReplica
+                        } else {
+                            FaultOutcome::Sdc
+                        }
+                    }
+                }
+            };
+            match outcome {
+                FaultOutcome::Masked => report.masked += 1,
+                FaultOutcome::RecoveredByRollback => report.recovered_rollback += 1,
+                FaultOutcome::RecoveredByReplica => report.recovered_replica += 1,
+                FaultOutcome::Sdc => report.sdc += 1,
+            }
+            ClassifiedFault {
+                fault,
+                ace_hit,
+                outcome,
+            }
+        })
+        .collect();
+    (report, classified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_timeline(duration: u64, cores: usize, abc_per_tick: f64) -> Vec<SegmentRecord> {
+        // One segment covering the whole run, identity mapping, every app
+        // accumulating `abc_per_tick × duration` ACE bit-time.
+        vec![SegmentRecord {
+            start: 0,
+            ticks: duration,
+            mapping: (0..cores).collect(),
+            is_sampling: false,
+            app_abc: vec![abc_per_tick * duration as f64; cores],
+            app_instructions: vec![duration; cores],
+        }]
+    }
+
+    fn plan(mode: ModeKind, faults: u64) -> ReliabilityPlan {
+        ReliabilityPlan {
+            mode,
+            faults,
+            ..ReliabilityPlan::default()
+        }
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in ModeKind::ALL {
+            assert_eq!(ModeKind::parse(m.name()), Some(m));
+        }
+        assert_eq!(ModeKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn off_mode_turns_every_ace_hit_into_sdc() {
+        let t = flat_timeline(100_000, 2, 400.0);
+        let (r, faults) = classify(
+            &plan(ModeKind::Off, 2_000),
+            100_000,
+            10_000,
+            &t,
+            &[800, 800],
+        );
+        // Occupancy is 0.5 everywhere, so roughly half the strikes hit.
+        assert_eq!(r.faults, 2_000);
+        assert_eq!(r.masked + r.sdc, 2_000);
+        assert!(r.sdc > 500, "sdc = {}", r.sdc);
+        assert_eq!(r.recovered_rollback + r.recovered_replica, 0);
+        assert!(faults
+            .windows(2)
+            .all(|w| w[0].fault.tick <= w[1].fault.tick));
+    }
+
+    #[test]
+    fn checkpoint_and_dmr_recover_every_hit() {
+        let t = flat_timeline(100_000, 2, 400.0);
+        let bits = [800u64, 800];
+        let off = classify(&plan(ModeKind::Off, 2_000), 100_000, 10_000, &t, &bits).0;
+        let ck = classify(
+            &plan(ModeKind::Checkpoint, 2_000),
+            100_000,
+            10_000,
+            &t,
+            &bits,
+        )
+        .0;
+        let dmr = classify(&plan(ModeKind::Dmr, 2_000), 100_000, 10_000, &t, &bits).0;
+        // Same seed, same draws: the hit set is identical across modes.
+        assert_eq!(ck.ace_hits(), off.sdc);
+        assert_eq!(dmr.ace_hits(), off.sdc);
+        assert_eq!(ck.sdc, 0);
+        assert_eq!(dmr.sdc, 0);
+        assert_eq!(ck.recovered_rollback, ck.ace_hits());
+        assert_eq!(dmr.recovered_replica, dmr.ace_hits());
+        assert!(ck.reexec_ticks > 0);
+        assert!(ck.checkpoints >= 2);
+        assert!(ck.ckpt_overhead_ticks >= ck.checkpoints * 500);
+    }
+
+    #[test]
+    fn backup_mode_honors_the_k_budget_per_quantum() {
+        let t = flat_timeline(100_000, 2, 800.0); // occupancy 1.0: every strike hits
+        let bits = [800u64, 800];
+        let p = ReliabilityPlan {
+            k: 1,
+            ..plan(ModeKind::Backup, 300)
+        };
+        let (r, faults) = classify(&p, 100_000, 10_000, &t, &bits);
+        assert_eq!(r.masked, 0);
+        // Exactly one recovery per quantum that saw any hit.
+        let mut quanta_hit = std::collections::BTreeMap::new();
+        for f in &faults {
+            *quanta_hit.entry(f.fault.tick / 10_000).or_insert(0u64) += 1;
+        }
+        let expected_recovered = quanta_hit.len() as u64;
+        let expected_sdc: u64 = quanta_hit.values().map(|&n| n - 1).sum();
+        assert_eq!(r.recovered_replica, expected_recovered);
+        assert_eq!(r.sdc, expected_sdc);
+        assert!(r.sdc > 0, "300 faults over 10 quanta must overflow k=1");
+        // And within each quantum, the *earliest* hit is the recovered one.
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &faults {
+            let q = f.fault.tick / 10_000;
+            if seen.insert(q) {
+                assert_eq!(f.outcome, FaultOutcome::RecoveredByReplica);
+            } else {
+                assert_eq!(f.outcome, FaultOutcome::Sdc);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let t = flat_timeline(50_000, 4, 300.0);
+        let bits = [900u64; 4];
+        let a = classify(&plan(ModeKind::Checkpoint, 1_000), 50_000, 5_000, &t, &bits);
+        let b = classify(&plan(ModeKind::Checkpoint, 1_000), 50_000, 5_000, &t, &bits);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = classify(
+            &ReliabilityPlan {
+                fault_seed: 99,
+                ..plan(ModeKind::Checkpoint, 1_000)
+            },
+            50_000,
+            5_000,
+            &t,
+            &bits,
+        );
+        assert_ne!(a.0, c.0, "a different seed draws a different campaign");
+    }
+
+    #[test]
+    fn zero_faults_still_reports_checkpoint_overhead() {
+        let t = flat_timeline(100_000, 1, 0.0);
+        let (r, faults) = classify(&plan(ModeKind::Checkpoint, 0), 100_000, 10_000, &t, &[800]);
+        assert!(faults.is_empty());
+        assert_eq!(r.faults, 0);
+        assert_eq!(r.checkpoints, 2); // tick 0 + boundary at 50_000
+        assert_eq!(r.ckpt_overhead_ticks, 1_000);
+    }
+
+    #[test]
+    fn occupancy_outside_timeline_is_zero() {
+        let t = flat_timeline(10_000, 1, 400.0);
+        assert_eq!(occupancy(&t, 0, 20_000, 800), 0.0);
+        assert_eq!(occupancy(&[], 0, 5, 800), 0.0);
+        assert!(occupancy(&t, 0, 5_000, 800) > 0.0);
+    }
+}

@@ -964,3 +964,258 @@ mod static_tests {
         let _ = StaticScheduler::from_oracle(&[0, 1], &kinds, 100);
     }
 }
+
+// ---------------------------------------------------------------- backup
+
+/// The backup-aware scheduler (DESIGN.md §15): place the applications
+/// whose state is most vulnerable where the k-fault recovery guarantee
+/// protects them.
+///
+/// Under the backup reliability mode ([`crate::ModeKind::Backup`]) the
+/// small cores double as backup/compare partners: an ACE-hitting fault on
+/// a protected application is recovered by its backup, up to `k` faults
+/// per scheduling quantum. This scheduler samples every application on
+/// both core types (same rotation phase as [`SamplingScheduler`]), then
+/// deterministically pins the highest-ABC applications — the ones most
+/// likely to turn a strike into an SDC — onto the protected small cores,
+/// ordered by observed big-core ACE bit-rate (ties broken by application
+/// index, so the mapping is a pure function of the observations).
+#[derive(Debug)]
+pub struct BackupScheduler {
+    core_kinds: Vec<CoreKind>,
+    quantum_ticks: u64,
+    /// Number of faults per quantum the backup arrangement must absorb.
+    k: u32,
+    apps: Vec<AppState>,
+    init_rotation: usize,
+    last_was_sampling: bool,
+    last_decision: Option<DecisionInfo>,
+}
+
+impl BackupScheduler {
+    /// Build a backup-aware scheduler honoring a `k`-fault guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no cores.
+    pub fn new(core_kinds: Vec<CoreKind>, quantum_ticks: u64, k: u32) -> Self {
+        assert!(!core_kinds.is_empty(), "need at least one core");
+        let n = core_kinds.len();
+        BackupScheduler {
+            core_kinds,
+            quantum_ticks,
+            k,
+            apps: vec![AppState::default(); n],
+            init_rotation: 0,
+            last_was_sampling: false,
+            last_decision: None,
+        }
+    }
+
+    /// The configured fault-guarantee budget.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    fn fully_sampled(&self) -> bool {
+        // A homogeneous layout can only ever sample one type; require
+        // whatever types actually exist.
+        let has = |kind: CoreKind| self.core_kinds.contains(&kind);
+        self.apps.iter().all(|a| {
+            (!has(CoreKind::Big) || a.samples[0].valid)
+                && (!has(CoreKind::Small) || a.samples[1].valid)
+        })
+    }
+
+    fn rotated_mapping(&self, k: usize) -> Vec<usize> {
+        let n = self.core_kinds.len();
+        (0..n).map(|core| (core + k) % n).collect()
+    }
+
+    /// The deterministic protected placement: applications in descending
+    /// big-core ABC-rate order fill the small (protected) cores first,
+    /// the remainder fill the big cores, both in core-index order.
+    fn protected_mapping(&self) -> Vec<usize> {
+        let n = self.core_kinds.len();
+        let mut by_vuln: Vec<usize> = (0..n).collect();
+        by_vuln.sort_by(|&a, &b| {
+            let ra = self.apps[a].samples[0].abc_rate;
+            let rb = self.apps[b].samples[0].abc_rate;
+            rb.partial_cmp(&ra)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut mapping = vec![usize::MAX; n];
+        let mut next = by_vuln.into_iter();
+        for (core, kind) in self.core_kinds.iter().enumerate() {
+            if *kind == CoreKind::Small {
+                mapping[core] = next.next().expect("one app per core");
+            }
+        }
+        for (core, kind) in self.core_kinds.iter().enumerate() {
+            if *kind == CoreKind::Big {
+                mapping[core] = next.next().expect("one app per core");
+            }
+        }
+        mapping
+    }
+}
+
+impl Scheduler for BackupScheduler {
+    fn name(&self) -> &'static str {
+        "backup-aware"
+    }
+
+    fn next_segment(&mut self) -> Segment {
+        if !self.fully_sampled() {
+            let mapping = self.rotated_mapping(self.init_rotation);
+            self.last_decision = Some(DecisionInfo {
+                mapping: mapping.clone(),
+                predicted_objective: None,
+                baseline_objective: None,
+                reason: format!("initial sampling rotation {}", self.init_rotation),
+            });
+            self.init_rotation += 1;
+            self.last_was_sampling = true;
+            return Segment {
+                mapping,
+                ticks: ((self.quantum_ticks / 10).max(1)).min(self.quantum_ticks),
+                is_sampling: true,
+            };
+        }
+        let mapping = self.protected_mapping();
+        self.last_decision = Some(DecisionInfo {
+            mapping: mapping.clone(),
+            predicted_objective: None,
+            baseline_objective: None,
+            reason: format!(
+                "protect the most vulnerable applications on backup cores (k={})",
+                self.k
+            ),
+        });
+        self.last_was_sampling = false;
+        Segment {
+            mapping,
+            ticks: self.quantum_ticks,
+            is_sampling: false,
+        }
+    }
+
+    fn observe(&mut self, obs: &[SegmentObservation]) {
+        for o in obs {
+            if o.active_ticks == 0 {
+                continue;
+            }
+            let slot = &mut self.apps[o.app].samples[type_index(o.kind)];
+            let (new_ips, new_abc) = (
+                o.instructions as f64 / o.active_ticks as f64,
+                o.abc / o.active_ticks as f64,
+            );
+            if slot.valid {
+                // Blend like the sampling scheduler's default so steady
+                // state stays stable under noisy observations.
+                slot.ips = 0.6 * new_ips + 0.4 * slot.ips;
+                slot.abc_rate = 0.6 * new_abc + 0.4 * slot.abc_rate;
+            } else {
+                *slot = Sample {
+                    ips: new_ips,
+                    abc_rate: new_abc,
+                    valid: true,
+                };
+            }
+        }
+    }
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        self.last_decision.clone()
+    }
+}
+
+#[cfg(test)]
+mod backup_tests {
+    use super::*;
+
+    #[test]
+    fn protects_the_most_vulnerable_apps_on_small_cores() {
+        let kinds = vec![
+            CoreKind::Big,
+            CoreKind::Big,
+            CoreKind::Small,
+            CoreKind::Small,
+        ];
+        let mut s = BackupScheduler::new(kinds.clone(), 10_000, 1);
+        // profiles[app] = (big_ips, big_abc, small_ips, small_abc)
+        let profiles = [
+            (1.0, 100.0, 0.5, 10.0),
+            (1.0, 20.0, 0.5, 5.0),
+            (1.0, 90.0, 0.5, 9.0),
+            (1.0, 30.0, 0.5, 6.0),
+        ];
+        let mut last = Vec::new();
+        for _ in 0..20 {
+            let seg = s.next_segment();
+            let obs: Vec<SegmentObservation> = seg
+                .mapping
+                .iter()
+                .enumerate()
+                .map(|(core, &app)| {
+                    let (bi, ba, si, sa) = profiles[app];
+                    let (ips, abc) = match kinds[core] {
+                        CoreKind::Big => (bi, ba),
+                        CoreKind::Small => (si, sa),
+                    };
+                    SegmentObservation {
+                        app,
+                        core,
+                        kind: kinds[core],
+                        ticks: seg.ticks,
+                        active_ticks: seg.ticks,
+                        instructions: (ips * seg.ticks as f64) as u64,
+                        abc: abc * seg.ticks as f64,
+                        cpi: CpiStack::default(),
+                    }
+                })
+                .collect();
+            s.observe(&obs);
+            if !seg.is_sampling {
+                last = seg.mapping;
+            }
+        }
+        // Apps 0 and 2 have the highest big-core ABC: they belong on the
+        // protected small cores (cores 2 and 3).
+        assert_eq!(last[2], 0, "most vulnerable app on the first small core");
+        assert_eq!(last[3], 2);
+        assert!(last[..2].contains(&1) && last[..2].contains(&3));
+    }
+
+    #[test]
+    fn settled_mapping_is_deterministic() {
+        let kinds = vec![CoreKind::Big, CoreKind::Small];
+        let run = || {
+            let mut s = BackupScheduler::new(kinds.clone(), 5_000, 2);
+            let mut maps = Vec::new();
+            for round in 0..10 {
+                let seg = s.next_segment();
+                let obs: Vec<SegmentObservation> = seg
+                    .mapping
+                    .iter()
+                    .enumerate()
+                    .map(|(core, &app)| SegmentObservation {
+                        app,
+                        core,
+                        kind: kinds[core],
+                        ticks: seg.ticks,
+                        active_ticks: seg.ticks,
+                        instructions: 100 + app as u64 + round,
+                        abc: 50.0 * (app + 1) as f64,
+                        cpi: CpiStack::default(),
+                    })
+                    .collect();
+                s.observe(&obs);
+                maps.push(seg.mapping);
+            }
+            maps
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -6,6 +6,7 @@
 //! attributes per-segment statistics to applications, and produces a
 //! [`RunResult`] from which SSER, STP and power are computed.
 
+use crate::reliability::{classify, ReliabilityPlan, ReliabilityReport};
 use crate::sampling::{self, ErrorEstimator, SamplingConfig, SamplingReport};
 use crate::sched::{Scheduler, SegmentObservation};
 use crate::skip;
@@ -212,6 +213,10 @@ pub struct RunResult {
     /// sampling engine).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sampling: Option<SamplingReport>,
+    /// Fault-campaign outcome totals (present only when the run executed
+    /// under a reliability plan; see DESIGN.md §15).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub reliability: Option<ReliabilityReport>,
 }
 
 /// Feeds one core's retirement events to both counter sets.
@@ -250,6 +255,9 @@ pub struct System {
     /// Event-horizon cycle skipping in detailed windows (DESIGN.md §11).
     /// Byte-identical to the plain tick loop, so on by default.
     skip: bool,
+    /// Active reliability mode + fault campaign; `None` skips the
+    /// post-run classification entirely (DESIGN.md §15).
+    reliability: Option<ReliabilityPlan>,
     now: u64,
 }
 
@@ -313,6 +321,7 @@ impl System {
             measure_start: vec![0; n],
             sampling: sampling::default_config(),
             skip: skip::default_enabled(),
+            reliability: None,
             cfg,
             now: 0,
         }
@@ -349,6 +358,20 @@ impl System {
     /// Whether event-horizon cycle skipping is enabled.
     pub fn skip_enabled(&self) -> bool {
         self.skip
+    }
+
+    /// Set the reliability plan for this system's runs (`None` disables
+    /// the fault campaign). The plan classifies a deterministic fault
+    /// campaign against the finished run's timeline — it never perturbs
+    /// the tick loop, so a reliability run's simulation is byte-identical
+    /// to a plain run of the same workload.
+    pub fn set_reliability(&mut self, plan: Option<ReliabilityPlan>) {
+        self.reliability = plan;
+    }
+
+    /// The active reliability plan, if any.
+    pub fn reliability(&self) -> Option<ReliabilityPlan> {
+        self.reliability
     }
 
     /// Run under `scheduler` for `duration` ticks and report the outcome.
@@ -903,6 +926,20 @@ impl System {
             ipc_rel_stderr: est_ipc.rel_stderr(),
             abc_rel_stderr: est_abc.rel_stderr(),
         });
+        // Classify the reliability-mode fault campaign against the
+        // finished timeline (pure post-run step; see DESIGN.md §15).
+        let reliability_outcome = self.reliability.map(|plan| {
+            let core_bits: Vec<u64> = self.cfg.cores.iter().map(|c| c.total_bits()).collect();
+            timers.time(Phase::Metrics, || {
+                classify(
+                    &plan,
+                    duration,
+                    self.cfg.quantum_ticks,
+                    &timeline,
+                    &core_bits,
+                )
+            })
+        });
         let result = timers.time(Phase::Metrics, || {
             let apps: Vec<AppRunStats> = self
                 .apps
@@ -942,6 +979,7 @@ impl System {
                 timeline,
                 migrations: migrations_total,
                 sampling: sampling_report.clone(),
+                reliability: reliability_outcome.as_ref().map(|(r, _)| r.clone()),
             }
         });
         // Cumulative-totals counters (core cycles/instructions, cache and
@@ -965,6 +1003,39 @@ impl System {
                 ipc_rel_stderr: r.ipc_rel_stderr,
                 abc_rel_stderr: r.abc_rel_stderr,
             });
+        }
+        if let Some((report, faults)) = &reliability_outcome {
+            for f in faults {
+                sink.emit(&Event::FaultInjected {
+                    tick: f.fault.tick,
+                    injection: f.fault.injection,
+                    structure: format!("core{}", f.fault.core),
+                    outcome: f.outcome.name().to_string(),
+                });
+            }
+            sink.emit(&Event::ReliabilitySummary {
+                tick: self.now,
+                mode: report.mode.clone(),
+                faults: report.faults,
+                masked: report.masked,
+                recovered_rollback: report.recovered_rollback,
+                recovered_replica: report.recovered_replica,
+                sdc: report.sdc,
+                overhead_ticks: report.overhead_ticks(),
+            });
+            for (name, value) in [
+                ("reliability.faults", report.faults),
+                ("reliability.masked", report.masked),
+                ("reliability.recovered_rollback", report.recovered_rollback),
+                ("reliability.recovered_replica", report.recovered_replica),
+                ("reliability.sdc", report.sdc),
+                ("reliability.checkpoints", report.checkpoints),
+                ("reliability.reexec_ticks", report.reexec_ticks),
+                ("reliability.overhead_ticks", report.overhead_ticks()),
+            ] {
+                let c = recorder.counter(name);
+                recorder.add(c, value);
+            }
         }
         sink.emit(&Event::RunEnd {
             tick: self.now,

@@ -13,7 +13,7 @@ use relsim_trace::InstrSource;
 /// The multicore `System` in the `relsim` crate holds a `Vec<Core>` and
 /// steps every core each tick; dispatching through this enum avoids dynamic
 /// allocation and keeps the hot loop monomorphic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Core {
     /// Big out-of-order core.
     Big(OooCore),

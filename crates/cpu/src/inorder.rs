@@ -52,7 +52,7 @@ struct PipeEntry {
 /// }
 /// assert!(core.committed() > 0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InorderCore {
     cfg: CoreConfig,
     caches: PrivateCaches,

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod core;
 mod cpi;
@@ -45,6 +46,7 @@ mod inorder;
 mod ooo;
 
 pub use crate::core::Core;
+pub use checkpoint::{Checkpoint, StateDigest};
 pub use config::{BitWidths, CoreConfig, CoreKind, FuConfig};
 pub use cpi::{CpiStack, StallCause, CPI_COMPONENT_NAMES};
 pub use events::{NullObserver, RecordingObserver, RetireEvent, RetireObserver};

@@ -80,7 +80,7 @@ struct Fetched {
 /// }
 /// assert!(core.committed() > 0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OooCore {
     cfg: CoreConfig,
     caches: PrivateCaches,

@@ -36,5 +36,7 @@ mod reliability;
 mod throughput;
 
 pub use aggregate::{arithmetic_mean, geometric_mean, harmonic_mean, normalize_to};
-pub use reliability::{ser, slowdown, sser, wser, AppOutcome};
+pub use reliability::{
+    recovery_slowdown, residual_fraction, ser, slowdown, sser, wser, AppOutcome,
+};
 pub use throughput::{antt, stp, AppProgress};

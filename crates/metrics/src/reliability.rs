@@ -96,6 +96,45 @@ pub fn sser(apps: &[AppOutcome], ifr: f64) -> f64 {
     apps.iter().map(|a| wser(a.abc, a.time_ref, ifr)).sum()
 }
 
+/// Runtime dilation from reliability-mode overhead: how much longer a run
+/// takes once checkpoint-capture cycles and rollback re-execution are
+/// charged — `(duration + overhead) / duration`, always ≥ 1 for valid
+/// input. `NaN` when `duration` is zero (no run to dilate), matching the
+/// NaN hygiene of the other metrics in this module.
+///
+/// # Examples
+///
+/// ```
+/// assert!((relsim_metrics::recovery_slowdown(1_000, 250) - 1.25).abs() < 1e-12);
+/// assert!((relsim_metrics::recovery_slowdown(1_000, 0) - 1.0).abs() < 1e-12);
+/// ```
+pub fn recovery_slowdown(duration_ticks: u64, overhead_ticks: u64) -> f64 {
+    if duration_ticks == 0 {
+        return f64::NAN;
+    }
+    (duration_ticks + overhead_ticks) as f64 / duration_ticks as f64
+}
+
+/// Fraction of architecturally-visible (ACE) fault hits that escape a
+/// reliability mode as silent data corruptions: `sdc / ace_hits`, in
+/// `[0, 1]`. With no ACE hits there is nothing to escape, so the residual
+/// is 0 regardless of mode. An effective (post-masking) SSER is the raw
+/// SSER scaled by this fraction — a mode that recovers every hit drives
+/// the system soft error rate to zero at the price of
+/// [`recovery_slowdown`].
+///
+/// # Panics
+///
+/// Panics if `sdc > ace_hits` — an SDC by definition *was* an ACE hit, so
+/// this indicates corrupted accounting upstream.
+pub fn residual_fraction(sdc: u64, ace_hits: u64) -> f64 {
+    assert!(sdc <= ace_hits, "SDC count cannot exceed ACE hits");
+    if ace_hits == 0 {
+        return 0.0;
+    }
+    sdc as f64 / ace_hits as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +236,27 @@ mod tests {
             time_ref: 1.0,
         };
         assert!((sser(&[a, b], 1.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_slowdown_dilates_runtime() {
+        assert!((recovery_slowdown(200_000, 50_000) - 1.25).abs() < 1e-12);
+        assert!((recovery_slowdown(200_000, 0) - 1.0).abs() < 1e-12);
+        assert!(recovery_slowdown(0, 10).is_nan(), "empty run is invalid");
+    }
+
+    #[test]
+    fn residual_fraction_bounds() {
+        assert_eq!(residual_fraction(0, 0), 0.0, "no hits, nothing residual");
+        assert_eq!(residual_fraction(0, 40), 0.0, "full masking");
+        assert!((residual_fraction(10, 40) - 0.25).abs() < 1e-12);
+        assert!((residual_fraction(40, 40) - 1.0).abs() < 1e-12, "mode off");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn residual_fraction_rejects_impossible_counts() {
+        let _ = residual_fraction(5, 4);
     }
 
     #[test]

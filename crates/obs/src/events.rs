@@ -90,6 +90,19 @@ pub enum Event {
         structure: String,
         outcome: String,
     },
+    /// Outcome totals of a run's active fault campaign under a
+    /// reliability mode (DESIGN.md §15). Emitted after the per-fault
+    /// `FaultInjected` events, right before `RunEnd`.
+    ReliabilitySummary {
+        tick: u64,
+        mode: String,
+        faults: u64,
+        masked: u64,
+        recovered_rollback: u64,
+        recovered_replica: u64,
+        sdc: u64,
+        overhead_ticks: u64,
+    },
     /// A parallel experiment job panicked. The pool catches the panic,
     /// records this event at the job's grid position, and lets the
     /// remaining jobs finish.
@@ -136,6 +149,7 @@ impl Event {
             | Event::SamplingPlan { tick, .. }
             | Event::SamplingSummary { tick, .. }
             | Event::FaultInjected { tick, .. }
+            | Event::ReliabilitySummary { tick, .. }
             | Event::JobFailed { tick, .. }
             | Event::CacheHit { tick, .. }
             | Event::CacheMiss { tick, .. }
@@ -155,6 +169,7 @@ impl Event {
             Event::SamplingPlan { .. } => "SamplingPlan",
             Event::SamplingSummary { .. } => "SamplingSummary",
             Event::FaultInjected { .. } => "FaultInjected",
+            Event::ReliabilitySummary { .. } => "ReliabilitySummary",
             Event::JobFailed { .. } => "JobFailed",
             Event::CacheHit { .. } => "CacheHit",
             Event::CacheMiss { .. } => "CacheMiss",
@@ -333,6 +348,16 @@ mod tests {
                 windows: 12,
                 ipc_rel_stderr: 0.013,
                 abc_rel_stderr: 0.021,
+            },
+            Event::ReliabilitySummary {
+                tick: 100_000,
+                mode: "checkpoint".into(),
+                faults: 1_000,
+                masked: 600,
+                recovered_rollback: 400,
+                recovered_replica: 0,
+                sdc: 0,
+                overhead_ticks: 12_345,
             },
             Event::RunEnd {
                 tick: 100_000,

@@ -181,6 +181,22 @@ impl PowerModel {
             + a.l2_accesses as f64 * self.l2_energy
     }
 
+    /// Energy charged to reliability-mode overhead ticks on one core
+    /// (joules): checkpoint capture and rollback re-execution keep the
+    /// core clocked and its back end live, so each overhead tick costs
+    /// the core's static power plus its busy-cycle dynamic energy. The
+    /// marginal per-instruction energies are *not* charged — re-executed
+    /// instructions already re-enter the activity counters when the
+    /// replayed window is simulated.
+    pub fn overhead_energy(&self, kind: CoreKind, overhead_ticks: u64) -> f64 {
+        let epc = match kind {
+            CoreKind::Big => self.big_busy_epc,
+            CoreKind::Small => self.small_busy_epc,
+        };
+        let seconds = overhead_ticks as f64 * self.tick_seconds;
+        self.core_static_watts(kind) * seconds + overhead_ticks as f64 * epc
+    }
+
     /// Static power of one core (watts).
     pub fn core_static_watts(&self, kind: CoreKind) -> f64 {
         match kind {
@@ -296,6 +312,20 @@ mod tests {
         assert!(r.ed2p(1.0, 1e6) / r.ed2p(1.0, 2e6) > slow / fast);
         assert!(r.edp(1.0, 0.0).is_infinite());
         assert!(r.ed2p(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn overhead_energy_scales_with_ticks_and_kind() {
+        let m = PowerModel::default();
+        assert_eq!(m.overhead_energy(CoreKind::Big, 0), 0.0);
+        let one = m.overhead_energy(CoreKind::Big, 1_000_000);
+        let two = m.overhead_energy(CoreKind::Big, 2_000_000);
+        assert!((two - 2.0 * one).abs() < 1e-12, "linear in overhead ticks");
+        assert!(
+            m.overhead_energy(CoreKind::Big, 1_000_000)
+                > m.overhead_energy(CoreKind::Small, 1_000_000),
+            "big-core overhead costs more"
+        );
     }
 
     #[test]

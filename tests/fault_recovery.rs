@@ -1,0 +1,261 @@
+//! Fault-masking recovery suite (DESIGN.md §15).
+//!
+//! Proves, end to end, that the reliability modes recover exactly the
+//! faults the unprotected baseline lets through — on the *same* seeded
+//! campaign and the *same* timeline — and that checkpoint rollback on a
+//! live core restores bit-identical committed state (restore + replay is
+//! an identity on the deterministic model).
+
+use proptest::prelude::*;
+use relsim::reliability::classify;
+use relsim::{
+    AppSpec, ModeKind, RandomScheduler, ReliabilityPlan, ReliabilityReport, RunResult,
+    SegmentRecord, System, SystemConfig,
+};
+use relsim_ace::live::{run_checkpointed, FaultOutcome};
+use relsim_cpu::CoreConfig;
+use relsim_obs::{EventSink, JsonlSink, RunObs};
+use std::collections::BTreeMap;
+
+/// At least 1000 faults per run, per the Figure 13 acceptance bound.
+const FAULTS: u64 = 1_200;
+const DURATION: u64 = 120_000;
+const QUANTUM: u64 = 10_000;
+
+fn plan(mode: ModeKind) -> ReliabilityPlan {
+    ReliabilityPlan {
+        ckpt_interval: QUANTUM,
+        ..ReliabilityPlan::new(mode, FAULTS)
+    }
+}
+
+/// Run the standard 2B2S campaign workload under `plan`. Every mode uses
+/// the same scheduler seed and the same app seeds, and classification is
+/// a pure post-run function, so the timeline — and therefore the set of
+/// ACE hits — is identical across modes: recovery counts can be compared
+/// exactly, not just statistically.
+fn run_mode(plan: ReliabilityPlan) -> RunResult {
+    let cfg = SystemConfig {
+        quantum_ticks: QUANTUM,
+        ..SystemConfig::hcmp(2, 2)
+    };
+    let kinds = cfg.core_kinds();
+    let specs: Vec<AppSpec> = ["milc", "hmmer", "gobmk", "mcf"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, i as u64 + 1))
+        .collect();
+    let mut sys = System::new(cfg, &specs);
+    sys.set_reliability(Some(plan));
+    let mut sched = RandomScheduler::new(kinds, QUANTUM, 7);
+    sys.run(&mut sched, DURATION)
+}
+
+fn report(plan: ReliabilityPlan) -> ReliabilityReport {
+    run_mode(plan)
+        .reliability
+        .expect("reliability plan was set")
+}
+
+#[test]
+fn modes_recover_exactly_the_faults_the_baseline_lets_through() {
+    let off = report(plan(ModeKind::Off));
+    assert_eq!(off.faults, FAULTS);
+    assert_eq!(off.masked + off.sdc, FAULTS);
+    assert_eq!(off.recovered_rollback + off.recovered_replica, 0);
+    assert!(
+        off.sdc > 0,
+        "the unprotected baseline must show unmasked faults: {off:?}"
+    );
+
+    let ck = report(plan(ModeKind::Checkpoint));
+    assert_eq!(ck.sdc, 0, "checkpoint mode must mask every ACE hit");
+    assert_eq!(
+        ck.recovered_rollback, off.sdc,
+        "same campaign, same timeline: every baseline SDC rolls back"
+    );
+    assert_eq!(ck.masked, off.masked);
+    assert!(ck.checkpoints > 0, "checkpoint mode takes checkpoints");
+    assert!(
+        ck.overhead_ticks() > 0,
+        "recovery is not free: capture + re-execution must be charged"
+    );
+
+    let dmr = report(plan(ModeKind::Dmr));
+    assert_eq!(dmr.sdc, 0, "DMR must mask every ACE hit at commit");
+    assert_eq!(
+        dmr.recovered_replica, off.sdc,
+        "same campaign, same timeline: every baseline SDC is caught by the replica"
+    );
+    assert_eq!(dmr.masked, off.masked);
+
+    let bk = report(plan(ModeKind::Backup));
+    assert_eq!(bk.recovered_replica + bk.sdc, off.sdc);
+    let quanta = DURATION / QUANTUM;
+    assert!(
+        bk.recovered_replica <= u64::from(bk.k) * quanta,
+        "backup recovery is bounded by k per quantum"
+    );
+    // The accelerated campaign overflows k=1 by construction, so backup
+    // sits strictly between the baseline and the full-recovery modes.
+    assert!(bk.sdc > 0 && bk.sdc < off.sdc, "backup: {bk:?} vs {off:?}");
+
+    // Raising k strengthens the guarantee on the identical campaign.
+    let bk4 = report(ReliabilityPlan {
+        k: 4,
+        ..plan(ModeKind::Backup)
+    });
+    assert!(bk4.sdc < bk.sdc, "k=4 must beat k=1: {bk4:?} vs {bk:?}");
+}
+
+#[test]
+fn campaign_is_deterministic_and_seed_sensitive() {
+    let a = report(plan(ModeKind::Checkpoint));
+    let b = report(plan(ModeKind::Checkpoint));
+    assert_eq!(a, b, "identical plan, identical report");
+    let c = report(ReliabilityPlan {
+        fault_seed: 0xdead_beef,
+        ..plan(ModeKind::Checkpoint)
+    });
+    assert_ne!(a, c, "a different fault seed draws a different campaign");
+}
+
+/// Run traced and return (JSONL event-log bytes, report), asserting the
+/// stream carries one `FaultInjected` per injection and one summary.
+fn traced_jsonl(plan: ReliabilityPlan) -> (Vec<u8>, ReliabilityReport) {
+    let cfg = SystemConfig {
+        quantum_ticks: QUANTUM,
+        ..SystemConfig::hcmp(2, 2)
+    };
+    let kinds = cfg.core_kinds();
+    let specs: Vec<AppSpec> = ["milc", "hmmer", "gobmk", "mcf"]
+        .iter()
+        .enumerate()
+        .map(|(i, n)| AppSpec::spec(n, i as u64 + 1))
+        .collect();
+    let mut sys = System::new(cfg, &specs);
+    sys.set_reliability(Some(plan));
+    let mut sched = RandomScheduler::new(kinds, QUANTUM, 7);
+    let mut obs = RunObs::buffered();
+    let r = sys.run_traced(&mut sched, DURATION, &mut obs);
+    let mut log = JsonlSink::new(Vec::new());
+    let (mut injected, mut summaries) = (0u64, 0u64);
+    for e in obs.sink.take_events().expect("buffered sink") {
+        match e.kind() {
+            "FaultInjected" => injected += 1,
+            "ReliabilitySummary" => summaries += 1,
+            _ => {}
+        }
+        log.emit(&e);
+    }
+    assert_eq!(injected, FAULTS, "one FaultInjected event per injection");
+    assert_eq!(summaries, 1, "exactly one ReliabilitySummary per run");
+    (
+        log.into_inner(),
+        r.reliability.expect("reliability plan was set"),
+    )
+}
+
+#[test]
+fn fault_event_stream_is_byte_identical_across_reruns() {
+    let (log_a, rep_a) = traced_jsonl(plan(ModeKind::Dmr));
+    let (log_b, rep_b) = traced_jsonl(plan(ModeKind::Dmr));
+    assert_eq!(rep_a, rep_b);
+    assert_eq!(log_a, log_b, "event log must be byte-identical on rerun");
+}
+
+/// One segment covering the whole run at full ACE occupancy: every drawn
+/// strike hits, so the k-budget arithmetic is exact.
+fn saturated_timeline(duration: u64, cores: usize, bits: u64) -> Vec<SegmentRecord> {
+    vec![SegmentRecord {
+        start: 0,
+        ticks: duration,
+        mapping: (0..cores).collect(),
+        is_sampling: false,
+        app_abc: vec![bits as f64 * duration as f64; cores],
+        app_instructions: vec![duration; cores],
+    }]
+}
+
+#[test]
+fn backup_k_budget_is_per_quantum_and_monotone_in_k() {
+    let bits = [800u64; 4];
+    let t = saturated_timeline(80_000, 4, 800);
+    let mut prev_sdc = u64::MAX;
+    for k in [1u32, 2, 4, 8] {
+        let p = ReliabilityPlan {
+            k,
+            ..ReliabilityPlan::new(ModeKind::Backup, 400)
+        };
+        let (r, faults) = classify(&p, 80_000, QUANTUM, &t, &bits);
+        assert_eq!(r.masked, 0, "saturated occupancy: every strike hits");
+        assert_eq!(r.recovered_replica + r.sdc, 400);
+        // No quantum may recover more than k faults, and a quantum only
+        // leaks SDCs once its budget is fully spent.
+        let mut recovered_per_q: BTreeMap<u64, u64> = BTreeMap::new();
+        for f in &faults {
+            if f.outcome == FaultOutcome::RecoveredByReplica {
+                *recovered_per_q.entry(f.fault.tick / QUANTUM).or_insert(0) += 1;
+            }
+        }
+        assert!(
+            recovered_per_q.values().all(|&n| n <= u64::from(k)),
+            "k={k} budget exceeded: {recovered_per_q:?}"
+        );
+        for f in faults.iter().filter(|f| f.outcome == FaultOutcome::Sdc) {
+            assert_eq!(
+                recovered_per_q[&(f.fault.tick / QUANTUM)],
+                u64::from(k),
+                "an SDC leaked from a quantum with budget left"
+            );
+        }
+        assert!(r.sdc <= prev_sdc, "raising k cannot increase SDCs");
+        prev_sdc = r.sdc;
+    }
+}
+
+#[test]
+fn rollback_restores_fault_free_committed_state_on_both_core_kinds() {
+    let profile = relsim_trace::spec_profile("hmmer").expect("catalog benchmark");
+    for cfg in [CoreConfig::big(), CoreConfig::small()] {
+        let clean = run_checkpointed(&cfg, &profile, 11, 30_000, 6_000, &[]);
+        assert_eq!(clean.rollbacks, 0);
+        assert_eq!(clean.reexec_ticks, 0);
+        let faulty = run_checkpointed(&cfg, &profile, 11, 30_000, 6_000, &[2_500, 14_000, 29_999]);
+        assert_eq!(faulty.rollbacks, 3);
+        assert!(faulty.reexec_ticks > 0, "recovery re-executes real ticks");
+        assert!(faulty.checkpoints >= clean.checkpoints);
+        assert_eq!(
+            clean.state, faulty.state,
+            "{:?}: rollback must restore bit-identical committed state",
+            cfg.kind
+        );
+        assert_eq!(clean.committed, faulty.committed);
+        assert_eq!(
+            clean.cycles, faulty.cycles,
+            "rollback rewinds the cycle counter with the rest of the state"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Restore-then-replay is an identity for *any* fault schedule and
+    /// checkpoint interval: the faulted run commits byte-identical state.
+    #[test]
+    fn rollback_equivalence_for_any_fault_schedule(
+        seed in 0u64..1_000,
+        interval in 1_000u64..8_000,
+        fault_ticks in proptest::collection::vec(0u64..20_000, 0..6),
+    ) {
+        let profile = relsim_trace::spec_profile("milc").expect("catalog benchmark");
+        let cfg = CoreConfig::small();
+        let clean = run_checkpointed(&cfg, &profile, seed, 20_000, interval, &[]);
+        let faulty = run_checkpointed(&cfg, &profile, seed, 20_000, interval, &fault_ticks);
+        prop_assert_eq!(faulty.rollbacks, fault_ticks.len() as u64);
+        prop_assert_eq!(&clean.state, &faulty.state);
+        prop_assert_eq!(clean.committed, faulty.committed);
+        prop_assert_eq!(clean.cycles, faulty.cycles);
+    }
+}

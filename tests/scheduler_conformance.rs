@@ -3,8 +3,8 @@
 //! positive segment lengths, stability under odd arities, and liveness.
 
 use relsim::{
-    Objective, PieModel, PredictiveScheduler, RandomScheduler, SamplingParams, SamplingScheduler,
-    Scheduler, SegmentObservation, StaticScheduler,
+    BackupScheduler, Objective, PieModel, PredictiveScheduler, RandomScheduler, SamplingParams,
+    SamplingScheduler, Scheduler, SegmentObservation, StaticScheduler,
 };
 use relsim_cpu::{CoreKind, CpiStack};
 
@@ -48,6 +48,7 @@ fn all_schedulers(kinds: &[CoreKind], quantum: u64) -> Vec<Box<dyn Scheduler>> {
             quantum,
         )),
         Box::new(StaticScheduler::new((0..kinds.len()).collect(), quantum)),
+        Box::new(BackupScheduler::new(kinds.to_vec(), quantum, 1)),
     ]
 }
 
