@@ -1,0 +1,103 @@
+//! Isolated hot-stage microbenchmarks for the out-of-order core.
+//!
+//! Each bench drives `OooCore` with a scripted instruction stream shaped
+//! so that one pipeline stage dominates the per-cycle cost:
+//!
+//! * `wakeup` — a dist-1 dependency chain: every instruction waits on its
+//!   predecessor, so completion events and the waiter/wake path run once
+//!   per instruction while select trivially picks the single ready entry.
+//! * `select` — independent single-source-free ALU ops: everything is
+//!   ready at dispatch, so the ready-mask scan (`collect_oldest`) and FU
+//!   arbitration run at full width every cycle.
+//! * `commit` — a pure NOP stream: NOPs bypass the issue queue and finish
+//!   at dispatch, so the ROB head retires at full width every cycle and
+//!   the commit/retire path dominates.
+//!
+//! Numbers are simulated-ticks-per-second; compare relative movement
+//! across layout changes, not absolute values (wall-clock on a shared
+//! host is noisy).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use relsim_cpu::{CoreConfig, NullObserver, OooCore};
+use relsim_mem::{PrivateCacheConfig, SharedMem, SharedMemConfig};
+use relsim_trace::{Instr, InstrSource, OpClass};
+
+/// Infinitely repeating scripted stream (no allocation after setup).
+struct Repeat {
+    instrs: Vec<Instr>,
+    pos: usize,
+}
+
+impl Repeat {
+    fn new(instrs: Vec<Instr>) -> Self {
+        assert!(!instrs.is_empty());
+        Repeat { instrs, pos: 0 }
+    }
+}
+
+impl InstrSource for Repeat {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.instrs[self.pos];
+        self.pos = (self.pos + 1) % self.instrs.len();
+        i
+    }
+    fn wrong_path_instr(&mut self) -> Instr {
+        Instr {
+            op: OpClass::IntAlu,
+            src1: Some(1),
+            ..Instr::nop()
+        }
+    }
+}
+
+fn alu(src1: Option<u16>) -> Instr {
+    Instr {
+        op: OpClass::IntAlu,
+        src1,
+        ..Instr::nop()
+    }
+}
+
+fn run_stream(instrs: &[Instr], ticks: u64) -> u64 {
+    let mut core = OooCore::new(CoreConfig::big(), PrivateCacheConfig::default());
+    let mut shared = SharedMem::new(SharedMemConfig::default());
+    let mut src = Repeat::new(instrs.to_vec());
+    let mut obs = NullObserver;
+    for t in 0..ticks {
+        core.tick(t, &mut src, &mut shared, &mut obs);
+    }
+    core.committed()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_stages");
+    const TICKS: u64 = 30_000;
+    group.throughput(Throughput::Elements(TICKS));
+
+    // Wakeup: dist-1 chain; one wake per completion, serialized commit.
+    let chain = vec![alu(Some(1))];
+    group.bench_function("wakeup", |b| {
+        b.iter(|| run_stream(&chain, TICKS));
+    });
+
+    // Select: independent ALU ops; full-width ready-mask scans.
+    let independent = vec![alu(None)];
+    group.bench_function("select", |b| {
+        b.iter(|| run_stream(&independent, TICKS));
+    });
+
+    // Commit: NOPs retire at full width with no issue traffic.
+    let nops = vec![Instr::nop()];
+    group.bench_function("commit", |b| {
+        b.iter(|| run_stream(&nops, TICKS));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_stages
+}
+criterion_main!(benches);

@@ -537,6 +537,21 @@ pub mod perf {
         pub threshold: f64,
         /// Whether the row slowed down beyond the tolerance.
         pub regressed: bool,
+        /// Whether a regression on this row fails the gate ([`gating`]).
+        pub gating: bool,
+    }
+
+    /// Whether a regression on this row fails `bench_perf --check`.
+    ///
+    /// Detailed-engine rows gate: they time the data-oriented core tick
+    /// loop itself (`-detailed-` canonical mix, `-membound-` stall-heavy
+    /// companion), which is deterministic work where best-of-N wall time
+    /// tracks real cost. Sampled rows stay warn-only — their wall time is
+    /// dominated by functional fast-forwarding between detail intervals,
+    /// a different (and much shorter) code path whose share of timer
+    /// noise is proportionally larger.
+    pub fn gating(name: &str) -> bool {
+        name.contains("-detailed-") || name.contains("-membound-")
     }
 
     /// Minimum slowdown tolerated by [`compare`] regardless of how quiet
@@ -571,6 +586,7 @@ pub mod perf {
                     1.0
                 };
                 Some(RowDelta {
+                    gating: gating(&f.name),
                     name: f.name.clone(),
                     ratio,
                     threshold,
@@ -699,6 +715,29 @@ mod tests {
         // The same 8% committed jitter does not excuse a 25% slowdown.
         let slow = vec![RowStat::from_samples("noisy", vec![125.0, 126.0, 125.5])];
         assert!(compare(&committed, &slow)[0].regressed);
+    }
+
+    #[test]
+    fn perf_gate_covers_detailed_engine_rows_only() {
+        use super::perf::{compare, gating, RowStat};
+        assert!(gating("4B4S-detailed-skip"));
+        assert!(gating("4B4S-detailed-noskip"));
+        assert!(gating("4B4S-membound-skip"));
+        assert!(gating("4B4S-membound-noskip"));
+        assert!(!gating("4B4S-sampled-skip"));
+        assert!(!gating("4B4S-sampled-noskip"));
+        // compare() stamps each delta with the row's gate class.
+        let committed = vec![
+            RowStat::from_samples("4B4S-detailed-skip", vec![100.0]),
+            RowStat::from_samples("4B4S-sampled-skip", vec![100.0]),
+        ];
+        let fresh = vec![
+            RowStat::from_samples("4B4S-detailed-skip", vec![130.0]),
+            RowStat::from_samples("4B4S-sampled-skip", vec![130.0]),
+        ];
+        let deltas = compare(&committed, &fresh);
+        assert!(deltas[0].regressed && deltas[0].gating, "{deltas:?}");
+        assert!(deltas[1].regressed && !deltas[1].gating, "{deltas:?}");
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Flat-arena building blocks for the data-oriented core engines.
+//!
+//! Two pieces live here:
+//!
+//! * [`ReadyMask`] — a 256-bit bitmask of issue-ready ROB slots, scanned
+//!   oldest-first with `trailing_zeros` instead of a sorted `Vec<u64>`
+//!   maintained by binary-search insert/remove.
+//! * [`Ring`] — a fixed-capacity ring buffer for `Copy` payloads,
+//!   replacing the `VecDeque` fetch queues (whose logical capacity is
+//!   known at construction) with an allocation-free structure.
+//!
+//! Both are `Clone`, so checkpoint capture stays a plain clone.
+
+/// Bits in the ready mask; bounds the ROB capacity the mask can address.
+pub const MASK_BITS: usize = 256;
+const WORDS: usize = MASK_BITS / 64;
+
+/// A 256-bit mask of ready ROB slots, indexed by `seq & (cap - 1)`.
+///
+/// Because live ROB sequence numbers are contiguous (`[head_seq,
+/// head_seq + len)` with `len <= cap <= 256`), each live entry maps to a
+/// distinct bit. Age order is recovered by rotating the mask right by the
+/// head slot: after rotation, bit position `p` corresponds to sequence
+/// `head_seq + p`, so an ascending bit scan enumerates entries
+/// oldest-first — exactly the order the old sorted `ready` vector had.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyMask {
+    words: [u64; WORDS],
+}
+
+impl ReadyMask {
+    /// Empty mask.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the bit for `slot`.
+    #[inline]
+    pub fn set(&mut self, slot: usize) {
+        debug_assert!(slot < MASK_BITS);
+        self.words[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Clear the bit for `slot`.
+    #[inline]
+    pub fn clear(&mut self, slot: usize) {
+        debug_assert!(slot < MASK_BITS);
+        self.words[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Whether the bit for `slot` is set.
+    #[inline]
+    pub fn get(&self, slot: usize) -> bool {
+        self.words[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    /// Whether any bit is set.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Clear every bit.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.words = [0; WORDS];
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Collect up to `max` ready sequences in age order (oldest first)
+    /// into `out`. `head_seq` is the oldest live sequence; `cap_mask` is
+    /// `cap - 1` for the power-of-two slot count in use.
+    ///
+    /// Rotation: a bit at absolute slot `s` represents sequence
+    /// `head_seq + ((s - head_slot) mod cap)`. Rotating the in-use `cap`
+    /// bits right by `head_slot` places that sequence's bit at position
+    /// `(s - head_slot) mod cap`, making ascending bit order equal age
+    /// order.
+    #[inline]
+    pub fn collect_oldest(
+        &self,
+        head_seq: u64,
+        cap_mask: u64,
+        max: usize,
+        out: &mut [u64],
+    ) -> usize {
+        let head_slot = (head_seq & cap_mask) as u32;
+        let cap = cap_mask as usize + 1;
+        let mut n = 0;
+        if cap <= 64 {
+            // Single-word wheel: rotate within the low `cap` bits.
+            let w = self.words[0];
+            debug_assert!(cap == 64 || w >> cap == 0);
+            let mut rot = if cap == 64 {
+                w.rotate_right(head_slot)
+            } else if head_slot == 0 {
+                w
+            } else {
+                let bits = (1u64 << cap) - 1;
+                ((w >> head_slot) | (w << (cap as u32 - head_slot))) & bits
+            };
+            while rot != 0 && n < max {
+                let p = rot.trailing_zeros() as u64;
+                rot &= rot - 1;
+                out[n] = head_seq + p;
+                n += 1;
+            }
+        } else {
+            // Multi-word (cap is a multiple of 64): walk rotated positions
+            // p = 0..cap word by word, reading the word holding absolute
+            // slot (head_slot + p) mod cap. Bits at offset tz within the
+            // shifted word are positions p + tz; the final (wrap-around)
+            // word may expose bits for positions >= cap, which were
+            // already enumerated in the first partial word and must stop
+            // the scan.
+            let mut p = 0u64;
+            'outer: while (p as usize) < cap && n < max {
+                let s = (head_slot as u64 + p) & cap_mask;
+                let word_idx = (s / 64) as usize;
+                let bit = (s % 64) as u32;
+                let mut w = self.words[word_idx] >> bit;
+                while w != 0 {
+                    let tz = w.trailing_zeros() as u64;
+                    if (p + tz) as usize >= cap {
+                        break 'outer;
+                    }
+                    out[n] = head_seq + p + tz;
+                    n += 1;
+                    if n == max {
+                        break 'outer;
+                    }
+                    w &= w - 1;
+                }
+                p += 64 - bit as u64;
+            }
+        }
+        n
+    }
+}
+
+/// Fixed-capacity ring buffer of `Copy` items (fetch queues).
+#[derive(Debug, Clone)]
+pub struct Ring<T: Copy> {
+    buf: Box<[Option<T>]>,
+    head: usize,
+    len: usize,
+    cap: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// A ring holding at most `cap` items. Backing storage rounds up to a
+    /// power of two for mask addressing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let store = cap.next_power_of_two().max(1);
+        Ring {
+            buf: vec![None; store].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            cap,
+        }
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Number of items queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Whether the ring is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the ring is at its logical capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len >= self.cap
+    }
+
+    /// Oldest item, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[self.head].as_ref()
+        }
+    }
+
+    /// Append an item; panics if full (callers gate on `is_full`).
+    #[inline]
+    pub fn push_back(&mut self, item: T) {
+        assert!(self.len < self.cap, "ring overflow");
+        let mask = self.buf.len() - 1;
+        self.buf[(self.head + self.len) & mask] = Some(item);
+        self.len += 1;
+    }
+
+    /// Remove and return the oldest item.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.buf.len() - 1;
+        let item = self.buf[self.head].take();
+        self.head = (self.head + 1) & mask;
+        self.len -= 1;
+        item
+    }
+
+    /// Drop every item.
+    #[inline]
+    pub fn clear(&mut self) {
+        while self.pop_front().is_some() {}
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Iterate items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        let mask = self.buf.len() - 1;
+        (0..self.len).filter_map(move |i| self.buf[(self.head + i) & mask].as_ref())
+    }
+
+    /// Iterate items oldest-first, mutably (order is storage order, which
+    /// callers only use for order-independent updates like time shifts).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> + '_ {
+        let store = self.buf.len();
+        let mask = store - 1;
+        let head = self.head;
+        let len = self.len;
+        self.buf
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(i, slot)| {
+                let logical = (i + store - head) & mask;
+                if logical < len {
+                    slot.as_mut()
+                } else {
+                    None
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: keep a sorted Vec of seqs alongside the mask and
+    /// compare `collect_oldest` against its prefix at every step.
+    #[test]
+    fn mask_matches_sorted_vec_model() {
+        for cap in [16usize, 64, 128, 256] {
+            let cap_mask = cap as u64 - 1;
+            let mut mask = ReadyMask::new();
+            let mut model: Vec<u64> = Vec::new();
+            let mut head_seq = 0u64;
+            let mut next_seq = 0u64;
+            let mut state = 0x2545f4914f6cdd1du64;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut out = [0u64; 8];
+            for _ in 0..4000 {
+                match rng() % 4 {
+                    // Dispatch: extend the live window, maybe ready.
+                    0 | 1 => {
+                        if next_seq - head_seq < cap as u64 {
+                            let seq = next_seq;
+                            next_seq += 1;
+                            if rng() % 2 == 0 {
+                                mask.set((seq & cap_mask) as usize);
+                                let pos = model.binary_search(&seq).unwrap_err();
+                                model.insert(pos, seq);
+                            }
+                        }
+                    }
+                    // Commit the head (only when it is not ready —
+                    // matching the real core where committed entries are
+                    // done, hence not in the ready set).
+                    2 => {
+                        if head_seq < next_seq && !mask.get((head_seq & cap_mask) as usize) {
+                            head_seq += 1;
+                        }
+                    }
+                    // Toggle readiness of a random live entry.
+                    _ => {
+                        if head_seq < next_seq {
+                            let seq = head_seq + rng() % (next_seq - head_seq);
+                            let slot = (seq & cap_mask) as usize;
+                            if mask.get(slot) {
+                                mask.clear(slot);
+                                let pos = model.binary_search(&seq).unwrap();
+                                model.remove(pos);
+                            } else {
+                                mask.set(slot);
+                                let pos = model.binary_search(&seq).unwrap_err();
+                                model.insert(pos, seq);
+                            }
+                        }
+                    }
+                }
+                let want: Vec<u64> = model.iter().take(8).copied().collect();
+                let n = mask.collect_oldest(head_seq, cap_mask, 8, &mut out);
+                assert_eq!(
+                    &out[..n],
+                    &want[..],
+                    "cap={cap} head={head_seq} next={next_seq}"
+                );
+                assert_eq!(mask.count() as usize, model.len());
+                assert_eq!(mask.any(), !model.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mask_wraps_across_slot_boundary() {
+        let cap_mask = 127u64;
+        let mut mask = ReadyMask::new();
+        // head_seq near a wrap point: live window [250, 300).
+        let head_seq = 250u64;
+        for seq in [250u64, 255, 256, 257, 299] {
+            mask.set((seq & cap_mask) as usize);
+        }
+        let mut out = [0u64; 8];
+        let n = mask.collect_oldest(head_seq, cap_mask, 8, &mut out);
+        assert_eq!(&out[..n], &[250, 255, 256, 257, 299]);
+    }
+
+    #[test]
+    fn ring_fifo_and_wrap() {
+        let mut r: Ring<u32> = Ring::with_capacity(3);
+        assert!(r.is_empty());
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+        assert!(r.is_full());
+        assert_eq!(r.front(), Some(&1));
+        assert_eq!(r.pop_front(), Some(1));
+        r.push_back(4);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.pop_front(), Some(2));
+        assert_eq!(r.pop_front(), Some(3));
+        assert_eq!(r.pop_front(), Some(4));
+        assert_eq!(r.pop_front(), None);
+        r.push_back(9);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

@@ -11,22 +11,24 @@ use relsim_trace::InstrSource;
 /// Either core type, behind one interface.
 ///
 /// The multicore `System` in the `relsim` crate holds a `Vec<Core>` and
-/// steps every core each tick; dispatching through this enum avoids dynamic
-/// allocation and keeps the hot loop monomorphic.
+/// steps every core each tick; dispatching through this enum keeps the hot
+/// loop monomorphic. The variants are boxed — the arena-based core structs
+/// are several KB each, and one pointer indirection per core step is
+/// cheaper than copying that much state through every `Vec<Core>` move.
 #[derive(Debug, Clone)]
 pub enum Core {
     /// Big out-of-order core.
-    Big(OooCore),
+    Big(Box<OooCore>),
     /// Small in-order core.
-    Small(InorderCore),
+    Small(Box<InorderCore>),
 }
 
 impl Core {
     /// Build a core of the kind requested by `cfg`.
     pub fn new(cfg: CoreConfig, cache_cfg: PrivateCacheConfig) -> Self {
         match cfg.kind {
-            CoreKind::Big => Core::Big(OooCore::new(cfg, cache_cfg)),
-            CoreKind::Small => Core::Small(InorderCore::new(cfg, cache_cfg)),
+            CoreKind::Big => Core::Big(Box::new(OooCore::new(cfg, cache_cfg))),
+            CoreKind::Small => Core::Small(Box::new(InorderCore::new(cfg, cache_cfg))),
         }
     }
 

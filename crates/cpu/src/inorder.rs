@@ -4,6 +4,16 @@
 //! the big core it exposes far fewer vulnerable bits (no ROB, tiny issue
 //! queue, architectural register file only), but executes more slowly — the
 //! reliability/performance trade-off the paper's scheduler exploits.
+//!
+//! # Data-oriented layout
+//!
+//! The pipeline latch is a flat fixed-capacity ring of [`PipeEntry`]
+//! (array-of-structs: at `width * depth = 10` entries the whole ring is a
+//! couple of cache lines, so splitting fields into separate arrays would
+//! only add address arithmetic — see DESIGN.md §16). Issue is strictly
+//! in-order, so the issued entries always form a prefix of the ring;
+//! `issued_len` tracks that prefix and replaces the per-cycle
+//! first-unissued linear scan in both `issue` and `next_event`.
 
 use crate::config::{CoreConfig, CoreKind};
 use crate::cpi::{CpiStack, StallCause};
@@ -12,11 +22,10 @@ use crate::fu::FuPool;
 use relsim_mem::{MemLevel, PrivateCacheConfig, PrivateCaches, SharedMem};
 use relsim_obs::span::{self, Stage};
 use relsim_trace::{Instr, InstrSource, OpClass};
-use std::collections::VecDeque;
 
 const CP_RING: usize = 256;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct PipeEntry {
     instr: Instr,
     seq: u64,
@@ -32,6 +41,23 @@ struct PipeEntry {
     /// Producer seqs resolved at fetch time (dependency distances are
     /// relative to the fetch-order position of this instruction).
     deps: [Option<u64>; 2],
+}
+
+impl PipeEntry {
+    fn empty() -> Self {
+        PipeEntry {
+            instr: Instr::nop(),
+            seq: 0,
+            wrong_path: false,
+            fetch: 0,
+            avail: 0,
+            issue_at: 0,
+            finish_at: 0,
+            issued: false,
+            mem_level: None,
+            deps: [None, None],
+        }
+    }
 }
 
 /// The small in-order core (Table 2 configuration by default).
@@ -57,7 +83,22 @@ pub struct InorderCore {
     cfg: CoreConfig,
     caches: PrivateCaches,
 
-    pipe: VecDeque<PipeEntry>,
+    // --- Pipeline ring (flat fixed-capacity arena) ---
+    //
+    // Logical position i lives at slot (pipe_head + i) & slot_mask.
+    // Unlike the ROB, in-order seqs are NOT contiguous across a flush
+    // (`next_seq` is not rewound), so slots are ring positions, not
+    // seq-addressed.
+    pipe: Box<[PipeEntry]>,
+    slot_mask: usize,
+    pipe_head: usize,
+    pipe_len: usize,
+    /// Issued entries always form a prefix of the ring (issue is strictly
+    /// in-order; writeback pops issued heads; flushes remove only
+    /// unissued suffixes). Length of that prefix.
+    issued_len: usize,
+    /// Logical capacity (`width * depth`, may be below the ring's
+    /// power-of-two storage).
     pipe_capacity: usize,
     next_seq: u64,
     fu: FuPool,
@@ -74,6 +115,10 @@ pub struct InorderCore {
     /// component (see the same field on `OooCore`).
     branch_debt: u64,
     pending_fetch: Option<Instr>,
+    /// Dead-tick cache (see the same field on `OooCore`): boundaries
+    /// strictly before this tick only bump the cycle counter and charge
+    /// one CPI stall. 0 = unknown.
+    quiet_until: u64,
 
     cycles: u64,
     committed: u64,
@@ -100,10 +145,15 @@ impl InorderCore {
         );
         let caches = PrivateCaches::new(cache_cfg, cfg.ticks_per_cycle);
         let pipe_capacity = (cfg.width * cfg.depth) as usize;
+        let store = pipe_capacity.next_power_of_two().max(1);
         InorderCore {
             fu: FuPool::new(cfg.fu),
             caches,
-            pipe: VecDeque::with_capacity(pipe_capacity),
+            pipe: vec![PipeEntry::empty(); store].into_boxed_slice(),
+            slot_mask: store - 1,
+            pipe_head: 0,
+            pipe_len: 0,
+            issued_len: 0,
             pipe_capacity,
             next_seq: 0,
             sq_used: 0,
@@ -115,6 +165,7 @@ impl InorderCore {
             branch_refill_until: 0,
             branch_debt: 0,
             pending_fetch: None,
+            quiet_until: 0,
             cycles: 0,
             committed: 0,
             wrong_path_fetched: 0,
@@ -184,7 +235,9 @@ impl InorderCore {
 
     /// Squash all in-flight state (application migration).
     pub fn reset_pipeline(&mut self) {
-        self.pipe.clear();
+        self.quiet_until = 0;
+        self.pipe_len = 0;
+        self.issued_len = 0;
         self.pending_fetch = None;
         self.sq_used = 0;
         self.in_wrong_path = false;
@@ -197,8 +250,23 @@ impl InorderCore {
         self.fu.reset();
     }
 
+    /// Ring slot of logical position `i` (0 = oldest).
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        (self.pipe_head + i) & self.slot_mask
+    }
+
+    /// Entry at logical position `i`.
+    #[inline]
+    fn at(&self, i: usize) -> &PipeEntry {
+        &self.pipe[self.slot(i)]
+    }
+
     fn pipe_index(&self, seq: u64) -> Option<usize> {
-        let front = self.pipe.front()?.seq;
+        if self.pipe_len == 0 {
+            return None;
+        }
+        let front = self.at(0).seq;
         if seq < front {
             return None;
         }
@@ -206,23 +274,22 @@ impl InorderCore {
         // Pipe seqs are contiguous (flush removes a suffix, writeback a
         // prefix), so direct indexing is valid — but guard against gaps
         // introduced by flushes followed by new fetches.
-        match self.pipe.get(idx) {
-            Some(e) if e.seq == seq => Some(idx),
-            _ => {
-                // Fall back to binary search (post-flush seq gap).
-                let mut lo = 0usize;
-                let mut hi = self.pipe.len();
-                while lo < hi {
-                    let mid = (lo + hi) / 2;
-                    if self.pipe[mid].seq < seq {
-                        lo = mid + 1;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                (lo < self.pipe.len() && self.pipe[lo].seq == seq).then_some(lo)
+        if idx < self.pipe_len && self.at(idx).seq == seq {
+            return Some(idx);
+        }
+        // Fall back to binary search over logical positions (post-flush
+        // seq gap).
+        let mut lo = 0usize;
+        let mut hi = self.pipe_len;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.at(mid).seq < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
             }
         }
+        (lo < self.pipe_len && self.at(lo).seq == seq).then_some(lo)
     }
 
     /// Resolve a dependency distance against the *current* fetch position.
@@ -244,7 +311,7 @@ impl InorderCore {
     fn operand_ready_at(&self, producer_seq: u64) -> Option<u64> {
         match self.pipe_index(producer_seq) {
             Some(i) => {
-                let p = &self.pipe[i];
+                let p = self.at(i);
                 if p.issued {
                     Some(p.finish_at)
                 } else {
@@ -258,11 +325,17 @@ impl InorderCore {
     fn writeback(&mut self, now: u64, shared: &mut SharedMem, obs: &mut dyn RetireObserver) -> u32 {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(head) = self.pipe.front() else { break };
-            if !head.issued || head.finish_at > now {
+            if self.pipe_len == 0 {
                 break;
             }
-            let e = self.pipe.pop_front().expect("non-empty");
+            let s = self.pipe_head;
+            let e = self.pipe[s];
+            if !e.issued || e.finish_at > now {
+                break;
+            }
+            self.pipe_head = (self.pipe_head + 1) & self.slot_mask;
+            self.pipe_len -= 1;
+            self.issued_len -= 1;
             debug_assert!(!e.wrong_path, "wrong-path instruction reached writeback");
             if e.instr.op == OpClass::Store {
                 self.sq_used -= 1;
@@ -297,18 +370,22 @@ impl InorderCore {
         n
     }
 
-    fn issue(&mut self, now: u64, shared: &mut SharedMem) {
+    /// Returns the number of instructions issued.
+    fn issue(&mut self, now: u64, shared: &mut SharedMem) -> u32 {
+        // Strictly in-order: issued entries form a prefix, so the oldest
+        // unissued entry is at logical position `issued_len`. All issued:
+        // nothing to select (the FU pool's per-cycle counters are only
+        // read via `try_issue` below, so skipping `new_cycle` is
+        // unobservable).
+        if self.issued_len == self.pipe_len {
+            return 0;
+        }
         self.fu.new_cycle();
         let tpc = self.cfg.ticks_per_cycle;
         let mut issued = 0;
-        // Strictly in-order: walk from the oldest unissued entry; stop at
-        // the first one that cannot go.
-        let mut idx = match self.pipe.iter().position(|e| !e.issued) {
-            Some(i) => i,
-            None => return,
-        };
-        while issued < self.cfg.width && idx < self.pipe.len() {
-            let e = &self.pipe[idx];
+        let mut idx = self.issued_len;
+        while issued < self.cfg.width && idx < self.pipe_len {
+            let e = self.at(idx);
             if e.avail > now {
                 break;
             }
@@ -322,7 +399,7 @@ impl InorderCore {
             if ready_at > now {
                 break;
             }
-            let op = self.pipe[idx].instr.op;
+            let op = self.at(idx).instr.op;
             if op == OpClass::Store && self.sq_used >= self.cfg.sq_size {
                 break;
             }
@@ -331,7 +408,7 @@ impl InorderCore {
             }
             let (finish_at, mem_level) = match op {
                 OpClass::Load => {
-                    let addr = self.pipe[idx].instr.addr;
+                    let addr = self.at(idx).instr.addr;
                     let o = self.caches.access_data(addr, false, now + tpc, shared);
                     (o.complete_at, Some(o.level))
                 }
@@ -340,38 +417,47 @@ impl InorderCore {
                     (now + tpc, None)
                 }
                 OpClass::Nop => (now + tpc, None),
-                _ => (now + self.pipe[idx].instr.exec_latency() * tpc, None),
+                _ => (now + self.at(idx).instr.exec_latency() * tpc, None),
             };
-            let e = &mut self.pipe[idx];
+            let s = self.slot(idx);
+            let e = &mut self.pipe[s];
             e.issued = true;
             e.issue_at = now;
             e.finish_at = finish_at;
             e.mem_level = mem_level;
             let mispredicted = e.instr.mispredict && !e.wrong_path && op == OpClass::Branch;
+            self.issued_len += 1;
             if mispredicted {
                 // The branch resolves at finish; schedule the flush then.
                 // For the short in-order pipeline we flush conservatively at
                 // issue+latency by remembering the resolve tick.
                 let resolve = finish_at;
-                self.flush_after_seq(self.pipe[idx].seq, resolve);
+                self.flush_after_seq(self.pipe[s].seq, resolve);
             }
             issued += 1;
             idx += 1;
         }
+        issued
     }
 
     /// Remove all entries younger than `seq` and redirect fetch at
-    /// `resolve`.
+    /// `resolve`. The removed suffix is always unissued (a mispredicted
+    /// branch flushes at its own issue, before anything younger can
+    /// issue), so `issued_len` is unaffected.
     fn flush_after_seq(&mut self, seq: u64, resolve: u64) {
-        while let Some(back) = self.pipe.back() {
-            if back.seq <= seq {
+        while self.pipe_len > 0 {
+            let s = self.slot(self.pipe_len - 1);
+            let e = &self.pipe[s];
+            if e.seq <= seq {
                 break;
             }
-            let e = self.pipe.pop_back().expect("non-empty");
             if e.issued && e.instr.op == OpClass::Store {
                 self.sq_used -= 1;
             }
+            debug_assert!(!e.issued, "flushed a suffix entry that had issued");
+            self.pipe_len -= 1;
         }
+        debug_assert!(self.issued_len <= self.pipe_len);
         self.pending_fetch = None;
         self.in_wrong_path = false;
         self.fetch_stall_icache = false;
@@ -381,15 +467,18 @@ impl InorderCore {
         self.branch_debt = (self.branch_debt + self.cfg.frontend_delay() + 2).min(32);
     }
 
-    fn fetch(&mut self, now: u64, src: &mut dyn InstrSource) {
+    /// Returns whether fetch changed state (pushed instructions or took an
+    /// I-cache stall); see `OooCore::fetch` on why the unconditional
+    /// `fetch_stall_icache` clear does not count as work.
+    fn fetch(&mut self, now: u64, src: &mut dyn InstrSource) -> bool {
         if now < self.fetch_stall_until {
-            return;
+            return false;
         }
         self.fetch_stall_icache = false;
         let tpc = self.cfg.ticks_per_cycle;
         let fe_delay = self.cfg.frontend_delay() * tpc;
         let mut n = 0;
-        while n < self.cfg.width && self.pipe.len() < self.pipe_capacity {
+        while n < self.cfg.width && self.pipe_len < self.pipe_capacity {
             let instr = if self.in_wrong_path {
                 self.wrong_path_fetched += 1;
                 src.wrong_path_instr()
@@ -405,7 +494,7 @@ impl InorderCore {
                     });
                     self.fetch_stall_until = now + self.cfg.icache_penalty * tpc;
                     self.fetch_stall_icache = true;
-                    return;
+                    return true;
                 }
                 i
             };
@@ -424,7 +513,8 @@ impl InorderCore {
                 self.cp_ring[idx] = seq;
                 self.cp_count += 1;
             }
-            self.pipe.push_back(PipeEntry {
+            let s = self.slot(self.pipe_len);
+            self.pipe[s] = PipeEntry {
                 instr,
                 seq,
                 wrong_path,
@@ -435,13 +525,15 @@ impl InorderCore {
                 issued: false,
                 mem_level: None,
                 deps,
-            });
+            };
+            self.pipe_len += 1;
             n += 1;
             if is_mispredict {
                 self.in_wrong_path = true;
                 break;
             }
         }
+        n > 0
     }
 
     fn account_cpi(&mut self, commits: u32, now: u64) {
@@ -449,7 +541,8 @@ impl InorderCore {
             self.cpi.commit_cycle();
             return;
         }
-        let cause = if let Some(head) = self.pipe.front() {
+        let cause = if self.pipe_len > 0 {
+            let head = &self.pipe[self.pipe_head];
             if head.issued && head.instr.op == OpClass::Load && head.finish_at > now {
                 match head.mem_level {
                     Some(MemLevel::Memory) => StallCause::Memory,
@@ -488,19 +581,20 @@ impl InorderCore {
         let tpc = self.cfg.ticks_per_cycle;
         let nb = (now / tpc + 1) * tpc;
         // Fetch can make progress at the next boundary.
-        if self.pipe.len() < self.pipe_capacity && nb >= self.fetch_stall_until {
+        if self.pipe_len < self.pipe_capacity && nb >= self.fetch_stall_until {
             return nb;
         }
         let mut h = u64::MAX;
-        if let Some(head) = self.pipe.front() {
+        if self.pipe_len > 0 {
+            let head = &self.pipe[self.pipe_head];
             if head.issued {
                 h = h.min(head.finish_at);
             }
         }
         // Issue is strictly in-order, so only the oldest unissued entry
         // can change state (issued entries form a prefix of the pipe).
-        if let Some(i) = self.pipe.iter().position(|e| !e.issued) {
-            let e = &self.pipe[i];
+        if self.issued_len < self.pipe_len {
+            let e = self.at(self.issued_len);
             // A store blocked on a full SQ can only be unblocked by a
             // store writeback at the pipe head; `sq_used > 0` implies the
             // head is issued, so `head.finish_at` above already bounds it.
@@ -527,7 +621,7 @@ impl InorderCore {
                 h = h.min(bound);
             }
         }
-        if self.pipe.len() < self.pipe_capacity {
+        if self.pipe_len < self.pipe_capacity {
             h = h.min(self.fetch_stall_until);
         }
         if h == u64::MAX {
@@ -550,7 +644,8 @@ impl InorderCore {
         }
         let n = b - a;
         self.cycles += n;
-        if let Some(head) = self.pipe.front() {
+        if self.pipe_len > 0 {
+            let head = &self.pipe[self.pipe_head];
             if head.issued {
                 if head.instr.op == OpClass::Load {
                     // The skip ends no later than head.finish_at, so the
@@ -617,16 +712,29 @@ impl InorderCore {
         self.cycles += 1;
         // One global-flag read per cycle (see OooCore::tick).
         let prof = span::enabled();
+        // Dead-tick fast path (see OooCore::tick).
+        if now < self.quiet_until && !prof {
+            self.account_cpi(0, now);
+            return;
+        }
         let commits = span::scoped(prof, Stage::Commit, || self.writeback(now, shared, obs));
-        span::scoped(prof, Stage::SelectIssue, || self.issue(now, shared));
-        span::scoped(prof, Stage::Fetch, || self.fetch(now, src));
+        let issued = span::scoped(prof, Stage::SelectIssue, || self.issue(now, shared));
+        let fetched = span::scoped(prof, Stage::Fetch, || self.fetch(now, src));
+        self.quiet_until = if commits == 0 && issued == 0 && !fetched {
+            self.next_event(now)
+        } else {
+            0
+        };
         span::scoped(prof, Stage::CpiAccount, || self.account_cpi(commits, now));
     }
 
     /// Shift every in-flight absolute timestamp forward by `delta` ticks;
     /// see [`OooCore`](crate::OooCore)'s `shift_time` for the rationale.
     fn shift_time(&mut self, start: u64, delta: u64) {
-        for e in &mut self.pipe {
+        self.quiet_until = 0;
+        for i in 0..self.pipe_len {
+            let s = (self.pipe_head + i) & self.slot_mask;
+            let e = &mut self.pipe[s];
             e.fetch += delta;
             e.issue_at += delta;
             if e.finish_at != u64::MAX {
@@ -680,7 +788,7 @@ impl InorderCore {
 
     /// Current pipeline occupancy.
     pub fn pipe_occupancy(&self) -> usize {
-        self.pipe.len()
+        self.pipe_len
     }
 }
 

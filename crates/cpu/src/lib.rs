@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod checkpoint;
 mod config;
 mod core;
@@ -44,6 +45,7 @@ mod ff;
 mod fu;
 mod inorder;
 mod ooo;
+mod wheel;
 
 pub use crate::core::Core;
 pub use checkpoint::{Checkpoint, StateDigest};

@@ -18,40 +18,40 @@
 //!
 //! Instruction scheduling is event-driven (producers wake their consumers),
 //! so the per-cycle cost is proportional to pipeline width, not window size.
+//!
+//! # Data-oriented layout
+//!
+//! The ROB is a flat struct-of-arrays arena addressed by `seq & (cap - 1)`
+//! — live sequence numbers are contiguous, so each maps to a distinct slot
+//! with no indirection. Fields read every cycle (flags, op class, finish
+//! time) live in their own dense arrays; the full `Instr` payload and
+//! retire timestamps are cold arrays touched only at issue/commit. The
+//! ready set is a 256-bit mask scanned oldest-first with `trailing_zeros`
+//! ([`crate::arena::ReadyMask`]), and completion tracking is a calendar
+//! wheel ([`crate::wheel::EventWheel`]) whose per-cycle drain touches only
+//! events finishing *now*. DESIGN.md §16 gives the layout and the
+//! byte-equivalence argument against the previous `VecDeque`/`BinaryHeap`
+//! implementation.
 
+use crate::arena::{ReadyMask, Ring};
 use crate::config::{CoreConfig, CoreKind};
 use crate::cpi::{CpiStack, StallCause};
 use crate::events::{RetireEvent, RetireObserver};
 use crate::fu::FuPool;
+use crate::wheel::{EventWheel, WheelEvent};
 use relsim_mem::{MemLevel, PrivateCacheConfig, PrivateCaches, SharedMem};
 use relsim_obs::span::{self, Stage};
 use relsim_trace::{Instr, InstrSource, OpClass};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 
 const CP_RING: usize = 256;
 
-#[derive(Debug, Clone)]
-struct RobEntry {
-    instr: Instr,
-    seq: u64,
-    /// Flush-generation tag: stale references (finish events, waiter
-    /// registrations) from before a flush are ignored when the seq has
-    /// been reused by a newer entry.
-    epoch: u32,
-    wrong_path: bool,
-    dispatch: u64,
-    issue_at: u64,
-    finish_at: u64,
-    issued: bool,
-    done: bool,
-    pending_srcs: u8,
-    mem_level: Option<MemLevel>,
-    /// Consumers waiting on this entry's result (inline to avoid per-entry
-    /// heap allocation; overflow spills to `OooCore::waiter_spill`).
-    waiters: [(u64, u32); 4],
-    n_waiters: u8,
-}
+// ROB entry state, packed into one byte per slot.
+const F_ISSUED: u8 = 1 << 0;
+const F_DONE: u8 = 1 << 1;
+const F_WRONG: u8 = 1 << 2;
+/// The instruction is a mispredicted branch (cached from `Instr::mispredict`
+/// so completion handling never touches the cold payload array).
+const F_MISP: u8 = 1 << 3;
 
 #[derive(Debug, Clone, Copy)]
 struct Fetched {
@@ -85,12 +85,45 @@ pub struct OooCore {
     cfg: CoreConfig,
     caches: PrivateCaches,
 
-    rob: VecDeque<RobEntry>,
+    // --- ROB arena (struct-of-arrays; slot = seq & rob_mask) ---
+    //
+    // Live entries are the contiguous window [head_seq, head_seq +
+    // rob_len); the invariant next_seq == head_seq + rob_len holds at all
+    // times, so slot addressing never collides while rob_len <= capacity.
+    /// Slot mask: `rob_size.next_power_of_two() - 1`.
+    rob_mask: u64,
+    /// Sequence number of the ROB head (oldest live entry).
+    head_seq: u64,
+    /// Live entry count.
+    rob_len: usize,
     next_seq: u64,
-    /// Ready-to-issue seqs, kept sorted ascending (oldest first). Small
-    /// (bounded by the issue queue), so a sorted Vec beats tree structures.
-    ready: Vec<u64>,
-    finish_events: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    // Hot per-slot fields, read every cycle.
+    rs_flags: Box<[u8]>,
+    rs_pending: Box<[u8]>,
+    rs_epoch: Box<[u32]>,
+    rs_op: Box<[OpClass]>,
+    rs_mem_level: Box<[Option<MemLevel>]>,
+    rs_finish: Box<[u64]>,
+    // Wakeup lists: consumers waiting on each slot's result (inline to
+    // avoid per-entry heap allocation; overflow spills to `waiter_spill`).
+    rs_waiters: Box<[[(u64, u32); 4]]>,
+    rs_nwait: Box<[u8]>,
+    // Cold per-slot fields, touched at issue/commit/flush only.
+    rs_instr: Box<[Instr]>,
+    rs_dispatch: Box<[u64]>,
+    rs_issue: Box<[u64]>,
+
+    /// Ready-to-issue slots as a bitmask, scanned oldest-first.
+    ready: ReadyMask,
+    /// Pending completion events, bucketed by tick.
+    finish_events: EventWheel,
+    /// Reused drain buffer for `finish_events` (no per-tick allocation).
+    finish_scratch: Vec<WheelEvent>,
+    /// Dead-tick cache: cycle boundaries strictly before this tick are
+    /// known-dead (see [`Self::next_event`]), so [`Self::tick`] takes a
+    /// fast path that only bumps the cycle counter and charges one CPI
+    /// stall. Set after a tick that did no work; 0 = unknown.
+    quiet_until: u64,
     iq_used: u32,
     lq_used: u32,
     sq_used: u32,
@@ -106,8 +139,7 @@ pub struct OooCore {
     cp_ring: [u64; CP_RING],
     cp_count: u64,
 
-    fetch_queue: VecDeque<Fetched>,
-    fq_capacity: usize,
+    fetch_queue: Ring<Fetched>,
     in_wrong_path: bool,
     fetch_stall_until: u64,
     fetch_stall_icache: bool,
@@ -136,7 +168,8 @@ impl OooCore {
     /// # Panics
     ///
     /// Panics if `cfg` is not an out-of-order configuration
-    /// (`kind == CoreKind::Big`, `rob_size > 0`).
+    /// (`kind == CoreKind::Big`, `rob_size > 0`), or if the ROB exceeds
+    /// the 256 entries the ready mask can address.
     pub fn new(cfg: CoreConfig, cache_cfg: PrivateCacheConfig) -> Self {
         assert_eq!(
             cfg.kind,
@@ -144,26 +177,46 @@ impl OooCore {
             "OooCore requires a big-core config"
         );
         assert!(cfg.rob_size > 0, "out-of-order core needs a ROB");
+        let cap = (cfg.rob_size as usize).next_power_of_two();
+        assert!(
+            cap <= crate::arena::MASK_BITS,
+            "ROB size {} exceeds ready-mask capacity",
+            cfg.rob_size
+        );
         let caches = PrivateCaches::new(cache_cfg, cfg.ticks_per_cycle);
         let fq_capacity = (cfg.width as usize) * (cfg.frontend_delay() as usize + 1);
         OooCore {
             fu: FuPool::new(cfg.fu),
             caches,
-            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            rob_mask: cap as u64 - 1,
+            head_seq: 0,
+            rob_len: 0,
             next_seq: 0,
-            ready: Vec::with_capacity(64),
-            finish_events: BinaryHeap::new(),
+            rs_flags: vec![0; cap].into_boxed_slice(),
+            rs_pending: vec![0; cap].into_boxed_slice(),
+            rs_epoch: vec![0; cap].into_boxed_slice(),
+            rs_op: vec![OpClass::Nop; cap].into_boxed_slice(),
+            rs_mem_level: vec![None; cap].into_boxed_slice(),
+            rs_finish: vec![0; cap].into_boxed_slice(),
+            rs_waiters: vec![[(0, 0); 4]; cap].into_boxed_slice(),
+            rs_nwait: vec![0; cap].into_boxed_slice(),
+            rs_instr: vec![Instr::nop(); cap].into_boxed_slice(),
+            rs_dispatch: vec![0; cap].into_boxed_slice(),
+            rs_issue: vec![0; cap].into_boxed_slice(),
+            ready: ReadyMask::new(),
+            finish_events: EventWheel::new(),
+            finish_scratch: Vec::with_capacity(64),
+            quiet_until: 0,
             iq_used: 0,
             lq_used: 0,
             sq_used: 0,
             int_regs_used: 0,
             fp_regs_used: 0,
             epoch: 0,
-            waiter_spill: Vec::new(),
+            waiter_spill: Vec::with_capacity(16),
             cp_ring: [u64::MAX; CP_RING],
             cp_count: 0,
-            fetch_queue: VecDeque::with_capacity(fq_capacity),
-            fq_capacity,
+            fetch_queue: Ring::with_capacity(fq_capacity),
             in_wrong_path: false,
             fetch_stall_until: 0,
             fetch_stall_icache: false,
@@ -242,8 +295,10 @@ impl OooCore {
     /// incoming application starts with a cold-for-it cache, as on real
     /// hardware.
     pub fn reset_pipeline(&mut self) {
-        self.rob.clear();
-        self.ready.clear();
+        self.quiet_until = 0;
+        self.rob_len = 0;
+        self.head_seq = self.next_seq;
+        self.ready.reset();
         self.waiter_spill.clear();
         self.finish_events.clear();
         self.epoch = self.epoch.wrapping_add(1);
@@ -264,61 +319,45 @@ impl OooCore {
         self.fu.reset();
     }
 
-    /// O(1) ROB lookup by seq. ROB seqs are always contiguous (a flush
-    /// rewinds `next_seq`), so the slot is `seq - front.seq`.
+    /// O(1) ROB lookup by seq: live seqs are exactly the contiguous window
+    /// `[head_seq, head_seq + rob_len)`, and each maps to slot
+    /// `seq & rob_mask`.
     #[inline]
-    fn rob_index(&self, seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.seq;
-        let idx = seq.checked_sub(front)? as usize;
-        match self.rob.get(idx) {
-            Some(e) => {
-                debug_assert_eq!(e.seq, seq);
-                Some(idx)
-            }
-            None => None,
+    fn rob_slot(&self, seq: u64) -> Option<usize> {
+        if seq.wrapping_sub(self.head_seq) < self.rob_len as u64 {
+            Some((seq & self.rob_mask) as usize)
+        } else {
+            None
         }
     }
 
-    /// Like [`rob_index`](Self::rob_index) but also validates the entry's
+    /// Like [`rob_slot`](Self::rob_slot) but also validates the entry's
     /// flush generation, for references that may predate a flush.
     #[inline]
-    fn rob_index_epoch(&self, seq: u64, epoch: u32) -> Option<usize> {
-        let idx = self.rob_index(seq)?;
-        (self.rob[idx].epoch == epoch).then_some(idx)
+    fn rob_slot_epoch(&self, seq: u64, epoch: u32) -> Option<usize> {
+        let s = self.rob_slot(seq)?;
+        (self.rs_epoch[s] == epoch).then_some(s)
     }
 
-    fn ready_insert(&mut self, seq: u64) {
-        match self.ready.binary_search(&seq) {
-            Ok(_) => {}
-            Err(pos) => self.ready.insert(pos, seq),
-        }
-    }
-
-    fn ready_remove(&mut self, seq: u64) {
-        if let Ok(pos) = self.ready.binary_search(&seq) {
-            self.ready.remove(pos);
-        }
-    }
-
-    /// Decrement a consumer's pending-source count; insert into the ready
-    /// list when it reaches zero.
+    /// Decrement a consumer's pending-source count; set its ready bit when
+    /// it reaches zero.
     fn wake(&mut self, consumer: u64, epoch: u32) {
-        if let Some(j) = self.rob_index_epoch(consumer, epoch) {
-            let c = &mut self.rob[j];
-            if c.pending_srcs > 0 {
-                c.pending_srcs -= 1;
-                if c.pending_srcs == 0 && !c.issued {
-                    self.ready_insert(consumer);
+        if let Some(s) = self.rob_slot_epoch(consumer, epoch) {
+            let p = self.rs_pending[s];
+            if p > 0 {
+                self.rs_pending[s] = p - 1;
+                if p == 1 && self.rs_flags[s] & F_ISSUED == 0 {
+                    self.ready.set(s);
                 }
             }
         }
     }
 
     /// Resolve a dependency for the instruction about to be dispatched.
-    /// Returns the ROB *index* of the producer if its value is still being
-    /// computed; `None` means the operand is already available.
+    /// Returns the ROB slot and seq of the producer if its value is still
+    /// being computed; `None` means the operand is already available.
     #[inline]
-    fn unresolved_producer(&self, dist: u16) -> Option<usize> {
+    fn unresolved_producer(&self, dist: u16) -> Option<(usize, u64)> {
         let d = dist as u64;
         if d == 0 || d > self.cp_count || d > CP_RING as u64 {
             return None; // out of window: treat as ready
@@ -328,31 +367,35 @@ impl OooCore {
         if producer_seq == u64::MAX {
             return None;
         }
-        match self.rob_index(producer_seq) {
-            Some(i) if !self.rob[i].done => Some(i),
+        match self.rob_slot(producer_seq) {
+            Some(s) if self.rs_flags[s] & F_DONE == 0 => Some((s, producer_seq)),
             _ => None, // committed or already finished
         }
     }
 
-    fn process_finish_events(&mut self, now: u64, prof: bool) {
-        while let Some(&Reverse((tick, seq, epoch))) = self.finish_events.peek() {
-            if tick > now {
-                break;
-            }
-            self.finish_events.pop();
-            let Some(i) = self.rob_index_epoch(seq, epoch) else {
+    /// Returns whether any event (live or stale) was drained.
+    fn process_finish_events(&mut self, now: u64, prof: bool) -> bool {
+        let mut due = std::mem::take(&mut self.finish_scratch);
+        self.finish_events.drain_due(now, &mut due);
+        let any = !due.is_empty();
+        // Guards run at process time against current state, exactly as the
+        // old heap loop's did: an earlier event's flush makes later events
+        // in the same batch fail the epoch check, in the same order
+        // ((tick, seq, epoch) ascending = heap pop order). Processing
+        // never schedules new events, so the batch is complete.
+        for &(tick, seq, epoch) in &due {
+            let Some(s) = self.rob_slot_epoch(seq, epoch) else {
                 continue;
             };
-            let e = &mut self.rob[i];
-            if !e.issued || e.done || e.finish_at != tick {
+            let flags = self.rs_flags[s];
+            if flags & F_ISSUED == 0 || flags & F_DONE != 0 || self.rs_finish[s] != tick {
                 continue;
             }
-            e.done = true;
-            let n = e.n_waiters as usize;
-            let mut waiters = [(0u64, 0u32); 4];
-            waiters[..n].copy_from_slice(&e.waiters[..n]);
-            e.n_waiters = 0;
-            let was_mispredict = e.instr.mispredict && !e.wrong_path;
+            self.rs_flags[s] = flags | F_DONE;
+            let n = self.rs_nwait[s] as usize;
+            let waiters = self.rs_waiters[s];
+            self.rs_nwait[s] = 0;
+            let was_mispredict = flags & F_MISP != 0 && flags & F_WRONG == 0;
             span::scoped(prof, Stage::Wakeup, || {
                 for &(w, we) in &waiters[..n] {
                     self.wake(w, we);
@@ -373,31 +416,41 @@ impl OooCore {
                 self.flush_after(seq, now);
             }
         }
+        due.clear();
+        self.finish_scratch = due;
+        any
     }
 
     /// Squash everything younger than `seq` (wrong-path recovery).
     fn flush_after(&mut self, seq: u64, now: u64) {
-        while let Some(back) = self.rob.back() {
-            if back.seq <= seq {
+        while self.rob_len > 0 {
+            let back_seq = self.head_seq + self.rob_len as u64 - 1;
+            if back_seq <= seq {
                 break;
             }
-            let e = self.rob.pop_back().expect("non-empty");
-            self.ready_remove(e.seq);
-            if !e.issued {
+            let s = (back_seq & self.rob_mask) as usize;
+            self.rob_len -= 1;
+            self.ready.clear(s);
+            let flags = self.rs_flags[s];
+            if flags & F_ISSUED == 0 {
                 self.iq_used -= 1;
             }
-            match e.instr.op {
+            let op = self.rs_op[s];
+            match op {
                 OpClass::Load => self.lq_used -= 1,
                 OpClass::Store => self.sq_used -= 1,
                 _ => {}
             }
-            if e.instr.has_output() {
-                if e.instr.op.is_fp() {
+            if self.rs_instr[s].has_output() {
+                if op.is_fp() {
                     self.fp_regs_used -= 1;
                 } else {
                     self.int_regs_used -= 1;
                 }
             }
+        }
+        if self.rob_len == 0 {
+            self.head_seq = seq + 1;
         }
         self.next_seq = seq + 1;
         self.epoch = self.epoch.wrapping_add(1);
@@ -417,33 +470,43 @@ impl OooCore {
     fn commit(&mut self, now: u64, shared: &mut SharedMem, obs: &mut dyn RetireObserver) -> u32 {
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.done || head.finish_at > now {
+            if self.rob_len == 0 {
                 break;
             }
-            let e = self.rob.pop_front().expect("non-empty");
-            debug_assert!(!e.wrong_path, "wrong-path instruction reached commit");
-            match e.instr.op {
+            let s = (self.head_seq & self.rob_mask) as usize;
+            let flags = self.rs_flags[s];
+            if flags & F_DONE == 0 || self.rs_finish[s] > now {
+                break;
+            }
+            debug_assert!(
+                flags & F_WRONG == 0,
+                "wrong-path instruction reached commit"
+            );
+            self.head_seq += 1;
+            self.rob_len -= 1;
+            let op = self.rs_op[s];
+            let instr = self.rs_instr[s];
+            match op {
                 OpClass::Load => self.lq_used -= 1,
                 OpClass::Store => {
                     self.sq_used -= 1;
                     // The store leaves the SQ and drains to the memory
                     // system; nothing waits on it.
-                    let _ = self.caches.access_data(e.instr.addr, true, now, shared);
+                    let _ = self.caches.access_data(instr.addr, true, now, shared);
                 }
                 _ => {}
             }
-            if e.instr.has_output() {
-                if e.instr.op.is_fp() {
+            if instr.has_output() {
+                if op.is_fp() {
                     self.fp_regs_used -= 1;
                 } else {
                     self.int_regs_used -= 1;
                 }
             }
             self.committed += 1;
-            self.class_counts[e.instr.op.index()] += 1;
-            if e.instr.op == OpClass::Load {
-                let li = match e.mem_level {
+            self.class_counts[op.index()] += 1;
+            if op == OpClass::Load {
+                let li = match self.rs_mem_level[s] {
                     Some(MemLevel::L1) => 0,
                     Some(MemLevel::L2) => 1,
                     Some(MemLevel::L3) => 2,
@@ -452,17 +515,17 @@ impl OooCore {
                 };
                 self.loads_by_level[li] += 1;
             }
-            if e.instr.op == OpClass::Branch && e.instr.mispredict {
+            if op == OpClass::Branch && instr.mispredict {
                 self.branch_mispredicts += 1;
             }
             obs.on_retire(&RetireEvent {
-                op: e.instr.op,
-                dispatch: e.dispatch,
-                issue: e.issue_at,
-                finish: e.finish_at,
+                op,
+                dispatch: self.rs_dispatch[s],
+                issue: self.rs_issue[s],
+                finish: self.rs_finish[s],
                 commit: now,
-                exec_latency: e.instr.exec_latency(),
-                has_output: e.instr.has_output(),
+                exec_latency: instr.exec_latency(),
+                has_output: instr.has_output(),
             });
             n += 1;
         }
@@ -470,53 +533,61 @@ impl OooCore {
     }
 
     fn issue(&mut self, now: u64, shared: &mut SharedMem) {
+        if !self.ready.any() {
+            // Nothing to select. The FU pool's per-cycle counters are only
+            // ever read through `try_issue` below, so skipping `new_cycle`
+            // here is unobservable.
+            return;
+        }
         self.fu.new_cycle();
         let mut issued = 0;
         // Examine the oldest few ready instructions only; entries skipped
-        // due to busy units stay in the ready list for later cycles.
+        // due to busy units keep their ready bit for later cycles.
         let mut candidates = [0u64; 8];
-        let n_cand = self.ready.len().min(candidates.len());
-        candidates[..n_cand].copy_from_slice(&self.ready[..n_cand]);
+        let n_cand = self.ready.collect_oldest(
+            self.head_seq,
+            self.rob_mask,
+            candidates.len(),
+            &mut candidates,
+        );
         let tpc = self.cfg.ticks_per_cycle;
         for &seq in &candidates[..n_cand] {
             if issued >= self.cfg.width {
                 break;
             }
-            let Some(i) = self.rob_index(seq) else {
-                self.ready_remove(seq);
+            let Some(s) = self.rob_slot(seq) else {
+                self.ready.clear((seq & self.rob_mask) as usize);
                 continue;
             };
-            let op = self.rob[i].instr.op;
+            let op = self.rs_op[s];
             if !self.fu.try_issue(op, now, tpc) {
                 continue; // unit busy; stays ready for a later cycle
             }
-            self.ready_remove(seq);
+            self.ready.clear(s);
             issued += 1;
             self.iq_used -= 1;
             let (finish_at, mem_level) = match op {
                 OpClass::Load => {
-                    let addr = self.rob[i].instr.addr;
+                    let addr = self.rs_instr[s].addr;
                     // One cycle of address generation, then the cache walk.
                     let o = self.caches.access_data(addr, false, now + tpc, shared);
                     (o.complete_at, Some(o.level))
                 }
                 OpClass::Store => (now + tpc, None),
-                _ => (now + self.rob[i].instr.exec_latency() * tpc, None),
+                _ => (now + self.rs_instr[s].exec_latency() * tpc, None),
             };
-            let e = &mut self.rob[i];
-            e.issued = true;
-            e.issue_at = now;
-            e.finish_at = finish_at;
-            e.mem_level = mem_level;
+            self.rs_flags[s] |= F_ISSUED;
+            self.rs_issue[s] = now;
+            self.rs_finish[s] = finish_at;
+            self.rs_mem_level[s] = mem_level;
             // The event carries the entry's own epoch: entries that survive
             // a later flush must still receive their completion.
-            let entry_epoch = e.epoch;
-            self.finish_events
-                .push(Reverse((finish_at, seq, entry_epoch)));
+            self.finish_events.push(finish_at, seq, self.rs_epoch[s]);
         }
     }
 
-    fn dispatch(&mut self, now: u64) {
+    /// Returns the number of instructions dispatched.
+    fn dispatch(&mut self, now: u64) -> u32 {
         let mut n = 0;
         while n < self.cfg.width {
             let Some(f) = self.fetch_queue.front() else {
@@ -525,7 +596,7 @@ impl OooCore {
             if f.avail > now {
                 break;
             }
-            if self.rob.len() >= self.cfg.rob_size as usize {
+            if self.rob_len >= self.cfg.rob_size as usize {
                 break;
             }
             let instr = f.instr;
@@ -566,19 +637,18 @@ impl OooCore {
                 }
             }
 
-            // Resolve producers before pushing the new entry; register this
-            // instruction as a waiter on each still-in-flight producer.
+            // Resolve producers before installing the new entry; register
+            // this instruction as a waiter on each in-flight producer.
             let mut pending = 0u8;
             for dist in [instr.src1, instr.src2] {
                 let Some(d) = dist else { continue };
-                if let Some(pi) = self.unresolved_producer(d) {
+                if let Some((pi, pseq)) = self.unresolved_producer(d) {
                     let epoch = self.epoch;
-                    let p = &mut self.rob[pi];
-                    if (p.n_waiters as usize) < p.waiters.len() {
-                        p.waiters[p.n_waiters as usize] = (seq, epoch);
-                        p.n_waiters += 1;
+                    let nw = self.rs_nwait[pi] as usize;
+                    if nw < self.rs_waiters[pi].len() {
+                        self.rs_waiters[pi][nw] = (seq, epoch);
+                        self.rs_nwait[pi] += 1;
                     } else {
-                        let pseq = p.seq;
                         self.waiter_spill.push((pseq, seq, epoch));
                     }
                     pending += 1;
@@ -593,50 +663,58 @@ impl OooCore {
                 self.wrong_path_dispatched += 1;
             }
 
-            let entry = RobEntry {
-                seq,
-                epoch: self.epoch,
-                wrong_path,
-                dispatch: now,
-                issue_at: now,
-                finish_at: u64::MAX,
-                issued: is_nop,
-                done: is_nop,
-                pending_srcs: pending,
-                mem_level: None,
-                waiters: [(0, 0); 4],
-                n_waiters: 0,
-                instr,
-            };
+            // Install the entry in its arena slot. The slot is free:
+            // rob_len < rob_size <= capacity, and live seqs are contiguous.
+            let s = (seq & self.rob_mask) as usize;
+            let mut flags = 0u8;
             if is_nop {
                 // NOPs bypass the issue queue and complete immediately.
-                let e = self.rob.back_mut();
-                debug_assert!(e.is_none() || e.unwrap().seq < seq);
-                let mut entry = entry;
-                entry.finish_at = now;
-                self.rob.push_back(entry);
-            } else {
+                flags |= F_ISSUED | F_DONE;
+            }
+            if wrong_path {
+                flags |= F_WRONG;
+            }
+            if instr.mispredict {
+                flags |= F_MISP;
+            }
+            self.rs_flags[s] = flags;
+            self.rs_pending[s] = pending;
+            self.rs_epoch[s] = self.epoch;
+            self.rs_op[s] = instr.op;
+            self.rs_mem_level[s] = None;
+            self.rs_finish[s] = if is_nop { now } else { u64::MAX };
+            self.rs_nwait[s] = 0;
+            self.rs_instr[s] = instr;
+            self.rs_dispatch[s] = now;
+            self.rs_issue[s] = now;
+            self.rob_len += 1;
+            debug_assert_eq!(self.next_seq, self.head_seq + self.rob_len as u64);
+            if !is_nop {
                 self.iq_used += 1;
-                let ready_now = pending == 0;
-                self.rob.push_back(entry);
-                if ready_now {
-                    // New seqs are always the largest: push to the back.
-                    self.ready.push(seq);
+                if pending == 0 {
+                    self.ready.set(s);
                 }
             }
             n += 1;
         }
+        n
     }
 
-    fn fetch(&mut self, now: u64, src: &mut dyn InstrSource) {
+    /// Returns whether fetch changed state (pushed instructions or took an
+    /// I-cache stall). The unconditional `fetch_stall_icache` clear below
+    /// does not count: every reader of that flag is guarded by
+    /// `now < fetch_stall_until` (or clamps against it), so a stale `true`
+    /// past the deadline is unobservable — which lets the dead-tick fast
+    /// path in [`Self::tick`] skip this stage entirely.
+    fn fetch(&mut self, now: u64, src: &mut dyn InstrSource) -> bool {
         if now < self.fetch_stall_until {
-            return;
+            return false;
         }
         self.fetch_stall_icache = false;
         let tpc = self.cfg.ticks_per_cycle;
         let fe_delay = self.cfg.frontend_delay() * tpc;
         let mut n = 0;
-        while n < self.cfg.width && self.fetch_queue.len() < self.fq_capacity {
+        while n < self.cfg.width && !self.fetch_queue.is_full() {
             let instr = if self.in_wrong_path {
                 src.wrong_path_instr()
             } else if let Some(p) = self.pending_fetch.take() {
@@ -651,7 +729,7 @@ impl OooCore {
                     });
                     self.fetch_stall_until = now + self.cfg.icache_penalty * tpc;
                     self.fetch_stall_icache = true;
-                    return;
+                    return true;
                 }
                 i
             };
@@ -668,6 +746,7 @@ impl OooCore {
                 break; // remaining fetch slots this cycle are lost
             }
         }
+        n > 0
     }
 
     fn account_cpi(&mut self, commits: u32, now: u64) {
@@ -675,11 +754,13 @@ impl OooCore {
             self.cpi.commit_cycle();
             return;
         }
-        let cause = if let Some(head) = self.rob.front() {
-            if head.issued && !head.done && head.instr.op == OpClass::Load {
+        let cause = if self.rob_len > 0 {
+            let s = (self.head_seq & self.rob_mask) as usize;
+            let flags = self.rs_flags[s];
+            if flags & F_ISSUED != 0 && flags & F_DONE == 0 && self.rs_op[s] == OpClass::Load {
                 // A memory-blocked ROB head dominates whatever else is
                 // going on (including concurrent wrong-path fetch).
-                match head.mem_level {
+                match self.rs_mem_level[s] {
                     Some(MemLevel::Memory) => StallCause::Memory,
                     Some(MemLevel::L3) => StallCause::Llc,
                     _ => StallCause::Resource,
@@ -708,7 +789,7 @@ impl OooCore {
     /// Mirrors the gate order of [`Self::dispatch`] exactly (ROB, issue
     /// queue, LQ/SQ, rename registers), minus the `avail` time gate.
     fn can_dispatch(&self, instr: &Instr) -> bool {
-        if self.rob.len() >= self.cfg.rob_size as usize {
+        if self.rob_len >= self.cfg.rob_size as usize {
             return false;
         }
         let is_nop = instr.op == OpClass::Nop;
@@ -752,25 +833,27 @@ impl OooCore {
         let tpc = self.cfg.ticks_per_cycle;
         let nb = (now / tpc + 1) * tpc;
         // Fetch can make progress at the next boundary.
-        if self.fetch_queue.len() < self.fq_capacity && nb >= self.fetch_stall_until {
+        if !self.fetch_queue.is_full() && nb >= self.fetch_stall_until {
             return nb;
         }
         // Commit pending (done implies finish_at <= now, so the head
         // retires at the next boundary).
-        if let Some(head) = self.rob.front() {
-            if head.done {
+        if self.rob_len > 0 {
+            let s = (self.head_seq & self.rob_mask) as usize;
+            if self.rs_flags[s] & F_DONE != 0 {
                 return nb;
             }
         }
         // Issue may proceed (conservatively: a busy divider could still
         // block, but a no-skip answer is always sound).
-        if !self.ready.is_empty() {
+        if self.ready.any() {
             return nb;
         }
-        let mut h = u64::MAX;
-        if let Some(&Reverse((tick, _, _))) = self.finish_events.peek() {
-            h = h.min(tick);
-        }
+        // `earliest()` is the exact minimum over resident events — the
+        // same value the old heap's peek returned, including events whose
+        // entries were since flushed (stale-epoch events stay resident
+        // until drained, exactly like stale heap entries).
+        let mut h = self.finish_events.earliest();
         if let Some(f) = self.fetch_queue.front() {
             // Dispatch is gated on `avail` before resources, so when the
             // resources are free the front clears at `avail`; when they are
@@ -780,7 +863,7 @@ impl OooCore {
                 h = h.min(f.avail);
             }
         }
-        if self.fetch_queue.len() < self.fq_capacity {
+        if !self.fetch_queue.is_full() {
             h = h.min(self.fetch_stall_until);
         }
         if h == u64::MAX {
@@ -807,10 +890,12 @@ impl OooCore {
         }
         let n = b - a;
         self.cycles += n;
-        if let Some(head) = self.rob.front() {
-            if head.issued && !head.done && head.instr.op == OpClass::Load {
+        if self.rob_len > 0 {
+            let s = (self.head_seq & self.rob_mask) as usize;
+            let flags = self.rs_flags[s];
+            if flags & F_ISSUED != 0 && flags & F_DONE == 0 && self.rs_op[s] == OpClass::Load {
                 // Memory-blocked ROB head dominates every skipped cycle.
-                let cause = match head.mem_level {
+                let cause = match self.rs_mem_level[s] {
                     Some(MemLevel::Memory) => StallCause::Memory,
                     Some(MemLevel::L3) => StallCause::Llc,
                     _ => StallCause::Resource,
@@ -868,13 +953,31 @@ impl OooCore {
         // One global-flag read per cycle; every stage span below branches
         // on the local bool, keeping the disabled path near-free.
         let prof = span::enabled();
-        span::scoped(prof, Stage::FuExecute, || {
+        // Dead-tick fast path: a prior workless tick proved (via
+        // `next_event`) that every boundary before `quiet_until` can only
+        // bump the cycle counter and charge one stall — exactly what
+        // `account_cpi(0, now)` does. Disabled while profiling so the
+        // span-per-stage record stays identical.
+        if now < self.quiet_until && !prof {
+            self.account_cpi(0, now);
+            return;
+        }
+        let drained = span::scoped(prof, Stage::FuExecute, || {
             self.process_finish_events(now, prof)
         });
         let commits = span::scoped(prof, Stage::Commit, || self.commit(now, shared, obs));
+        // Ready entries mean select/issue ran (`next_event` would return
+        // the next boundary anyway, so there is nothing to cache).
+        let had_ready = self.ready.any();
         span::scoped(prof, Stage::SelectIssue, || self.issue(now, shared));
-        span::scoped(prof, Stage::RenameDispatch, || self.dispatch(now));
-        span::scoped(prof, Stage::Fetch, || self.fetch(now, src));
+        let dispatched = span::scoped(prof, Stage::RenameDispatch, || self.dispatch(now));
+        let fetched = span::scoped(prof, Stage::Fetch, || self.fetch(now, src));
+        self.quiet_until = if !drained && commits == 0 && !had_ready && dispatched == 0 && !fetched
+        {
+            self.next_event(now)
+        } else {
+            0
+        };
         span::scoped(prof, Stage::CpiAccount, || self.account_cpi(commits, now));
     }
 
@@ -888,19 +991,19 @@ impl OooCore {
     /// shift unconditionally so retire-time spans stay delta-free; gating
     /// deadlines already in the past stay inert.
     fn shift_time(&mut self, start: u64, delta: u64) {
-        for e in &mut self.rob {
-            e.dispatch += delta;
-            e.issue_at += delta;
-            if e.finish_at != u64::MAX {
-                e.finish_at += delta;
+        self.quiet_until = 0;
+        for i in 0..self.rob_len as u64 {
+            let s = ((self.head_seq + i) & self.rob_mask) as usize;
+            self.rs_dispatch[s] += delta;
+            self.rs_issue[s] += delta;
+            if self.rs_finish[s] != u64::MAX {
+                self.rs_finish[s] += delta;
             }
         }
-        let events = std::mem::take(&mut self.finish_events);
-        self.finish_events = events
-            .into_iter()
-            .map(|Reverse((t, seq, epoch))| Reverse((t + delta, seq, epoch)))
-            .collect();
-        for f in &mut self.fetch_queue {
+        let mut scratch = std::mem::take(&mut self.finish_scratch);
+        self.finish_events.shift(delta, &mut scratch);
+        self.finish_scratch = scratch;
+        for f in self.fetch_queue.iter_mut() {
             if f.avail > start {
                 f.avail += delta;
             }
@@ -954,7 +1057,7 @@ impl OooCore {
 
     /// Current ROB occupancy (for tests and occupancy diagnostics).
     pub fn rob_occupancy(&self) -> usize {
-        self.rob.len()
+        self.rob_len
     }
 }
 

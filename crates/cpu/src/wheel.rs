@@ -1,0 +1,436 @@
+//! Calendar wheel of completion events for the out-of-order core.
+//!
+//! Replaces the `BinaryHeap<Reverse<(tick, seq, epoch)>>` the core used to
+//! poll every cycle. Near events (due within [`WHEEL`] ticks) are bucketed
+//! by `tick & (WHEEL - 1)`; far events (deep DRAM queueing delays) go to a
+//! small binary-heap sidecar. Because the wheel only ever holds ticks in
+//! the half-open window `(cursor, cursor + WHEEL]` — which contains
+//! exactly one representative of each residue class — a slot never mixes
+//! ticks. That invariant is what makes the hot path cheap:
+//!
+//! * draining a due slot is a whole-`Vec` move, no per-entry tick
+//!   comparisons (every resident of an occupied slot in the due residue
+//!   range is due by construction);
+//! * the exact minimum resident tick is the first occupied slot in
+//!   circular order after the cursor (tick order equals circular-distance
+//!   order when slots are tick-pure), a one-or-two-word bitmap scan,
+//!   `min`-ed with the sidecar's `peek`.
+//!
+//! # Equivalence contract
+//!
+//! The wheel must be observationally identical to the heap it replaces,
+//! because skipped-tick counts and CPI stacks feed byte-compared
+//! artifacts:
+//!
+//! * [`EventWheel::earliest`] is the **exact** minimum tick over every
+//!   resident event — including events whose ROB entry was since flushed
+//!   (the consumer filters those by epoch, exactly as it filtered stale
+//!   heap entries). `next_event` horizons therefore match the old
+//!   `heap.peek()` to the tick.
+//! * [`EventWheel::drain_due`] yields due events sorted by
+//!   `(tick, seq, epoch)` ascending — the heap's pop order. Order matters:
+//!   two same-tick completions can both be mispredicted branches, and the
+//!   older one must flush before the younger is (epoch-)filtered.
+//! * Far events (more than [`WHEEL`] ticks out) never enter the wheel;
+//!   they wait in the sidecar heap and are popped when due. DRAM queueing
+//!   delay is unbounded, so this path is routine, not a corner case — and
+//!   keeping it heap-shaped means its cost matches the old design instead
+//!   of re-scanning aliased slots on every drain.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of tick buckets; power of two. Covers every L1/L2/L3 latency and
+/// the common DRAM round trip in one rotation; deeper queueing delays go
+/// to the far-event sidecar (see module docs).
+const WHEEL: usize = 512;
+const SLOT_MASK: u64 = WHEEL as u64 - 1;
+const OCC_WORDS: usize = WHEEL / 64;
+
+/// One pending completion: `(tick, seq, epoch)`, same triple the heap
+/// carried.
+pub type WheelEvent = (u64, u64, u32);
+
+/// Calendar wheel of `(tick, seq, epoch)` completion events with a
+/// binary-heap sidecar for far-future events.
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    /// Per-slot event lists. All residents of a slot share one tick (see
+    /// module docs). Slots hold few entries and reuse their allocation,
+    /// so steady-state pushes never allocate.
+    slots: Box<[Vec<WheelEvent>]>,
+    /// Occupancy bitmap: bit `s` of word `s / 64` set iff slot `s` is
+    /// non-empty.
+    occ: [u64; OCC_WORDS],
+    /// Events scheduled more than [`WHEEL`] ticks out at push time.
+    far: BinaryHeap<Reverse<WheelEvent>>,
+    /// Resident event count in the wheel (excludes `far`).
+    pending: usize,
+    /// Every event with `tick <= cursor` has been drained.
+    cursor: u64,
+    /// Exact minimum tick over all resident events (wheel and sidecar);
+    /// `u64::MAX` when empty.
+    earliest: u64,
+}
+
+impl Default for EventWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventWheel {
+    /// An empty wheel at tick 0. Slot lists and the sidecar get their
+    /// capacity up front: a slot holds at most an issue-width burst of
+    /// completions sharing one tick, so a small fixed capacity removes
+    /// the grow branch from steady-state pushes entirely (the
+    /// `alloc_steady` gate counts the difference).
+    pub fn new() -> Self {
+        EventWheel {
+            // Not `vec![...; WHEEL]`: cloning an empty Vec sheds its
+            // capacity, so build each slot's allocation individually.
+            slots: (0..WHEEL).map(|_| Vec::with_capacity(8)).collect(),
+            occ: [0; OCC_WORDS],
+            far: BinaryHeap::with_capacity(64),
+            pending: 0,
+            cursor: 0,
+            earliest: u64::MAX,
+        }
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Number of resident events.
+    pub fn len(&self) -> usize {
+        self.pending + self.far.len()
+    }
+
+    /// (Exercised by unit tests; not every core uses it.)
+    #[allow(dead_code)]
+    /// Whether any event is resident.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0 && self.far.is_empty()
+    }
+
+    /// Exact minimum tick over resident events (`u64::MAX` when empty) —
+    /// the drop-in replacement for `heap.peek()`.
+    #[inline]
+    pub fn earliest(&self) -> u64 {
+        self.earliest
+    }
+
+    /// Schedule a completion. `tick` must be beyond the drained horizon
+    /// (completions are always scheduled at least one cycle out).
+    #[inline]
+    pub fn push(&mut self, tick: u64, seq: u64, epoch: u32) {
+        debug_assert!(
+            tick > self.cursor,
+            "event at {tick} behind cursor {}",
+            self.cursor
+        );
+        if tick - self.cursor > WHEEL as u64 {
+            self.far.push(Reverse((tick, seq, epoch)));
+        } else {
+            let s = (tick & SLOT_MASK) as usize;
+            let slot = &mut self.slots[s];
+            debug_assert!(
+                slot.is_empty() || slot[0].0 == tick,
+                "slot {s} mixes ticks {} and {tick}",
+                slot[0].0
+            );
+            slot.push((tick, seq, epoch));
+            self.occ[s / 64] |= 1u64 << (s % 64);
+            self.pending += 1;
+        }
+        if tick < self.earliest {
+            self.earliest = tick;
+        }
+    }
+
+    /// Exact minimum tick among wheel residents: the tick of the first
+    /// occupied slot in circular order after the cursor (`u64::MAX` when
+    /// the wheel part is empty).
+    fn wheel_min(&self) -> u64 {
+        if self.pending == 0 {
+            return u64::MAX;
+        }
+        let start = ((self.cursor + 1) & SLOT_MASK) as usize;
+        let (sw, sb) = (start / 64, start % 64);
+        let bits = self.occ[sw] & (u64::MAX << sb);
+        if bits != 0 {
+            let s = sw * 64 + bits.trailing_zeros() as usize;
+            return self.slots[s][0].0;
+        }
+        for i in 1..=OCC_WORDS {
+            let w = (sw + i) % OCC_WORDS;
+            let mut bits = self.occ[w];
+            if w == sw {
+                // Wrap-around tail of the starting word: bits below `sb`.
+                bits &= (1u64 << sb) - 1;
+            }
+            if bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                return self.slots[s][0].0;
+            }
+        }
+        unreachable!("pending > 0 but no occupied slot")
+    }
+
+    /// Move every event with `tick <= now` into `out`, sorted ascending by
+    /// `(tick, seq, epoch)`. `out` is a caller-owned scratch buffer (its
+    /// capacity is reused tick over tick); it is cleared first.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<WheelEvent>) {
+        out.clear();
+        if self.earliest > now {
+            self.cursor = now;
+            return;
+        }
+        let window = now - self.cursor;
+        if window >= WHEEL as u64 {
+            // The window laps the wheel: every wheel resident is due.
+            for w in 0..OCC_WORDS {
+                let mut bits = self.occ[w];
+                while bits != 0 {
+                    let s = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.pending -= self.slots[s].len();
+                    out.append(&mut self.slots[s]);
+                }
+                self.occ[w] = 0;
+            }
+        } else {
+            // Residues (cursor, now] visit each slot at most once, and
+            // every resident of an occupied slot in this range is due
+            // (slots are tick-pure; see module docs).
+            let a = ((self.cursor + 1) & SLOT_MASK) as usize;
+            let b = (now & SLOT_MASK) as usize;
+            if a <= b {
+                self.scan_range(a, b, out);
+            } else {
+                self.scan_range(a, WHEEL - 1, out);
+                self.scan_range(0, b, out);
+            }
+        }
+        while let Some(&Reverse(e)) = self.far.peek() {
+            if e.0 > now {
+                break;
+            }
+            self.far.pop();
+            out.push(e);
+        }
+        self.cursor = now;
+        out.sort_unstable();
+        // Re-establish the exact minimum over what is left resident.
+        let far_min = self.far.peek().map_or(u64::MAX, |&Reverse((t, _, _))| t);
+        self.earliest = self.wheel_min().min(far_min);
+    }
+
+    /// Take every occupied slot in `[lo, hi]` (inclusive) wholesale.
+    fn scan_range(&mut self, lo: usize, hi: usize, out: &mut Vec<WheelEvent>) {
+        let (wl, wh) = (lo / 64, hi / 64);
+        for w in wl..=wh {
+            let mut bits = self.occ[w];
+            if w == wl {
+                bits &= u64::MAX << (lo % 64);
+            }
+            if w == wh {
+                let top = hi % 64;
+                if top < 63 {
+                    bits &= (1u64 << (top + 1)) - 1;
+                }
+            }
+            self.occ[w] &= !bits;
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.pending -= self.slots[s].len();
+                out.append(&mut self.slots[s]);
+            }
+        }
+    }
+
+    /// Discard every event (pipeline squash). Slot allocations are kept.
+    pub fn clear(&mut self) {
+        for w in 0..OCC_WORDS {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.slots[s].clear();
+            }
+            self.occ[w] = 0;
+        }
+        self.far.clear();
+        self.pending = 0;
+        self.earliest = u64::MAX;
+        // cursor keeps its value: it is a high-water mark of drained time.
+    }
+
+    /// Shift every resident event's tick forward by `delta` (fast-forward
+    /// time splice). Re-buckets through `scratch`, whose capacity is
+    /// reused across windows.
+    pub fn shift(&mut self, delta: u64, scratch: &mut Vec<WheelEvent>) {
+        scratch.clear();
+        for w in 0..OCC_WORDS {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                scratch.append(&mut self.slots[s]);
+            }
+            self.occ[w] = 0;
+        }
+        while let Some(Reverse(e)) = self.far.pop() {
+            scratch.push(e);
+        }
+        self.pending = 0;
+        let old_earliest = self.earliest;
+        self.earliest = u64::MAX;
+        self.cursor += delta;
+        for &(t, seq, epoch) in scratch.iter() {
+            self.push(t + delta, seq, epoch);
+        }
+        debug_assert!(old_earliest == u64::MAX || self.earliest == old_earliest + delta);
+        scratch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Differential oracle: the wheel must pop exactly what the old heap
+    /// popped, in the same order, under an adversarial schedule that
+    /// includes far-horizon events and long jumps.
+    #[test]
+    fn matches_binary_heap_order_and_contents() {
+        let mut wheel = EventWheel::new();
+        let mut heap: BinaryHeap<Reverse<WheelEvent>> = BinaryHeap::new();
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        // Deterministic pseudo-random schedule.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..2000 {
+            // Advance time by a mix of tiny steps and wheel-lapping jumps.
+            let jump = match rng() % 10 {
+                0 => 1,
+                1..=6 => 1 + rng() % 8,
+                7 | 8 => rng() % 300,
+                _ => WHEEL as u64 + rng() % 2000,
+            };
+            now += jump;
+            // Push a few events at assorted horizons, including far ones
+            // (beyond a full wheel rotation).
+            for _ in 0..(rng() % 4) {
+                let base = now + 1 + rng() % 40;
+                let tick = if rng() % 5 == 0 {
+                    base + WHEEL as u64 * (1 + rng() % 3)
+                } else {
+                    base
+                };
+                let seq = rng() % 64;
+                let epoch = (rng() % 3) as u32;
+                wheel.push(tick, seq, epoch);
+                heap.push(Reverse((tick, seq, epoch)));
+            }
+            wheel.drain_due(now, &mut out);
+            let mut expect = Vec::new();
+            while let Some(&Reverse(e)) = heap.peek() {
+                if e.0 > now {
+                    break;
+                }
+                heap.pop();
+                expect.push(e);
+            }
+            assert_eq!(out, expect, "step {step} at now={now}");
+            assert_eq!(
+                wheel.earliest(),
+                heap.peek().map(|&Reverse((t, _, _))| t).unwrap_or(u64::MAX),
+                "earliest mismatch at step {step}"
+            );
+            assert_eq!(wheel.len(), heap.len());
+        }
+    }
+
+    #[test]
+    fn earliest_tracks_pushes_and_drains() {
+        let mut w = EventWheel::new();
+        assert_eq!(w.earliest(), u64::MAX);
+        w.push(100, 1, 0);
+        w.push(50, 2, 0);
+        w.push(50 + WHEEL as u64, 3, 0); // same residue as seq 2 -> sidecar
+        assert_eq!(w.earliest(), 50);
+        let mut out = Vec::new();
+        w.drain_due(50, &mut out);
+        assert_eq!(out, vec![(50, 2, 0)]);
+        assert_eq!(w.earliest(), 100);
+        w.drain_due(100, &mut out);
+        assert_eq!(out, vec![(100, 1, 0)]);
+        assert_eq!(w.earliest(), 50 + WHEEL as u64);
+        w.drain_due(5000, &mut out);
+        assert_eq!(out, vec![(50 + WHEEL as u64, 3, 0)]);
+        assert!(w.is_empty());
+        assert_eq!(w.earliest(), u64::MAX);
+    }
+
+    #[test]
+    fn same_tick_events_drain_in_seq_order() {
+        let mut w = EventWheel::new();
+        w.push(10, 7, 1);
+        w.push(10, 3, 0);
+        w.push(10, 5, 2);
+        let mut out = Vec::new();
+        w.drain_due(10, &mut out);
+        assert_eq!(out, vec![(10, 3, 0), (10, 5, 2), (10, 7, 1)]);
+    }
+
+    #[test]
+    fn shift_moves_every_event() {
+        let mut w = EventWheel::new();
+        w.push(10, 1, 0);
+        w.push(700, 2, 0);
+        let mut scratch = Vec::new();
+        w.shift(1000, &mut scratch);
+        assert_eq!(w.earliest(), 1010);
+        let mut out = Vec::new();
+        w.drain_due(2000, &mut out);
+        assert_eq!(out, vec![(1010, 1, 0), (1700, 2, 0)]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_cursor_monotone() {
+        let mut w = EventWheel::new();
+        let mut out = Vec::new();
+        w.drain_due(300, &mut out);
+        w.push(400, 1, 0);
+        w.push(300 + WHEEL as u64 * 2, 2, 0); // sidecar resident
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.earliest(), u64::MAX);
+        // Pushes after a clear must still land beyond the cursor.
+        w.push(301, 2, 0);
+        w.drain_due(301, &mut out);
+        assert_eq!(out, vec![(301, 2, 0)]);
+    }
+
+    /// The boundary between wheel and sidecar (exactly WHEEL ticks out)
+    /// stays in the wheel; one past it goes to the sidecar. Both drain
+    /// identically.
+    #[test]
+    fn wheel_sidecar_boundary() {
+        let mut w = EventWheel::new();
+        w.push(WHEEL as u64, 1, 0); // distance == WHEEL: wheel
+        w.push(WHEEL as u64 + 1, 2, 0); // distance == WHEEL + 1: sidecar
+        assert_eq!(w.earliest(), WHEEL as u64);
+        let mut out = Vec::new();
+        w.drain_due(WHEEL as u64 + 1, &mut out);
+        assert_eq!(out, vec![(WHEEL as u64, 1, 0), (WHEEL as u64 + 1, 2, 0)]);
+        assert!(w.is_empty());
+    }
+}

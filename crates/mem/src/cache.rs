@@ -97,6 +97,13 @@ pub struct Cache {
     lines: Vec<Line>,
     sets: usize,
     ways: usize,
+    /// `log2(line_bytes)`, so indexing shifts instead of dividing.
+    line_shift: u32,
+    /// `sets - 1` when `sets` is a power of two (the common case for
+    /// every Table 2 geometry), else 0 with `set_mask_valid` unset.
+    set_mask: u64,
+    /// Whether `set_mask` may be used in place of `% sets`.
+    set_mask_valid: bool,
     tick: u64,
     stats: CacheStats,
 }
@@ -115,6 +122,13 @@ impl Cache {
             lines: vec![Line::default(); sets * ways],
             sets,
             ways,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                0
+            },
+            set_mask_valid: sets.is_power_of_two(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -135,10 +149,18 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn index_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let sets = self.sets as u64;
-        ((line % sets) as usize, line / sets)
+        let line = addr >> self.line_shift;
+        if self.set_mask_valid {
+            (
+                (line & self.set_mask) as usize,
+                line >> self.set_mask.count_ones(),
+            )
+        } else {
+            let sets = self.sets as u64;
+            ((line % sets) as usize, line / sets)
+        }
     }
 
     /// Access `addr`; returns `true` on hit. On a miss the line is filled

@@ -192,9 +192,14 @@ pub struct PrivateCaches {
     l1d: Cache,
     l2: Cache,
     prefetcher: Prefetcher,
-    /// Multiplier converting the core's cache latencies (specified in core
-    /// cycles) into global ticks; 1 at full frequency, 2 at half frequency.
-    ticks_per_cycle: u64,
+    /// Per-level latencies pre-multiplied by the core's ticks-per-cycle
+    /// (1 at full frequency, 2 at half), so the hit path does no
+    /// arithmetic beyond an add.
+    l1i_lat: u64,
+    l1d_lat: u64,
+    l2_lat: u64,
+    /// `!(line_bytes - 1)` for the L2 line, for prefetch line rounding.
+    line_mask: u64,
 }
 
 impl PrivateCaches {
@@ -207,7 +212,10 @@ impl PrivateCaches {
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             prefetcher: Prefetcher::new(cfg.prefetch),
-            ticks_per_cycle,
+            l1i_lat: cfg.l1i.latency * ticks_per_cycle,
+            l1d_lat: cfg.l1d.latency * ticks_per_cycle,
+            l2_lat: cfg.l2.latency * ticks_per_cycle,
+            line_mask: !(cfg.l2.line_bytes - 1),
         }
     }
 
@@ -236,16 +244,16 @@ impl PrivateCaches {
         now: u64,
         shared: &mut SharedMem,
     ) -> AccessOutcome {
-        let l1_lat = self.l1d.config().latency * self.ticks_per_cycle;
+        let l1_lat = self.l1d_lat;
         if self.l1d.access(addr, is_write) {
             return AccessOutcome {
                 complete_at: now + l1_lat,
                 level: MemLevel::L1,
             };
         }
-        let l2_lat = self.l2.config().latency * self.ticks_per_cycle;
+        let l2_lat = self.l2_lat;
         let line_bytes = self.l2.config().line_bytes;
-        let line_addr = addr / line_bytes * line_bytes;
+        let line_addr = addr & self.line_mask;
         if self.l2.access(addr, is_write) {
             self.prefetcher.note_demand(line_addr);
             return AccessOutcome {
@@ -277,14 +285,14 @@ impl PrivateCaches {
     }
 
     fn access_instr_inner(&mut self, addr: u64, now: u64, shared: &mut SharedMem) -> AccessOutcome {
-        let l1_lat = self.l1i.config().latency * self.ticks_per_cycle;
+        let l1_lat = self.l1i_lat;
         if self.l1i.access(addr, false) {
             return AccessOutcome {
                 complete_at: now + l1_lat,
                 level: MemLevel::L1,
             };
         }
-        let l2_lat = self.l2.config().latency * self.ticks_per_cycle;
+        let l2_lat = self.l2_lat;
         if self.l2.access(addr, false) {
             return AccessOutcome {
                 complete_at: now + l1_lat + l2_lat,

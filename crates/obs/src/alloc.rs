@@ -1,0 +1,54 @@
+//! Heap-allocation counting for the span profiler.
+//!
+//! [`CountingAlloc`] is a drop-in wrapper around the system allocator
+//! that counts every `alloc`/`realloc` call in a process-wide atomic.
+//! Install it as the `#[global_allocator]` in a binary or test to make
+//! [`alloc_count`] live; without it the counter stays at zero, so the
+//! per-stage `self_allocs` metrics in [`crate::span`] are all zero and
+//! drop out of the profile entirely — determinism gates never see them.
+//!
+//! The counter tracks *allocation events*, not bytes: the question the
+//! profiler answers is "does this engine stage allocate in steady
+//! state?", for which a count of calls is the right unit (a single
+//! `Vec` growth and a 1-byte `Box` are equally bugs in a hot loop).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of allocation events since process start, or 0 if no
+/// [`CountingAlloc`] is installed as the global allocator.
+#[inline]
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+/// A counting wrapper around [`System`]. Frees are not counted: the
+/// profiler attributes allocation *pressure* to stages, and a free in
+/// steady state is only ever the echo of an earlier alloc.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to `System`, which upholds
+// the `GlobalAlloc` contract; the counter increment has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -25,6 +25,7 @@
 //! [`warn!`], [`info!`], [`debug!`] logging macros, which write progress
 //! to stderr so stdout stays machine-parseable.
 
+pub mod alloc;
 pub mod chrome;
 pub mod cli;
 pub mod events;

@@ -227,10 +227,19 @@ struct ThreadState {
     stack: Vec<(Stage, u64, usize)>,
     /// Time of the last enter/exit boundary, for self-time charging.
     last_boundary_ns: u64,
+    /// Allocation count at the last enter/exit boundary (see
+    /// [`crate::alloc::alloc_count`]; stays 0 without an installed
+    /// counting allocator).
+    last_boundary_allocs: u64,
     /// Current core slot: 0 = no core ("host"), i+1 = core i.
     core_slot: usize,
     /// Self-time ns per (core slot, stage), grown on demand.
     self_ns: Vec<[u64; NUM_STAGES]>,
+    /// Heap-allocation events per (core slot, stage), charged at the
+    /// same boundaries as `self_ns`. All zero unless the binary installs
+    /// [`crate::alloc::CountingAlloc`], in which case each stage's count
+    /// answers "does this stage allocate in steady state?".
+    self_allocs: Vec<[u64; NUM_STAGES]>,
     /// Span-duration histogram per stage.
     hist: Vec<Histogram>,
     /// Completed coarse-span records, in completion order.
@@ -244,8 +253,10 @@ impl ThreadState {
         ThreadState {
             stack: Vec::with_capacity(16),
             last_boundary_ns: 0,
+            last_boundary_allocs: 0,
             core_slot: 0,
             self_ns: vec![[0; NUM_STAGES]],
+            self_allocs: vec![[0; NUM_STAGES]],
             hist: vec![Histogram::new(); NUM_STAGES],
             records: Vec::new(),
             rollup_bases: Vec::new(),
@@ -254,11 +265,31 @@ impl ThreadState {
 
     #[inline]
     fn charge_to_top(&mut self, now: u64) {
+        let allocs = crate::alloc::alloc_count();
         if let Some(&(top, _, _)) = self.stack.last() {
             let dt = now.saturating_sub(self.last_boundary_ns);
             self.self_ns[self.core_slot][top.index()] += dt;
+            let da = allocs.saturating_sub(self.last_boundary_allocs);
+            self.self_allocs[self.core_slot][top.index()] += da;
         }
         self.last_boundary_ns = now;
+        self.last_boundary_allocs = allocs;
+    }
+
+    /// Charge elapsed time and allocation events since the last boundary
+    /// to `stage` (the span being exited). Reads the allocation counter
+    /// before any profiler-internal bookkeeping so the profiler's own
+    /// pushes are not charged to the stage.
+    #[inline]
+    fn charge_exit(&mut self, now: u64, stage: Stage) {
+        let allocs = crate::alloc::alloc_count();
+        let dt = now.saturating_sub(self.last_boundary_ns);
+        let slot = self.core_slot;
+        self.self_ns[slot][stage.index()] += dt;
+        let da = allocs.saturating_sub(self.last_boundary_allocs);
+        self.self_allocs[slot][stage.index()] += da;
+        self.last_boundary_ns = now;
+        self.last_boundary_allocs = allocs;
     }
 
     /// Summed self-time per stage across all core slots.
@@ -290,6 +321,7 @@ pub fn set_core(core: Option<usize>) {
         let slot = core.map(|c| c + 1).unwrap_or(0);
         while st.self_ns.len() <= slot {
             st.self_ns.push([0; NUM_STAGES]);
+            st.self_allocs.push([0; NUM_STAGES]);
         }
         st.core_slot = slot;
     });
@@ -352,10 +384,7 @@ fn exit_enabled(stage: Stage) {
             return;
         };
         debug_assert_eq!(top, stage, "span::exit out of order");
-        let dt = now.saturating_sub(st.last_boundary_ns);
-        let slot = st.core_slot;
-        st.self_ns[slot][top.index()] += dt;
-        st.last_boundary_ns = now;
+        st.charge_exit(now, top);
         st.hist[top.index()].observe(now.saturating_sub(start_ns));
         if !top.is_hot() && tracing() {
             st.records.push(SpanRecord {
@@ -385,10 +414,7 @@ pub fn exit_with_rollup(stage: Stage) {
             return;
         };
         debug_assert_eq!(top, stage, "span::exit_with_rollup out of order");
-        let dt = now.saturating_sub(st.last_boundary_ns);
-        let slot = st.core_slot;
-        st.self_ns[slot][top.index()] += dt;
-        st.last_boundary_ns = now;
+        st.charge_exit(now, top);
         st.hist[top.index()].observe(now.saturating_sub(start_ns));
         let baseline = if base != usize::MAX {
             st.rollup_bases.truncate(base + 1);
@@ -458,9 +484,11 @@ pub fn reset_thread() {
 ///
 /// Metric names: `prof.host.<stage>.self_ns` for time outside any core
 /// context, `prof.core<i>.<stage>.self_ns` for time attributed to core
-/// `i`, and one `prof.<stage>.span_ns` histogram per stage. Only nonzero
-/// entries are registered, in fixed (slot, stage) order, so merged
-/// registries stay deterministic.
+/// `i`, `prof.<slot>.<stage>.self_allocs` for heap-allocation events
+/// charged at the same boundaries (nonzero only under an installed
+/// [`crate::alloc::CountingAlloc`]), and one `prof.<stage>.span_ns`
+/// histogram per stage. Only nonzero entries are registered, in fixed
+/// (slot, stage) order, so merged registries stay deterministic.
 pub fn drain_into(recorder: &mut Recorder, records: &mut Vec<SpanRecord>) {
     let st = STATE.with(|s| std::mem::replace(&mut *s.borrow_mut(), ThreadState::new()));
     debug_assert!(
@@ -481,6 +509,24 @@ pub fn drain_into(recorder: &mut Recorder, records: &mut Vec<SpanRecord>) {
             };
             let id = recorder.counter(&name);
             recorder.add(id, ns);
+        }
+    }
+    // Allocation counts, in the same fixed (slot, stage) order. These are
+    // all zero — and hence absent — unless the binary installed
+    // `crate::alloc::CountingAlloc` as its global allocator.
+    for (slot, per_core) in st.self_allocs.iter().enumerate() {
+        for stage in STAGES {
+            let count = per_core[stage.index()];
+            if count == 0 {
+                continue;
+            }
+            let name = if slot == 0 {
+                format!("prof.host.{}.self_allocs", stage.name())
+            } else {
+                format!("prof.core{}.{}.self_allocs", slot - 1, stage.name())
+            };
+            let id = recorder.counter(&name);
+            recorder.add(id, count);
         }
     }
     for stage in STAGES {
